@@ -1,0 +1,40 @@
+"""E6 — the environment version-tag optimisation (Sect. 6).
+
+    "each time we add an entry to an environment, we tag the environment
+    with a fresh version.  If gci is called on two environments with the
+    same version number, it returns one of the identical environments
+    without descending further."
+
+Our analogue caches the free variables of every environment entry, so
+substitution application skips entries that cannot mention a substituted
+variable.  The benchmark compares inference with the cache on and off.
+"""
+
+import pytest
+
+from repro.gdsl import GeneratorConfig, generate_decoder
+from repro.infer import FlowOptions, infer_flow
+from repro.lang import parse
+from repro.util import run_deep
+
+
+@pytest.mark.parametrize("cached", (True, False), ids=("cache-on", "cache-off"))
+def test_env_var_cache(benchmark, cached):
+    program = generate_decoder(GeneratorConfig(target_lines=500))
+    expr = run_deep(lambda: parse(program.source))
+    options = FlowOptions(env_var_cache=cached)
+    results = []
+
+    def run():
+        result = run_deep(lambda: infer_flow(expr, options))
+        results.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = results[-1].stats
+    benchmark.extra_info["env_rewrites_done"] = stats.env_rewrites_done
+    benchmark.extra_info["env_rewrites_skipped"] = stats.env_rewrites_skipped
+    if cached:
+        assert stats.env_rewrites_skipped > 0
+    else:
+        assert stats.env_rewrites_skipped == 0

@@ -1,0 +1,41 @@
+"""Ablation — the cost of expansion (Def. 2) as polymorphism scales.
+
+Each additional use of a let-bound record function duplicates its flow
+(Def. 2 / (VAR-LET)); the benchmark scales the number of uses and records
+the expansion counts, showing the per-instantiation cost the paper's
+two-domain design pays instead of constraint duplication.
+"""
+
+import pytest
+
+from repro.infer import infer_flow
+from repro.lang import parse
+
+USES = (4, 16, 64)
+
+
+def _program(uses: int) -> str:
+    calls = "{base = 1}"
+    for _ in range(uses):
+        calls = f"(f {calls})"
+    return (
+        "let f = \\s -> @{out = plus (#base s) 1} s in "
+        f"#base {calls}"
+    )
+
+
+@pytest.mark.parametrize("uses", USES)
+def test_expansion_scaling(benchmark, uses):
+    expr = parse(_program(uses))
+    results = []
+
+    def run():
+        result = infer_flow(expr)
+        results.append(result)
+        return result
+
+    benchmark(run)
+    stats = results[-1].stats
+    benchmark.extra_info["expansions"] = stats.expansions
+    benchmark.extra_info["flags"] = stats.flags_allocated
+    benchmark.extra_info["clauses_peak"] = stats.clauses_peak

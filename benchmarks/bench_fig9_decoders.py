@@ -1,0 +1,57 @@
+"""Fig. 9 — inference times on the decoder corpora, w/ and w/o field flows.
+
+Paper numbers (MLton-compiled SML, 3.4 GHz Core i7):
+
+    decoder           lines   w/o fields   w. fields   ratio
+    Atmel AVR          1468       0.18 s      0.32 s    1.78
+    Atmel AVR + Sem    5166       1.55 s      3.01 s    1.94
+    Intel x86          9315       6.11 s     15.65 s    2.56
+    Intel x86 + Sem   18124      15.42 s     27.38 s    1.78
+
+This harness regenerates the same rows on the synthetic corpora (scaled by
+``REPRO_FIG9_SCALE``, default 0.15 — pure Python is roughly two orders of
+magnitude slower than MLton).  The claim being reproduced is the *shape*:
+field tracking costs roughly 1.5–2.6× over plain inference, at every size,
+and both grow superlinearly in the line count.  EXPERIMENTS.md records the
+measured table next to the paper's.
+"""
+
+import pytest
+
+from repro.gdsl import FIG9_CORPORA, build_corpus
+from repro.infer import FlowOptions, infer_flow
+from repro.lang import parse
+from repro.util import run_deep
+
+_PARAMS = [
+    (spec, mode)
+    for spec in FIG9_CORPORA
+    for mode in ("without_fields", "with_fields")
+]
+
+
+@pytest.mark.parametrize(
+    "spec,mode",
+    _PARAMS,
+    ids=[f"{spec.name.replace(' ', '_')}-{mode}" for spec, mode in _PARAMS],
+)
+def test_fig9_decoder_inference(benchmark, fig9_scale, spec, mode):
+    program = build_corpus(spec, scale=fig9_scale)
+    expr = run_deep(lambda: parse(program.source))
+    options = FlowOptions(track_fields=(mode == "with_fields"))
+
+    def run():
+        return run_deep(lambda: infer_flow(expr, options))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["corpus"] = spec.name
+    benchmark.extra_info["lines"] = program.lines
+    benchmark.extra_info["scale"] = fig9_scale
+    benchmark.extra_info["paper_seconds"] = (
+        spec.paper_seconds_with_fields
+        if mode == "with_fields"
+        else spec.paper_seconds_without_fields
+    )
+    if mode == "with_fields":
+        benchmark.extra_info["clauses_peak"] = result.stats.clauses_peak
+        benchmark.extra_info["flags"] = result.stats.flags_allocated

@@ -1,0 +1,48 @@
+"""E7 — cost/benefit of stale-flag garbage collection (Sect. 6).
+
+GC keeps β small (projection onto live flags at every consumption point);
+without it the formula grows with the program and precision is lost (the
+Sect. 6 expansion bug).  The benchmark reports formula sizes; the
+correctness side is covered by tests/infer/test_stale_flags.py.
+
+Programs that typecheck under gc=False (straight-line state code) are used
+so both configurations run to completion.
+"""
+
+import pytest
+
+from repro.infer import FlowOptions, InferenceError, infer_flow
+from repro.lang import parse
+
+
+def _straightline_program(updates: int) -> str:
+    lines = ["let s0 = @{base = 0} {} in"]
+    for index in range(1, updates + 1):
+        lines.append(
+            f"let s{index} = @{{f{index} = plus (#base s{index - 1}) 1}} "
+            f"s{index - 1} in"
+        )
+    lines.append(f"#base s{updates}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("gc", (True, False), ids=("gc-on", "gc-off"))
+def test_flag_gc_formula_growth(benchmark, gc):
+    source = _straightline_program(40)
+    expr = parse(source)
+    options = FlowOptions(gc=gc)
+    results = []
+
+    def run():
+        try:
+            result = infer_flow(expr, options)
+        except InferenceError as error:  # pragma: no cover - guard
+            raise AssertionError(f"program must typecheck: {error}")
+        results.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = results[-1].stats
+    benchmark.extra_info["clauses_peak"] = stats.clauses_peak
+    benchmark.extra_info["final_clauses"] = len(results[-1].beta)
+    benchmark.extra_info["gc_seconds"] = round(stats.gc_seconds, 4)

@@ -1,0 +1,60 @@
+"""Ablation — existential projection backends: resolution vs ROBDD.
+
+The paper's pitch for the Boolean domain is closure under ∃ (Sect. 5);
+this bench compares the two implementations on implication-ladder formulas
+of growing size (the shape the inference produces: long chains of copy
+implications whose middles get projected away).
+"""
+
+import pytest
+
+from repro.boolfn import Cnf, projected
+from repro.boolfn.bdd import Bdd
+
+SIZES = (50, 200, 800)
+
+
+def _ladder(n: int) -> Cnf:
+    """f1 -> f2 -> ... -> fn plus cross links, projecting out the middle."""
+    cnf = Cnf()
+    for i in range(1, n):
+        cnf.add_implication(i, i + 1)
+    for i in range(1, n - 2, 3):
+        cnf.add_implication(i + 2, i)
+    return cnf
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_resolution_projection(benchmark, size):
+    cnf = _ladder(size)
+    live = {1, size}
+
+    def run():
+        return projected(cnf, live)
+
+    result = benchmark(run)
+    benchmark.extra_info["clauses_in"] = len(cnf)
+    benchmark.extra_info["clauses_out"] = len(result)
+
+
+@pytest.mark.parametrize("size", SIZES[:2])
+def test_bdd_projection(benchmark, size):
+    cnf = _ladder(size)
+    dead = set(range(2, size))
+
+    def run():
+        bdd = Bdd()
+        return bdd.exists(bdd.from_cnf(cnf), dead)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["clauses_in"] = len(cnf)
+
+
+def test_backends_agree_on_ladders():
+    cnf = _ladder(60)
+    live = {1, 60}
+    via_resolution = projected(cnf, live)
+    bdd = Bdd()
+    from_resolution = bdd.from_cnf(via_resolution)
+    direct = bdd.exists(bdd.from_cnf(cnf), set(range(2, 60)))
+    assert from_resolution == direct

@@ -1,0 +1,61 @@
+"""E4 — the linear-time claims for the specialised solvers (Sect. 5).
+
+2-SAT (implication-graph SCC) and Horn-SAT (Dowling–Gallier) are linear in
+the instance size; the benchmark times both on random instances of growing
+size so the report shows near-linear growth.  The general CDCL solver is
+included at the smallest size for contrast.
+"""
+
+import random
+
+import pytest
+
+from repro.boolfn import Cnf, solve_2sat, solve_cdcl, solve_horn
+
+SIZES = (1_000, 4_000, 16_000)
+
+
+def _random_2sat(n_vars: int, n_clauses: int, seed: int) -> Cnf:
+    rng = random.Random(seed)
+    cnf = Cnf()
+    for _ in range(n_clauses):
+        width = rng.choice((1, 2))
+        cnf.add_clause(
+            [
+                rng.choice((1, -1)) * rng.randint(1, n_vars)
+                for _ in range(width)
+            ]
+        )
+    return cnf
+
+
+def _random_horn(n_vars: int, n_clauses: int, seed: int) -> Cnf:
+    rng = random.Random(seed)
+    cnf = Cnf()
+    for _ in range(n_clauses):
+        width = rng.randint(1, 4)
+        lits = [-rng.randint(1, n_vars) for _ in range(width)]
+        if rng.random() < 0.8:
+            lits[0] = abs(lits[0])
+        cnf.add_clause(lits)
+    return cnf
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_twosat_scaling(benchmark, size):
+    cnf = _random_2sat(size, 2 * size, seed=size)
+    benchmark.extra_info["clauses"] = len(cnf)
+    benchmark(lambda: solve_2sat(cnf))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_hornsat_scaling(benchmark, size):
+    cnf = _random_horn(size, 2 * size, seed=size)
+    benchmark.extra_info["clauses"] = len(cnf)
+    benchmark(lambda: solve_horn(cnf))
+
+
+def test_cdcl_on_twosat_for_contrast(benchmark):
+    cnf = _random_2sat(SIZES[0], 2 * SIZES[0], seed=SIZES[0])
+    benchmark.extra_info["clauses"] = len(cnf)
+    benchmark.pedantic(lambda: solve_cdcl(cnf), rounds=1, iterations=1)

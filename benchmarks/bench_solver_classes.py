@@ -1,0 +1,35 @@
+"""E3 (cost side) — solving the flow formulas of each operation class.
+
+The same program skeleton is typed with each class of record operation and
+the final satisfiability check is timed, demonstrating the cost ladder of
+Sect. 5: 2-SAT (select/update) < dual-Horn (@) < general (when / @@).
+"""
+
+import pytest
+
+from repro.boolfn.classify import FormulaClass, classify, solve
+from repro.infer import FlowOptions, infer_flow
+from repro.lang import parse
+
+PROGRAMS = {
+    "2-sat(core)": (
+        "let f = \\s -> @{a = 1} s in #a (f ({b = 2}))"
+    ),
+    "dual-horn(concat)": "#a (({a = 1} @ {b = 2}) @ {c = 3})",
+    "general(when)": (
+        "\\s -> when foo in s then #foo s else #bar (@{bar = 1} s)"
+    ),
+    "general(symcat)": "({a = 1} @@ {b = 2}) @@ {c = 3}",
+}
+
+
+@pytest.mark.parametrize("name", list(PROGRAMS))
+def test_solve_formula_of_class(benchmark, name):
+    # Build the formula once with GC off so the full clause set remains.
+    result = infer_flow(parse(PROGRAMS[name]), FlowOptions(gc=False))
+    beta = result.beta
+    benchmark.extra_info["formula_class"] = classify(beta).value
+    benchmark.extra_info["peak_class"] = result.stats.peak_formula_class
+    benchmark.extra_info["clauses"] = len(beta)
+    model = benchmark(lambda: solve(beta))
+    assert model is not None

@@ -1,0 +1,45 @@
+"""Ablation — the cost of leaving the 2-SAT fragment at scale.
+
+The paper's conclusion: the two-domain construction "illustrates the cost
+of record operations addressed in the literature."  This bench quantifies
+it on the decoder workload: the same specification with and without
+`when`-guarded optional-field reads (the Fig. 8 construct, whose guarded
+clauses push β into general CNF and whose satisfiability needs CDCL).
+"""
+
+import pytest
+
+from repro.gdsl import GeneratorConfig, generate_decoder
+from repro.infer import infer_flow
+from repro.lang import parse
+from repro.util import run_deep
+
+
+@pytest.mark.parametrize(
+    "with_when", (False, True), ids=("2sat-core", "general-when")
+)
+def test_when_cost_on_decoder_corpus(benchmark, with_when):
+    program = generate_decoder(
+        GeneratorConfig(
+            target_lines=400,
+            with_semantics=True,
+            with_when=with_when,
+            seed=2,
+        )
+    )
+    expr = run_deep(lambda: parse(program.source))
+    results = []
+
+    def run():
+        result = run_deep(lambda: infer_flow(expr))
+        results.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    stats = results[-1].stats
+    benchmark.extra_info["peak_formula_class"] = stats.peak_formula_class
+    benchmark.extra_info["clauses_peak"] = stats.clauses_peak
+    if with_when:
+        assert stats.peak_formula_class == "general"
+    else:
+        assert stats.peak_formula_class == "2-sat"

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark suite.
+
+``REPRO_FIG9_SCALE`` (env var, default 0.15) scales the Fig. 9 corpora so
+the default benchmark run finishes in minutes; set it to 1.0 to run the
+paper's full line counts (or use ``python -m repro bench fig9 --scale 1``).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fig9_scale() -> float:
+    return float(os.environ.get("REPRO_FIG9_SCALE", "0.15"))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Object initialisation checking à la featherweight Java (a Sect. 1 scenario).
+
+    "On a broader scale, our inference can verify that no field in an
+    object is accessed without being set first in featherweight Java or
+    pure subsets of other object-oriented languages like Python or
+    JavaScript that are dynamically typed."
+
+Objects are records; constructors are functions from an empty record to an
+initialised record; methods read fields.  The inference statically verifies
+that every field a method touches was set by every constructor path that
+can reach it — the "attribute may not exist" bug class of dynamic
+languages.
+
+Run:  python examples/featherweight_objects.py
+"""
+
+from repro import infer, parse
+from repro.infer import InferenceError
+from repro.infer.signatures import signature
+from repro.types import strip
+
+CLASSES = """
+let new_point = \\ignored -> @{x = 0} (@{y = 0} {}) ;
+    new_point3d = \\ignored -> @{z = 0} (new_point 0) ;
+    -- a buggy constructor: forgets y when some_condition fails
+    new_point_buggy = \\ignored ->
+      if some_condition then @{x = 0} (@{y = 0} {}) else @{x = 0} {} ;
+    norm1 = \\self -> plus (#x self) (#y self) ;
+    norm1_3d = \\self -> plus (plus (#x self) (#y self)) (#z self)
+in
+"""
+
+
+def check(title: str, body: str) -> None:
+    print(f"--- {title}")
+    print(f"    {body.strip()}")
+    try:
+        result = infer(parse(CLASSES + body))
+    except InferenceError as error:
+        print(f"    REJECTED: {error}")
+    else:
+        print(f"    OK: {strip(result.type)!r}")
+    print()
+
+
+def main() -> None:
+    print("Field-initialisation checking for record 'objects'")
+    print("=" * 64)
+    print(CLASSES)
+
+    check("method on a fully constructed object", "norm1 (new_point 0)")
+    check(
+        "subclass object used through the superclass method",
+        "norm1 (new_point3d 0)",
+    )
+    check(
+        "superclass object used through the subclass method",
+        "norm1_3d (new_point 0)",
+    )
+    check(
+        "object from the buggy constructor",
+        "norm1 (new_point_buggy 0)",
+    )
+    check(
+        "buggy constructor is fine for methods that only need x",
+        "(\\p -> #x p) (new_point_buggy 0)",
+    )
+
+    print("The inferred signature of norm1 makes the requirement explicit:")
+    result = infer(parse(CLASSES + "norm1"))
+    print(f"    norm1 : {signature(result)}")
+    print()
+    print(
+        "Row polymorphism gives subtyping-like reuse (norm1 accepts any\n"
+        "object with x and y), while the flow formula catches partially\n"
+        "initialised objects — without any type annotations."
+    )
+
+
+if __name__ == "__main__":
+    main()

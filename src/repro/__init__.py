@@ -1,0 +1,70 @@
+"""repro — Optimal Inference of Fields in Row-Polymorphic Records.
+
+A from-scratch Python reproduction of Axel Simon's PLDI 2014 paper.  The
+package provides:
+
+* :mod:`repro.lang` — the record calculus (AST, parser, pretty printer),
+* :mod:`repro.types` — row-polymorphic type terms, unification, the
+  polytype lattice,
+* :mod:`repro.boolfn` — the Boolean-function flow domain with 2-SAT,
+  Horn, dual-Horn and CDCL solvers,
+* :mod:`repro.infer` — the flow inference (Fig. 3), applyS (Fig. 4), the
+  Sect. 5 extensions, and the baselines (Milner-Mycroft, Damas-Milner,
+  Rémy, Pottier),
+* :mod:`repro.semantics` — concrete/collecting/monotype semantics and the
+  αR/γR abstraction used by the completeness experiments,
+* :mod:`repro.gdsl` — synthetic decoder workloads reproducing Fig. 9.
+
+Quickstart::
+
+    >>> from repro import infer, parse
+    >>> result = infer(parse("#foo (@{foo = 42} {})"))
+    >>> from repro.types import strip
+    >>> strip(result.type)
+    Int
+
+    >>> infer(parse("#foo {}"))
+    Traceback (most recent call last):
+    ...
+    repro.infer.errors.FlowUnsatisfiable: ...
+"""
+
+from .infer import (
+    FlowInference,
+    FlowOptions,
+    FlowResult,
+    FlowUnsatisfiable,
+    InferenceError,
+    UnificationFailure,
+    check_pottier,
+    infer_damas_milner,
+    infer_flow,
+    infer_mycroft,
+    infer_remy,
+)
+from .lang import parse, pretty
+from .semantics import evaluate
+
+__version__ = "1.0.0"
+
+# The main entry point: the paper's flow inference.
+infer = infer_flow
+
+__all__ = [
+    "FlowInference",
+    "FlowOptions",
+    "FlowResult",
+    "FlowUnsatisfiable",
+    "InferenceError",
+    "UnificationFailure",
+    "__version__",
+    "check_pottier",
+    "evaluate",
+    "infer",
+    "infer_damas_milner",
+    "infer_flow",
+    "infer_mycroft",
+    "infer_remy",
+    "parse",
+    "pretty",
+]

@@ -1,0 +1,57 @@
+"""Boolean-function domain: CNF flow formulas and SAT solvers.
+
+This package is the ``B`` domain of the paper: flow information is a
+Boolean function over flag variables, combined with type terms via a
+reduced cardinal power construction (Sect. 4.3).  It provides the CNF
+container, fresh-flag supply, expansion (Def. 2), existential projection,
+and a family of solvers matching the complexity classes of Sect. 5
+(2-SAT, Horn, dual-Horn, general CDCL).
+"""
+
+from .bdd import Bdd
+from .cdcl import is_satisfiable_cdcl, solve_cdcl
+from .classify import FormulaClass, classify, is_satisfiable, solve
+from .cnf import Clause, Cnf, Literal, normalize_clause, substitute_literals
+from .dpll import is_satisfiable_dpll, solve_dpll
+from .expansion import expand, expand_many
+from .flags import FlagSupply
+from .hornsat import (
+    NotHornError,
+    is_horn_clause,
+    is_satisfiable_horn,
+    solve_dual_horn,
+    solve_horn,
+)
+from .projection import eliminate_variable, project_onto, projected
+from .twosat import NotTwoCnfError, is_satisfiable_2sat, solve_2sat
+
+__all__ = [
+    "Bdd",
+    "Clause",
+    "Cnf",
+    "FlagSupply",
+    "FormulaClass",
+    "Literal",
+    "NotHornError",
+    "NotTwoCnfError",
+    "classify",
+    "eliminate_variable",
+    "expand",
+    "expand_many",
+    "is_horn_clause",
+    "is_satisfiable",
+    "is_satisfiable_2sat",
+    "is_satisfiable_cdcl",
+    "is_satisfiable_dpll",
+    "is_satisfiable_horn",
+    "normalize_clause",
+    "project_onto",
+    "projected",
+    "solve",
+    "solve_2sat",
+    "solve_cdcl",
+    "solve_dpll",
+    "solve_dual_horn",
+    "solve_horn",
+    "substitute_literals",
+]

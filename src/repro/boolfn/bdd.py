@@ -1,0 +1,311 @@
+"""Reduced ordered binary decision diagrams (ROBDDs) for flow formulas.
+
+The paper's flow domain is "Boolean functions" in the abstract; the CNF
+representation of :mod:`repro.boolfn.cnf` is what the inference engine
+uses, but BDDs are the classic alternative with *constant-time* equality
+and cheap model counting, and they make the closure properties the paper
+leans on (conjunction, existential projection — cf. Brauer/King/Kriener
+[1] on ∃ as incremental SAT) directly executable.
+
+This module provides a small, self-contained ROBDD package:
+
+* hash-consed nodes with an apply cache (Bryant's algorithm),
+* ``conjoin`` / ``disjoin`` / ``negate`` / ``implies``,
+* ``exists`` — existential quantification of a set of variables,
+* ``from_cnf`` / ``to_models`` — conversions to interoperate with the CNF
+  side (used by the differential tests),
+* ``count_models`` over a fixed vocabulary.
+
+Variables are the same positive integers as CNF flags; the variable order
+is numeric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from .cnf import Cnf
+
+
+class Bdd:
+    """A BDD manager; nodes live inside one manager and never mix."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        # node id -> (var, low, high); ids 0/1 are the terminals.
+        self._nodes: list[tuple[int, int, int]] = [
+            (0, -1, -1),
+            (0, -1, -1),
+        ]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._exists_cache: dict[tuple[int, frozenset[int]], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def _make(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, variable: int) -> int:
+        """The BDD of a single positive variable."""
+        if variable <= 0:
+            raise ValueError("variables are positive integers")
+        return self._make(variable, self.FALSE, self.TRUE)
+
+    def literal(self, literal: int) -> int:
+        """The BDD of a literal (negative = negated variable)."""
+        if literal > 0:
+            return self.var(literal)
+        return self._make(-literal, self.TRUE, self.FALSE)
+
+    def _var_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def _children(self, node: int) -> tuple[int, int]:
+        _, low, high = self._nodes[node]
+        return low, high
+
+    # ------------------------------------------------------------------
+    # apply
+    # ------------------------------------------------------------------
+    def _apply(self, op: str, left: int, right: int) -> int:
+        terminal = _TERMINAL_OPS[op](left, right)
+        if terminal is not None:
+            return terminal
+        key = (op, left, right)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        var_left = self._var_of(left) if left > 1 else None
+        var_right = self._var_of(right) if right > 1 else None
+        if var_right is None or (var_left is not None and var_left < var_right):
+            var = var_left
+            left_low, left_high = self._children(left)
+            right_low = right_high = right
+        elif var_left is None or var_right < var_left:
+            var = var_right
+            left_low = left_high = left
+            right_low, right_high = self._children(right)
+        else:
+            var = var_left
+            left_low, left_high = self._children(left)
+            right_low, right_high = self._children(right)
+        assert var is not None
+        result = self._make(
+            var,
+            self._apply(op, left_low, right_low),
+            self._apply(op, left_high, right_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def conjoin(self, left: int, right: int) -> int:
+        return self._apply("and", left, right)
+
+    def disjoin(self, left: int, right: int) -> int:
+        return self._apply("or", left, right)
+
+    def implies(self, left: int, right: int) -> int:
+        return self.disjoin(self.negate(left), right)
+
+    def negate(self, node: int) -> int:
+        if node == self.FALSE:
+            return self.TRUE
+        if node == self.TRUE:
+            return self.FALSE
+        key = ("not", node, node)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var_of(node)
+        low, high = self._children(node)
+        result = self._make(var, self.negate(low), self.negate(high))
+        self._apply_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # quantification and restriction
+    # ------------------------------------------------------------------
+    def restrict(self, node: int, variable: int, value: bool) -> int:
+        """The cofactor of ``node`` with ``variable`` fixed."""
+        if node <= 1:
+            return node
+        var = self._var_of(node)
+        low, high = self._children(node)
+        if var == variable:
+            return high if value else low
+        if var > variable:
+            return node
+        return self._make(
+            var,
+            self.restrict(low, variable, value),
+            self.restrict(high, variable, value),
+        )
+
+    def exists(self, node: int, variables: Iterable[int]) -> int:
+        """∃ variables . node — the projection the paper's domain is
+        closed under."""
+        var_set = frozenset(variables)
+        if not var_set or node <= 1:
+            return node
+        key = (node, var_set)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._var_of(node)
+        low, high = self._children(node)
+        relevant = frozenset(v for v in var_set if v >= var)
+        if var in var_set:
+            result = self.disjoin(
+                self.exists(low, relevant), self.exists(high, relevant)
+            )
+        else:
+            result = self._make(
+                var,
+                self.exists(low, relevant),
+                self.exists(high, relevant),
+            )
+        self._exists_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # conversions & queries
+    # ------------------------------------------------------------------
+    def from_cnf(self, cnf: Cnf) -> int:
+        """Build the BDD of a CNF formula."""
+        if cnf.known_unsat:
+            return self.FALSE
+        result = self.TRUE
+        # Conjoin in sorted order for cache friendliness.
+        for clause in sorted(cnf.clauses(), key=lambda c: (len(c), c)):
+            clause_bdd = self.FALSE
+            for literal in clause:
+                clause_bdd = self.disjoin(clause_bdd, self.literal(literal))
+            result = self.conjoin(result, clause_bdd)
+            if result == self.FALSE:
+                return result
+        return result
+
+    def is_satisfiable(self, node: int) -> bool:
+        return node != self.FALSE
+
+    def is_tautology(self, node: int) -> bool:
+        return node == self.TRUE
+
+    def any_model(self, node: int) -> Optional[dict[int, bool]]:
+        """One satisfying assignment over the variables on the path."""
+        if node == self.FALSE:
+            return None
+        model: dict[int, bool] = {}
+        while node > 1:
+            var = self._var_of(node)
+            low, high = self._children(node)
+            if low != self.FALSE:
+                model[var] = False
+                node = low
+            else:
+                model[var] = True
+                node = high
+        return model
+
+    def count_models(self, node: int, vocabulary: Iterable[int]) -> int:
+        """Number of models over the given vocabulary."""
+        variables = sorted(set(vocabulary))
+        order = {v: i for i, v in enumerate(variables)}
+        cache: dict[tuple[int, int], int] = {}
+
+        def count(node: int, position: int) -> int:
+            if node == self.FALSE:
+                return 0
+            if node == self.TRUE:
+                return 2 ** (len(variables) - position)
+            var = self._var_of(node)
+            if var not in order:
+                raise ValueError(
+                    f"node mentions variable {var} outside the vocabulary"
+                )
+            key = (node, position)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            index = order[var]
+            if index < position:
+                raise AssertionError("vocabulary out of order")
+            skipped = 2 ** (index - position)
+            low, high = self._children(node)
+            result = skipped * (
+                count(low, index + 1) + count(high, index + 1)
+            )
+            cache[key] = result
+            return result
+
+        return count(node, 0)
+
+    def support(self, node: int) -> set[int]:
+        """The variables the function actually depends on."""
+        out: set[int] = set()
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            var, low, high = self._nodes[current]
+            out.add(var)
+            stack.append(low)
+            stack.append(high)
+        return out
+
+    def size(self, node: int) -> int:
+        """Number of internal nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            _, low, high = self._nodes[current]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+
+def _and_terminal(left: int, right: int) -> Optional[int]:
+    if left == Bdd.FALSE or right == Bdd.FALSE:
+        return Bdd.FALSE
+    if left == Bdd.TRUE:
+        return right
+    if right == Bdd.TRUE:
+        return left
+    if left == right:
+        return left
+    return None
+
+
+def _or_terminal(left: int, right: int) -> Optional[int]:
+    if left == Bdd.TRUE or right == Bdd.TRUE:
+        return Bdd.TRUE
+    if left == Bdd.FALSE:
+        return right
+    if right == Bdd.FALSE:
+        return left
+    if left == right:
+        return left
+    return None
+
+
+_TERMINAL_OPS = {"and": _and_terminal, "or": _or_terminal}

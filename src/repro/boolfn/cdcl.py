@@ -1,0 +1,269 @@
+"""A CDCL SAT solver (watched literals, VSIDS, 1UIP learning, restarts).
+
+Section 5 of the paper shows that *symmetric* record concatenation and the
+``when N in x`` construct leave the Horn fragment and require a general SAT
+solver.  The evaluation environment for this reproduction has no external SAT
+library, so this module provides a self-contained conflict-driven
+clause-learning solver in the style of MiniSat:
+
+* two watched literals per clause,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style variable activities with exponential decay,
+* Luby-sequence restarts,
+* phase saving.
+
+It is an order of magnitude faster than :mod:`repro.boolfn.dpll` on the
+non-Horn instances the extended inference produces, and is cross-checked
+against DPLL in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cnf import Cnf
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence.
+
+    luby(i) = 2^(k-1) when i = 2^k - 1, else luby(i - 2^(k-1) + 1) for the
+    largest k with 2^k - 1 < i.
+    """
+    if i <= 0:
+        raise ValueError("the Luby sequence is 1-based")
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class _Solver:
+    """One CDCL search over a fixed clause database."""
+
+    def __init__(self, clauses: list[list[int]], variables: set[int]) -> None:
+        self.clauses: list[list[int]] = clauses
+        self.watches: dict[int, list[int]] = {}
+        self.assign: dict[int, bool] = {}
+        self.level: dict[int, int] = {}
+        self.reason: dict[int, Optional[int]] = {}
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.activity: dict[int, float] = {v: 0.0 for v in variables}
+        self.phase: dict[int, bool] = {}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.qhead = 0
+        self.variables = variables
+        for idx, clause in enumerate(self.clauses):
+            if len(clause) >= 2:
+                self._watch(clause[0], idx)
+                self._watch(clause[1], idx)
+
+    def _watch(self, lit: int, idx: int) -> None:
+        self.watches.setdefault(lit, []).append(idx)
+
+    def value(self, lit: int) -> Optional[bool]:
+        var_value = self.assign.get(abs(lit))
+        if var_value is None:
+            return None
+        return var_value == (lit > 0)
+
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        current = self.value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = self.decision_level()
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or ``None``."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            falsified = -lit
+            watchers = self.watches.get(falsified, [])
+            i = 0
+            while i < len(watchers):
+                idx = watchers[i]
+                clause = self.clauses[idx]
+                # Normalise so that the falsified literal is clause[1].
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self.value(first) is True:
+                    i += 1
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self.value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        self._watch(clause[1], idx)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self.value(first) is False:
+                    self.qhead = len(self.trail)
+                    return idx
+                self.enqueue(first, idx)
+                i += 1
+        return None
+
+    def bump(self, var: int) -> None:
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+        if self.activity[var] > 1e100:
+            for key in self.activity:
+                self.activity[key] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def analyze(self, conflict_idx: int) -> tuple[list[int], int]:
+        """First-UIP analysis; returns (learnt clause, backjump level)."""
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        lit = 0
+        clause = self.clauses[conflict_idx]
+        trail_pos = len(self.trail) - 1
+        current_level = self.decision_level()
+
+        while True:
+            for q in clause:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if var in seen or self.level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self.bump(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Find the next literal on the trail to resolve on.
+            while abs(self.trail[trail_pos]) not in seen:
+                trail_pos -= 1
+            resolved = self.trail[trail_pos]
+            trail_pos -= 1
+            var = abs(resolved)
+            seen.discard(var)
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -resolved
+                break
+            reason_idx = self.reason[var]
+            assert reason_idx is not None
+            clause = self.clauses[reason_idx]
+            lit = resolved
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second highest level in the learnt clause, and put
+        # a literal of that level in watch position 1.
+        max_pos = 1
+        for k in range(2, len(learnt)):
+            if self.level[abs(learnt[k])] > self.level[abs(learnt[max_pos])]:
+                max_pos = k
+        learnt[1], learnt[max_pos] = learnt[max_pos], learnt[1]
+        return learnt, self.level[abs(learnt[1])]
+
+    def backjump(self, target_level: int) -> None:
+        while self.trail_lim and self.decision_level() > target_level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.phase[var] = self.assign[var]
+                del self.assign[var]
+                del self.level[var]
+                del self.reason[var]
+        self.qhead = min(self.qhead, len(self.trail))
+
+    def pick_branch_variable(self) -> Optional[int]:
+        best = None
+        best_activity = -1.0
+        for var in self.variables:
+            if var not in self.assign:
+                activity = self.activity.get(var, 0.0)
+                if activity > best_activity:
+                    best = var
+                    best_activity = activity
+        return best
+
+    def solve(self) -> Optional[dict[int, bool]]:
+        # Assert unit clauses at level 0.
+        for idx, clause in enumerate(self.clauses):
+            if len(clause) == 1:
+                if not self.enqueue(clause[0], idx):
+                    return None
+        if self.propagate() is not None:
+            return None
+
+        restart_count = 1
+        conflicts_until_restart = 32 * luby(restart_count)
+        conflicts = 0
+
+        while True:
+            conflict = self.propagate()
+            if conflict is not None:
+                conflicts += 1
+                if self.decision_level() == 0:
+                    return None
+                learnt, back_level = self.analyze(conflict)
+                self.backjump(back_level)
+                idx = len(self.clauses)
+                self.clauses.append(learnt)
+                if len(learnt) >= 2:
+                    self._watch(learnt[0], idx)
+                    self._watch(learnt[1], idx)
+                self.enqueue(learnt[0], idx)
+                self.var_inc /= self.var_decay
+                if conflicts >= conflicts_until_restart:
+                    conflicts = 0
+                    restart_count += 1
+                    conflicts_until_restart = 32 * luby(restart_count)
+                    self.backjump(0)
+                continue
+            variable = self.pick_branch_variable()
+            if variable is None:
+                return dict(self.assign)
+            self.trail_lim.append(len(self.trail))
+            polarity = self.phase.get(variable, False)
+            self.enqueue(variable if polarity else -variable, None)
+
+
+def solve_cdcl(cnf: Cnf) -> Optional[dict[int, bool]]:
+    """Solve an arbitrary CNF formula; return a model or ``None``.
+
+    The model assigns every variable occurring in the formula.
+    """
+    if cnf.known_unsat:
+        return None
+    variables = cnf.variables()
+    if not variables:
+        return {}
+    clauses = [list(c) for c in cnf.clauses()]
+    solver = _Solver(clauses, variables)
+    model = solver.solve()
+    if model is None:
+        return None
+    return {v: model.get(v, False) for v in variables}
+
+
+def is_satisfiable_cdcl(cnf: Cnf) -> bool:
+    """Satisfiability via CDCL."""
+    return solve_cdcl(cnf) is not None

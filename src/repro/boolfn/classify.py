@@ -1,0 +1,81 @@
+"""Classification of flow formulas into the paper's complexity classes.
+
+Section 5 categorises record operations by the Boolean theory they need:
+
+* ``{}``/``#N``/``@{N=e}`` (and field removal/renaming) emit only unit
+  clauses and 2-variable (Horn) clauses  ->  **2-SAT**, linear time;
+* asymmetric concatenation emits multi-variable clauses that are Horn after
+  inverting the flags (i.e. *dual-Horn* as written)  ->  linear time;
+* symmetric concatenation and ``when N in x`` leave Horn entirely  ->
+  general SAT.
+
+``classify`` inspects a formula and returns the cheapest class it fits;
+``solve``/``is_satisfiable`` dispatch to the matching solver.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from .cdcl import solve_cdcl
+from .cnf import Cnf
+from .hornsat import solve_dual_horn, solve_horn
+from .twosat import solve_2sat
+
+
+class FormulaClass(enum.Enum):
+    """Cheapest-first complexity classes of a CNF flow formula."""
+
+    TWO_SAT = "2-sat"
+    HORN = "horn"
+    DUAL_HORN = "dual-horn"
+    GENERAL = "general"
+
+
+def classify(cnf: Cnf) -> FormulaClass:
+    """Return the cheapest class the formula belongs to.
+
+    2-CNF is reported before Horn (both are linear, but the 2-SAT solver is
+    the one the core inference uses); dual-Horn is reported only for
+    formulas that are not Horn as written.
+    """
+    two = True
+    horn = True
+    dual = True
+    for clause in cnf.clauses():
+        if len(clause) > 2:
+            two = False
+        positives = sum(1 for lit in clause if lit > 0)
+        if positives > 1:
+            horn = False
+        if len(clause) - positives > 1:
+            dual = False
+        if not (two or horn or dual):
+            return FormulaClass.GENERAL
+    if two:
+        return FormulaClass.TWO_SAT
+    if horn:
+        return FormulaClass.HORN
+    if dual:
+        return FormulaClass.DUAL_HORN
+    return FormulaClass.GENERAL
+
+
+def solve(cnf: Cnf) -> Optional[dict[int, bool]]:
+    """Solve with the cheapest applicable solver; model or ``None``."""
+    if cnf.known_unsat:
+        return None
+    formula_class = classify(cnf)
+    if formula_class is FormulaClass.TWO_SAT:
+        return solve_2sat(cnf)
+    if formula_class is FormulaClass.HORN:
+        return solve_horn(cnf)
+    if formula_class is FormulaClass.DUAL_HORN:
+        return solve_dual_horn(cnf)
+    return solve_cdcl(cnf)
+
+
+def is_satisfiable(cnf: Cnf) -> bool:
+    """Satisfiability with solver dispatch on the formula class."""
+    return solve(cnf) is not None

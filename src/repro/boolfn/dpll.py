@@ -1,0 +1,102 @@
+"""A small DPLL solver used as a cross-checking oracle.
+
+This solver is deliberately simple (unit propagation + pure-literal rule +
+chronological backtracking).  It exists so that the linear-time specialised
+solvers (:mod:`repro.boolfn.twosat`, :mod:`repro.boolfn.hornsat`) and the
+CDCL solver (:mod:`repro.boolfn.cdcl`) can be validated against an
+independent implementation in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cnf import Clause, Cnf
+
+
+def _propagate(
+    clauses: list[Clause], assignment: dict[int, bool]
+) -> Optional[list[Clause]]:
+    """Simplify ``clauses`` under ``assignment`` with unit propagation.
+
+    Returns the residual clause list, or ``None`` on conflict.  Extends
+    ``assignment`` in place with propagated units.
+    """
+    changed = True
+    while changed:
+        changed = False
+        residual: list[Clause] = []
+        for clause in clauses:
+            satisfied = False
+            unassigned: list[int] = []
+            for lit in clause:
+                value = assignment.get(abs(lit))
+                if value is None:
+                    unassigned.append(lit)
+                elif value == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not unassigned:
+                return None
+            if len(unassigned) == 1:
+                lit = unassigned[0]
+                assignment[abs(lit)] = lit > 0
+                changed = True
+            else:
+                residual.append(tuple(unassigned))
+        clauses = residual
+    return clauses
+
+
+def solve_dpll(cnf: Cnf) -> Optional[dict[int, bool]]:
+    """Solve an arbitrary CNF; return a model or ``None`` if unsatisfiable.
+
+    The model assigns every variable of the formula (unconstrained variables
+    default to false).
+    """
+    if cnf.known_unsat:
+        return None
+    variables = cnf.variables()
+
+    def search(
+        clauses: list[Clause], assignment: dict[int, bool]
+    ) -> Optional[dict[int, bool]]:
+        clauses = _propagate(clauses, assignment)  # type: ignore[assignment]
+        if clauses is None:
+            return None
+        if not clauses:
+            return assignment
+        # Pure-literal elimination.
+        polarity: dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                var = abs(lit)
+                sign = 1 if lit > 0 else -1
+                polarity[var] = 0 if polarity.get(var, sign) != sign else sign
+        pures = [v * s for v, s in polarity.items() if s != 0]
+        if pures:
+            trail = dict(assignment)
+            for lit in pures:
+                trail[abs(lit)] = lit > 0
+            return search(clauses, trail)
+        # Branch on the first literal of the first clause.
+        lit = clauses[0][0]
+        for value in (lit > 0, lit < 0):
+            trail = dict(assignment)
+            trail[abs(lit)] = value
+            result = search(clauses, trail)
+            if result is not None:
+                return result
+        return None
+
+    result = search(list(cnf.clauses()), {})
+    if result is None:
+        return None
+    return {v: result.get(v, False) for v in variables}
+
+
+def is_satisfiable_dpll(cnf: Cnf) -> bool:
+    """Satisfiability via DPLL."""
+    return solve_dpll(cnf) is not None

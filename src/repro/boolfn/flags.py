@@ -1,0 +1,49 @@
+"""Supply of fresh flag variables.
+
+Every position in a flagged type (record field, row variable, type-variable
+occurrence) carries a globally unique flag.  The paper's bi-implications
+``fa <-> fa'`` in the record rules exist precisely to keep flags unique per
+position ("This ensures that [·] returns sequences without duplicates",
+Sect. 2.3); with a global integer supply we get uniqueness by construction.
+"""
+
+from __future__ import annotations
+
+
+class FlagSupply:
+    """Issues fresh propositional variables (positive integers).
+
+    An optional debug name can be recorded per flag; it is only used in
+    diagnostics and pretty-printing, never for identity.
+    """
+
+    __slots__ = ("_next", "_names")
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._names: dict[int, str] = {}
+
+    def fresh(self, name: str | None = None) -> int:
+        """Return a fresh flag, optionally remembering a debug name."""
+        flag = self._next
+        self._next += 1
+        if name is not None:
+            self._names[flag] = name
+        return flag
+
+    def fresh_many(self, count: int) -> list[int]:
+        """Return ``count`` fresh flags."""
+        return [self.fresh() for _ in range(count)]
+
+    def name_of(self, flag: int) -> str:
+        """Debug name for ``flag`` (falls back to ``f<id>``)."""
+        return self._names.get(flag, f"f{flag}")
+
+    def set_name(self, flag: int, name: str) -> None:
+        """Attach or replace the debug name of ``flag``."""
+        self._names[flag] = name
+
+    @property
+    def issued(self) -> int:
+        """Number of flags issued so far."""
+        return self._next - 1

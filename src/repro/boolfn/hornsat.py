@@ -1,0 +1,111 @@
+"""Linear-time Horn satisfiability (Dowling & Gallier, 1984).
+
+Section 5 of the paper observes that *asymmetric record concatenation*
+``e1 @ e2`` generates clauses such as ``fa -> (f1a \\/ f2a)`` which are not
+Horn, but become (multi-variable) Horn after inverting the meaning of every
+flag (``-f`` = "the field exists").  Multi-variable Horn clauses are solvable
+in linear time — the paper cites Dowling & Gallier [7]; this module
+implements that algorithm with per-clause counters.
+
+A clause is *Horn* if it contains at most one positive literal, i.e. it has
+one of the shapes ``q``, ``p1 & ... & pk -> q`` or ``-(p1 & ... & pk)``.
+Horn formulas have a least model (start with everything false, forward-chain
+facts); the formula is satisfiable iff the least model violates no
+all-negative clause.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .cnf import Cnf
+
+
+class NotHornError(ValueError):
+    """Raised when a clause with two or more positive literals is seen."""
+
+
+def is_horn_clause(clause: tuple[int, ...]) -> bool:
+    """True if the clause has at most one positive literal."""
+    return sum(1 for lit in clause if lit > 0) <= 1
+
+
+def solve_horn(cnf: Cnf) -> Optional[dict[int, bool]]:
+    """Solve a Horn formula; return its least model, or ``None`` if unsat.
+
+    The returned model maps every variable occurring in the formula to a
+    Boolean; variables not forced true by forward chaining are false (the
+    least model of a Horn formula).  Raises :class:`NotHornError` on a
+    non-Horn clause.
+    """
+    if cnf.known_unsat:
+        return None
+
+    clauses = list(cnf.clauses())
+    # For each clause: the positive head (or None) and the count of negative
+    # literals not yet satisfied by the growing set of true variables.
+    heads: list[Optional[int]] = []
+    pending: list[int] = []
+    # variable -> clause positions where the variable occurs negatively
+    watch: dict[int, list[int]] = {}
+    true_vars: set[int] = set()
+    queue: deque[int] = deque()
+
+    for position, clause in enumerate(clauses):
+        head: Optional[int] = None
+        negatives = 0
+        for lit in clause:
+            if lit > 0:
+                if head is not None:
+                    raise NotHornError(f"clause {clause} is not Horn")
+                head = lit
+            else:
+                negatives += 1
+                watch.setdefault(-lit, []).append(position)
+        heads.append(head)
+        pending.append(negatives)
+        if negatives == 0:
+            # A fact ``q``; a clause with no literals at all cannot occur
+            # (Cnf forbids empty clauses), so head is not None here.
+            assert head is not None
+            if head not in true_vars:
+                true_vars.add(head)
+                queue.append(head)
+
+    while queue:
+        var = queue.popleft()
+        for position in watch.get(var, ()):
+            pending[position] -= 1
+            if pending[position] == 0:
+                head = heads[position]
+                if head is None:
+                    return None  # all-negative clause fully falsified
+                if head not in true_vars:
+                    true_vars.add(head)
+                    queue.append(head)
+
+    variables = cnf.variables()
+    return {v: v in true_vars for v in variables}
+
+
+def is_satisfiable_horn(cnf: Cnf) -> bool:
+    """Linear-time satisfiability for Horn formulas."""
+    return solve_horn(cnf) is not None
+
+
+def solve_dual_horn(cnf: Cnf) -> Optional[dict[int, bool]]:
+    """Solve a *dual-Horn* formula (at most one negative literal per clause).
+
+    Dual-Horn is exactly the "inverted flag" encoding of Sect. 5: the
+    concatenation clause ``fa -> (f1a \\/ f2a)`` is dual-Horn as written.
+    We solve it by flipping every literal's sign, solving the resulting Horn
+    formula, and complementing the model.
+    """
+    flipped = Cnf(tuple(-lit for lit in clause) for clause in cnf.clauses())
+    if cnf.known_unsat:
+        flipped.mark_unsat()
+    model = solve_horn(flipped)
+    if model is None:
+        return None
+    return {v: not value for v, value in model.items()}

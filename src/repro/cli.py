@@ -1,0 +1,206 @@
+"""Command-line interface: ``rowpoly`` / ``python -m repro``.
+
+Subcommands:
+
+* ``infer FILE``     — type-check a program with a chosen engine,
+* ``eval FILE``      — run a program under the concrete semantics,
+* ``bench fig9``     — regenerate the Fig. 9 table,
+* ``generate``       — emit a synthetic decoder specification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .gdsl import FIG9_CORPORA, GeneratorConfig, build_corpus, generate_decoder
+from .infer import FlowOptions, InferenceError, infer_flow
+from .infer.hm import infer_damas_milner, infer_mycroft
+from .infer.remy import infer_remy
+from .lang import parse
+from .semantics import Omega, evaluate
+from .types.project import strip
+from .util import run_deep
+
+ENGINES = {
+    "flow": None,  # handled specially (options)
+    "mycroft": infer_mycroft,
+    "damas-milner": infer_damas_milner,
+    "remy": infer_remy,
+}
+
+
+def _read_program(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    expr = run_deep(lambda: parse(source))
+    try:
+        if args.engine == "flow":
+            options = FlowOptions(
+                track_fields=not args.no_fields,
+                gc=not args.no_gc,
+                lazy_fields=args.lazy_fields,
+                when_conditional=args.when_conditional,
+                symcat_must=args.symcat_must,
+            )
+            result = run_deep(lambda: infer_flow(expr, options))
+            print(f"type    : {strip(result.type)!r}")
+            print(f"flagged : {result.type!r}")
+            print(f"clauses : {len(result.beta)} ({result.formula_class.value})")
+            if args.show_flow:
+                from .infer.signatures import signature
+
+                sig = signature(result)
+                print(f"signature: {sig.type_text}")
+                if sig.flow_text:
+                    print(f"    where {sig.flow_text}")
+            if args.stats:
+                for key, value in result.stats.as_dict().items():
+                    print(f"  {key}: {value}")
+        else:
+            result = run_deep(lambda: ENGINES[args.engine](expr))
+            print(f"type    : {result.type!r}")
+    except InferenceError as error:
+        print(f"type error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    expr = run_deep(lambda: parse(source))
+    try:
+        value = run_deep(lambda: evaluate(expr, max_steps=args.max_steps))
+    except Omega as error:
+        print(f"runtime error (Ω): {error}", file=sys.stderr)
+        return 1
+    print(repr(value))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    program = generate_decoder(
+        GeneratorConfig(
+            target_lines=args.lines,
+            with_semantics=args.semantics,
+            seed=args.seed,
+        )
+    )
+    print(program.source, end="")
+    return 0
+
+
+def cmd_bench_fig9(args: argparse.Namespace) -> int:
+    print(f"Fig. 9 — inference times (scale={args.scale})")
+    header = (
+        f"{'decoder':<18} {'lines':>6} {'w/o fields':>11} "
+        f"{'w. fields':>10} {'ratio':>6} {'paper ratio':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in FIG9_CORPORA:
+        program = build_corpus(spec, scale=args.scale, seed=args.seed)
+        expr = run_deep(lambda: parse(program.source))
+        start = time.perf_counter()
+        run_deep(
+            lambda: infer_flow(expr, FlowOptions(track_fields=False))
+        )
+        without = time.perf_counter() - start
+        start = time.perf_counter()
+        run_deep(lambda: infer_flow(expr))
+        with_fields = time.perf_counter() - start
+        paper_ratio = (
+            spec.paper_seconds_with_fields / spec.paper_seconds_without_fields
+        )
+        print(
+            f"{spec.name:<18} {program.lines:>6} {without:>10.2f}s "
+            f"{with_fields:>9.2f}s {with_fields / max(without, 1e-9):>6.2f} "
+            f"{paper_ratio:>11.2f}"
+        )
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rowpoly",
+        description=(
+            "Optimal inference of fields in row-polymorphic records "
+            "(Simon, PLDI 2014) — reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_infer = sub.add_parser("infer", help="type-check a program")
+    p_infer.add_argument("file", help="program file ('-' for stdin)")
+    p_infer.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="flow",
+        help="inference engine (default: the paper's flow inference)",
+    )
+    p_infer.add_argument(
+        "--no-fields", action="store_true",
+        help="disable field tracking (Fig. 9 'w/o fields' mode)",
+    )
+    p_infer.add_argument(
+        "--no-gc", action="store_true",
+        help="disable stale-flag garbage collection (Sect. 6 bug mode)",
+    )
+    p_infer.add_argument(
+        "--lazy-fields", action="store_true",
+        help="Pottier-style lazy field types via conditional constraints",
+    )
+    p_infer.add_argument(
+        "--when-conditional", action="store_true",
+        help="type-changing `when` (Fig. 8, second rule)",
+    )
+    p_infer.add_argument(
+        "--symcat-must", action="store_true",
+        help="strict must-analysis for symmetric concatenation",
+    )
+    p_infer.add_argument("--stats", action="store_true", help="print stats")
+    p_infer.add_argument(
+        "--show-flow", action="store_true",
+        help="print the signature with its projected flow formula",
+    )
+    p_infer.set_defaults(handler=cmd_infer)
+
+    p_eval = sub.add_parser("eval", help="run a program")
+    p_eval.add_argument("file", help="program file ('-' for stdin)")
+    p_eval.add_argument("--max-steps", type=int, default=1_000_000)
+    p_eval.set_defaults(handler=cmd_eval)
+
+    p_gen = sub.add_parser("generate", help="emit a synthetic decoder spec")
+    p_gen.add_argument("--lines", type=int, default=1468)
+    p_gen.add_argument("--semantics", action="store_true")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(handler=cmd_generate)
+
+    p_bench = sub.add_parser("bench", help="run a benchmark")
+    bench_sub = p_bench.add_subparsers(dest="bench", required=True)
+    p_fig9 = bench_sub.add_parser("fig9", help="the Fig. 9 timing table")
+    p_fig9.add_argument(
+        "--scale", type=float, default=0.25,
+        help="corpus size multiplier (1.0 = the paper's line counts)",
+    )
+    p_fig9.add_argument("--seed", type=int, default=0)
+    p_fig9.set_defaults(handler=cmd_bench_fig9)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

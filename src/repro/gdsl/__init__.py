@@ -1,0 +1,13 @@
+"""Synthetic GDSL-style decoder workloads (the Fig. 9 corpora)."""
+
+from .corpora import FIG9_CORPORA, CorpusSpec, build_corpus
+from .generator import GeneratedProgram, GeneratorConfig, generate_decoder
+
+__all__ = [
+    "CorpusSpec",
+    "FIG9_CORPORA",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "build_corpus",
+    "generate_decoder",
+]

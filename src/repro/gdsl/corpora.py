@@ -1,0 +1,63 @@
+"""The four decoder corpora of Fig. 9.
+
+| decoder          | lines (paper) | paper w/o fields | paper w/ fields |
+|------------------|---------------|------------------|-----------------|
+| Atmel AVR        | 1468          | 0.18 s           | 0.32 s          |
+| Atmel AVR + Sem  | 5166          | 1.55 s           | 3.01 s          |
+| Intel x86        | 9315          | 6.11 s           | 15.65 s         |
+| Intel x86 + Sem  | 18124         | 15.42 s          | 27.38 s         |
+
+The synthetic corpora reproduce the *line counts* and the workload shape
+(state-monad record usage); the absolute times of this pure-Python
+implementation differ from the MLton-compiled SML original, so the
+benchmark compares the *ratios* (w/ fields vs w/o fields, and the growth
+across sizes) — see EXPERIMENTS.md.
+
+``scale`` shrinks every corpus proportionally for quick runs (the default
+benchmark uses a reduced scale; ``python -m repro bench fig9 --scale 1.0``
+runs the full-size corpora).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .generator import GeneratedProgram, GeneratorConfig, generate_decoder
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """One row of Fig. 9."""
+
+    name: str
+    lines: int
+    with_semantics: bool
+    paper_seconds_without_fields: float
+    paper_seconds_with_fields: float
+
+
+FIG9_CORPORA: tuple[CorpusSpec, ...] = (
+    CorpusSpec("Atmel AVR", 1468, False, 0.18, 0.32),
+    CorpusSpec("Atmel AVR + Sem", 5166, True, 1.55, 3.01),
+    CorpusSpec("Intel x86", 9315, False, 6.11, 15.65),
+    CorpusSpec("Intel x86 + Sem", 18124, True, 15.42, 27.38),
+)
+
+
+def build_corpus(spec: CorpusSpec, scale: float = 1.0,
+                 seed: int = 0) -> GeneratedProgram:
+    """Generate the synthetic program for one Fig. 9 row."""
+    target = max(60, int(spec.lines * scale))
+    config = GeneratorConfig(
+        target_lines=target,
+        with_semantics=spec.with_semantics,
+        seed=seed,
+    )
+    program = generate_decoder(config)
+    return GeneratedProgram(
+        name=spec.name,
+        source=program.source,
+        lines=program.lines,
+        decoders=program.decoders,
+        semantic_functions=program.semantic_functions,
+    )

@@ -1,0 +1,58 @@
+"""Inference engines: the paper's flow inference and its baselines."""
+
+from .env import Mono, Poly, TypeEnv
+from .errors import (
+    FixpointDivergence,
+    FlowUnsatisfiable,
+    InferenceError,
+    UnboundVariable,
+    UnificationFailure,
+)
+from .conditional import CondConstraint, solve_with_unification_theory
+from .flow import FlowInference, FlowResult
+from .hm import (
+    PlainInference,
+    PlainResult,
+    infer_damas_milner,
+    infer_mycroft,
+)
+from .pottier import PottierChecker, PottierError, check_pottier
+from .remy import RemyInference, infer_remy
+from .state import FlowOptions, FlowState, FlowStats
+
+
+def infer_flow(expr, options=None, builtins=None) -> FlowResult:
+    """Run the paper's flow inference (Fig. 3) on a closed program.
+
+    Raises :class:`InferenceError` subclasses on ill-typed programs.
+    """
+    return FlowInference(options, builtins).infer_program(expr)
+
+
+__all__ = [
+    "CondConstraint",
+    "FixpointDivergence",
+    "FlowInference",
+    "FlowOptions",
+    "FlowResult",
+    "FlowState",
+    "FlowStats",
+    "FlowUnsatisfiable",
+    "InferenceError",
+    "Mono",
+    "PlainInference",
+    "PlainResult",
+    "PottierChecker",
+    "PottierError",
+    "RemyInference",
+    "Poly",
+    "TypeEnv",
+    "UnboundVariable",
+    "UnificationFailure",
+    "check_pottier",
+    "infer_damas_milner",
+    "infer_flow",
+    "infer_mycroft",
+    "infer_remy",
+    "solve_with_unification_theory",
+]

@@ -1,0 +1,101 @@
+"""Builtin constants available to inferred programs.
+
+The paper's examples use a handful of primitives beyond the core grammar:
+``some_condition`` (an unknown integer), ``null : [a] -> Int`` (Ex. 4 uses
+it as an ``if`` scrutinee, which the (COND) rule types as Int), the Boolean
+``and`` of the Sect. 4.4 programs, and arithmetic.  Each builtin is a
+factory: at every use site it produces a freshly decorated type and adds its
+flow clauses — the moral equivalent of instantiating a predefined scheme.
+
+Flow conventions follow the derived rules: wherever a value flows from an
+argument position to a result position of the same type variable, the
+result-side flag implies the argument-side flag (like the identity function
+of Ex. 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..types.terms import BOOL, INT, TFun, TList, TVar, Type
+from .state import FlowState
+
+Builder = Callable[[FlowState], Type]
+
+
+def _binary_int(state: FlowState) -> Type:
+    return TFun(INT, TFun(INT, INT))
+
+
+def _binary_bool(state: FlowState) -> Type:
+    return TFun(BOOL, TFun(BOOL, BOOL))
+
+
+def _unary_bool(state: FlowState) -> Type:
+    return TFun(BOOL, BOOL)
+
+
+def _int_constant(state: FlowState) -> Type:
+    return INT
+
+
+def _int_to_bool(state: FlowState) -> Type:
+    return TFun(INT, BOOL)
+
+
+def _null(state: FlowState) -> Type:
+    # null : [a] -> Int  (usable as an if scrutinee, cf. Ex. 4)
+    a = state.vars.fresh_type_var()
+    return TFun(TList(TVar(a, state.fresh_flag())), INT)
+
+
+def _head(state: FlowState) -> Type:
+    a = state.vars.fresh_type_var()
+    f_in = state.fresh_flag()
+    f_out = state.fresh_flag()
+    state.add_implication(f_out, f_in)
+    return TFun(TList(TVar(a, f_in)), TVar(a, f_out))
+
+
+def _tail(state: FlowState) -> Type:
+    a = state.vars.fresh_type_var()
+    f_in = state.fresh_flag()
+    f_out = state.fresh_flag()
+    state.add_implication(f_out, f_in)
+    return TFun(TList(TVar(a, f_in)), TList(TVar(a, f_out)))
+
+
+def _cons(state: FlowState) -> Type:
+    # cons : a -> [a] -> [a]; a field reachable from the output list must be
+    # reachable from the head or the tail — abstracted (like the derived
+    # rules do elsewhere) to implications into both.
+    a = state.vars.fresh_type_var()
+    f_head = state.fresh_flag()
+    f_tail = state.fresh_flag()
+    f_out = state.fresh_flag()
+    state.add_implication(f_out, f_head)
+    state.add_implication(f_out, f_tail)
+    return TFun(
+        TVar(a, f_head),
+        TFun(TList(TVar(a, f_tail)), TList(TVar(a, f_out))),
+    )
+
+
+DEFAULT_BUILTINS: dict[str, Builder] = {
+    "plus": _binary_int,
+    "minus": _binary_int,
+    "times": _binary_int,
+    "eq": _binary_int,
+    "lt": _binary_int,
+    "and": _binary_bool,
+    "or": _binary_bool,
+    "not": _unary_bool,
+    "positive": _int_to_bool,
+    "null": _null,
+    "head": _head,
+    "tail": _tail,
+    "cons": _cons,
+    # Unknown integers used as conditions in the paper's examples.
+    "some_condition": _int_constant,
+    "coin": _int_constant,
+}

@@ -1,0 +1,117 @@
+"""Conditional unification constraints ``t1 =β t2`` and their SMT solver.
+
+Section 5 sketches a third domain beyond type terms and Boolean functions:
+constraints ``ta =β tb`` demanding that the type terms unify *in models
+where β holds*.  Two uses from the paper:
+
+* **Lazy field types** (Pottier's [18] behaviour, repaired): the record
+  update stores a fresh variable ``c`` for the field content and the
+  constraint ``c =fN t`` — the content only needs a consistent type if the
+  field is ever accessed (fN true).  This accepts
+  ``{} @ (if c then {f = 42} else {f = {}})``, which Pottier's D'r rule
+  rejects (Sect. 1.1) — enable with ``FlowOptions(lazy_fields=True)``.
+* **Type-changing `when`** (Fig. 8, second rule): the branches are not
+  unified; instead ``tr =ff tt ∧ tr =¬ff te`` — enable with
+  ``FlowOptions(when_conditional=True)``.
+
+"A program is type correct if there is a truth assignment for the Boolean
+formulae so that the type terms, including the conditional constraints
+whose Boolean formula is true, are unifiable" — an SMT problem with a
+theory of unification constraints.  The paper notes no off-the-shelf SMT
+solver has such a theory; we implement the lazy DPLL(T) loop it alludes to
+(via Prolog-style backtracking in [20]): solve β propositionally, unify the
+constraints activated by the model, and on theory failure add a blocking
+clause over the active guards and repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..boolfn.classify import solve as solve_formula
+from ..boolfn.cnf import Cnf
+from ..types.subst import Subst
+from ..types.terms import Type, VarSupply
+from ..types.unify import UnifyError, _Unifier
+
+
+@dataclass
+class CondConstraint:
+    """``left =guard right``: unify when the guard literal holds.
+
+    ``guard`` is a literal: positive for ``ff``, negative for ``¬ff``.
+    The types may carry flags (they are rewritten by ``applyS`` alongside
+    the live roots, so they stay current as inference proceeds).
+    """
+
+    guard: int
+    left: Type
+    right: Type
+
+    def __repr__(self) -> str:
+        sign = "" if self.guard > 0 else "¬"
+        return f"{self.left!r} ={sign}f{abs(self.guard)} {self.right!r}"
+
+
+@dataclass
+class TheoryResult:
+    """Outcome of the DPLL(T) loop."""
+
+    model: dict[int, bool]
+    subst: Subst
+    iterations: int
+
+
+def _guard_holds(model: dict[int, bool], guard: int) -> bool:
+    value = model.get(abs(guard), False)
+    return value if guard > 0 else not value
+
+
+def solve_with_unification_theory(
+    beta: Cnf,
+    constraints: list[CondConstraint],
+    supply: VarSupply,
+    max_iterations: int = 1000,
+) -> Optional[TheoryResult]:
+    """Lazy SMT: propositional model, then unify the activated constraints.
+
+    Returns a model + the unifier of the activated constraints, or ``None``
+    if no model's activated constraints are unifiable.  The blocking clause
+    on theory failure negates all active guards (not a minimal core — the
+    loop may take more iterations than necessary but remains complete).
+    """
+    from ..types.project import strip
+
+    working = beta.copy()
+    # Guards must appear in the formula so the solver assigns them; a guard
+    # on an otherwise-unconstrained flag defaults to "false" in our model
+    # completion, which activates negative-guard constraints correctly.
+    for iteration in range(1, max_iterations + 1):
+        model = solve_formula(working)
+        if model is None:
+            return None
+        active = [
+            constraint
+            for constraint in constraints
+            if _guard_holds(model, constraint.guard)
+        ]
+        try:
+            unifier = _Unifier(supply)
+            for constraint in active:
+                unifier.unify(strip(constraint.left), strip(constraint.right))
+            return TheoryResult(
+                model=model,
+                subst=unifier.to_subst(),
+                iterations=iteration,
+            )
+        except UnifyError:
+            if not active:
+                # Theory failure with no active constraints cannot happen
+                # (the unifier had nothing to do) — defensive.
+                raise AssertionError("unification failed with no constraints")
+            blocking = [-c.guard for c in active]
+            working.add_clause(blocking)
+    raise RuntimeError(
+        f"theory solver did not converge in {max_iterations} iterations"
+    )

@@ -1,0 +1,146 @@
+"""Human-readable explanations of flow-unsatisfiability errors.
+
+When β becomes unsatisfiable the user needs to know *which* field access can
+fail and *where the record came from*.  For the 2-CNF formulas of the core
+inference this is an implication-graph reachability question: unsatisfiable
+means some flag f has a path f -> ... -> ¬f and ¬f -> ... -> f; the two
+asserted endpoints are typically a ``select:FOO@line`` flag (forced true)
+and an ``empty-record@line`` flag (forced false).  We recover such a chain
+and render it with the debug names attached to the flags at creation time —
+the analogue of the paper's error "f expects a field FOO but is called with
+{}" (Sect. 1).
+
+For non-2-CNF formulas (concatenation, ``when``), we fall back to naming
+the asserted select flags whose requirement cannot be met (computed by
+checking each select-unit against the rest of the formula).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..boolfn.cnf import Cnf
+from ..boolfn.classify import FormulaClass, classify, solve
+from ..boolfn.twosat import implication_graph, tarjan_scc
+from .state import FlowState
+
+
+def _literal_name(state: FlowState, literal: int) -> str:
+    name = state.flags.name_of(abs(literal))
+    return f"¬{name}" if literal < 0 else name
+
+
+def _find_conflict_variable(beta: Cnf) -> Optional[int]:
+    """A variable in the same SCC as its negation (2-CNF only)."""
+    graph = implication_graph(beta.clauses())
+    component = tarjan_scc(graph)
+    for node in graph:
+        if node > 0 and component.get(node) == component.get(-node):
+            return node
+    return None
+
+
+def _shortest_path(
+    graph: dict[int, list[int]], source: int, target: int
+) -> Optional[list[int]]:
+    if source == target:
+        return [source]
+    parents: dict[int, int] = {source: source}
+    queue = deque((source,))
+    while queue:
+        node = queue.popleft()
+        for succ in graph.get(node, ()):
+            if succ not in parents:
+                parents[succ] = node
+                if succ == target:
+                    path = [succ]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                queue.append(succ)
+    return None
+
+
+def explain_unsat(state: FlowState) -> Optional[str]:
+    """Best-effort explanation of why β is unsatisfiable."""
+    beta = state.beta
+    if beta.known_unsat:
+        return "contradictory flow constraints (empty clause derived)"
+    if classify(beta) is FormulaClass.TWO_SAT:
+        message = _explain_two_sat(state)
+        if message is not None:
+            return message
+    return _explain_general(state)
+
+
+def _explain_two_sat(state: FlowState) -> Optional[str]:
+    beta = state.beta
+    variable = _find_conflict_variable(beta)
+    if variable is None:
+        return None
+    graph = implication_graph(beta.clauses())
+    # v -> ... -> ¬v -> ... -> v; render the first half, whose endpoints
+    # carry the informative debug names.
+    path = _shortest_path(graph, variable, -variable)
+    if path is None:
+        return None
+    named = [
+        _literal_name(state, lit)
+        for lit in path
+        if _has_debug_name(state, lit)
+    ]
+    chain = " -> ".join(named) if named else ""
+    select_labels = _named_labels(state, path, "select:")
+    empties = _named_labels(state, path, "empty-record@")
+    message = None
+    if select_labels:
+        message = (
+            f"field {select_labels[0]!r} is selected but may be absent"
+        )
+        if empties:
+            message += f" (the record originates from {empties[0]})"
+    if chain:
+        detail = f"conflicting flow: {chain}"
+        message = f"{message}; {detail}" if message else detail
+    return message
+
+
+def _has_debug_name(state: FlowState, literal: int) -> bool:
+    return state.flags.name_of(abs(literal)) != f"f{abs(literal)}"
+
+
+def _named_labels(
+    state: FlowState, path: list[int], prefix: str
+) -> list[str]:
+    out = []
+    for literal in path:
+        name = state.flags.name_of(abs(literal))
+        if name.startswith(prefix):
+            if prefix == "select:":
+                out.append(name[len(prefix):].split("@", 1)[0])
+            else:
+                out.append("{} at " + name[len("empty-record@"):])
+    return out
+
+
+def _explain_general(state: FlowState) -> Optional[str]:
+    """Identify a select assertion whose removal restores satisfiability."""
+    beta = state.beta
+    select_units = [
+        clause
+        for clause in beta.clauses()
+        if len(clause) == 1
+        and clause[0] > 0
+        and state.flags.name_of(clause[0]).startswith("select:")
+    ]
+    for unit in select_units:
+        relaxed = Cnf(c for c in beta.clauses() if c != unit)
+        if solve(relaxed) is not None:
+            name = state.flags.name_of(unit[0])
+            label = name[len("select:"):].split("@", 1)[0]
+            where = name.split("@", 1)[1] if "@" in name else "?"
+            return (
+                f"field {label!r} (selected at {where}) may be absent"
+            )
+    return None

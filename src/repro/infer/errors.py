@@ -1,0 +1,50 @@
+"""Typed errors raised by the inference engines.
+
+A program is ill-typed when (a) unification of the type terms fails, or
+(b) the Boolean flow formula becomes unsatisfiable (Sect. 1).  The two
+failure modes get distinct exception classes so that tests and diagnostics
+can tell a constructor clash from a missing-field rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang.ast import Expr, Span
+
+
+class InferenceError(Exception):
+    """Base class for type errors found by an inference engine."""
+
+    def __init__(self, message: str, span: Optional[Span] = None,
+                 expr: Optional[Expr] = None) -> None:
+        super().__init__(message)
+        self.span = span
+        self.expr = expr
+
+
+class UnificationFailure(InferenceError):
+    """The type terms do not unify (constructor clash or occurs check)."""
+
+
+class FlowUnsatisfiable(InferenceError):
+    """The flow formula β is unsatisfiable: some field access can fail.
+
+    ``label`` names the offending field when diagnostics could recover it.
+    """
+
+    def __init__(self, message: str, span: Optional[Span] = None,
+                 expr: Optional[Expr] = None,
+                 label: Optional[str] = None,
+                 explanation: Optional[str] = None) -> None:
+        super().__init__(message, span, expr)
+        self.label = label
+        self.explanation = explanation
+
+
+class FixpointDivergence(InferenceError):
+    """The (LETREC) fixpoint did not stabilise (e.g. ``f x = f 1 x``)."""
+
+
+class UnboundVariable(InferenceError):
+    """A variable is neither bound nor a known builtin."""

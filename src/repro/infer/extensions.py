@@ -1,0 +1,307 @@
+"""Section-5 record operations: removal, renaming, concatenation, ``when``.
+
+Each operation lands in the Boolean complexity class the paper assigns it:
+
+* field **removal** and **renaming** — 2-variable Horn clauses (2-SAT),
+* **asymmetric concatenation** ``e1 @ e2`` — clauses ``f -> f1 \\/ f2``:
+  dual-Horn as written / Horn after inverting flags — still linear time,
+* **symmetric concatenation** ``e1 @@ e2`` — additionally ``¬(f1 ∧ f2)``
+  which together with the above leaves the (dual-)Horn fragment,
+* ``when N in x then e1 else e2`` — branch-guarded clauses
+  ``ff -> c`` / ``¬ff -> c`` (Fig. 8), requiring a general SAT solver.
+
+The methods are mixed into :class:`repro.infer.flow.FlowInference`.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import Concat, Remove, Rename, When
+from ..types.project import flag_literals
+from ..types.terms import Field, Row, TRec, TFun, TVar, Type
+from .env import Mono, Poly, TypeEnv
+from .errors import UnboundVariable, UnificationFailure
+from .state import Slot
+
+
+class ExtensionRules:
+    """Sect. 5 inference rules; mixed into FlowInference."""
+
+    # The mixin relies on the host class for these:
+    #   self.state, self.infer, self.unify, self.fresh_tvar, self.fresh_row,
+    #   self.redecorate, self.env_literals, self.instantiate
+
+    # ------------------------------------------------------------------
+    # field removal  ~N : {N.fN : a.fa, b.fb} -> {N.f'N : c.fc, b.f'b}
+    # ------------------------------------------------------------------
+    def infer_remove(self, env_slot: Slot, expr: Remove) -> Type:
+        """Removal forgets the field: output flag is Abs (¬f'N), output
+        content is a fresh unconstrained variable (Sect. 6 motivates the
+        operator; it stays in the 2-SAT fragment)."""
+        state = self.state
+        in_content = self.fresh_tvar()
+        out_content = self.fresh_tvar()
+        in_field_flag = state.fresh_flag()
+        out_field_flag = state.fresh_flag()
+        in_row = Row(state.vars.fresh_row_var(), state.fresh_flag())
+        out_row = Row(in_row.var, state.fresh_flag())
+        state.add_unit(-out_field_flag)
+        assert in_row.flag is not None and out_row.flag is not None
+        state.add_iff(in_row.flag, out_row.flag)
+        argument = TRec((Field(expr.label, in_content, in_field_flag),), in_row)
+        result = TRec((Field(expr.label, out_content, out_field_flag),), out_row)
+        return TFun(argument, result)
+
+    # ------------------------------------------------------------------
+    # field renaming  @[OLD -> NEW]
+    # ------------------------------------------------------------------
+    def infer_rename(self, env_slot: Slot, expr: Rename) -> Type:
+        """@[O -> N] : {O.f1 : a.fa, N.f2 : c.fc, b.fb}
+                    -> {O.f3 : d.fd, N.f4 : a.f'a, b.f'b}
+        with f1 (the source must exist), ¬f3 (it is gone), fa ↔ f'a (the
+        content moves) and fb ↔ f'b.  Still 2-variable Horn clauses."""
+        state = self.state
+        if expr.old_label == expr.new_label:
+            raise UnificationFailure(
+                f"renaming {expr.old_label!r} to itself at {expr.span}",
+                expr.span,
+                expr,
+            )
+        moved = self.fresh_tvar()
+        moved_out_flag = state.fresh_flag()
+        old_in_flag = state.fresh_flag()
+        old_out_flag = state.fresh_flag()
+        new_in_content = self.fresh_tvar()
+        new_in_flag = state.fresh_flag()
+        old_out_content = self.fresh_tvar()
+        in_row = Row(state.vars.fresh_row_var(), state.fresh_flag())
+        out_row = Row(in_row.var, state.fresh_flag())
+        state.add_unit(old_in_flag)
+        state.add_unit(-old_out_flag)
+        assert moved.flag is not None
+        state.add_iff(moved.flag, moved_out_flag)
+        assert in_row.flag is not None and out_row.flag is not None
+        state.add_iff(in_row.flag, out_row.flag)
+        argument = TRec(
+            (
+                Field(expr.old_label, moved, old_in_flag),
+                Field(expr.new_label, new_in_content, new_in_flag),
+            ),
+            in_row,
+        )
+        result = TRec(
+            (
+                Field(expr.old_label, old_out_content, old_out_flag),
+                Field(
+                    expr.new_label,
+                    TVar(moved.var, moved_out_flag),
+                    state.fresh_flag(),
+                ),
+            ),
+            out_row,
+        )
+        return TFun(argument, result)
+
+    # ------------------------------------------------------------------
+    # concatenation  e1 @ e2  /  e1 @@ e2
+    # ------------------------------------------------------------------
+    def infer_concat(self, env_slot: Slot, expr: Concat) -> Type:
+        """r3 = r1 @ r2: after unifying the three record skeletons, every
+        aligned flag position gets ``f3 -> f1 \\/ f2`` (a field is in the
+        output only if some input had it); the symmetric variant ``@@``
+        additionally forbids presence on both sides: ``¬(f1 ∧ f2)`` on every
+        field/row position."""
+        state = self.state
+        left_type = self.infer(env_slot, expr.left)
+        left_slot = state.push(left_type)
+        right_type = self.infer(env_slot, expr.right)
+        right_slot = state.push(right_type)
+        result = TRec((), self.fresh_row())
+        result_slot = state.push(result)
+        self.unify(left_slot.value, right_slot.value, expr)
+        self.unify(left_slot.value, result_slot.value, expr)
+        result = result_slot.value
+        right_type = right_slot.value
+        left_type = left_slot.value
+        assert isinstance(result, TRec)
+        assert isinstance(left_type, Type) and isinstance(right_type, Type)
+        left_literals = flag_literals(left_type)
+        right_literals = flag_literals(right_type)
+        result_literals = flag_literals(result)
+        for l3, l1, l2 in zip(result_literals, left_literals, right_literals):
+            state.add_clause((-l3, l1, l2))
+        if expr.symmetric:
+            assert isinstance(left_type, TRec) and isinstance(right_type, TRec)
+            # The must-analysis probes β *before* the exclusion clauses are
+            # conjoined (they would make every probe trivially unsat).
+            if state.options.symcat_must and state.options.track_fields:
+                self._check_symcat_disjoint(expr, left_type, right_type)
+            for p1, p2 in zip(
+                _presence_literals(left_type), _presence_literals(right_type)
+            ):
+                state.add_clause((-p1, -p2))
+        # The operand types are consumed; only the result stays live.
+        result = state.pop(result_slot)
+        assert isinstance(result, TRec)
+        self.discard_slot(right_slot)
+        self.discard_slot(left_slot)
+        return result
+
+    def _check_symcat_disjoint(
+        self, expr: Concat, left_type: TRec, right_type: TRec
+    ) -> None:
+        """Must-analysis for @@: prove β ⊨ ¬(p1 ∧ p2) per aligned position.
+
+        If β ∧ p1 ∧ p2 is satisfiable the field *may* be present on both
+        sides, which the symmetric concatenation forbids, so the program is
+        rejected.  Each check is an (in general non-Horn) SAT query.
+        """
+        from ..boolfn.classify import solve as solve_formula
+        from .errors import FlowUnsatisfiable
+
+        state = self.state
+        labels = [f.label for f in left_type.fields] + ["<row>"]
+        for label, p1, p2 in zip(
+            labels,
+            _presence_literals(left_type),
+            _presence_literals(right_type),
+        ):
+            probe = state.beta.copy()
+            probe.add_unit(p1)
+            probe.add_unit(p2)
+            with state.timed_solver():
+                model = solve_formula(probe)
+            if model is not None:
+                raise FlowUnsatisfiable(
+                    f"symmetric concatenation at {expr.span}: field "
+                    f"{label!r} may be present in both operands",
+                    expr.span,
+                    expr,
+                    label=label,
+                )
+
+    # ------------------------------------------------------------------
+    # when N in x then e1 else e2  (Fig. 8, first rule)
+    # ------------------------------------------------------------------
+    def infer_when(self, env_slot: Slot, expr: When) -> Type:
+        """Branch on field presence.  The scrutinised entry's field flag ff
+        guards the branch constraints (clauses added while inferring the
+        then branch become ``ff -> c``, the else branch ``¬ff -> c``), and
+        the result implications are likewise guarded:
+        ``ff -> ([tr] => [tt])  ∧  ¬ff -> ([tr] => [te])``."""
+        state = self.state
+        env = env_slot.value
+        assert isinstance(env, TypeEnv)
+        entry = env.lookup(expr.record)
+        if entry is None:
+            raise UnboundVariable(
+                f"unbound variable {expr.record!r} in when at {expr.span}",
+                expr.span,
+                expr,
+            )
+        if isinstance(entry, Poly):
+            # The rule refines the environment entry of x; a polymorphic x
+            # is monomorphised to one instance for the rest of its scope
+            # (the paper's rule assumes a λ-bound scrutinee).  The scheme's
+            # own flags go out of scope with the rebinding and are retired.
+            instance = self.instantiate(entry.scheme)
+            retired = entry.flags
+            env_slot.value = env.bind(expr.record, Mono.of(instance))
+            env = env_slot.value
+            self._retire_flags(retired)
+            entry = env.lookup(expr.record)
+            assert entry is not None
+        # Refine the entry's type to a record containing field N, so that
+        # ff is the flag of N in the *environment entry* of x.
+        probe = TRec(
+            (Field(expr.label, self.fresh_tvar(), state.fresh_flag()),),
+            self.fresh_row(),
+        )
+        probe_slot = state.push(probe)
+        entry_type = entry.type if isinstance(entry, Mono) else entry.scheme.body
+        self.unify(entry_type, probe_slot.value, expr)
+        self.discard_slot(probe_slot)
+        env = env_slot.value
+        assert isinstance(env, TypeEnv)
+        entry = env.lookup(expr.record)
+        assert entry is not None
+        entry_type = entry.type if isinstance(entry, Mono) else entry.scheme.body
+        assert isinstance(entry_type, TRec)
+        field = entry_type.field(expr.label)
+        assert field is not None and field.flag is not None
+        ff = field.flag
+
+        snapshot_slot = state.push(env_slot.value)
+        with state.guarded(ff):
+            then_type = self.infer(env_slot, expr.then)
+        then_slot = state.push(then_type)
+        env_slot.value, snapshot_slot.value = (
+            snapshot_slot.value,
+            env_slot.value,
+        )
+        with state.guarded(-ff):
+            else_type = self.infer(env_slot, expr.orelse)
+        else_slot = state.push(else_type)
+        if not state.options.when_conditional:
+            self.unify(then_slot.value, else_slot.value, expr)
+        self.unify_envs(snapshot_slot.value, env_slot.value, expr)  # type: ignore[arg-type]
+        then_env = snapshot_slot.value
+        else_env = env_slot.value
+        assert isinstance(then_env, TypeEnv) and isinstance(else_env, TypeEnv)
+        state.add_sequence_iff(
+            self.env_literals(then_env), self.env_literals(else_env)
+        )
+        # Keep the then environment; the else environment is consumed.
+        env_slot.value, snapshot_slot.value = (
+            snapshot_slot.value,
+            env_slot.value,
+        )
+        then_type = then_slot.value
+        else_type = else_slot.value
+        assert isinstance(else_type, Type) and isinstance(then_type, Type)
+        if state.options.when_conditional:
+            # Fig. 8, second rule: the branch types are *not* unified; the
+            # result is a fresh variable related by conditional unification
+            # constraints tr =ff tt and tr =¬ff te.  The result type may
+            # therefore differ per branch (a GADT-flavoured `when`).
+            from .conditional import CondConstraint
+
+            cond_result = self.fresh_tvar()
+            state.conditional_constraints.append(
+                CondConstraint(ff, cond_result, then_type)
+            )
+            state.conditional_constraints.append(
+                CondConstraint(-ff, cond_result, else_type)
+            )
+            # The branch types stay live: they are referenced by the
+            # conditional constraints (pin their slots for the whole run).
+            state.pop(else_slot)
+            state.pop(then_slot)
+            self._lazy_value_slots.append(state.push(then_type))
+            self._lazy_value_slots.append(state.push(else_type))
+            self.discard_env_slot(snapshot_slot)
+            return cond_result
+        result = self.redecorate(then_type)
+        with state.guarded(ff):
+            state.add_sequence_implication(
+                flag_literals(result), flag_literals(then_type)
+            )
+        with state.guarded(-ff):
+            state.add_sequence_implication(
+                flag_literals(result), flag_literals(else_type)
+            )
+        self.discard_slot(else_slot)
+        self.discard_slot(then_slot)
+        self.discard_env_slot(snapshot_slot)
+        return result
+
+
+def _presence_literals(record: TRec) -> list[int]:
+    """The field flags and the row flag of a record's top level."""
+    out: list[int] = []
+    for field in record.fields:
+        assert field.flag is not None
+        out.append(field.flag)
+    if record.row is not None:
+        assert record.row.flag is not None
+        out.append(record.row.flag)
+    return out

@@ -1,0 +1,449 @@
+"""Plain polytype inference (Fig. 2): Milner-Mycroft and Damas-Milner.
+
+These engines infer type *terms* only — no flags, no flow formula.  They
+serve three purposes in the reproduction:
+
+* the Milner-Mycroft engine is the ``H[[·]]`` semantics of Sect. 4.2 (the
+  backward-complete inference the flow engine extends): the flow engine
+  restricted to type terms must agree with it on every program;
+* the Damas-Milner variant (``polymorphic_recursion=False``) is the
+  classical, *non-optimal* baseline: it binds a recursive name
+  monomorphically, so it rejects polymorphic recursion that Mycroft's
+  fixpoint accepts — the paper's motivating example for optimality;
+* both type records structurally (row polymorphism without field tracking),
+  which is exactly the "time w/o fields" configuration of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..lang.ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+)
+from ..types.lattice import alpha_equivalent
+from ..types.schemes import Scheme, instantiate
+from ..types.subst import Subst
+from ..types.terms import (
+    BOOL,
+    Field,
+    INT,
+    Row,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    Type,
+    VarSupply,
+    row_vars,
+    type_vars,
+)
+from ..types.unify import UnifyError, _Unifier
+from .errors import FixpointDivergence, UnboundVariable, UnificationFailure
+
+PlainBuilder = Callable[[VarSupply], Type]
+
+
+def _binary_int(supply: VarSupply) -> Type:
+    return TFun(INT, TFun(INT, INT))
+
+
+def _binary_bool(supply: VarSupply) -> Type:
+    return TFun(BOOL, TFun(BOOL, BOOL))
+
+
+def _list_fn(supply: VarSupply) -> Type:
+    return TFun(TList(TVar(supply.fresh_type_var())), INT)
+
+
+def _head(supply: VarSupply) -> Type:
+    a = TVar(supply.fresh_type_var())
+    return TFun(TList(a), a)
+
+
+def _tail(supply: VarSupply) -> Type:
+    a = TVar(supply.fresh_type_var())
+    return TFun(TList(a), TList(a))
+
+
+def _cons(supply: VarSupply) -> Type:
+    a = TVar(supply.fresh_type_var())
+    return TFun(a, TFun(TList(a), TList(a)))
+
+
+PLAIN_BUILTINS: dict[str, PlainBuilder] = {
+    "plus": _binary_int,
+    "minus": _binary_int,
+    "times": _binary_int,
+    "eq": _binary_int,
+    "lt": _binary_int,
+    "and": _binary_bool,
+    "or": _binary_bool,
+    "not": lambda supply: TFun(BOOL, BOOL),
+    "positive": lambda supply: TFun(INT, BOOL),
+    "null": _list_fn,
+    "head": _head,
+    "tail": _tail,
+    "cons": _cons,
+    "some_condition": lambda supply: INT,
+    "coin": lambda supply: INT,
+}
+
+Entry = Union[Type, Scheme]
+
+
+@dataclass
+class PlainResult:
+    """Outcome of a plain inference run."""
+
+    type: Type
+    letrec_iterations: int
+
+
+class PlainInference:
+    """Algorithm-W style engine over P with optional polymorphic recursion."""
+
+    def __init__(
+        self,
+        polymorphic_recursion: bool = True,
+        max_iterations: int = 100,
+        builtins: Optional[dict[str, PlainBuilder]] = None,
+        value_restriction: bool = False,
+    ) -> None:
+        self.supply = VarSupply()
+        self.polymorphic_recursion = polymorphic_recursion
+        # ML-style value restriction: only syntactic values generalise.
+        # Off for the paper's engines (the calculus is pure); on for the
+        # Rémy baseline, whose narrative in Sect. 1 relies on the
+        # application-bound state being monomorphic.
+        self.value_restriction = value_restriction
+        self.max_iterations = max_iterations
+        self.builtins = PLAIN_BUILTINS if builtins is None else builtins
+        self.env: dict[str, Entry] = {}
+        self.letrec_iterations = 0
+        # Types produced but not yet anchored in the environment; they must
+        # be rewritten when a substitution is applied.
+        self._pending: list[Type] = []
+
+    # -- plumbing ---------------------------------------------------------
+    def fresh(self) -> TVar:
+        return TVar(self.supply.fresh_type_var())
+
+    def fresh_row(self) -> Row:
+        return Row(self.supply.fresh_row_var())
+
+    def unify(self, t1: Type, t2: Type, expr: Expr) -> None:
+        try:
+            unifier = _Unifier(self.supply)
+            unifier.unify(t1, t2)
+            subst = unifier.to_subst()
+        except UnifyError as error:
+            raise UnificationFailure(
+                f"{error} (at {expr.span})", expr.span, expr
+            ) from error
+        self.apply_subst(subst)
+
+    def apply_subst(self, subst: Subst) -> None:
+        if subst.is_identity():
+            return
+        for name, entry in self.env.items():
+            if isinstance(entry, Scheme):
+                self.env[name] = Scheme(
+                    entry.quantified_type_vars,
+                    entry.quantified_row_vars,
+                    subst.apply(entry.body),
+                )
+            else:
+                self.env[name] = subst.apply(entry)
+        self._pending = [subst.apply(t) for t in self._pending]
+
+    def generalize(self, t: Type, excluding: str) -> Scheme:
+        env_tvs: set[int] = set()
+        env_rvs: set[int] = set()
+        for name, entry in self.env.items():
+            if name == excluding:
+                continue
+            body = entry.body if isinstance(entry, Scheme) else entry
+            tvs = type_vars(body)
+            rvs = row_vars(body)
+            if isinstance(entry, Scheme):
+                tvs -= entry.quantified_type_vars
+                rvs -= entry.quantified_row_vars
+            env_tvs |= tvs
+            env_rvs |= rvs
+        return Scheme(
+            frozenset(type_vars(t) - env_tvs),
+            frozenset(row_vars(t) - env_rvs),
+            t,
+        )
+
+    # -- public API ---------------------------------------------------------
+    def infer_program(self, expr: Expr) -> PlainResult:
+        t = self.infer(expr)
+        return PlainResult(type=t, letrec_iterations=self.letrec_iterations)
+
+    # -- rules ---------------------------------------------------------------
+    def infer(self, expr: Expr) -> Type:
+        if isinstance(expr, Var):
+            return self.infer_var(expr)
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, ListLit):
+            return self.infer_list(expr)
+        if isinstance(expr, EmptyRec):
+            return self.empty_record_type()
+        if isinstance(expr, Select):
+            return self.select_type(expr.label)
+        if isinstance(expr, Update):
+            return self.update_type(expr.label, self.infer(expr.value))
+        if isinstance(expr, Remove):
+            return self.remove_type(expr.label)
+        if isinstance(expr, Rename):
+            return self.rename_type(expr.old_label, expr.new_label)
+        if isinstance(expr, Lam):
+            return self.infer_lam(expr)
+        if isinstance(expr, App):
+            return self.infer_app(expr)
+        if isinstance(expr, Let):
+            return self.infer_let(expr)
+        if isinstance(expr, If):
+            return self.infer_if(expr)
+        if isinstance(expr, Concat):
+            return self.infer_concat(expr)
+        if isinstance(expr, When):
+            return self.infer_when(expr)
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    # record operation types (structural rows, no flags) -----------------
+    def empty_record_type(self) -> Type:
+        return TRec((), self.fresh_row())
+
+    def select_type(self, label: str) -> Type:
+        content = self.fresh()
+        return TFun(TRec((Field(label, content),), self.fresh_row()), content)
+
+    def update_type(self, label: str, value_type: Type) -> Type:
+        row = self.fresh_row()
+        return TFun(
+            TRec((Field(label, self.fresh()),), row),
+            TRec((Field(label, value_type),), row),
+        )
+
+    def remove_type(self, label: str) -> Type:
+        row = self.fresh_row()
+        return TFun(
+            TRec((Field(label, self.fresh()),), row),
+            TRec((Field(label, self.fresh()),), row),
+        )
+
+    def rename_type(self, old_label: str, new_label: str) -> Type:
+        moved = self.fresh()
+        row = self.fresh_row()
+        return TFun(
+            TRec(
+                (Field(old_label, moved), Field(new_label, self.fresh())),
+                row,
+            ),
+            TRec(
+                (Field(old_label, self.fresh()), Field(new_label, moved)),
+                row,
+            ),
+        )
+
+    # core rules ------------------------------------------------------------
+    def infer_var(self, expr: Var) -> Type:
+        entry = self.env.get(expr.name)
+        if entry is None:
+            builder = self.builtins.get(expr.name)
+            if builder is None:
+                raise UnboundVariable(
+                    f"unbound variable {expr.name!r} at {expr.span}",
+                    expr.span,
+                    expr,
+                )
+            return builder(self.supply)
+        if isinstance(entry, Scheme):
+            return instantiate(entry, self.supply)
+        return entry
+
+    def infer_list(self, expr: ListLit) -> Type:
+        self._pending.append(self.fresh())
+        for item in expr.items:
+            item_type = self.infer(item)
+            self._pending.append(item_type)
+            self.unify(self._pending[-2], self._pending[-1], expr)
+            self._pending.pop()
+        element = self._pending.pop()
+        return TList(element)
+
+    def infer_lam(self, expr: Lam) -> Type:
+        shadowed = self.env.get(expr.param)
+        self.env[expr.param] = self.fresh()
+        body_type = self.infer(expr.body)
+        param_type = self.env[expr.param]
+        assert isinstance(param_type, Type)
+        if shadowed is None:
+            del self.env[expr.param]
+        else:
+            self.env[expr.param] = shadowed
+        return TFun(param_type, body_type)
+
+    def infer_app(self, expr: App) -> Type:
+        fn_type = self.infer(expr.fn)
+        self._pending.append(fn_type)
+        arg_type = self.infer(expr.arg)
+        fn_type = self._pending.pop()
+        result = self.fresh()
+        self._pending.append(result)
+        self.unify(fn_type, TFun(arg_type, result), expr)
+        rewritten = self._pending.pop()
+        return rewritten
+
+    def infer_let(self, expr: Let) -> Type:
+        shadowed = self.env.get(expr.name)
+        if self.value_restriction and not is_syntactic_value(expr.bound):
+            # Monomorphic binding: infer with a fresh type, don't generalise.
+            self.env[expr.name] = self.fresh()
+            bound_type = self.infer(expr.bound)
+            self._pending.append(bound_type)
+            mono = self.env[expr.name]
+            assert isinstance(mono, Type)
+            self.unify(mono, bound_type, expr)
+            bound_type = self._pending.pop()
+            self.env[expr.name] = bound_type
+            body_type = self.infer(expr.body)
+            if shadowed is None:
+                del self.env[expr.name]
+            else:
+                self.env[expr.name] = shadowed
+            return body_type
+        if self.polymorphic_recursion:
+            bound_type = self._mycroft_fixpoint(expr)
+        else:
+            # Damas-Milner: monomorphic recursive binding.
+            self.env[expr.name] = self.fresh()
+            bound_type = self.infer(expr.bound)
+            self._pending.append(bound_type)
+            mono = self.env[expr.name]
+            assert isinstance(mono, Type)
+            self.unify(mono, bound_type, expr)
+            bound_type = self._pending.pop()
+        self.env[expr.name] = self.generalize(bound_type, expr.name)
+        body_type = self.infer(expr.body)
+        if shadowed is None:
+            del self.env[expr.name]
+        else:
+            self.env[expr.name] = shadowed
+        return body_type
+
+    def _mycroft_fixpoint(self, expr: Let) -> Type:
+        seed: Type = self.fresh()
+        scheme = Scheme(frozenset(type_vars(seed)), frozenset(), seed)
+        previous = seed
+        iterations = 0
+        while True:
+            iterations += 1
+            self.letrec_iterations += 1
+            if iterations > self.max_iterations:
+                raise FixpointDivergence(
+                    f"let {expr.name!r}: fixpoint did not stabilise "
+                    f"after {iterations - 1} iterations",
+                    expr.span,
+                    expr,
+                )
+            self.env[expr.name] = scheme
+            self._pending.append(previous)
+            bound_type = self.infer(expr.bound)
+            previous = self._pending.pop()
+            if alpha_equivalent(bound_type, previous):
+                return bound_type
+            previous = bound_type
+            scheme = self.generalize(bound_type, expr.name)
+
+    def infer_if(self, expr: If) -> Type:
+        cond_type = self.infer(expr.cond)
+        self._pending.append(cond_type)
+        self.unify(self._pending[-1], INT, expr.cond)
+        self._pending.pop()
+        then_type = self.infer(expr.then)
+        self._pending.append(then_type)
+        else_type = self.infer(expr.orelse)
+        then_type = self._pending.pop()
+        self._pending.append(else_type)
+        self.unify(then_type, else_type, expr)
+        return self._pending.pop()
+
+    def infer_concat(self, expr: Concat) -> Type:
+        left = self.infer(expr.left)
+        self._pending.append(left)
+        right = self.infer(expr.right)
+        left = self._pending.pop()
+        self._pending.append(right)
+        self.unify(left, right, expr)
+        merged = self._pending.pop()
+        result = TRec((), self.fresh_row())
+        self._pending.append(result)
+        self.unify(merged, result, expr)
+        return self._pending.pop()
+
+    def infer_when(self, expr: When) -> Type:
+        entry = self.env.get(expr.record)
+        if entry is None:
+            raise UnboundVariable(
+                f"unbound variable {expr.record!r} at {expr.span}",
+                expr.span,
+                expr,
+            )
+        probe = TRec(
+            (Field(expr.label, self.fresh()),), self.fresh_row()
+        )
+        scrutinee = entry.body if isinstance(entry, Scheme) else entry
+        self.unify(scrutinee, probe, expr)
+        then_type = self.infer(expr.then)
+        self._pending.append(then_type)
+        else_type = self.infer(expr.orelse)
+        then_type = self._pending.pop()
+        self._pending.append(else_type)
+        self.unify(then_type, else_type, expr)
+        return self._pending.pop()
+
+
+def is_syntactic_value(expr: Expr) -> bool:
+    """ML non-expansiveness: lambdas, variables, literals and record
+    builders are values; applications, conditionals and lets are not."""
+    if isinstance(expr, (Lam, Var, IntLit, BoolLit, EmptyRec, Select,
+                         Remove, Rename)):
+        return True
+    if isinstance(expr, ListLit):
+        return all(is_syntactic_value(item) for item in expr.items)
+    if isinstance(expr, Update):
+        return is_syntactic_value(expr.value)
+    return False
+
+
+def infer_mycroft(expr: Expr) -> PlainResult:
+    """Milner-Mycroft inference (Fig. 2): optimal plain polytypes."""
+    return PlainInference(polymorphic_recursion=True).infer_program(expr)
+
+
+def infer_damas_milner(expr: Expr) -> PlainResult:
+    """Damas-Milner baseline: no polymorphic recursion (not optimal)."""
+    return PlainInference(polymorphic_recursion=False).infer_program(expr)

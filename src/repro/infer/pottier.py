@@ -1,0 +1,446 @@
+"""Pottier-style field-state checking with the D'r concatenation rule.
+
+Section 1.1 of the paper discusses Pottier's constraint-based record
+inference [18]: field states form the lattice
+
+    Abs ≤ Either τ ≤ Any        Pre τ ≤ Either τ ≤ Any
+
+and asymmetric concatenation is typed with implication constraints.  The
+*precise* rule Dr is non-monotone and unsolvable for Pottier's solver, so he
+ships the simplified rule D'r, whose premise ``a2 ≤ Either d`` requires the
+right-hand record's fields to have a *single consistent type* — rejecting
+
+    {} @ (if c then {f = 42} else {f = {}})
+
+even though no field is ever selected.  The paper's conditional-constraint
+extension (Sect. 5, :mod:`repro.infer.conditional`) accepts that program;
+this module exists to reproduce the rejection (experiment E2).
+
+Implementation: a polyvariant abstract interpreter over *field-state
+records*.  Functions are abstract closures re-analysed per call site; the
+interpreter covers the record fragment the comparison needs (recursion is
+depth-bounded).  This mirrors the expressiveness of Pottier's system on the
+programs of Sect. 1.1 without implementing a general subtype-constraint
+solver — the paper's argument is precisely that such solvers are hard to
+build and explain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..lang.ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+)
+from .errors import InferenceError, UnboundVariable
+
+
+class PottierError(InferenceError):
+    """A program rejected by the Pottier-style checker."""
+
+
+# ---------------------------------------------------------------------------
+# abstract values
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AInt:
+    def __repr__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class ABool:
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True)
+class AList:
+    elem: "AbstractValue"
+
+    def __repr__(self) -> str:
+        return f"[{self.elem!r}]"
+
+
+@dataclass(frozen=True)
+class ATop:
+    """Unknown/any value (join of incompatible non-record values)."""
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class AClosure:
+    param: str
+    body: Expr
+    env: tuple[tuple[str, "AbstractValue"], ...]
+
+    def __repr__(self) -> str:
+        return f"<fun {self.param}>"
+
+
+# field states ---------------------------------------------------------------
+@dataclass(frozen=True)
+class FAbs:
+    """The field is definitely absent."""
+
+    def __repr__(self) -> str:
+        return "Abs"
+
+
+@dataclass(frozen=True)
+class FPre:
+    """The field is definitely present with the given type."""
+
+    value: "AbstractValue"
+
+    def __repr__(self) -> str:
+        return f"Pre {self.value!r}"
+
+
+@dataclass(frozen=True)
+class FEither:
+    """The field may be absent, but if present it has the given type."""
+
+    value: "AbstractValue"
+
+    def __repr__(self) -> str:
+        return f"Either {self.value!r}"
+
+
+@dataclass(frozen=True)
+class FAny:
+    """No information: possibly present, with no consistent type."""
+
+    def __repr__(self) -> str:
+        return "Any"
+
+
+FieldState = Union[FAbs, FPre, FEither, FAny]
+
+
+@dataclass(frozen=True)
+class ARecord:
+    """A record abstract value: explicit fields + default state for the rest.
+
+    ``rest`` is the state of every label not listed (Abs for literal
+    records, Any for unknown records).
+    """
+
+    fields: tuple[tuple[str, FieldState], ...]
+    rest: FieldState
+
+    def state(self, label: str) -> FieldState:
+        for name, state in self.fields:
+            if name == label:
+                return state
+        return self.rest
+
+    def set(self, label: str, state: FieldState) -> "ARecord":
+        fields = tuple(
+            (name, s) for name, s in self.fields if name != label
+        ) + ((label, state),)
+        return ARecord(tuple(sorted(fields)), self.rest)
+
+    def labels(self) -> set[str]:
+        return {name for name, _ in self.fields}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {s!r}" for n, s in self.fields)
+        return f"{{{inner} | {self.rest!r}}}"
+
+
+AbstractValue = Union[AInt, ABool, AList, ATop, AClosure, ARecord]
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+def join_value(v1: AbstractValue, v2: AbstractValue) -> AbstractValue:
+    if v1 == v2:
+        return v1
+    if isinstance(v1, ARecord) and isinstance(v2, ARecord):
+        labels = v1.labels() | v2.labels()
+        fields = tuple(
+            (label, join_state(v1.state(label), v2.state(label)))
+            for label in sorted(labels)
+        )
+        return ARecord(fields, join_state(v1.rest, v2.rest))
+    if isinstance(v1, AList) and isinstance(v2, AList):
+        return AList(join_value(v1.elem, v2.elem))
+    return ATop()
+
+
+def join_state(s1: FieldState, s2: FieldState) -> FieldState:
+    if s1 == s2:
+        return s1
+    if isinstance(s1, FAny) or isinstance(s2, FAny):
+        return FAny()
+    if isinstance(s1, FAbs) and isinstance(s2, FAbs):
+        return FAbs()
+    if isinstance(s1, FAbs):
+        inner = s2.value  # type: ignore[union-attr]
+        return FEither(inner)
+    if isinstance(s2, FAbs):
+        inner = s1.value  # type: ignore[union-attr]
+        return FEither(inner)
+    t1 = s1.value  # type: ignore[union-attr]
+    t2 = s2.value  # type: ignore[union-attr]
+    joined = join_value(t1, t2)
+    if isinstance(joined, ATop) and t1 != t2:
+        # Incompatible field types: Pre Int ⊔ Pre String = Any.
+        return FAny()
+    if isinstance(s1, FPre) and isinstance(s2, FPre):
+        return FPre(joined)
+    return FEither(joined)
+
+
+# ---------------------------------------------------------------------------
+# the checker
+# ---------------------------------------------------------------------------
+class PottierChecker:
+    """Polyvariant abstract interpreter with D'r (or Dr) concatenation.
+
+    ``rule="D'r"`` (default) is what Pottier's solver supports; ``rule="Dr"``
+    is the *precise* rule of Sect. 1.1 whose first premise
+    ``(Pre d ≤ a2 ∧ a2 ≤ Either d) ⇒ (Pre d ≤ a3)`` is non-monotone and
+    therefore unsolvable for his constraint solver — but perfectly
+    expressible in this abstract-interpretation formulation, where it
+    simply treats an Any-state field on the right as Any in the output
+    instead of rejecting the program.
+    """
+
+    def __init__(self, max_depth: int = 200, rule: str = "D'r") -> None:
+        if rule not in ("D'r", "Dr"):
+            raise ValueError(f"unknown concatenation rule {rule!r}")
+        self.max_depth = max_depth
+        self.rule = rule
+        self.depth = 0
+
+    def check_program(self, expr: Expr) -> AbstractValue:
+        """Abstractly evaluate a closed program; raise on rejection."""
+        return self.eval(expr, dict(DEFAULT_ABSTRACT_ENV))
+
+    def eval(self, expr: Expr, env: dict[str, AbstractValue]) -> AbstractValue:
+        self.depth += 1
+        if self.depth > self.max_depth:
+            raise PottierError(
+                "analysis depth exceeded (recursion is out of scope for "
+                "the Pottier comparison checker)",
+                expr.span,
+                expr,
+            )
+        try:
+            return self._eval(expr, env)
+        finally:
+            self.depth -= 1
+
+    def _eval(self, expr: Expr, env: dict[str, AbstractValue]) -> AbstractValue:
+        if isinstance(expr, Var):
+            if expr.name in env:
+                return env[expr.name]
+            raise UnboundVariable(
+                f"unbound variable {expr.name!r} at {expr.span}",
+                expr.span,
+                expr,
+            )
+        if isinstance(expr, IntLit):
+            return AInt()
+        if isinstance(expr, BoolLit):
+            return ABool()
+        if isinstance(expr, ListLit):
+            element: AbstractValue = ATop()
+            for item in expr.items:
+                element = join_value(element, self.eval(item, env))
+            return AList(element)
+        if isinstance(expr, EmptyRec):
+            return ARecord((), FAbs())
+        if isinstance(expr, Lam):
+            return AClosure(expr.param, expr.body, tuple(sorted(env.items())))
+        if isinstance(expr, Select):
+            return AClosure("#r", expr, ())  # handled at application
+        if isinstance(expr, (Update, Remove, Rename)):
+            return AClosure("#r", expr, tuple(sorted(env.items())))
+        if isinstance(expr, App):
+            fn = self.eval(expr.fn, env)
+            argument = self.eval(expr.arg, env)
+            return self.apply(expr, fn, argument, env)
+        if isinstance(expr, Let):
+            # Recursive references see Top (no record information); the
+            # checker is a comparison artefact, not a full inference.
+            rec_env = dict(env)
+            rec_env[expr.name] = ATop()
+            bound = self.eval(expr.bound, rec_env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.eval(expr.body, inner)
+        if isinstance(expr, If):
+            self.eval(expr.cond, env)
+            then_value = self.eval(expr.then, env)
+            else_value = self.eval(expr.orelse, env)
+            return join_value(then_value, else_value)
+        if isinstance(expr, Concat):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            return self.concat(expr, left, right)
+        if isinstance(expr, When):
+            if expr.record not in env:
+                raise UnboundVariable(
+                    f"unbound variable {expr.record!r}", expr.span, expr
+                )
+            record = env[expr.record]
+            then_value = self.eval(expr.then, env)
+            else_value = self.eval(expr.orelse, env)
+            return join_value(then_value, else_value)
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def apply(
+        self,
+        site: Expr,
+        fn: AbstractValue,
+        argument: AbstractValue,
+        env: dict[str, AbstractValue],
+    ) -> AbstractValue:
+        if isinstance(fn, AClosure) and isinstance(fn.body, Select):
+            return self.select(site, fn.body.label, argument)
+        if isinstance(fn, AClosure) and isinstance(fn.body, Update):
+            record = self._as_record(site, argument)
+            value = self.eval(fn.body.value, dict(fn.env))
+            return record.set(fn.body.label, FPre(value))
+        if isinstance(fn, AClosure) and isinstance(fn.body, Remove):
+            record = self._as_record(site, argument)
+            return record.set(fn.body.label, FAbs())
+        if isinstance(fn, AClosure) and isinstance(fn.body, Rename):
+            record = self._as_record(site, argument)
+            moved = record.state(fn.body.old_label)
+            if not isinstance(moved, FPre):
+                raise PottierError(
+                    f"renaming requires {fn.body.old_label!r} to be Pre, "
+                    f"found {moved!r}",
+                    site.span,
+                    site,
+                )
+            return record.set(fn.body.old_label, FAbs()).set(
+                fn.body.new_label, moved
+            )
+        if isinstance(fn, AClosure):
+            inner = dict(fn.env)
+            inner[fn.param] = argument
+            return self.eval(fn.body, inner)
+        if isinstance(fn, ATop):
+            return ATop()
+        raise PottierError(
+            f"application of a non-function {fn!r}", site.span, site
+        )
+
+    def select(
+        self, site: Expr, label: str, argument: AbstractValue
+    ) -> AbstractValue:
+        record = self._as_record(site, argument)
+        state = record.state(label)
+        if isinstance(state, FPre):
+            return state.value
+        raise PottierError(
+            f"field {label!r} is not Pre (state {state!r}) at {site.span}",
+            site.span,
+            site,
+        )
+
+    def concat(
+        self, site: Expr, left: AbstractValue, right: AbstractValue
+    ) -> AbstractValue:
+        """Asymmetric concatenation with Pottier's simplified rule D'r.
+
+        D'r's first premise ``a2 ≤ Either d`` demands every field of the
+        right record to be below ``Either d`` for a single type d — i.e.
+        *not* Any.  A right-hand field in state Any is therefore rejected
+        outright, even if the program never accesses it (the incompleteness
+        of Sect. 1.1).
+        """
+        lrec = self._as_record(site, left)
+        rrec = self._as_record(site, right)
+        labels = lrec.labels() | rrec.labels()
+        fields = []
+        for label in sorted(labels):
+            a1 = lrec.state(label)
+            a2 = rrec.state(label)
+            fields.append((label, self._concat_field(site, label, a1, a2)))
+        rest = self._concat_field(site, "<row>", lrec.rest, rrec.rest)
+        return ARecord(tuple(fields), rest)
+
+    def _concat_field(
+        self, site: Expr, label: str, a1: FieldState, a2: FieldState
+    ) -> FieldState:
+        if isinstance(a2, FAny):
+            if self.rule == "Dr":
+                # The precise rule: the field may come from either side
+                # with no consistent type — Any, but no rejection.
+                return FAny()
+            raise PottierError(
+                f"D'r: field {label!r} of the right operand has state Any "
+                f"(no single type d with a2 ≤ Either d) at {site.span} — "
+                "Pottier's simplified concatenation rule rejects this "
+                "program",
+                site.span,
+                site,
+            )
+        if isinstance(a2, FPre):
+            return a2
+        if isinstance(a2, FAbs):
+            return a1
+        # a2 = Either d: present from the right or inherited from the left.
+        return join_state(a1, FPre(a2.value))
+
+    def _as_record(self, site: Expr, value: AbstractValue) -> ARecord:
+        if isinstance(value, ARecord):
+            return value
+        if isinstance(value, ATop):
+            return ARecord((), FAny())
+        raise PottierError(
+            f"expected a record, found {value!r} at {site.span}",
+            site.span,
+            site,
+        )
+
+
+# Builtins: integer-valued conditions are AInt; functions are ATop (their
+# applications yield ATop, i.e. no record information).
+DEFAULT_ABSTRACT_ENV: dict[str, AbstractValue] = {
+    "some_condition": AInt(),
+    "coin": AInt(),
+    "plus": ATop(),
+    "minus": ATop(),
+    "times": ATop(),
+    "eq": ATop(),
+    "lt": ATop(),
+    "and": ATop(),
+    "or": ATop(),
+    "not": ATop(),
+    "positive": ATop(),
+    "null": ATop(),
+    "head": ATop(),
+    "tail": ATop(),
+    "cons": ATop(),
+}
+
+
+def check_pottier(expr: Expr) -> AbstractValue:
+    """Run the Pottier-style checker on a closed program."""
+    return PottierChecker().check_program(expr)

@@ -1,0 +1,148 @@
+"""Rémy-style record inference: Pre/Abs *flags unified into the types*.
+
+This is the baseline the paper's introduction contrasts with [19]: record
+types ``{N.fN : t, a.fa}`` where each field carries a flag that unification
+resolves to ``Pre`` (must be present) or ``Abs`` (definitely absent).
+Because flags are unified rather than related by implications, information
+flows symmetrically — in the introductory example the selector inside the
+then branch unifies the flag of FOO with ``Pre`` all the way back to the
+*input* of ``f``, so the call ``f {}`` clashes ``Pre`` with ``Abs`` and the
+program is rejected, even though no field of ``f {}`` is ever accessed.
+The flow inference (Fig. 3) accepts it; the difference is exercised by the
+paper-example tests.
+
+Encoding: a field ``N.f : t`` is stored as ``Field(N, TFun(f, t))`` where
+the flag position holds ``TCon("Pre")``, ``TCon("Abs")`` or a type
+variable.  The empty record is an open row marked *all-absent*: any field
+later pushed into that row gets its flag unified with ``Abs``.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import Concat, Expr, When
+from ..types.subst import Subst
+from ..types.terms import Field, TCon, TFun, TRec, Type
+from .errors import InferenceError, UnificationFailure
+from .hm import PlainInference, PlainResult
+
+PRE = TCon("Pre")
+ABS = TCon("Abs")
+
+
+class RemyInference(PlainInference):
+    """Milner-Mycroft engine with Rémy's flagged record types."""
+
+    def __init__(self, **kwargs: object) -> None:
+        kwargs.setdefault("value_restriction", True)
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        # Row variables whose future extensions must have Abs flags.
+        self.abs_rows: set[int] = set()
+
+    # -- record operation types ----------------------------------------
+    def empty_record_type(self) -> Type:
+        row = self.fresh_row()
+        self.abs_rows.add(row.var)
+        return TRec((), row)
+
+    def select_type(self, label: str) -> Type:
+        content = self.fresh()
+        record = TRec(
+            (Field(label, TFun(PRE, content)),), self.fresh_row()
+        )
+        return TFun(record, content)
+
+    def update_type(self, label: str, value_type: Type) -> Type:
+        row = self.fresh_row()
+        in_flag = self.fresh()
+        out_flag = self.fresh()  # not Pre, so it can still unify with Abs
+        return TFun(
+            TRec((Field(label, TFun(in_flag, self.fresh())),), row),
+            TRec((Field(label, TFun(out_flag, value_type)),), row),
+        )
+
+    def remove_type(self, label: str) -> Type:
+        row = self.fresh_row()
+        return TFun(
+            TRec((Field(label, TFun(self.fresh(), self.fresh())),), row),
+            TRec((Field(label, TFun(ABS, self.fresh())),), row),
+        )
+
+    def rename_type(self, old_label: str, new_label: str) -> Type:
+        moved = self.fresh()
+        row = self.fresh_row()
+        return TFun(
+            TRec(
+                (
+                    Field(old_label, TFun(PRE, moved)),
+                    Field(new_label, TFun(self.fresh(), self.fresh())),
+                ),
+                row,
+            ),
+            TRec(
+                (
+                    Field(old_label, TFun(ABS, self.fresh())),
+                    Field(new_label, TFun(PRE, moved)),
+                ),
+                row,
+            ),
+        )
+
+    def infer_concat(self, expr: Concat) -> Type:
+        raise InferenceError(
+            "record concatenation is not expressible in the Rémy baseline "
+            f"(at {expr.span})",
+            expr.span,
+            expr,
+        )
+
+    def infer_when(self, expr: When) -> Type:
+        raise InferenceError(
+            "`when` is not expressible in the Rémy baseline "
+            f"(at {expr.span})",
+            expr.span,
+            expr,
+        )
+
+    # -- all-absent row propagation --------------------------------------
+    def apply_subst(self, subst: Subst) -> None:
+        super().apply_subst(subst)
+        # Fields pushed into an all-absent row must be absent; the new tail
+        # inherits the all-absent obligation.  Flag unification may cascade
+        # (Pre vs Abs clash = the Rémy rejection).
+        queue = [
+            (var, binding)
+            for var, binding in subst.rows.items()
+            if var in self.abs_rows
+        ]
+        for var, (fields, tail) in queue:
+            if tail is not None:
+                self.abs_rows.add(tail.var)
+            for field in fields:
+                field_type = field.type
+                if not isinstance(field_type, TFun):
+                    raise AssertionError(
+                        f"mis-encoded Rémy field {field!r}"
+                    )
+                self._unify_flag_abs(field_type.arg)
+
+    def _unify_flag_abs(self, flag: Type) -> None:
+        if flag == ABS:
+            return
+        if flag == PRE:
+            raise UnificationFailure(
+                "a field that must be present (Pre) flows into the empty "
+                "record (Abs) — the Rémy inference rejects this program"
+            )
+        unifier_expr = _DUMMY
+        self.unify(flag, ABS, unifier_expr)
+
+
+# A span-less anchor for errors raised inside flag propagation.
+from ..lang.ast import IntLit  # noqa: E402  (import placed near its use)
+
+_DUMMY = IntLit(0)
+
+
+def infer_remy(expr: Expr) -> PlainResult:
+    """Run the Rémy-style baseline inference."""
+    return RemyInference().infer_program(expr)

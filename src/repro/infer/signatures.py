@@ -1,0 +1,112 @@
+"""Concise function signatures: a type term plus its projected flow.
+
+Section 5 argues that a desirable property of the flow domain is closure
+under existential projection: "the flow information generated while
+analyzing the body of a function f can be projected onto the flag variables
+in the type of f without losing precision.  For inferences that only
+require Boolean functions, the obtained type for a function is thus
+concise."
+
+This module produces exactly that presentation.  For the introductory
+example it renders::
+
+    f : {foo.f2 : Int, r0.f3} -> {foo.f4 : Int, r0.f5}
+        where f4 -> f2 ∧ f5 -> f3
+
+matching the paper's ``f'N -> fN ∧ f'a -> fa``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..boolfn.cnf import Cnf
+from ..boolfn.projection import projected
+from ..types.terms import TFun, TList, TRec, TVar, Type, all_flags, row_name, var_name
+from .flow import FlowResult
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A rendered signature: the flagged type and its projected flow."""
+
+    type_text: str
+    flow_text: str
+    clause_count: int
+
+    def __str__(self) -> str:
+        if not self.flow_text:
+            return self.type_text
+        return f"{self.type_text}\n    where {self.flow_text}"
+
+
+def signature(result: FlowResult) -> Signature:
+    """Project the result's flow onto its type's flags and render both."""
+    flags = all_flags(result.type)
+    flow = projected(result.beta, flags)
+    renaming = {flag: index + 1 for index, flag in enumerate(flags)}
+    return Signature(
+        type_text=render_type(result.type, renaming),
+        flow_text=render_flow(flow, renaming),
+        clause_count=len(flow),
+    )
+
+
+def render_type(t: Type, renaming: dict[int, int] | None = None) -> str:
+    """Pretty-print a flagged type with compact, per-type flag numbering."""
+    if renaming is None:
+        renaming = {flag: index + 1 for index, flag in enumerate(all_flags(t))}
+
+    def flag(value: int | None) -> str:
+        if value is None:
+            return ""
+        return f".f{renaming.get(value, value)}"
+
+    def go(t: Type, parenthesize_function: bool = False) -> str:
+        if isinstance(t, TVar):
+            return f"{var_name(t.var)}{flag(t.flag)}"
+        if isinstance(t, TList):
+            return f"[{go(t.elem)}]"
+        if isinstance(t, TFun):
+            inner = f"{go(t.arg, True)} -> {go(t.res)}"
+            return f"({inner})" if parenthesize_function else inner
+        if isinstance(t, TRec):
+            parts = [
+                f"{field.label}{flag(field.flag)} : {go(field.type)}"
+                for field in t.fields
+            ]
+            if t.row is not None:
+                parts.append(f"{row_name(t.row.var)}{flag(t.row.flag)}")
+            return "{" + ", ".join(parts) + "}"
+        return repr(t)
+
+    return go(t)
+
+
+def render_flow(flow: Cnf, renaming: dict[int, int]) -> str:
+    """Render a (small, projected) flow formula as readable conjuncts.
+
+    Units become ``fN`` / ``¬fN``; two-literal clauses with one negative
+    literal render as implications ``fA -> fB``; everything else renders
+    as a disjunction.
+    """
+
+    def literal(value: int) -> str:
+        name = f"f{renaming.get(abs(value), abs(value))}"
+        return f"¬{name}" if value < 0 else name
+
+    conjuncts = []
+    for clause in sorted(flow.clauses(), key=lambda c: (len(c), c)):
+        if len(clause) == 1:
+            conjuncts.append(literal(clause[0]))
+            continue
+        if len(clause) == 2:
+            negatives = [lit for lit in clause if lit < 0]
+            positives = [lit for lit in clause if lit > 0]
+            if len(negatives) == 1 and len(positives) == 1:
+                conjuncts.append(
+                    f"{literal(-negatives[0])} -> {literal(positives[0])}"
+                )
+                continue
+        conjuncts.append("(" + " ∨ ".join(literal(lit) for lit in clause) + ")")
+    return " ∧ ".join(conjuncts)

@@ -1,0 +1,289 @@
+"""Shared mutable state of a flow-inference run.
+
+Holds the variable/flag supplies, the global flow formula β, the registry of
+*live roots* (types and environments currently referenced by pending rule
+activations — the structures ``applyS`` must rewrite when a substitution is
+applied), instrumentation counters, and the engine options.
+
+Options reproduce the paper's ablations:
+
+* ``track_fields=False`` — "commenting out the functions that add clauses to
+  a Boolean function" (Fig. 9, column 3): flags are still allocated but β is
+  never touched;
+* ``gc=False`` — disable the stale-flag garbage collection at let
+  boundaries, reproducing the expansion bug of Sect. 6 (E7);
+* ``env_var_cache=False`` — disable the free-variable caches on environment
+  entries, the analogue of the version-tag optimisation of Sect. 6 (E6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..boolfn.cnf import Cnf, Literal
+from ..boolfn.flags import FlagSupply
+from ..types.terms import Type, VarSupply
+from .env import TypeEnv
+
+
+@dataclass
+class FlowOptions:
+    """Tunable behaviour of the flow inference engine."""
+
+    track_fields: bool = True
+    gc: bool = True
+    env_var_cache: bool = True
+    letrec_max_iterations: int = 100
+    check_each_let: bool = True
+    # Strict symmetric concatenation: at each ``e1 @@ e2`` additionally
+    # *prove* that no field can be present on both sides (an entailment
+    # check β ⊨ ¬(f1 ∧ f2) per aligned position).  The paper only sketches
+    # @@ via the conjoined constraint ¬(f1 ∧ f2), which under the may-style
+    # flags of Fig. 3 rarely fires; this option is the sound must-analysis
+    # variant (a documented strengthening, see DESIGN.md).
+    symcat_must: bool = False
+    # Conditional-unification extensions (Sect. 5, repro.infer.conditional):
+    # lazy_fields gives record updates Pottier-style lazy content types
+    # (``c =fN t``); when_conditional uses the second Fig. 8 rule for
+    # ``when`` (branch result types joined by conditional constraints
+    # instead of unification).
+    lazy_fields: bool = False
+    when_conditional: bool = False
+    # Debug/testing: after every rule, assert that β mentions only flags
+    # attached to live roots (the central invariant behind the stale-flag
+    # GC).  Quadratic — tests only.
+    validate_invariants: bool = False
+
+
+@dataclass
+class FlowStats:
+    """Instrumentation for the benchmark harness (E5/E6/E11)."""
+
+    applys_calls: int = 0
+    expansions: int = 0
+    clauses_peak: int = 0
+    flags_allocated: int = 0
+    letrec_iterations: int = 0
+    gc_runs: int = 0
+    solver_calls: int = 0
+    theory_iterations: int = 0
+    solver_seconds: float = 0.0
+    applys_seconds: float = 0.0
+    gc_seconds: float = 0.0
+    env_rewrites_skipped: int = 0
+    env_rewrites_done: int = 0
+    # Peak complexity class of clauses ever added (GC may later project the
+    # expensive clauses away, so the final formula under-reports).
+    saw_non_twosat: bool = False
+    saw_non_horn: bool = False
+    saw_non_dual_horn: bool = False
+
+    @property
+    def peak_formula_class(self) -> str:
+        if not self.saw_non_twosat:
+            return "2-sat"
+        if not self.saw_non_horn:
+            return "horn"
+        if not self.saw_non_dual_horn:
+            return "dual-horn"
+        return "general"
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(vars(self))
+
+
+class Slot:
+    """A mutable cell holding a live root (a Type or a TypeEnv)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[Type, TypeEnv]) -> None:
+        self.value = value
+
+
+class FlowState:
+    """All mutable state threaded through one inference run."""
+
+    def __init__(self, options: FlowOptions | None = None) -> None:
+        self.options = options or FlowOptions()
+        self.vars = VarSupply()
+        self.flags = FlagSupply()
+        self.beta = Cnf()
+        self.live: list[Slot] = []
+        self.stats = FlowStats()
+        # Guard literals for branch-sensitive constructs (``when N in x``,
+        # Fig. 8): while a guard g is active, every emitted clause c becomes
+        # g -> c.  Guards are literals: the else branch pushes -ff.
+        self.guards: list[Literal] = []
+        # Conditional unification constraints t1 =g t2 (Sect. 5); their
+        # types are rewritten alongside the live roots by applyS and
+        # discharged by the theory solver at satisfiability checks.
+        from .conditional import CondConstraint  # local import, no cycle
+
+        self.conditional_constraints: list[CondConstraint] = []
+
+    # ------------------------------------------------------------------
+    # live-root registry
+    # ------------------------------------------------------------------
+    def push(self, value: Union[Type, TypeEnv]) -> Slot:
+        """Register a live root; it will be rewritten by substitutions."""
+        slot = Slot(value)
+        self.live.append(slot)
+        return slot
+
+    def pop(self, slot: Slot) -> Union[Type, TypeEnv]:
+        """Unregister a live root (usually the most recent one).
+
+        Rules pop in LIFO order; the only exception is the lazy-field
+        value slots, which stay pinned for the rest of the run, so removal
+        searches from the top of the stack.
+        """
+        for index in range(len(self.live) - 1, -1, -1):
+            if self.live[index] is slot:
+                del self.live[index]
+                return slot.value
+        raise RuntimeError("pop of a slot that is not live")
+
+    # ------------------------------------------------------------------
+    # flow formula operations (no-ops when field tracking is off)
+    # ------------------------------------------------------------------
+    def fresh_flag(self, name: str | None = None) -> int:
+        self.stats.flags_allocated += 1
+        return self.flags.fresh(name)
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        if not self.options.track_fields:
+            return
+        clause = tuple(literals)
+        if self.guards:
+            clause = clause + tuple(-g for g in self.guards)
+        if len(clause) > 2:
+            self.stats.saw_non_twosat = True
+        positives = sum(1 for lit in clause if lit > 0)
+        if positives > 1:
+            self.stats.saw_non_horn = True
+        if len(clause) - positives > 1:
+            self.stats.saw_non_dual_horn = True
+        self.beta.add_clause(clause)
+        self._note_clauses()
+
+    def add_unit(self, literal: Literal) -> None:
+        self.add_clause((literal,))
+
+    def add_implication(self, premise: Literal, conclusion: Literal) -> None:
+        if premise != conclusion:
+            self.add_clause((-premise, conclusion))
+
+    def add_iff(self, left: Literal, right: Literal) -> None:
+        self.add_implication(left, right)
+        self.add_implication(right, left)
+
+    def add_sequence_implication(
+        self, premises: Iterable[Literal], conclusions: Iterable[Literal]
+    ) -> None:
+        premises = tuple(premises)
+        conclusions = tuple(conclusions)
+        if len(premises) != len(conclusions):
+            raise ValueError(
+                f"sequence implication over unequal lengths: "
+                f"{len(premises)} vs {len(conclusions)}"
+            )
+        for premise, conclusion in zip(premises, conclusions):
+            self.add_implication(premise, conclusion)
+
+    def add_sequence_iff(
+        self, left: Iterable[Literal], right: Iterable[Literal]
+    ) -> None:
+        left = tuple(left)
+        right = tuple(right)
+        self.add_sequence_implication(left, right)
+        self.add_sequence_implication(right, left)
+
+    def live_flags(self) -> set[int]:
+        """Every flag attached to a live root, guard, or constraint.
+
+        This is the set β is allowed to mention between rule applications;
+        eliminating everything outside it is the stale-flag GC of Sect. 6.
+        """
+        from ..types.terms import Type, all_flags
+        from .env import TypeEnv as _TypeEnv
+
+        live: set[int] = {abs(g) for g in self.guards}
+        for slot in self.live:
+            value = slot.value
+            if isinstance(value, _TypeEnv):
+                live.update(value.flags)
+            else:
+                live.update(all_flags(value))
+        for constraint in self.conditional_constraints:
+            live.add(abs(constraint.guard))
+            live.update(all_flags(constraint.left))
+            live.update(all_flags(constraint.right))
+        return live
+
+    def guarded(self, guard: Literal) -> "_Guard":
+        """Context manager: clauses added inside become ``guard -> clause``."""
+        return _Guard(self, guard)
+
+    def _note_clauses(self) -> None:
+        if len(self.beta) > self.stats.clauses_peak:
+            self.stats.clauses_peak = len(self.beta)
+
+    # ------------------------------------------------------------------
+    # timing helpers
+    # ------------------------------------------------------------------
+    def timed_solver(self):
+        """Context manager accumulating solver wall time."""
+        return _Timer(self.stats, "solver_seconds", "solver_calls")
+
+    def timed_applys(self):
+        return _Timer(self.stats, "applys_seconds", "applys_calls")
+
+    def timed_gc(self):
+        return _Timer(self.stats, "gc_seconds", "gc_runs")
+
+
+class _Guard:
+    """Scoped guard literal; see :meth:`FlowState.guarded`."""
+
+    __slots__ = ("state", "guard")
+
+    def __init__(self, state: FlowState, guard: Literal) -> None:
+        self.state = state
+        self.guard = guard
+
+    def __enter__(self) -> "_Guard":
+        self.state.guards.append(self.guard)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        popped = self.state.guards.pop()
+        if popped != self.guard:
+            raise RuntimeError("guard stack discipline violated")
+
+
+class _Timer:
+    __slots__ = ("stats", "seconds_attr", "count_attr", "start")
+
+    def __init__(self, stats: FlowStats, seconds_attr: str, count_attr: str):
+        self.stats = stats
+        self.seconds_attr = seconds_attr
+        self.count_attr = count_attr
+        self.start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self.start = time.perf_counter()
+        setattr(
+            self.stats, self.count_attr, getattr(self.stats, self.count_attr) + 1
+        )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self.start
+        setattr(
+            self.stats,
+            self.seconds_attr,
+            getattr(self.stats, self.seconds_attr) + elapsed,
+        )

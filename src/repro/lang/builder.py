@@ -1,0 +1,177 @@
+"""Combinators for building ASTs programmatically.
+
+Used by the tests, the examples and the GDSL-style workload generator
+(:mod:`repro.gdsl.generator`) to assemble programs without going through
+the concrete syntax.
+
+    >>> from repro.lang.builder import lam, let, var, select, update, empty
+    >>> program = let("f", lam("s", select("foo")(update("foo", 42)(var("s")))),
+    ...               var("f")(empty()))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+from .ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+)
+
+ExprLike = Union[Expr, int, bool, str]
+
+
+def _coerce(value: ExprLike) -> Expr:
+    """Lift Python literals into AST nodes (str -> Var, int/bool -> lit)."""
+    if isinstance(value, _BuilderExpr):
+        return value.ast
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool before int: bool is a subclass of int
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def var(name: str) -> "_BuilderExpr":
+    """A variable reference."""
+    return _BuilderExpr(Var(name))
+
+
+def lit(value: Union[int, bool]) -> "_BuilderExpr":
+    """An integer or Boolean literal."""
+    return _BuilderExpr(_coerce(value))
+
+
+def empty() -> "_BuilderExpr":
+    """The empty record ``{}``."""
+    return _BuilderExpr(EmptyRec())
+
+
+def select(label: str) -> "_BuilderExpr":
+    """The field selector function ``#label``."""
+    return _BuilderExpr(Select(label))
+
+
+def update(label: str, value: ExprLike) -> "_BuilderExpr":
+    """The field update function ``@{label = value}``."""
+    return _BuilderExpr(Update(label, _coerce(value)))
+
+
+def remove(label: str) -> "_BuilderExpr":
+    """The field removal function ``~label``."""
+    return _BuilderExpr(Remove(label))
+
+
+def rename(old_label: str, new_label: str) -> "_BuilderExpr":
+    """The field renaming function ``@[old -> new]``."""
+    return _BuilderExpr(Rename(old_label, new_label))
+
+
+def lam(params: Union[str, Iterable[str]], body: ExprLike) -> "_BuilderExpr":
+    """``\\params -> body``; accepts one name or an iterable of names."""
+    if isinstance(params, str):
+        params = (params,)
+    expr = _coerce(body)
+    for param in reversed(tuple(params)):
+        expr = Lam(param, expr)
+    return _BuilderExpr(expr)
+
+
+def let(name: str, bound: ExprLike, body: ExprLike) -> "_BuilderExpr":
+    """``let name = bound in body`` (recursive per Milner-Mycroft)."""
+    return _BuilderExpr(Let(name, _coerce(bound), _coerce(body)))
+
+
+def if_(cond: ExprLike, then: ExprLike, orelse: ExprLike) -> "_BuilderExpr":
+    """``if cond then e1 else e2`` (scrutinee must type as Int)."""
+    return _BuilderExpr(If(_coerce(cond), _coerce(then), _coerce(orelse)))
+
+
+def when(
+    label: str, record: str, then: ExprLike, orelse: ExprLike
+) -> "_BuilderExpr":
+    """``when label in record then e1 else e2`` (Fig. 8)."""
+    return _BuilderExpr(When(label, record, _coerce(then), _coerce(orelse)))
+
+
+def concat(left: ExprLike, right: ExprLike) -> "_BuilderExpr":
+    """Asymmetric concatenation ``left @ right`` (right wins)."""
+    return _BuilderExpr(Concat(_coerce(left), _coerce(right)))
+
+
+def symcat(left: ExprLike, right: ExprLike) -> "_BuilderExpr":
+    """Symmetric concatenation ``left @@ right`` (sharing is an error)."""
+    return _BuilderExpr(Concat(_coerce(left), _coerce(right), symmetric=True))
+
+
+def list_(*items: ExprLike) -> "_BuilderExpr":
+    """A list literal ``[e1, ..., en]``."""
+    return _BuilderExpr(ListLit(tuple(_coerce(item) for item in items)))
+
+
+def record(**fields: ExprLike) -> "_BuilderExpr":
+    """Record literal sugar: ``record(foo=1, bar=2)``."""
+    expr: Expr = EmptyRec()
+    for label, value in fields.items():
+        expr = App(Update(label, _coerce(value)), expr)
+    return _BuilderExpr(expr)
+
+
+def app(fn: ExprLike, *arguments: ExprLike) -> "_BuilderExpr":
+    """Curried application ``fn a1 ... an``."""
+    expr = _coerce(fn)
+    for argument in arguments:
+        expr = App(expr, _coerce(argument))
+    return _BuilderExpr(expr)
+
+
+class _BuilderExpr:
+    """A thin wrapper making builder results callable (application).
+
+    The wrapper unwraps transparently: every builder accepts wrapped and
+    unwrapped expressions, and ``.ast`` gives the underlying node.
+    """
+
+    __slots__ = ("ast",)
+
+    def __init__(self, node: Expr) -> None:
+        while isinstance(node, _BuilderExpr):  # defensive unwrap
+            node = node.ast
+        self.ast = node
+
+    def __call__(self, *arguments: ExprLike) -> "_BuilderExpr":
+        expr = self.ast
+        for argument in arguments:
+            expr = App(expr, _coerce(argument))
+        return _BuilderExpr(expr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .pretty import pretty
+
+        return f"<builder {pretty(self.ast)}>"
+
+
+def build(value: ExprLike) -> Expr:
+    """Extract a plain AST from a builder value (or coerce a literal)."""
+    if isinstance(value, _BuilderExpr):
+        return value.ast
+    return _coerce(value)

@@ -1,0 +1,163 @@
+"""Lexer for the concrete syntax of the record calculus.
+
+The concrete syntax follows the paper's Haskell-flavoured examples::
+
+    let f s = if some_cond then
+                let s2 = @{foo = 42} s in #foo s2
+              else s
+    in f {}
+
+Tokens specific to records: ``{}`` (empty record), ``{n = e, ...}``
+(record literal sugar), ``#n`` (selector), ``@{n = e}`` (update), ``~n``
+(field removal), ``@[old -> new]`` (field renaming), ``@`` / ``@@``
+(asymmetric / symmetric concatenation) and the keywords of
+``when n in x then e1 else e2``.
+
+Line comments start with ``--``.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from .ast import Span
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "identifier"
+    INT = "integer"
+    LAMBDA = "\\"
+    ARROW = "->"
+    EQUALS = "="
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    HASH = "#"
+    AT_BRACE = "@{"
+    AT_BRACKET = "@["
+    AT_AT = "@@"
+    AT = "@"
+    TILDE = "~"
+    KW_LET = "let"
+    KW_IN = "in"
+    KW_IF = "if"
+    KW_THEN = "then"
+    KW_ELSE = "else"
+    KW_WHEN = "when"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    EOF = "end of input"
+
+
+KEYWORDS = {
+    "let": TokenKind.KW_LET,
+    "in": TokenKind.KW_IN,
+    "if": TokenKind.KW_IF,
+    "then": TokenKind.KW_THEN,
+    "else": TokenKind.KW_ELSE,
+    "when": TokenKind.KW_WHEN,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source span."""
+
+    kind: TokenKind
+    text: str
+    span: Span
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.span}"
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognised character."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r]+)
+    | (?P<nl>\n)
+    | (?P<comment>--[^\n]*)
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    | (?P<atbrace>@\{)
+    | (?P<atbracket>@\[)
+    | (?P<atat>@@)
+    | (?P<arrow>->)
+    | (?P<punct>[\\={}()\[\],;#@~])
+    """,
+    re.VERBOSE,
+)
+
+_PUNCT = {
+    "\\": TokenKind.LAMBDA,
+    "=": TokenKind.EQUALS,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "#": TokenKind.HASH,
+    "@": TokenKind.AT,
+    "~": TokenKind.TILDE,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; the result always ends with an EOF token."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            span = Span(position, position + 1, line, position - line_start + 1)
+            raise LexError(
+                f"unexpected character {source[position]!r} at {span}"
+            )
+        position = match.end()
+        kind_name = match.lastgroup
+        text = match.group()
+        if kind_name == "nl":
+            line += 1
+            line_start = position
+            continue
+        if kind_name in ("ws", "comment"):
+            continue
+        span = Span(match.start(), position, line, match.start() - line_start + 1)
+        if kind_name == "int":
+            tokens.append(Token(TokenKind.INT, text, span))
+        elif kind_name == "ident":
+            tokens.append(Token(KEYWORDS.get(text, TokenKind.IDENT), text, span))
+        elif kind_name == "atbrace":
+            tokens.append(Token(TokenKind.AT_BRACE, text, span))
+        elif kind_name == "atbracket":
+            tokens.append(Token(TokenKind.AT_BRACKET, text, span))
+        elif kind_name == "atat":
+            tokens.append(Token(TokenKind.AT_AT, text, span))
+        elif kind_name == "arrow":
+            tokens.append(Token(TokenKind.ARROW, text, span))
+        else:
+            tokens.append(Token(_PUNCT[text], text, span))
+    tokens.append(
+        Token(TokenKind.EOF, "", Span(length, length, line, length - line_start + 1))
+    )
+    return tokens

@@ -1,0 +1,281 @@
+"""Recursive-descent parser for the record calculus.
+
+Grammar (lowest precedence first)::
+
+    expr     := lambda | letexpr | ifexpr | whenexpr | concat
+    lambda   := '\\' IDENT+ '->' expr
+    letexpr  := 'let' binding (';' binding)* 'in' expr
+    binding  := IDENT IDENT* '=' expr          -- params are sugar for lambdas
+    ifexpr   := 'if' expr 'then' expr 'else' expr
+    whenexpr := 'when' IDENT 'in' IDENT 'then' expr 'else' expr
+    concat   := app (('@' | '@@') app)*        -- left associative
+    app      := atom+                          -- left associative
+    atom     := IDENT | INT | 'true' | 'false'
+              | '{' '}' | '{' IDENT '=' expr (',' IDENT '=' expr)* '}'
+              | '#' IDENT | '@{' IDENT '=' expr '}' | '~' IDENT
+              | '@[' IDENT '->' IDENT ']'
+              | '[' (expr (',' expr)*)? ']'
+              | '(' expr ')'
+
+``let f x y = e in b`` desugars to ``let f = \\x y -> e in b`` and a
+multi-binding let desugars to nested lets (left to right, so later bindings
+see earlier ones).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+    record_literal,
+)
+from .lexer import Token, TokenKind, tokenize
+
+
+class ParseError(SyntaxError):
+    """Raised on a syntax error, with the offending token position."""
+
+
+_ATOM_STARTERS = frozenset(
+    (
+        TokenKind.IDENT,
+        TokenKind.INT,
+        TokenKind.KW_TRUE,
+        TokenKind.KW_FALSE,
+        TokenKind.LBRACE,
+        TokenKind.HASH,
+        TokenKind.AT_BRACE,
+        TokenKind.AT_BRACKET,
+        TokenKind.TILDE,
+        TokenKind.LBRACKET,
+        TokenKind.LPAREN,
+    )
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r} but found {token.kind.value!r} "
+                f"({token.text!r}) at {token.span}"
+            )
+        return self.advance()
+
+    def at(self, kind: TokenKind) -> bool:
+        return self.peek().kind is kind
+
+    # -- grammar ---------------------------------------------------------
+    def expr(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.LAMBDA:
+            return self.lambda_()
+        if token.kind is TokenKind.KW_LET:
+            return self.let()
+        if token.kind is TokenKind.KW_IF:
+            return self.if_()
+        if token.kind is TokenKind.KW_WHEN:
+            return self.when()
+        return self.concat()
+
+    def lambda_(self) -> Expr:
+        start = self.expect(TokenKind.LAMBDA)
+        params = [self.expect(TokenKind.IDENT).text]
+        while self.at(TokenKind.IDENT):
+            params.append(self.advance().text)
+        self.expect(TokenKind.ARROW)
+        body = self.expr()
+        for param in reversed(params):
+            body = Lam(param, body, span=start.span)
+        return body
+
+    def let(self) -> Expr:
+        start = self.expect(TokenKind.KW_LET)
+        bindings: list[tuple[str, Expr]] = [self.binding()]
+        while self.at(TokenKind.SEMI):
+            self.advance()
+            if self.at(TokenKind.KW_IN):  # tolerate a trailing semicolon
+                break
+            bindings.append(self.binding())
+        self.expect(TokenKind.KW_IN)
+        body = self.expr()
+        for name, bound in reversed(bindings):
+            body = Let(name, bound, body, span=start.span)
+        return body
+
+    def binding(self) -> tuple[str, Expr]:
+        name_token = self.expect(TokenKind.IDENT)
+        params = []
+        while self.at(TokenKind.IDENT):
+            params.append(self.advance().text)
+        self.expect(TokenKind.EQUALS)
+        bound = self.expr()
+        for param in reversed(params):
+            bound = Lam(param, bound, span=name_token.span)
+        return name_token.text, bound
+
+    def if_(self) -> Expr:
+        start = self.expect(TokenKind.KW_IF)
+        cond = self.expr()
+        self.expect(TokenKind.KW_THEN)
+        then = self.expr()
+        self.expect(TokenKind.KW_ELSE)
+        orelse = self.expr()
+        return If(cond, then, orelse, span=start.span)
+
+    def when(self) -> Expr:
+        start = self.expect(TokenKind.KW_WHEN)
+        label = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.KW_IN)
+        record = self.expect(TokenKind.IDENT).text
+        self.expect(TokenKind.KW_THEN)
+        then = self.expr()
+        self.expect(TokenKind.KW_ELSE)
+        orelse = self.expr()
+        return When(label, record, then, orelse, span=start.span)
+
+    def concat(self) -> Expr:
+        expr = self.app()
+        while self.at(TokenKind.AT) or self.at(TokenKind.AT_AT):
+            operator = self.advance()
+            right = self.app()
+            expr = Concat(
+                expr,
+                right,
+                symmetric=operator.kind is TokenKind.AT_AT,
+                span=operator.span,
+            )
+        return expr
+
+    def app(self) -> Expr:
+        expr = self.atom()
+        while self.peek().kind in _ATOM_STARTERS:
+            argument = self.atom()
+            expr = App(expr, argument, span=expr.span)
+        return expr
+
+    def atom(self) -> Expr:
+        token = self.peek()
+        kind = token.kind
+        if kind is TokenKind.IDENT:
+            self.advance()
+            return Var(token.text, span=token.span)
+        if kind is TokenKind.INT:
+            self.advance()
+            return IntLit(int(token.text), span=token.span)
+        if kind is TokenKind.KW_TRUE:
+            self.advance()
+            return BoolLit(True, span=token.span)
+        if kind is TokenKind.KW_FALSE:
+            self.advance()
+            return BoolLit(False, span=token.span)
+        if kind is TokenKind.HASH:
+            self.advance()
+            label = self.expect(TokenKind.IDENT)
+            return Select(label.text, span=token.span)
+        if kind is TokenKind.TILDE:
+            self.advance()
+            label = self.expect(TokenKind.IDENT)
+            return Remove(label.text, span=token.span)
+        if kind is TokenKind.AT_BRACE:
+            self.advance()
+            label = self.expect(TokenKind.IDENT)
+            self.expect(TokenKind.EQUALS)
+            value = self.expr()
+            self.expect(TokenKind.RBRACE)
+            return Update(label.text, value, span=token.span)
+        if kind is TokenKind.AT_BRACKET:
+            self.advance()
+            old_label = self.expect(TokenKind.IDENT)
+            self.expect(TokenKind.ARROW)
+            new_label = self.expect(TokenKind.IDENT)
+            self.expect(TokenKind.RBRACKET)
+            return Rename(old_label.text, new_label.text, span=token.span)
+        if kind is TokenKind.LBRACE:
+            return self.record()
+        if kind is TokenKind.LBRACKET:
+            return self.list_()
+        if kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self.expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError(
+            f"expected an expression but found {kind.value!r} "
+            f"({token.text!r}) at {token.span}"
+        )
+
+    def record(self) -> Expr:
+        start = self.expect(TokenKind.LBRACE)
+        if self.at(TokenKind.RBRACE):
+            self.advance()
+            return EmptyRec(span=start.span)
+        fields: dict[str, Expr] = {}
+        while True:
+            label = self.expect(TokenKind.IDENT)
+            if label.text in fields:
+                raise ParseError(
+                    f"duplicate field {label.text!r} in record literal "
+                    f"at {label.span}"
+                )
+            self.expect(TokenKind.EQUALS)
+            fields[label.text] = self.expr()
+            if self.at(TokenKind.COMMA):
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.RBRACE)
+        return record_literal(fields, span=start.span)
+
+    def list_(self) -> Expr:
+        start = self.expect(TokenKind.LBRACKET)
+        items: list[Expr] = []
+        if not self.at(TokenKind.RBRACKET):
+            items.append(self.expr())
+            while self.at(TokenKind.COMMA):
+                self.advance()
+                items.append(self.expr())
+        self.expect(TokenKind.RBRACKET)
+        return ListLit(tuple(items), span=start.span)
+
+
+def parse(source: str) -> Expr:
+    """Parse a complete program; raise :class:`ParseError` on junk."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    trailing = parser.peek()
+    if trailing.kind is not TokenKind.EOF:
+        raise ParseError(
+            f"unexpected {trailing.kind.value!r} ({trailing.text!r}) after "
+            f"expression at {trailing.span}"
+        )
+    return expr

@@ -1,0 +1,95 @@
+"""Pretty printer for expressions; round-trips with the parser.
+
+``parse(pretty(e))`` is structurally equal to ``e`` (modulo spans and
+record-literal desugaring, which the printer does not re-sugar).  The test
+suite checks this property with random ASTs.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+)
+
+# Precedence levels: 0 = lowest (lambda/let/if/when), 1 = concat, 2 =
+# application, 3 = atom.
+_LOW, _CONCAT, _APP, _ATOM = 0, 1, 2, 3
+
+
+def _parenthesize(text: str, level: int, context: int) -> str:
+    return f"({text})" if level < context else text
+
+
+def pretty(expr: Expr, context: int = _LOW) -> str:
+    """Render ``expr`` with minimal parentheses."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, EmptyRec):
+        return "{}"
+    if isinstance(expr, Select):
+        return f"#{expr.label}"
+    if isinstance(expr, Remove):
+        return f"~{expr.label}"
+    if isinstance(expr, Rename):
+        return f"@[{expr.old_label} -> {expr.new_label}]"
+    if isinstance(expr, Update):
+        return f"@{{{expr.label} = {pretty(expr.value, _LOW)}}}"
+    if isinstance(expr, ListLit):
+        inner = ", ".join(pretty(item, _LOW) for item in expr.items)
+        return f"[{inner}]"
+    if isinstance(expr, Lam):
+        params = [expr.param]
+        body = expr.body
+        while isinstance(body, Lam):
+            params.append(body.param)
+            body = body.body
+        text = f"\\{' '.join(params)} -> {pretty(body, _LOW)}"
+        return _parenthesize(text, _LOW, context)
+    if isinstance(expr, Let):
+        text = (
+            f"let {expr.name} = {pretty(expr.bound, _LOW)} "
+            f"in {pretty(expr.body, _LOW)}"
+        )
+        return _parenthesize(text, _LOW, context)
+    if isinstance(expr, If):
+        text = (
+            f"if {pretty(expr.cond, _LOW)} then {pretty(expr.then, _LOW)} "
+            f"else {pretty(expr.orelse, _LOW)}"
+        )
+        return _parenthesize(text, _LOW, context)
+    if isinstance(expr, When):
+        text = (
+            f"when {expr.label} in {expr.record} "
+            f"then {pretty(expr.then, _LOW)} else {pretty(expr.orelse, _LOW)}"
+        )
+        return _parenthesize(text, _LOW, context)
+    if isinstance(expr, Concat):
+        operator = "@@" if expr.symmetric else "@"
+        text = (
+            f"{pretty(expr.left, _CONCAT)} {operator} "
+            f"{pretty(expr.right, _APP)}"
+        )
+        return _parenthesize(text, _CONCAT, context)
+    if isinstance(expr, App):
+        text = f"{pretty(expr.fn, _APP)} {pretty(expr.arg, _ATOM)}"
+        return _parenthesize(text, _APP, context)
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,55 @@
+"""Concrete, collecting and monotype semantics, plus the αR/γR abstraction."""
+
+from .abstraction import alpha, contains_nonempty_record, gamma, model
+from .collecting import (
+    DivergedOutcome,
+    OmegaOutcome,
+    Outcome,
+    collect_outcomes,
+    has_missing_field_path,
+    has_omega_path,
+)
+from .denotational import Interpreter, default_runtime_env, evaluate
+from .monotype import KAPPA, MonotypeSemantics
+from .values import (
+    Env,
+    MissingFieldError,
+    NonTermination,
+    Omega,
+    Value,
+    VBool,
+    VBuiltin,
+    VClosure,
+    VInt,
+    VList,
+    VRecord,
+)
+
+__all__ = [
+    "DivergedOutcome",
+    "Env",
+    "Interpreter",
+    "KAPPA",
+    "MissingFieldError",
+    "MonotypeSemantics",
+    "NonTermination",
+    "Omega",
+    "OmegaOutcome",
+    "Outcome",
+    "VBool",
+    "VBuiltin",
+    "VClosure",
+    "VInt",
+    "VList",
+    "VRecord",
+    "Value",
+    "alpha",
+    "collect_outcomes",
+    "contains_nonempty_record",
+    "default_runtime_env",
+    "evaluate",
+    "gamma",
+    "has_missing_field_path",
+    "has_omega_path",
+    "model",
+]

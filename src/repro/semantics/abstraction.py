@@ -1,0 +1,169 @@
+"""Abstraction between monotype sets and flagged types (Fig. 7, Sect. 4.3).
+
+``model(tR, t)`` extracts, for a flagged type tR and one monotype t that
+matches its stripped skeleton, the set of flags that "hold": a field flag
+holds when the field is present in t, a row flag when t has fields beyond
+the explicit ones, and a variable flag when the monotype it stands for
+contains a non-empty record anywhere (t ∉ M̄ in the paper's notation).
+
+On top of ``model`` sit the abstraction/concretization pair
+
+    αR(T) = ⟨ ⇑(lca(T)),  β with [[β]] = { model(tR, t) | t ∈ T } ⟩
+    γR(⟨tR, β⟩) = { t ∈ ground(⇓ tR) | model(tR, t) ∈ [[β]] }
+
+used by the completeness tests: the flow inference's result should describe
+exactly ``αR`` of the monotype semantics' result on programs where the
+optimality lemmas apply (E12), and at least contain it (soundness) in
+general.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..boolfn.cnf import Cnf
+from ..boolfn.flags import FlagSupply
+from ..types.lattice import instance_of, lca_many
+from ..types.project import decorate, strip
+from ..types.terms import (
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    Type,
+    VarSupply,
+    all_flags,
+    is_monotype,
+)
+
+
+def contains_nonempty_record(t: Type) -> bool:
+    """t ∉ M̄: the monotype contains a record with at least one field."""
+    if isinstance(t, TRec):
+        if t.fields:
+            return True
+        return False
+    if isinstance(t, TList):
+        return contains_nonempty_record(t.elem)
+    if isinstance(t, TFun):
+        return contains_nonempty_record(t.arg) or contains_nonempty_record(
+            t.res
+        )
+    return False
+
+
+def model(flagged: Type, mono: Type) -> Optional[frozenset[int]]:
+    """The flags of ``flagged`` satisfied by the matching monotype ``mono``.
+
+    Returns None when ``mono`` does not structurally match the stripped
+    skeleton of ``flagged`` (e.g. a function against an Int).
+    """
+    out: set[int] = set()
+    if _model(flagged, mono, out):
+        return frozenset(out)
+    return None
+
+
+def _model(flagged: Type, mono: Type, out: set[int]) -> bool:
+    if isinstance(flagged, TVar):
+        if flagged.flag is not None and contains_nonempty_record(mono):
+            out.add(flagged.flag)
+        return True
+    if isinstance(flagged, TFun):
+        if not isinstance(mono, TFun):
+            return False
+        return _model(flagged.arg, mono.arg, out) and _model(
+            flagged.res, mono.res, out
+        )
+    if isinstance(flagged, TList):
+        if not isinstance(mono, TList):
+            return False
+        return _model(flagged.elem, mono.elem, out)
+    if isinstance(flagged, TRec):
+        if not isinstance(mono, TRec):
+            return False
+        explicit = set()
+        for field in flagged.fields:
+            explicit.add(field.label)
+            mono_field = mono.field(field.label)
+            if mono_field is not None:
+                if field.flag is not None:
+                    out.add(field.flag)
+                if not _model(field.type, mono_field.type, out):
+                    return False
+        if flagged.row is not None and flagged.row.flag is not None:
+            if any(f.label not in explicit for f in mono.fields):
+                out.add(flagged.row.flag)
+        elif flagged.row is None:
+            if any(f.label not in explicit for f in mono.fields):
+                return False
+        return True
+    # Base types: Int/Bool/constants — structural equality, no flags.
+    return strip(flagged) == mono
+
+
+def alpha(
+    monotypes: Iterable[Type],
+    var_supply: Optional[VarSupply] = None,
+    flag_supply: Optional[FlagSupply] = None,
+) -> Optional[tuple[Type, set[frozenset[int]]]]:
+    """αR: the decorated lca and the set of flag models (Sect. 4.3).
+
+    Returns ``(tR, models)`` where ``models`` enumerates
+    ``{model(tR, t) | t ∈ monotypes}``, or None for the empty set (⊥).
+    """
+    monotypes = list(monotypes)
+    var_supply = var_supply or VarSupply()
+    flag_supply = flag_supply or FlagSupply()
+    generalized = lca_many(monotypes, var_supply)
+    if generalized is None:
+        return None
+    flagged = decorate(generalized, flag_supply)
+    models: set[frozenset[int]] = set()
+    for mono in monotypes:
+        extracted = model(flagged, mono)
+        if extracted is None:
+            raise AssertionError(
+                f"lca result {generalized!r} does not cover {mono!r}"
+            )
+        models.add(extracted)
+    return flagged, models
+
+
+def gamma(
+    flagged: Type, beta: Cnf, universe: Iterable[Type]
+) -> list[Type]:
+    """γR intersected with a bounded universe of monotypes.
+
+    The members of ``universe`` that are ground instances of ⇓(tR) and whose
+    flag model satisfies β (projected onto the flags of tR).
+    """
+    flags = set(all_flags(flagged))
+    out = []
+    for mono in universe:
+        if not is_monotype(mono):
+            continue
+        if not instance_of(mono, strip(flagged)):
+            continue
+        extracted = model(flagged, mono)
+        if extracted is None:
+            continue
+        assignment = {flag: flag in extracted for flag in flags}
+        if _satisfies(beta, assignment, flags):
+            out.append(mono)
+    return out
+
+
+def _satisfies(
+    beta: Cnf, assignment: dict[int, bool], fixed: set[int]
+) -> bool:
+    """Is the partial assignment extendable to a model of β?
+
+    Flags of the type are fixed; all other variables are existential.
+    """
+    from ..boolfn.classify import solve
+
+    probe = beta.copy()
+    for var, value in assignment.items():
+        probe.add_unit(var if value else -var)
+    return solve(probe) is not None

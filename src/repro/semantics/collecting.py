@@ -1,0 +1,140 @@
+"""The collecting semantics C[[·]]: conditionals as non-deterministic choice.
+
+The paper derives its inference from a semantics "in which the if-statement
+is abstracted to a non-deterministic choice" (Sect. 3/4).  This module
+enumerates all execution paths of a program under that abstraction and
+collects the outcomes.  It is the ground truth for the Observation 1 tests:
+
+    the inference rejects a program iff some path reaches a field access
+    on a record that never received the field.
+
+Outcomes are either values, the error Ω (with the missing-field case
+distinguished), or "no observation" for paths exceeding the step budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..lang.ast import Expr
+from .denotational import Interpreter, default_runtime_env
+from .values import Env, MissingFieldError, NonTermination, Omega, Value
+
+
+@dataclass(frozen=True)
+class OmegaOutcome:
+    """A path ended in the error value Ω."""
+
+    message: str
+    missing_field: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"Ω({self.message})"
+
+
+@dataclass(frozen=True)
+class DivergedOutcome:
+    """A path exceeded the step budget — no observation."""
+
+    def __repr__(self) -> str:
+        return "⋯"
+
+
+Outcome = Union[Value, OmegaOutcome, DivergedOutcome]
+
+
+class _PathChooser:
+    """Replays a fixed prefix of branch decisions; records extension needs."""
+
+    def __init__(self, path: tuple[bool, ...]) -> None:
+        self.path = path
+        self.used = 0
+        self.exhausted = False
+
+    def __call__(self, scrutinee: Value) -> bool:
+        # The scrutinee is ignored: the choice is non-deterministic, but the
+        # scrutinee was still evaluated (its own errors propagate).
+        if self.used < len(self.path):
+            decision = self.path[self.used]
+            self.used += 1
+            return decision
+        self.exhausted = True
+        raise _NeedLongerPath()
+
+
+class _NeedLongerPath(Exception):
+    """Internal: evaluation hit a branch beyond the decided prefix."""
+
+
+def collect_outcomes(
+    expr: Expr,
+    env: Optional[Env] = None,
+    max_steps: int = 20_000,
+    max_paths: int = 4096,
+) -> list[tuple[tuple[bool, ...], Outcome]]:
+    """Evaluate ``expr`` along every non-deterministic path.
+
+    Returns (path, outcome) pairs; ``path`` lists the branch decisions in
+    evaluation order.  Exploration is depth-first over decision prefixes and
+    stops (raising ``RuntimeError``) if more than ``max_paths`` complete
+    paths exist.
+    """
+    results: list[tuple[tuple[bool, ...], Outcome]] = []
+    stack: list[tuple[bool, ...]] = [()]
+    while stack:
+        if len(results) > max_paths:
+            raise RuntimeError(f"more than {max_paths} execution paths")
+        path = stack.pop()
+        chooser = _PathChooser(path)
+        interpreter = Interpreter(chooser=chooser, max_steps=max_steps)
+        merged = default_runtime_env()
+        merged.update(dict(env or {}))
+        try:
+            value = interpreter.eval(expr, merged)
+        except _NeedLongerPath:
+            stack.append(path + (False,))
+            stack.append(path + (True,))
+            continue
+        except MissingFieldError as error:
+            results.append(
+                (path, OmegaOutcome(str(error), missing_field=error.label))
+            )
+            continue
+        except Omega as error:
+            results.append((path, OmegaOutcome(str(error))))
+            continue
+        except NonTermination:
+            results.append((path, DivergedOutcome()))
+            continue
+        results.append((path, value))
+    return results
+
+
+def has_missing_field_path(
+    expr: Expr,
+    env: Optional[Env] = None,
+    max_steps: int = 20_000,
+    max_paths: int = 4096,
+) -> bool:
+    """True iff some non-deterministic path hits a missing-field access.
+
+    This is the right-hand side of Observation 1 ("contains a path from an
+    empty record to a field access on which the field has not been added").
+    """
+    outcomes = collect_outcomes(expr, env, max_steps, max_paths)
+    return any(
+        isinstance(outcome, OmegaOutcome) and outcome.missing_field is not None
+        for _, outcome in outcomes
+    )
+
+
+def has_omega_path(
+    expr: Expr,
+    env: Optional[Env] = None,
+    max_steps: int = 20_000,
+    max_paths: int = 4096,
+) -> bool:
+    """True iff some path raises any dynamic type error Ω."""
+    outcomes = collect_outcomes(expr, env, max_steps, max_paths)
+    return any(isinstance(outcome, OmegaOutcome) for _, outcome in outcomes)

@@ -1,0 +1,306 @@
+"""The concrete semantics S[[·]]: a call-by-value interpreter (Sect. 4.1).
+
+Conditionals branch on an integer scrutinee (non-zero = then branch), as in
+Milner's semantics; the *collecting* semantics that the type inference is
+derived from additionally abstracts conditionals to a non-deterministic
+choice — that variant lives in :mod:`repro.semantics.collecting` and shares
+this evaluator through the ``Chooser`` hook.
+
+Recursion: ``let x = e in e'`` ties the knot with a mutable cell, so
+``let f = \\n -> ... f ... in ...`` works; reading ``x`` during the
+evaluation of its own right-hand side (other than under a lambda) is Ω.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..lang.ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+)
+from .values import (
+    Env,
+    MissingFieldError,
+    NonTermination,
+    Omega,
+    Value,
+    VBool,
+    VBuiltin,
+    VClosure,
+    VInt,
+    VList,
+    VRecord,
+)
+
+# A chooser decides conditional branches.  The concrete semantics tests the
+# scrutinee; the collecting semantics enumerates both branches.
+Chooser = Callable[[Value], bool]
+
+
+def concrete_chooser(scrutinee: Value) -> bool:
+    """Branch on the integer scrutinee: non-zero means the then branch."""
+    if not isinstance(scrutinee, VInt):
+        raise Omega(f"condition is not an integer: {scrutinee!r}")
+    return scrutinee.value != 0
+
+
+class _BlackHole:
+    """Placeholder for a let binding while its own RHS evaluates."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<blackhole>"
+
+
+class Interpreter:
+    """Evaluator with a step budget and a pluggable branch chooser."""
+
+    def __init__(
+        self,
+        chooser: Chooser = concrete_chooser,
+        max_steps: int = 100_000,
+    ) -> None:
+        self.chooser = chooser
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def eval(self, expr: Expr, env: Optional[Env] = None) -> Value:
+        """Evaluate ``expr``; raises :class:`Omega` on dynamic type errors."""
+        return self._eval(expr, dict(env or {}))
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise NonTermination(f"exceeded {self.max_steps} steps")
+
+    def _eval(self, expr: Expr, env: dict[str, object]) -> Value:
+        self._tick()
+        if isinstance(expr, Var):
+            try:
+                value = env[expr.name]
+            except KeyError:
+                raise Omega(f"unbound variable {expr.name!r}") from None
+            value = _deref(value)
+            if isinstance(value, _BlackHole):
+                raise Omega(
+                    f"variable {expr.name!r} used during its own definition"
+                )
+            return value
+        if isinstance(expr, IntLit):
+            return VInt(expr.value)
+        if isinstance(expr, BoolLit):
+            return VBool(expr.value)
+        if isinstance(expr, ListLit):
+            return VList(tuple(self._eval(item, env) for item in expr.items))
+        if isinstance(expr, EmptyRec):
+            return VRecord({})
+        if isinstance(expr, Lam):
+            return VClosure(expr.param, expr.body, dict(env))
+        if isinstance(expr, Select):
+            label = expr.label
+            return VBuiltin(f"#{label}", lambda v: _as_record(v).get(label))
+        if isinstance(expr, Remove):
+            label = expr.label
+            return VBuiltin(
+                f"~{label}", lambda v: _as_record(v).without(label)
+            )
+        if isinstance(expr, Rename):
+            old, new = expr.old_label, expr.new_label
+            return VBuiltin(f"@[{old}->{new}]", lambda v: _rename(v, old, new))
+        if isinstance(expr, Update):
+            label = expr.label
+            value = self._eval(expr.value, env)
+            return VBuiltin(
+                f"@{{{label}=...}}", lambda v: _as_record(v).set(label, value)
+            )
+        if isinstance(expr, App):
+            fn = self._eval(expr.fn, env)
+            argument = self._eval(expr.arg, env)
+            return self.apply(fn, argument)
+        if isinstance(expr, Let):
+            cell = [_BlackHole()]
+            inner = dict(env)
+            inner[expr.name] = cell
+            bound = self._eval(expr.bound, inner)
+            cell[0] = bound
+            return self._eval(expr.body, inner)
+        if isinstance(expr, If):
+            scrutinee = self._eval(expr.cond, env)
+            branch = expr.then if self.chooser(scrutinee) else expr.orelse
+            return self._eval(branch, env)
+        if isinstance(expr, Concat):
+            left = _as_record(self._eval(expr.left, env))
+            right = _as_record(self._eval(expr.right, env))
+            merged = dict(left.fields)
+            for label, value in right.fields.items():
+                if expr.symmetric and label in merged:
+                    raise MissingFieldError(
+                        label,
+                        f"symmetric concatenation: field {label!r} on both sides",
+                    )
+                merged[label] = value
+            return VRecord(merged)
+        if isinstance(expr, When):
+            try:
+                record = env[expr.record]
+            except KeyError:
+                raise Omega(f"unbound variable {expr.record!r}") from None
+            record = _as_record(_deref(record))
+            branch = expr.then if record.has(expr.label) else expr.orelse
+            return self._eval(branch, env)
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def apply(self, fn: Value, argument: Value) -> Value:
+        """Apply a function value."""
+        self._tick()
+        if isinstance(fn, VClosure):
+            inner = dict(fn.env)
+            inner[fn.param] = argument
+            return self._eval(fn.body, inner)
+        if isinstance(fn, VBuiltin):
+            return fn.fn(argument)
+        raise Omega(f"application of a non-function: {fn!r}")
+
+
+def _deref(value: object) -> Value:
+    """Unwrap a recursive let cell."""
+    if isinstance(value, list):
+        return value[0]
+    return value  # type: ignore[return-value]
+
+
+def _as_record(value: Value) -> VRecord:
+    if not isinstance(value, VRecord):
+        raise Omega(f"expected a record, got {value!r}")
+    return value
+
+
+def _rename(value: Value, old: str, new: str) -> VRecord:
+    record = _as_record(value)
+    moved = record.get(old)
+    return record.without(old).set(new, moved)
+
+
+def _int_binop(name, op):
+    def outer(a: Value) -> Value:
+        if not isinstance(a, VInt):
+            raise Omega(f"{name}: expected an integer, got {a!r}")
+
+        def inner(b: Value) -> Value:
+            if not isinstance(b, VInt):
+                raise Omega(f"{name}: expected an integer, got {b!r}")
+            return op(a, b)
+
+        return VBuiltin(f"{name}({a.value})", inner)
+
+    return VBuiltin(name, outer)
+
+
+def _bool_binop(name, op):
+    def outer(a: Value) -> Value:
+        if not isinstance(a, VBool):
+            raise Omega(f"{name}: expected a boolean, got {a!r}")
+
+        def inner(b: Value) -> Value:
+            if not isinstance(b, VBool):
+                raise Omega(f"{name}: expected a boolean, got {b!r}")
+            return VBool(op(a.value, b.value))
+
+        return VBuiltin(f"{name}(...)", inner)
+
+    return VBuiltin(name, outer)
+
+
+def _as_list(name: str, value: Value) -> VList:
+    if not isinstance(value, VList):
+        raise Omega(f"{name}: expected a list, got {value!r}")
+    return value
+
+
+def _head(value: Value) -> Value:
+    items = _as_list("head", value).items
+    if not items:
+        raise Omega("head of an empty list")
+    return items[0]
+
+
+def _tail(value: Value) -> Value:
+    items = _as_list("tail", value).items
+    if not items:
+        raise Omega("tail of an empty list")
+    return VList(items[1:])
+
+
+def _cons(head: Value) -> Value:
+    return VBuiltin(
+        "cons(...)",
+        lambda tail: VList((head,) + _as_list("cons", tail).items),
+    )
+
+
+def default_runtime_env() -> dict[str, Value]:
+    """Runtime counterparts of :data:`repro.infer.builtins.DEFAULT_BUILTINS`.
+
+    ``eq``/``lt``/``null`` return Int (1/0) so their results can be used as
+    ``if`` scrutinees, matching the typing of the builtins.
+    ``some_condition``/``coin`` default to 0 in the deterministic semantics;
+    the collecting semantics ignores scrutinees anyway.
+    """
+    return {
+        "plus": _int_binop("plus", lambda a, b: VInt(a.value + b.value)),
+        "minus": _int_binop("minus", lambda a, b: VInt(a.value - b.value)),
+        "times": _int_binop("times", lambda a, b: VInt(a.value * b.value)),
+        "eq": _int_binop("eq", lambda a, b: VInt(int(a.value == b.value))),
+        "lt": _int_binop("lt", lambda a, b: VInt(int(a.value < b.value))),
+        "and": _bool_binop("and", lambda a, b: a and b),
+        "or": _bool_binop("or", lambda a, b: a or b),
+        "not": VBuiltin(
+            "not",
+            lambda v: VBool(not v.value)
+            if isinstance(v, VBool)
+            else _raise_omega("not: expected a boolean"),
+        ),
+        "positive": VBuiltin(
+            "positive",
+            lambda v: VBool(v.value > 0)
+            if isinstance(v, VInt)
+            else _raise_omega("positive: expected an integer"),
+        ),
+        "null": VBuiltin(
+            "null", lambda v: VInt(int(not _as_list("null", v).items))
+        ),
+        "head": VBuiltin("head", _head),
+        "tail": VBuiltin("tail", _tail),
+        "cons": VBuiltin("cons", _cons),
+        "some_condition": VInt(0),
+        "coin": VInt(0),
+    }
+
+
+def _raise_omega(message: str) -> Value:
+    raise Omega(message)
+
+
+def evaluate(expr: Expr, env: Optional[Env] = None,
+             max_steps: int = 100_000) -> Value:
+    """Evaluate with the concrete (integer-tested) conditional semantics.
+
+    The default builtins are in scope; caller bindings override them.
+    """
+    merged = default_runtime_env()
+    merged.update(dict(env or {}))
+    return Interpreter(max_steps=max_steps).eval(expr, merged)

@@ -1,0 +1,261 @@
+"""The monotype semantics T[[·]] over sets of environments (Fig. 6).
+
+``T[[e]] : P(X → M) → P(X ∪ {κ} → M)`` is the semantics the paper's two
+inferences are derived from: each transfer function computes, for a set of
+monotype environments, the set of result environments with the result type
+bound to the distinguished name κ.  Lemma 1 states ``T[[e]] = α ∘ C[[e]] ∘ γ``
+and Sect. 4.2/4.3 derive the polytype and flow inferences as abstractions of
+T; the test suite checks both relationships on bounded universes.
+
+The implementation enumerates over a finite universe of monotypes, so it is
+only usable for tiny programs and universes — which is exactly what the
+completeness experiments need (E12).
+
+Environments are ordered tuples ``((name, type), ...)`` in binding order;
+binding order matters for the let-bound (VAR) rule, whose instantiation
+quantifies over the variables bound *after* x (Sect. 4.2, Ex. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..lang.ast import (
+    App,
+    BoolLit,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Select,
+    Update,
+    Var,
+)
+from ..types.terms import BOOL, Field, INT, TFun, TRec, Type
+
+MonoEnv = tuple[tuple[str, Type], ...]
+EnvSet = frozenset[MonoEnv]
+
+KAPPA = "κ"  # the distinguished result name
+
+
+def env_get(env: MonoEnv, name: str) -> Optional[Type]:
+    for key, value in env:
+        if key == name:
+            return value
+    return None
+
+
+def env_set(env: MonoEnv, name: str, value: Type) -> MonoEnv:
+    """Bind or rebind ``name`` (rebinding keeps the original position)."""
+    for index, (key, _) in enumerate(env):
+        if key == name:
+            return env[:index] + ((name, value),) + env[index + 1 :]
+    return env + ((name, value),)
+
+
+def env_drop(env: MonoEnv, name: str) -> MonoEnv:
+    return tuple((key, value) for key, value in env if key != name)
+
+
+def env_frame(env: MonoEnv, upto: str) -> MonoEnv:
+    """The bindings strictly before ``upto`` (the rigid part for (VAR))."""
+    out = []
+    for key, value in env:
+        if key == upto:
+            break
+        out.append((key, value))
+    return tuple(out)
+
+
+class MonotypeSemantics:
+    """T[[·]] over a finite universe of monotypes.
+
+    ``universe`` must be closed enough for the program at hand (function
+    types of the needed shapes, record types over the needed labels);
+    ``lambda_bound`` tracks which variables are λ-bound (Xλ).
+    """
+
+    def __init__(self, universe: Iterable[Type],
+                 max_fixpoint_iterations: int = 50) -> None:
+        self.universe: tuple[Type, ...] = tuple(dict.fromkeys(universe))
+        self.max_fixpoint_iterations = max_fixpoint_iterations
+        self.lambda_bound: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def run(self, expr: Expr, envs: Optional[EnvSet] = None) -> EnvSet:
+        """Evaluate T[[expr]] on an environment set (default: the empty env)."""
+        if envs is None:
+            envs = frozenset({()})
+        return self.eval(expr, envs)
+
+    def result_types(self, expr: Expr) -> frozenset[Type]:
+        """The κ-bound types of T[[expr]] run on the empty environment."""
+        return frozenset(
+            env_get(env, KAPPA)  # type: ignore[misc]
+            for env in self.run(expr)
+        )
+
+    # ------------------------------------------------------------------
+    def eval(self, expr: Expr, envs: EnvSet) -> EnvSet:
+        if isinstance(expr, Var):
+            return self.eval_var(expr, envs)
+        if isinstance(expr, IntLit):
+            return frozenset(env_set(env, KAPPA, INT) for env in envs)
+        if isinstance(expr, BoolLit):
+            return frozenset(env_set(env, KAPPA, BOOL) for env in envs)
+        if isinstance(expr, EmptyRec):
+            empty = TRec((), None)
+            return frozenset(env_set(env, KAPPA, empty) for env in envs)
+        if isinstance(expr, Select):
+            return self.eval_select(expr, envs)
+        if isinstance(expr, Update):
+            return self.eval_update(expr, envs)
+        if isinstance(expr, Lam):
+            return self.eval_lam(expr, envs)
+        if isinstance(expr, App):
+            return self.eval_app(expr, envs)
+        if isinstance(expr, Let):
+            return self.eval_let(expr, envs)
+        if isinstance(expr, If):
+            return self.eval_if(expr, envs)
+        raise NotImplementedError(
+            f"monotype semantics does not cover {type(expr).__name__}"
+        )
+
+    # -- variables -------------------------------------------------------
+    def eval_var(self, expr: Var, envs: EnvSet) -> EnvSet:
+        name = expr.name
+        if name in self.lambda_bound:
+            out = set()
+            for env in envs:
+                value = env_get(env, name)
+                if value is not None:
+                    out.add(env_set(env, KAPPA, value))
+            return frozenset(out)
+        # let-bound: κ may take the x-value of ANY environment that agrees
+        # on the bindings introduced before x (x and later bindings are
+        # freely re-instantiable) — Fig. 6 / Ex. 4.
+        by_frame: dict[MonoEnv, set[Type]] = {}
+        for env in envs:
+            value = env_get(env, name)
+            if value is None:
+                continue
+            by_frame.setdefault(env_frame(env, name), set()).add(value)
+        out = set()
+        for env in envs:
+            if env_get(env, name) is None:
+                continue
+            for value in by_frame.get(env_frame(env, name), ()):
+                out.add(env_set(env, KAPPA, value))
+        return frozenset(out)
+
+    # -- record operations -------------------------------------------------
+    def record_types(self) -> list[TRec]:
+        return [t for t in self.universe if isinstance(t, TRec)]
+
+    def eval_select(self, expr: Select, envs: EnvSet) -> EnvSet:
+        out = set()
+        for env in envs:
+            for record in self.record_types():
+                field = record.field(expr.label)
+                if field is not None:
+                    fn = TFun(record, field.type)
+                    if fn in self.universe or True:
+                        out.add(env_set(env, KAPPA, fn))
+        return frozenset(out)
+
+    def eval_update(self, expr: Update, envs: EnvSet) -> EnvSet:
+        value_envs = self.eval(expr.value, envs)
+        out = set()
+        for env in value_envs:
+            value_type = env_get(env, KAPPA)
+            assert value_type is not None
+            for record in self.record_types():
+                fields = tuple(
+                    f for f in record.fields if f.label != expr.label
+                ) + (Field(expr.label, value_type),)
+                updated = TRec(tuple(sorted(fields, key=lambda f: f.label)), None)
+                out.add(env_set(env, KAPPA, TFun(record, updated)))
+        return frozenset(out)
+
+    # -- core constructs ---------------------------------------------------
+    def eval_lam(self, expr: Lam, envs: EnvSet) -> EnvSet:
+        param = expr.param
+        was_lambda = param in self.lambda_bound
+        self.lambda_bound.add(param)
+        widened = frozenset(
+            env_drop(env, param) + ((param, t),)
+            for env in envs
+            for t in self.universe
+        )
+        body_envs = self.eval(expr.body, widened)
+        if not was_lambda:
+            self.lambda_bound.discard(param)
+        out = set()
+        for env in body_envs:
+            arg_type = env_get(env, param)
+            res_type = env_get(env, KAPPA)
+            assert arg_type is not None and res_type is not None
+            stripped = env_drop(env_drop(env, param), KAPPA)
+            out.add(stripped + ((KAPPA, TFun(arg_type, res_type)),))
+        return frozenset(out)
+
+    def eval_app(self, expr: App, envs: EnvSet) -> EnvSet:
+        fn_envs = self.eval(expr.fn, envs)
+        arg_envs = self.eval(expr.arg, envs)
+        arg_by_base: dict[MonoEnv, set[Type]] = {}
+        for env in arg_envs:
+            base = env_drop(env, KAPPA)
+            value = env_get(env, KAPPA)
+            assert value is not None
+            arg_by_base.setdefault(base, set()).add(value)
+        out = set()
+        for env in fn_envs:
+            fn_type = env_get(env, KAPPA)
+            if not isinstance(fn_type, TFun):
+                continue
+            base = env_drop(env, KAPPA)
+            if fn_type.arg in arg_by_base.get(base, ()):
+                out.add(env_set(env, KAPPA, fn_type.res))
+        return frozenset(out)
+
+    def eval_let(self, expr: Let, envs: EnvSet) -> EnvSet:
+        name = expr.name
+        was_lambda = name in self.lambda_bound
+        self.lambda_bound.discard(name)
+        current = frozenset(
+            env_drop(env, name) + ((name, t),)
+            for env in envs
+            for t in self.universe
+        )
+        for _ in range(self.max_fixpoint_iterations):
+            bound_envs = self.eval(expr.bound, current)
+            updated = set()
+            for env in bound_envs:
+                value = env_get(env, KAPPA)
+                assert value is not None
+                updated.add(env_set(env_drop(env, KAPPA), name, value))
+            next_set = frozenset(updated) & current
+            if next_set == current:
+                break
+            current = next_set
+        else:
+            raise RuntimeError("monotype let fixpoint did not converge")
+        body_envs = self.eval(expr.body, current)
+        if was_lambda:
+            self.lambda_bound.add(name)
+        return frozenset(env_drop(env, name) for env in body_envs)
+
+    def eval_if(self, expr: If, envs: EnvSet) -> EnvSet:
+        cond_envs = self.eval(expr.cond, envs)
+        feasible = frozenset(
+            env_drop(env, KAPPA)
+            for env in cond_envs
+            if env_get(env, KAPPA) == INT
+        )
+        then_envs = self.eval(expr.then, feasible)
+        else_envs = self.eval(expr.orelse, feasible)
+        return then_envs & else_envs

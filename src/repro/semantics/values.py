@@ -1,0 +1,144 @@
+"""Runtime values U of the concrete semantics (Sect. 4.1).
+
+The universe contains integers, Booleans, lists, closures, builtins and
+records; the special error value Ω ("a run-time type error") is modelled by
+the :class:`Omega` exception hierarchy, with :class:`MissingFieldError` as
+the distinguished "access to a non-existent field" error that the paper's
+inference is designed to rule out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Union
+
+from ..lang.ast import Expr
+
+
+class Omega(Exception):
+    """The error value Ω: a dynamic type error."""
+
+
+class MissingFieldError(Omega):
+    """Selection (or symmetric-concat conflict) on a missing field."""
+
+    def __init__(self, label: str, message: str | None = None) -> None:
+        super().__init__(message or f"record has no field {label!r}")
+        self.label = label
+
+
+class NonTermination(Exception):
+    """Raised when the step budget of the interpreter is exhausted.
+
+    Not an Ω: the concrete semantics assigns no error to divergence; tests
+    treat it as "no observation".
+    """
+
+
+@dataclass(frozen=True)
+class VInt:
+    """An integer value."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VBool:
+    """A Boolean value."""
+
+    value: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class VList:
+    """A list value."""
+
+    items: tuple["Value", ...]
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(map(repr, self.items)) + "]"
+
+
+@dataclass(frozen=True)
+class VRecord:
+    """A record value: a finite map from labels to values."""
+
+    fields: Mapping[str, "Value"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", dict(self.fields))
+
+    def has(self, label: str) -> bool:
+        return label in self.fields
+
+    def get(self, label: str) -> "Value":
+        try:
+            return self.fields[label]
+        except KeyError:
+            raise MissingFieldError(label) from None
+
+    def set(self, label: str, value: "Value") -> "VRecord":
+        updated = dict(self.fields)
+        updated[label] = value
+        return VRecord(updated)
+
+    def without(self, label: str) -> "VRecord":
+        remaining = {k: v for k, v in self.fields.items() if k != label}
+        return VRecord(remaining)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k} = {v!r}" for k, v in sorted(self.fields.items()))
+        return "{" + inner + "}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VRecord) and dict(self.fields) == dict(
+            other.fields
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.fields.items(), key=lambda kv: kv[0])))
+
+
+@dataclass(frozen=True)
+class VClosure:
+    """A function value: λparam.body closed over ``env``."""
+
+    param: str
+    body: Expr
+    env: "Env"
+
+    def __repr__(self) -> str:
+        return f"<closure \\{self.param} -> ...>"
+
+    def __eq__(self, other: object) -> bool:  # closures compare by identity
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(frozen=True)
+class VBuiltin:
+    """A builtin function; ``fn`` maps a value to a value (may raise Ω)."""
+
+    name: str
+    fn: Callable[["Value"], "Value"]
+
+    def __repr__(self) -> str:
+        return f"<builtin {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+Value = Union[VInt, VBool, VList, VRecord, VClosure, VBuiltin]
+Env = Mapping[str, Value]

@@ -1,0 +1,312 @@
+"""The polytype lattice of Sect. 4.2: instance order, gci (meet), lca (join).
+
+* ``t1 ⊑P t2``  iff  ground(t1) ⊆ ground(t2)  iff  t1 matches t2 (t1 is a
+  substitution instance of t2) — implemented by one-way matching;
+* ``gci`` (greatest common instance) is unification after renaming apart;
+* ``lca`` (least common anti-instance) is Plotkin anti-unification,
+  extended to rows: records agreeing on some fields generalise to an open
+  record with the common fields.
+
+``canonical`` renumbers variables in first-occurrence order, giving a
+decidable α-equivalence used by the (LETREC) fixpoint test
+(⇓RP(tk) = ⇓RP(tk+1)).  ``enumerate_monotypes`` provides the bounded ground
+universes used by the completeness tests (Sect. 3/4 lemmas).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Optional
+
+from .subst import Subst
+from .terms import (
+    BOOL,
+    TCon,
+    Field,
+    INT,
+    Row,
+    TBool,
+    TFun,
+    TInt,
+    TList,
+    TRec,
+    TVar,
+    Type,
+    VarSupply,
+    is_monotype,
+)
+from .unify import UnifyError, mgu
+
+
+# ---------------------------------------------------------------------------
+# canonical renaming / alpha equivalence
+# ---------------------------------------------------------------------------
+def canonical(t: Type) -> Type:
+    """Renumber type and row variables in first-occurrence order."""
+    type_map: dict[int, int] = {}
+    row_map: dict[int, int] = {}
+
+    def go(t: Type) -> Type:
+        if isinstance(t, TVar):
+            new = type_map.setdefault(t.var, len(type_map))
+            return TVar(new, t.flag)
+        if isinstance(t, TList):
+            return TList(go(t.elem))
+        if isinstance(t, TFun):
+            arg = go(t.arg)
+            return TFun(arg, go(t.res))
+        if isinstance(t, TRec):
+            fields = tuple(Field(f.label, go(f.type), f.flag) for f in t.fields)
+            row = t.row
+            if row is not None:
+                row = Row(row_map.setdefault(row.var, len(row_map)), row.flag)
+            return TRec(fields, row)
+        return t
+
+    return go(t)
+
+
+def alpha_equivalent(t1: Type, t2: Type) -> bool:
+    """True if the terms are equal up to renaming of variables."""
+    return canonical(t1) == canonical(t2)
+
+
+# ---------------------------------------------------------------------------
+# instance order (matching)
+# ---------------------------------------------------------------------------
+def match(pattern: Type, target: Type) -> Optional[Subst]:
+    """One-way matching: a σ over the pattern's variables with σ(pattern) = target.
+
+    Returns None if no such substitution exists.  The target's variables are
+    treated as constants.
+    """
+    types: dict[int, Type] = {}
+    rows: dict[int, tuple[tuple[Field, ...], Optional[Row]]] = {}
+
+    def go(pattern: Type, target: Type) -> bool:
+        if isinstance(pattern, TVar):
+            bound = types.get(pattern.var)
+            if bound is None:
+                types[pattern.var] = target
+                return True
+            return bound == target
+        if isinstance(pattern, TInt):
+            return isinstance(target, TInt)
+        if isinstance(pattern, TCon):
+            return pattern == target
+        if isinstance(pattern, TBool):
+            return isinstance(target, TBool)
+        if isinstance(pattern, TList):
+            return isinstance(target, TList) and go(pattern.elem, target.elem)
+        if isinstance(pattern, TFun):
+            return (
+                isinstance(target, TFun)
+                and go(pattern.arg, target.arg)
+                and go(pattern.res, target.res)
+            )
+        if isinstance(pattern, TRec):
+            if not isinstance(target, TRec):
+                return False
+            target_fields = {f.label: f for f in target.fields}
+            for f in pattern.fields:
+                other = target_fields.pop(f.label, None)
+                if other is None or not go(f.type, other.type):
+                    return False
+            extra = tuple(sorted(target_fields.values(), key=lambda f: f.label))
+            if pattern.row is None:
+                return not extra and target.row is None
+            binding = (extra, target.row)
+            bound_row = rows.get(pattern.row.var)
+            if bound_row is None:
+                rows[pattern.row.var] = binding
+                return True
+            return bound_row == binding
+        raise TypeError(f"unknown type node {pattern!r}")
+
+    if go(pattern, target):
+        return Subst(types, rows)
+    return None
+
+
+def instance_of(t1: Type, t2: Type) -> bool:
+    """``t1 ⊑P t2``: t1 is a substitution instance of t2."""
+    return match(t2, t1) is not None
+
+
+def gci(t1: Type, t2: Type, supply: VarSupply) -> Optional[Type]:
+    """Greatest common instance: rename apart, unify; None if none exists.
+
+    Both inputs are renamed into disjoint fresh variables first, matching
+    the definition in Sect. 4.2.
+    """
+    renamed1 = _rename_apart(t1, supply)
+    renamed2 = _rename_apart(t2, supply)
+    try:
+        subst = mgu(renamed1, renamed2, supply)
+    except UnifyError:
+        return None
+    return subst.apply(renamed1)
+
+
+def _rename_apart(t: Type, supply: VarSupply) -> Type:
+    type_map: dict[int, int] = {}
+    row_map: dict[int, int] = {}
+
+    def go(t: Type) -> Type:
+        if isinstance(t, TVar):
+            if t.var not in type_map:
+                type_map[t.var] = supply.fresh_type_var()
+            return TVar(type_map[t.var], t.flag)
+        if isinstance(t, TList):
+            return TList(go(t.elem))
+        if isinstance(t, TFun):
+            return TFun(go(t.arg), go(t.res))
+        if isinstance(t, TRec):
+            fields = tuple(Field(f.label, go(f.type), f.flag) for f in t.fields)
+            row = t.row
+            if row is not None:
+                if row.var not in row_map:
+                    row_map[row.var] = supply.fresh_row_var()
+                row = Row(row_map[row.var], row.flag)
+            return TRec(fields, row)
+        return t
+
+    return go(t)
+
+
+# ---------------------------------------------------------------------------
+# anti-unification (lca)
+# ---------------------------------------------------------------------------
+class _AntiUnifier:
+    """Plotkin least general generalisation with a pair table."""
+
+    def __init__(self, supply: VarSupply) -> None:
+        self.supply = supply
+        self.pair_vars: dict[tuple[Type, Type], int] = {}
+        self.row_pair_vars: dict[tuple[object, object], int] = {}
+
+    def generalize(self, t1: Type, t2: Type) -> Type:
+        if t1 == t2:
+            return t1
+        if isinstance(t1, TList) and isinstance(t2, TList):
+            return TList(self.generalize(t1.elem, t2.elem))
+        if isinstance(t1, TFun) and isinstance(t2, TFun):
+            return TFun(
+                self.generalize(t1.arg, t2.arg),
+                self.generalize(t1.res, t2.res),
+            )
+        if isinstance(t1, TRec) and isinstance(t2, TRec):
+            return self.generalize_records(t1, t2)
+        key = (t1, t2)
+        if key not in self.pair_vars:
+            self.pair_vars[key] = self.supply.fresh_type_var()
+        return TVar(self.pair_vars[key])
+
+    def generalize_records(self, t1: TRec, t2: TRec) -> Type:
+        labels1 = {f.label: f for f in t1.fields}
+        labels2 = {f.label: f for f in t2.fields}
+        common = sorted(set(labels1) & set(labels2))
+        fields = tuple(
+            Field(
+                label,
+                self.generalize(labels1[label].type, labels2[label].type),
+            )
+            for label in common
+        )
+        same_shape = (
+            set(labels1) == set(labels2)
+            and t1.row is None
+            and t2.row is None
+        )
+        if same_shape:
+            return TRec(fields, None)
+        # The remainders (extra fields and tails) generalise to a row var,
+        # shared between identical remainder pairs.
+        rest1 = (
+            tuple(f for f in t1.fields if f.label not in common),
+            t1.row,
+        )
+        rest2 = (
+            tuple(f for f in t2.fields if f.label not in common),
+            t2.row,
+        )
+        key = (rest1, rest2)
+        if key not in self.row_pair_vars:
+            self.row_pair_vars[key] = self.supply.fresh_row_var()
+        return TRec(fields, Row(self.row_pair_vars[key]))
+
+
+def lca(t1: Type, t2: Type, supply: VarSupply) -> Type:
+    """Least common anti-instance of two types."""
+    return _AntiUnifier(supply).generalize(t1, t2)
+
+
+def lca_many(types: Iterable[Type], supply: VarSupply) -> Optional[Type]:
+    """lca of a set of types; None for the empty set (⊥)."""
+    result: Optional[Type] = None
+    anti = _AntiUnifier(supply)
+    for t in types:
+        result = t if result is None else anti.generalize(result, t)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# bounded ground universes (for the completeness tests)
+# ---------------------------------------------------------------------------
+def enumerate_monotypes(
+    depth: int,
+    labels: tuple[str, ...] = (),
+    include_lists: bool = False,
+    include_functions: bool = True,
+) -> list[Type]:
+    """All closed monotypes up to ``depth`` over the given field labels.
+
+    depth 0: Int, Bool.  depth n: functions/lists/records of depth n-1
+    components.  The universe grows very fast; keep depth ≤ 2 and at most
+    two labels in tests.
+    """
+    current: list[Type] = [INT, BOOL]
+    for _ in range(depth):
+        next_level = list(current)
+        if include_functions:
+            for arg in current:
+                for res in current:
+                    next_level.append(TFun(arg, res))
+        if include_lists:
+            for elem in current:
+                next_level.append(TList(elem))
+        for count in range(len(labels) + 1):
+            for subset in combinations(labels, count):
+                for assignment in _assignments(subset, current):
+                    next_level.append(TRec(assignment, None))
+        seen: set[Type] = set()
+        deduped = []
+        for t in next_level:
+            if t not in seen:
+                seen.add(t)
+                deduped.append(t)
+        current = deduped
+    return current
+
+
+def _assignments(
+    labels: tuple[str, ...], universe: list[Type]
+) -> Iterator[tuple[Field, ...]]:
+    if not labels:
+        yield ()
+        return
+    head, *tail = labels
+    for t in universe:
+        for rest in _assignments(tuple(tail), universe):
+            yield (Field(head, t),) + rest
+
+
+def ground_instances(
+    t: Type, universe: Iterable[Type]
+) -> list[Type]:
+    """The members of ``universe`` that are instances of ``t``.
+
+    This is ground(t) intersected with a bounded universe; used to compare
+    polytype results against monotype-semantics results in tests.
+    """
+    return [m for m in universe if is_monotype(m) and instance_of(m, t)]

@@ -1,0 +1,157 @@
+"""Projections between P and PR, and flag-sequence extraction (Def. 1).
+
+* ``strip``    — ⇓RP(·): erase all flags from a term (PR → P),
+* ``decorate`` — ⇑RP(·): give every flag position a fresh flag (P → PR),
+* ``flag_literals`` — the [·] function of Definition 1: the sequence of all
+  flags of a term as *literals*, where flags under a function-argument
+  position appear negated (contra-variance, Ex. 2/3).
+
+Two flagged terms with equal stripped structure always produce sequences of
+equal length in matching positional order, which is what the sequence
+(bi-)implications of the inference rules rely on.
+"""
+
+from __future__ import annotations
+
+from ..boolfn.flags import FlagSupply
+from .terms import Field, Row, TFun, TList, TRec, TVar, Type
+
+
+def strip(t: Type) -> Type:
+    """⇓RP(·): erase every flag of ``t``."""
+    if isinstance(t, TVar):
+        return t if t.flag is None else TVar(t.var)
+    if isinstance(t, TList):
+        return TList(strip(t.elem))
+    if isinstance(t, TFun):
+        return TFun(strip(t.arg), strip(t.res))
+    if isinstance(t, TRec):
+        fields = tuple(Field(f.label, strip(f.type)) for f in t.fields)
+        row = t.row
+        if row is not None and row.flag is not None:
+            row = Row(row.var)
+        return TRec(fields, row)
+    return t
+
+
+def strip_env(env: dict[str, Type]) -> dict[str, Type]:
+    """⇓RP lifted to environments."""
+    return {name: strip(t) for name, t in env.items()}
+
+
+def decorate(t: Type, flags: FlagSupply) -> Type:
+    """⇑RP(·): redecorate every flag position of ``t`` with a fresh flag."""
+    if isinstance(t, TVar):
+        return TVar(t.var, flags.fresh())
+    if isinstance(t, TList):
+        return TList(decorate(t.elem, flags))
+    if isinstance(t, TFun):
+        return TFun(decorate(t.arg, flags), decorate(t.res, flags))
+    if isinstance(t, TRec):
+        fields = tuple(
+            Field(f.label, decorate(f.type, flags), flags.fresh())
+            for f in t.fields
+        )
+        row = t.row
+        if row is not None:
+            row = Row(row.var, flags.fresh())
+        return TRec(fields, row)
+    return t
+
+
+def redecorate(t: Type, flags: FlagSupply) -> Type:
+    """⇑RP(⇓RP(·)): the fresh-flags copy used by the (VAR) rule."""
+    return decorate(strip(t), flags)
+
+
+def flag_literals(t: Type) -> tuple[int, ...]:
+    """[t] per Definition 1: all flags of ``t`` as sign-carrying literals.
+
+    The sign encodes variance: flags under an odd number of
+    function-argument positions are negative.  Record sequences list the
+    field flags (in sorted label order) followed by the row flag, then the
+    field types' sequences in the same order.
+
+    Raises ``ValueError`` if some flag position is undecorated — the
+    inference invariant is that every live type is fully flagged.
+    """
+    out: list[int] = []
+    _collect(t, out, positive=True)
+    return tuple(out)
+
+
+def _collect(t: Type, out: list[int], positive: bool) -> None:
+    sign = 1 if positive else -1
+    if isinstance(t, TVar):
+        if t.flag is None:
+            raise ValueError(f"undecorated type variable in {t!r}")
+        out.append(sign * t.flag)
+    elif isinstance(t, TList):
+        _collect(t.elem, out, positive)
+    elif isinstance(t, TFun):
+        _collect(t.arg, out, not positive)
+        _collect(t.res, out, positive)
+    elif isinstance(t, TRec):
+        for f in t.fields:
+            if f.flag is None:
+                raise ValueError(f"undecorated field {f.label!r} in {t!r}")
+            out.append(sign * f.flag)
+        if t.row is not None:
+            if t.row.flag is None:
+                raise ValueError(f"undecorated row in {t!r}")
+            out.append(sign * t.row.flag)
+        for f in t.fields:
+            _collect(f.type, out, positive)
+
+
+def env_flag_literals(env: dict[str, Type]) -> tuple[int, ...]:
+    """[ρ]_X: the concatenated flag sequences of an environment.
+
+    Entries are visited in sorted-name order so that two environments with
+    the same domain and equal stripped entries align positionally.
+    """
+    out: list[int] = []
+    for name in sorted(env):
+        _collect(env[name], out, positive=True)
+    return tuple(out)
+
+
+def occurrence_flags(t: Type, type_var: int | None = None,
+                     row_var: int | None = None) -> list[int]:
+    """Flags of each occurrence of a type or row variable, left to right.
+
+    Exactly one of ``type_var``/``row_var`` must be given.  This is the
+    ``flags(a, ρ)`` function of Fig. 4 for a single term; ``applyS`` calls
+    it on every live term.
+    """
+    if (type_var is None) == (row_var is None):
+        raise ValueError("specify exactly one of type_var / row_var")
+    out: list[int] = []
+    _occurrences(t, type_var, row_var, out)
+    return out
+
+
+def _occurrences(
+    t: Type, type_var: int | None, row_var: int | None, out: list[int]
+) -> None:
+    if isinstance(t, TVar):
+        if type_var is not None and t.var == type_var:
+            if t.flag is None:
+                raise ValueError(f"undecorated occurrence of variable in {t!r}")
+            out.append(t.flag)
+    elif isinstance(t, TList):
+        _occurrences(t.elem, type_var, row_var, out)
+    elif isinstance(t, TFun):
+        _occurrences(t.arg, type_var, row_var, out)
+        _occurrences(t.res, type_var, row_var, out)
+    elif isinstance(t, TRec):
+        if (
+            row_var is not None
+            and t.row is not None
+            and t.row.var == row_var
+        ):
+            if t.row.flag is None:
+                raise ValueError(f"undecorated row occurrence in {t!r}")
+            out.append(t.row.flag)
+        for f in t.fields:
+            _occurrences(f.type, type_var, row_var, out)

@@ -1,0 +1,112 @@
+"""Type schemes ∀ā. t for let-bound variables.
+
+Generalisation quantifies the type and row variables of the inferred type
+that do not occur in the environment ((LETREC) in Fig. 2/3).  Instantiation
+for plain polytypes renames the quantified variables to fresh ones; the flow
+inference additionally refreshes all flags of the body and expands the flow
+formula — that flagged instantiation lives in :mod:`repro.infer.flow`
+because it needs the inference state (flag supply and β).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .terms import (
+    Field,
+    Row,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    Type,
+    VarSupply,
+    row_vars,
+    type_vars,
+)
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """∀ quantified-vars . body — the body may carry flags (PR)."""
+
+    quantified_type_vars: frozenset[int]
+    quantified_row_vars: frozenset[int]
+    body: Type
+
+    def is_monomorphic(self) -> bool:
+        """True if nothing is quantified."""
+        return not self.quantified_type_vars and not self.quantified_row_vars
+
+    def __repr__(self) -> str:
+        from .terms import row_name, var_name
+
+        names = [var_name(v) for v in sorted(self.quantified_type_vars)]
+        names += [row_name(v) for v in sorted(self.quantified_row_vars)]
+        prefix = f"forall {' '.join(names)} . " if names else ""
+        return f"{prefix}{self.body!r}"
+
+
+def monomorphic(t: Type) -> Scheme:
+    """A scheme quantifying nothing (λ-bound variables)."""
+    return Scheme(frozenset(), frozenset(), t)
+
+
+def env_variables(env_types: list[Type]) -> tuple[set[int], set[int]]:
+    """All type and row variables of a list of types."""
+    tvs: set[int] = set()
+    rvs: set[int] = set()
+    for t in env_types:
+        tvs |= type_vars(t)
+        rvs |= row_vars(t)
+    return tvs, rvs
+
+
+def generalize(t: Type, env_types: list[Type]) -> Scheme:
+    """∀(vars(t) \\ vars(env)). t — the (LETREC) generalisation step."""
+    env_tvs, env_rvs = env_variables(env_types)
+    return Scheme(
+        frozenset(type_vars(t) - env_tvs),
+        frozenset(row_vars(t) - env_rvs),
+        t,
+    )
+
+
+def rename_variables(
+    t: Type,
+    type_map: dict[int, int],
+    row_map: dict[int, int],
+) -> Type:
+    """Rename variables per the two maps; unmapped variables stay put."""
+    if isinstance(t, TVar):
+        return TVar(type_map.get(t.var, t.var), t.flag)
+    if isinstance(t, TList):
+        return TList(rename_variables(t.elem, type_map, row_map))
+    if isinstance(t, TFun):
+        return TFun(
+            rename_variables(t.arg, type_map, row_map),
+            rename_variables(t.res, type_map, row_map),
+        )
+    if isinstance(t, TRec):
+        fields = tuple(
+            Field(f.label, rename_variables(f.type, type_map, row_map), f.flag)
+            for f in t.fields
+        )
+        row = t.row
+        if row is not None and row.var in row_map:
+            row = Row(row_map[row.var], row.flag)
+        return TRec(fields, row)
+    return t
+
+
+def instantiate(scheme: Scheme, supply: VarSupply) -> Type:
+    """Fresh renaming of the quantified variables (plain P instantiation).
+
+    Flags, if any, are left untouched — flagged instantiation (which must
+    also duplicate flow) is done by the flow engine.
+    """
+    type_map = {
+        v: supply.fresh_type_var() for v in scheme.quantified_type_vars
+    }
+    row_map = {v: supply.fresh_row_var() for v in scheme.quantified_row_vars}
+    return rename_variables(scheme.body, type_map, row_map)

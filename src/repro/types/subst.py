@@ -1,0 +1,91 @@
+"""Idempotent substitutions on plain (unflagged) type terms.
+
+A substitution σ maps type variables to polytypes and row variables to row
+extensions ``(extra fields, new tail)``.  Substitutions produced by
+:mod:`repro.types.unify` are fully resolved (idempotent): applying one twice
+equals applying it once.
+
+Substitutions deliberately operate on *stripped* terms only (σ ∈ V → P,
+Sect. 2.4); lifting a substitution to flagged terms — which requires
+duplicating flow information — is the job of ``applyS``
+(:mod:`repro.infer.applys`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from .terms import Field, Row, TFun, TList, TRec, TVar, Type
+
+RowBinding = tuple[tuple[Field, ...], Optional[Row]]
+
+
+@dataclass(frozen=True)
+class Subst:
+    """An idempotent substitution; empty maps denote the identity."""
+
+    types: dict[int, Type] = dataclass_field(default_factory=dict)
+    rows: dict[int, RowBinding] = dataclass_field(default_factory=dict)
+
+    def is_identity(self) -> bool:
+        """True if the substitution maps nothing."""
+        return not self.types and not self.rows
+
+    def domain_type_vars(self) -> set[int]:
+        """Type variables the substitution replaces."""
+        return set(self.types)
+
+    def domain_row_vars(self) -> set[int]:
+        """Row variables the substitution replaces."""
+        return set(self.rows)
+
+    def apply(self, t: Type) -> Type:
+        """Apply to a stripped type term.
+
+        Raises ``ValueError`` if ``t`` carries flags: flagged terms must go
+        through ``applyS`` so that flow information is duplicated.
+        """
+        if isinstance(t, TVar):
+            if t.flag is not None:
+                raise ValueError("Subst.apply on a flagged term; use applyS")
+            return self.types.get(t.var, t)
+        if isinstance(t, TList):
+            return TList(self.apply(t.elem))
+        if isinstance(t, TFun):
+            return TFun(self.apply(t.arg), self.apply(t.res))
+        if isinstance(t, TRec):
+            fields = []
+            for f in t.fields:
+                if f.flag is not None:
+                    raise ValueError("Subst.apply on a flagged term; use applyS")
+                fields.append(Field(f.label, self.apply(f.type)))
+            row = t.row
+            if row is not None:
+                if row.flag is not None:
+                    raise ValueError("Subst.apply on a flagged term; use applyS")
+                binding = self.rows.get(row.var)
+                if binding is not None:
+                    extra, tail = binding
+                    fields.extend(extra)
+                    row = tail
+            return TRec(tuple(fields), row)
+        return t
+
+    def apply_env(self, env: dict[str, Type]) -> dict[str, Type]:
+        """Apply pointwise to a type environment."""
+        return {name: self.apply(t) for name, t in env.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .terms import row_name, var_name
+
+        parts = [f"{var_name(v)}/{t!r}" for v, t in sorted(self.types.items())]
+        for v, (fields, tail) in sorted(self.rows.items()):
+            inner = ", ".join(repr(f) for f in fields)
+            if tail is not None:
+                inner = f"{inner}, {tail!r}" if inner else repr(tail)
+            parts.append(f"{row_name(v)}/{{{inner}}}")
+        return "[" + ", ".join(parts) + "]"
+
+
+IDENTITY = Subst()

@@ -1,0 +1,306 @@
+"""Type terms: monotypes M, polytypes P and flagged polytypes PR.
+
+One class hierarchy represents both P and PR (Sect. 2.1 / 2.3): every flag
+position (type-variable occurrence, record field, row variable) carries an
+``Optional[int]`` flag.  A term with all flags ``None`` is a plain polytype
+(the image of ``⇓RP``); ``decorate``/``strip`` in :mod:`repro.types.project`
+convert between the two.
+
+Grammar (t ∈ PR)::
+
+    t ::= a.fa | t1 -> t2 | Int | Bool | [t]
+        | {N1.f1 : t1, ..., Nn.fn : tn, r.fr}      -- open record (row var r)
+        | {N1.f1 : t1, ..., Nn.fn : tn}            -- closed record
+
+Closed records only arise as monotypes/ground types; the inference itself
+always manipulates open rows.  Type variables and row variables draw from
+disjoint integer namespaces managed by :class:`VarSupply`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+class Type:
+    """Base class of all type terms."""
+
+
+
+@dataclass(frozen=True, slots=True)
+class TInt(Type):
+    """The integer type ``Int``."""
+
+
+    def __repr__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True, slots=True)
+class TBool(Type):
+    """The Boolean type ``Bool`` (used by Sect. 4.4 example programs)."""
+
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True, slots=True)
+class TCon(Type):
+    """A nullary type constructor (e.g. String, or Pre/Abs in the Rémy
+    baseline encoding); distinct constructors never unify."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+INT = TInt()
+BOOL = TBool()
+
+
+@dataclass(frozen=True, slots=True)
+class TVar(Type):
+    """A type-variable occurrence ``a.fa``; ``flag`` is None in plain P."""
+
+    var: int
+    flag: Optional[int] = None
+
+
+    def __repr__(self) -> str:
+        suffix = f".f{self.flag}" if self.flag is not None else ""
+        return f"{var_name(self.var)}{suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class TList(Type):
+    """The list type ``[t]``."""
+
+    elem: Type
+
+
+    def __repr__(self) -> str:
+        return f"[{self.elem!r}]"
+
+
+@dataclass(frozen=True, slots=True)
+class TFun(Type):
+    """The function type ``t1 -> t2``."""
+
+    arg: Type
+    res: Type
+
+
+    def __repr__(self) -> str:
+        arg = f"({self.arg!r})" if isinstance(self.arg, TFun) else f"{self.arg!r}"
+        return f"{arg} -> {self.res!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One record field ``N.fN : t``; ``flag`` is None in plain P."""
+
+    label: str
+    type: Type
+    flag: Optional[int] = None
+
+
+    def __repr__(self) -> str:
+        suffix = f".f{self.flag}" if self.flag is not None else ""
+        return f"{self.label}{suffix} : {self.type!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    """An open record tail ``r.fr`` (a row variable with its flag)."""
+
+    var: int
+    flag: Optional[int] = None
+
+
+    def __repr__(self) -> str:
+        suffix = f".f{self.flag}" if self.flag is not None else ""
+        return f"{row_name(self.var)}{suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class TRec(Type):
+    """A record type; ``fields`` are kept sorted by label, ``row`` may be None.
+
+    ``row is None`` means the record is *closed* (exactly these fields) —
+    that only happens in ground/monotype positions.  All records built by
+    the inference are open.
+    """
+
+    fields: tuple[Field, ...]
+    row: Optional[Row] = None
+
+
+    def __post_init__(self) -> None:
+        labels = [f.label for f in self.fields]
+        if labels != sorted(labels):
+            object.__setattr__(
+                self, "fields", tuple(sorted(self.fields, key=lambda f: f.label))
+            )
+            labels.sort()
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate record labels: {labels}")
+
+    def field(self, label: str) -> Optional[Field]:
+        """The field named ``label``, or None."""
+        for f in self.fields:
+            if f.label == label:
+                return f
+        return None
+
+    def labels(self) -> tuple[str, ...]:
+        """The labels of the explicit fields, sorted."""
+        return tuple(f.label for f in self.fields)
+
+    def __repr__(self) -> str:
+        parts = [repr(f) for f in self.fields]
+        if self.row is not None:
+            parts.append(repr(self.row))
+        return "{" + ", ".join(parts) + "}"
+
+
+def rec(fields: dict[str, Type] | tuple[Field, ...], row: Optional[Row] = None) -> TRec:
+    """Convenience constructor for record types."""
+    if isinstance(fields, dict):
+        fields = tuple(Field(label, t) for label, t in fields.items())
+    return TRec(tuple(fields), row)
+
+
+def fun(*types: Type) -> Type:
+    """Right-associated function type: ``fun(a, b, c) == a -> (b -> c)``."""
+    if not types:
+        raise ValueError("fun() needs at least one type")
+    result = types[-1]
+    for t in reversed(types[:-1]):
+        result = TFun(t, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# variable supply and pretty names
+# ---------------------------------------------------------------------------
+class VarSupply:
+    """Issues fresh type-variable and row-variable identifiers."""
+
+
+    def __init__(self) -> None:
+        self._next_type = 0
+        self._next_row = 0
+
+    def fresh_type_var(self) -> int:
+        var = self._next_type
+        self._next_type += 1
+        return var
+
+    def fresh_row_var(self) -> int:
+        var = self._next_row
+        self._next_row += 1
+        return var
+
+
+def var_name(var: int) -> str:
+    """Human-readable name for a type variable: a, b, ..., z, a1, b1, ..."""
+    letter = chr(ord("a") + var % 26)
+    round_ = var // 26
+    return letter if round_ == 0 else f"{letter}{round_}"
+
+
+def row_name(var: int) -> str:
+    """Human-readable name for a row variable: r0, r1, ..."""
+    return f"r{var}"
+
+
+# ---------------------------------------------------------------------------
+# traversals
+# ---------------------------------------------------------------------------
+def type_vars(t: Type) -> set[int]:
+    """The type variables occurring in ``t``."""
+    out: set[int] = set()
+    _collect_vars(t, out, None)
+    return out
+
+
+def row_vars(t: Type) -> set[int]:
+    """The row variables occurring in ``t``."""
+    out: set[int] = set()
+    _collect_vars(t, None, out)
+    return out
+
+
+def _collect_vars(
+    t: Type, tvs: Optional[set[int]], rvs: Optional[set[int]]
+) -> None:
+    if isinstance(t, TVar):
+        if tvs is not None:
+            tvs.add(t.var)
+    elif isinstance(t, TList):
+        _collect_vars(t.elem, tvs, rvs)
+    elif isinstance(t, TFun):
+        _collect_vars(t.arg, tvs, rvs)
+        _collect_vars(t.res, tvs, rvs)
+    elif isinstance(t, TRec):
+        for f in t.fields:
+            _collect_vars(f.type, tvs, rvs)
+        if t.row is not None and rvs is not None:
+            rvs.add(t.row.var)
+
+
+def subterms(t: Type) -> Iterator[Type]:
+    """Yield ``t`` and all type subterms, pre-order."""
+    yield t
+    if isinstance(t, TList):
+        yield from subterms(t.elem)
+    elif isinstance(t, TFun):
+        yield from subterms(t.arg)
+        yield from subterms(t.res)
+    elif isinstance(t, TRec):
+        for f in t.fields:
+            yield from subterms(f.type)
+
+
+def all_flags(t: Type) -> list[int]:
+    """Every flag occurring in ``t``, in Def.-1 position order (unsigned)."""
+    out: list[int] = []
+    _collect_flags(t, out)
+    return out
+
+
+def _collect_flags(t: Type, out: list[int]) -> None:
+    if isinstance(t, TVar):
+        if t.flag is not None:
+            out.append(t.flag)
+    elif isinstance(t, TList):
+        _collect_flags(t.elem, out)
+    elif isinstance(t, TFun):
+        _collect_flags(t.arg, out)
+        _collect_flags(t.res, out)
+    elif isinstance(t, TRec):
+        for f in t.fields:
+            if f.flag is not None:
+                out.append(f.flag)
+        if t.row is not None and t.row.flag is not None:
+            out.append(t.row.flag)
+        for f in t.fields:
+            _collect_flags(f.type, out)
+
+
+def is_monotype(t: Type) -> bool:
+    """True if ``t`` contains no type or row variables and is closed."""
+    if isinstance(t, TVar):
+        return False
+    if isinstance(t, TList):
+        return is_monotype(t.elem)
+    if isinstance(t, TFun):
+        return is_monotype(t.arg) and is_monotype(t.res)
+    if isinstance(t, TRec):
+        if t.row is not None:
+            return False
+        return all(is_monotype(f.type) for f in t.fields)
+    return True

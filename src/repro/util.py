@@ -1,0 +1,44 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def run_deep(fn: Callable[[], T], stack_mb: int = 512,
+             recursion_limit: int = 1_000_000) -> T:
+    """Run ``fn`` in a thread with a large stack and recursion limit.
+
+    The inference engines recurse over the AST; the Fig. 9 decoder
+    workloads are deeply right-nested let-chains (thousands of bindings),
+    which overflows CPython's default stack.  The paper's SML
+    implementation has no such limit; this helper removes ours.
+    """
+    result: list[T] = []
+    error: list[BaseException] = []
+
+    def runner() -> None:
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(recursion_limit)
+        try:
+            result.append(fn())
+        except BaseException as exc:  # re-raised in the caller
+            error.append(exc)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    old_stack = threading.stack_size()
+    threading.stack_size(stack_mb * 1024 * 1024)
+    try:
+        thread = threading.Thread(target=runner)
+        thread.start()
+        thread.join()
+    finally:
+        threading.stack_size(old_stack)
+    if error:
+        raise error[0]
+    return result[0]

@@ -1,0 +1,156 @@
+"""Tests for the ROBDD backend, cross-checked against CNF semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import Cnf
+from repro.boolfn.bdd import Bdd
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = Bdd()
+        assert not bdd.is_satisfiable(Bdd.FALSE)
+        assert bdd.is_satisfiable(Bdd.TRUE)
+        assert bdd.is_tautology(Bdd.TRUE)
+
+    def test_variable_and_negation(self):
+        bdd = Bdd()
+        x = bdd.var(1)
+        assert bdd.negate(bdd.negate(x)) == x
+        assert bdd.conjoin(x, bdd.negate(x)) == Bdd.FALSE
+        assert bdd.disjoin(x, bdd.negate(x)) == Bdd.TRUE
+
+    def test_hash_consing_gives_canonical_forms(self):
+        bdd = Bdd()
+        x, y = bdd.var(1), bdd.var(2)
+        left = bdd.conjoin(x, y)
+        right = bdd.conjoin(y, x)
+        assert left == right  # commutativity is structural equality
+
+    def test_implication(self):
+        bdd = Bdd()
+        x, y = bdd.var(1), bdd.var(2)
+        imp = bdd.implies(x, y)
+        # x ∧ (x -> y) ∧ ¬y is unsatisfiable
+        contradiction = bdd.conjoin(
+            bdd.conjoin(x, imp), bdd.negate(y)
+        )
+        assert contradiction == Bdd.FALSE
+
+    def test_restrict(self):
+        bdd = Bdd()
+        x, y = bdd.var(1), bdd.var(2)
+        f = bdd.conjoin(x, y)
+        assert bdd.restrict(f, 1, True) == y
+        assert bdd.restrict(f, 1, False) == Bdd.FALSE
+
+    def test_literal(self):
+        bdd = Bdd()
+        assert bdd.literal(-1) == bdd.negate(bdd.var(1))
+        with pytest.raises(ValueError):
+            bdd.var(0)
+
+
+class TestQuantification:
+    def test_exists_removes_variable(self):
+        bdd = Bdd()
+        x, y = bdd.var(1), bdd.var(2)
+        f = bdd.conjoin(x, y)
+        projected = bdd.exists(f, {1})
+        assert projected == y
+        assert bdd.support(projected) == {2}
+
+    def test_exists_of_transitive_chain(self):
+        # (x -> y) ∧ (y -> z), ∃y  ==  x -> z
+        bdd = Bdd()
+        x, y, z = bdd.var(1), bdd.var(2), bdd.var(3)
+        chain = bdd.conjoin(bdd.implies(x, y), bdd.implies(y, z))
+        projected = bdd.exists(chain, {2})
+        assert projected == bdd.implies(x, z)
+
+    def test_exists_preserves_satisfiability(self):
+        bdd = Bdd()
+        f = bdd.conjoin(bdd.var(1), bdd.negate(bdd.var(1)))
+        assert bdd.exists(f, {1}) == Bdd.FALSE
+
+
+class TestCnfInterop:
+    def test_from_cnf_empty(self):
+        bdd = Bdd()
+        assert bdd.from_cnf(Cnf()) == Bdd.TRUE
+
+    def test_from_cnf_unsat(self):
+        bdd = Bdd()
+        assert bdd.from_cnf(Cnf([(1,), (-1,)])) == Bdd.FALSE
+
+    def test_model_counts_match_enumeration(self):
+        rng = random.Random(5)
+        for _ in range(60):
+            n = rng.randint(1, 6)
+            cnf = Cnf()
+            for _ in range(rng.randint(0, 10)):
+                width = rng.randint(1, 3)
+                cnf.add_clause(
+                    [
+                        rng.choice((1, -1)) * rng.randint(1, n)
+                        for _ in range(width)
+                    ]
+                )
+            bdd = Bdd()
+            node = bdd.from_cnf(cnf)
+            expected = len(cnf.models(over=range(1, n + 1)))
+            assert bdd.count_models(node, range(1, n + 1)) == expected
+
+    def test_any_model_satisfies(self):
+        cnf = Cnf([(1, 2), (-1, 3), (-2, -3)])
+        bdd = Bdd()
+        node = bdd.from_cnf(cnf)
+        model = bdd.any_model(node)
+        assert model is not None
+        full = {v: model.get(v, False) for v in (1, 2, 3)}
+        assert cnf.evaluate(full)
+
+    def test_projection_agrees_with_resolution(self):
+        # BDD ∃ vs CNF Davis-Putnam projection on random formulas.
+        from repro.boolfn import projected as cnf_projected
+
+        rng = random.Random(11)
+        for _ in range(40):
+            n = rng.randint(2, 5)
+            cnf = Cnf()
+            for _ in range(rng.randint(1, 8)):
+                cnf.add_clause(
+                    [
+                        rng.choice((1, -1)) * rng.randint(1, n)
+                        for _ in range(rng.randint(1, 3))
+                    ]
+                )
+            live = set(rng.sample(range(1, n + 1), rng.randint(0, n)))
+            dead = set(range(1, n + 1)) - live
+            bdd = Bdd()
+            via_bdd = bdd.exists(bdd.from_cnf(cnf), dead)
+            via_resolution = bdd.from_cnf(cnf_projected(cnf, live))
+            assert via_bdd == via_resolution
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        max_size=10,
+    )
+)
+def test_bdd_satisfiability_matches_cnf(clauses):
+    cnf = Cnf(clauses)
+    bdd = Bdd()
+    node = bdd.from_cnf(cnf)
+    assert bdd.is_satisfiable(node) == (len(cnf.models()) > 0)

@@ -1,0 +1,54 @@
+"""Tests for formula classification and solver dispatch (Sect. 5 classes)."""
+
+from repro.boolfn import Cnf, FormulaClass, classify, is_satisfiable, solve
+
+
+class TestClassify:
+    def test_empty_is_twosat(self):
+        assert classify(Cnf()) is FormulaClass.TWO_SAT
+
+    def test_core_rules_shape_is_twosat(self):
+        # Units and 2-variable implications: the {} / #N / @{N=e} fragment.
+        cnf = Cnf([(1,), (-2,), (-1, 2), (3, -4)])
+        assert classify(cnf) is FormulaClass.TWO_SAT
+
+    def test_multi_variable_horn(self):
+        cnf = Cnf([(-1, -2, 3), (-1, 2)])
+        assert classify(cnf) is FormulaClass.HORN
+
+    def test_concat_clause_is_dual_horn(self):
+        # f3 -> f1 \/ f2 — dual-Horn as written, Horn after inversion.
+        cnf = Cnf([(-3, 1, 2)])
+        assert classify(cnf) is FormulaClass.DUAL_HORN
+
+    def test_general_formula(self):
+        cnf = Cnf([(1, 2, 3), (-1, -2, -3)])
+        assert classify(cnf) is FormulaClass.GENERAL
+
+    def test_two_sat_takes_priority_over_horn(self):
+        cnf = Cnf([(-1, 2)])  # both 2-CNF and Horn
+        assert classify(cnf) is FormulaClass.TWO_SAT
+
+
+class TestDispatch:
+    def test_solve_dispatches_per_class(self):
+        for clauses, expected_sat in [
+            ([(1,), (-1, 2)], True),            # 2-sat
+            ([(-1, -2, 3), (1,), (2,), (-3,)], False),  # horn
+            ([(-3, 1, 2), (-1,), (-2,), (3,)], False),  # dual-horn
+            ([(1, 2, 3), (-1, -2), (-1, -3), (-2, -3), (-1, 2, 3)], True),
+        ]:
+            cnf = Cnf(clauses)
+            model = solve(cnf)
+            assert (model is not None) == expected_sat
+            if model is not None:
+                assert cnf.evaluate(model)
+
+    def test_is_satisfiable(self):
+        assert is_satisfiable(Cnf([(1, 2)]))
+        assert not is_satisfiable(Cnf([(1,), (-1,)]))
+
+    def test_known_unsat_short_circuits(self):
+        cnf = Cnf()
+        cnf.mark_unsat()
+        assert solve(cnf) is None

@@ -1,0 +1,164 @@
+"""Unit tests for the CNF container."""
+
+import pytest
+
+from repro.boolfn.cnf import Cnf, normalize_clause, substitute_literals
+
+
+class TestNormalizeClause:
+    def test_sorts_by_variable(self):
+        assert normalize_clause([3, -1, 2]) == (-1, 2, 3)
+
+    def test_removes_duplicates(self):
+        assert normalize_clause([1, 1, 2]) == (1, 2)
+
+    def test_tautology_is_none(self):
+        assert normalize_clause([1, -1]) is None
+        assert normalize_clause([2, 1, -2]) is None
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize_clause([0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_clause([])
+
+    def test_negative_sorts_before_positive_same_var(self):
+        assert normalize_clause([1, -1, 2]) is None
+        assert normalize_clause([-2, 2, 3]) is None
+
+
+class TestCnfConstruction:
+    def test_empty_formula_has_no_clauses(self):
+        cnf = Cnf()
+        assert len(cnf) == 0
+        assert list(cnf.clauses()) == []
+
+    def test_add_clause_deduplicates(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([2, 1])
+        assert len(cnf) == 1
+
+    def test_add_clause_drops_tautologies(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -1])
+        assert len(cnf) == 0
+
+    def test_add_implication(self):
+        cnf = Cnf()
+        cnf.add_implication(1, 2)
+        assert set(cnf.clauses()) == {(-1, 2)}
+
+    def test_add_iff(self):
+        cnf = Cnf()
+        cnf.add_iff(1, 2)
+        assert set(cnf.clauses()) == {(-1, 2), (1, -2)}
+
+    def test_sequence_implication_pairs_positionally(self):
+        cnf = Cnf()
+        cnf.add_sequence_implication((1, 2), (3, 4))
+        assert set(cnf.clauses()) == {(-1, 3), (-2, 4)}
+
+    def test_sequence_implication_with_negative_literals(self):
+        # Contravariant positions: (¬a) -> (¬b) is b -> a.
+        cnf = Cnf()
+        cnf.add_sequence_implication((-1,), (-2,))
+        assert set(cnf.clauses()) == {(1, -2)}
+
+    def test_sequence_length_mismatch_raises(self):
+        cnf = Cnf()
+        with pytest.raises(ValueError):
+            cnf.add_sequence_implication((1,), (2, 3))
+
+    def test_conjoin(self):
+        a = Cnf([(1, 2)])
+        b = Cnf([(-1, 3)])
+        a.conjoin(b)
+        assert set(a.clauses()) == {(1, 2), (-1, 3)}
+
+    def test_conjoin_propagates_unsat(self):
+        a = Cnf()
+        b = Cnf()
+        b.mark_unsat()
+        a.conjoin(b)
+        assert a.known_unsat
+
+
+class TestCnfInspection:
+    def test_variables(self):
+        cnf = Cnf([(1, -2), (3,)])
+        assert cnf.variables() == {1, 2, 3}
+
+    def test_clauses_mentioning(self):
+        cnf = Cnf([(1, 2), (3, 4), (-1, 3)])
+        assert set(cnf.clauses_mentioning([1])) == {(1, 2), (-1, 3)}
+        assert cnf.clauses_mentioning([9]) == []
+
+    def test_copy_is_independent(self):
+        cnf = Cnf([(1, 2)])
+        clone = cnf.copy()
+        clone.add_clause([3])
+        assert len(cnf) == 1
+        assert len(clone) == 2
+
+    def test_remove_clauses_mentioning(self):
+        cnf = Cnf([(1, 2), (3, 4)])
+        removed = cnf.remove_clauses_mentioning([1])
+        assert removed == [(1, 2)]
+        assert set(cnf.clauses()) == {(3, 4)}
+
+    def test_compact_after_removal(self):
+        cnf = Cnf([(1, 2), (3, 4), (5, 6)])
+        cnf.remove_clauses_mentioning([1, 3])
+        cnf.compact()
+        assert set(cnf.clauses()) == {(5, 6)}
+        assert cnf.variables() == {5, 6}
+
+    def test_compact_non_forced_keeps_small_tombstones(self):
+        cnf = Cnf([(1, 2), (3, 4), (5, 6), (7, 8)])
+        cnf.remove_clauses_mentioning([1])
+        cnf.compact(force=False)  # 1 tombstone out of 4: no rebuild needed
+        assert set(cnf.clauses()) == {(3, 4), (5, 6), (7, 8)}
+
+
+class TestEvaluation:
+    def test_evaluate_true(self):
+        cnf = Cnf([(1, 2), (-1, 2)])
+        assert cnf.evaluate({1: False, 2: True})
+
+    def test_evaluate_false(self):
+        cnf = Cnf([(1,), (-1,)])
+        assert not cnf.evaluate({1: True})
+        assert not cnf.evaluate({1: False})
+
+    def test_missing_variables_default_false(self):
+        cnf = Cnf([(-1, 2)])
+        assert cnf.evaluate({})  # 1 false satisfies -1
+
+    def test_models_enumeration(self):
+        cnf = Cnf([(1, 2)])
+        models = cnf.models()
+        assert frozenset({1}) in models
+        assert frozenset({2}) in models
+        assert frozenset() not in models
+
+    def test_models_of_unsat(self):
+        cnf = Cnf()
+        cnf.mark_unsat()
+        assert cnf.models() == []
+
+
+class TestSubstituteLiterals:
+    def test_positive_to_positive(self):
+        assert substitute_literals((1, 2), {1: 3}) == (2, 3)
+
+    def test_positive_to_negative(self):
+        assert substitute_literals((-1, 2), {1: -3}) == (2, 3)
+
+    def test_tautology_result(self):
+        assert substitute_literals((1, 2), {1: -2}) is None
+
+    def test_untouched_variables_stay(self):
+        assert substitute_literals((-5, 7), {1: 2}) == (-5, 7)

@@ -1,0 +1,90 @@
+"""Tests for expansion (Definition 2), including the worked Ex. 3."""
+
+import pytest
+
+from repro.boolfn import Cnf, expand, expand_many
+
+
+class TestExpand:
+    def test_definition_2_duplicates_touching_clauses(self):
+        # β = c1 ∧ c2 with c1 mentioning f1; expand_{f1,f1'} adds σ(c1).
+        beta = Cnf([(-1, 2), (3, 4)])
+        expand(beta, [1], [5])
+        assert set(beta.clauses()) == {(-1, 2), (3, 4), (2, -5)}
+
+    def test_parallel_renaming(self):
+        beta = Cnf([(-1, 2)])  # f1 -> f2
+        expand(beta, [1, 2], [3, 4])
+        assert set(beta.clauses()) == {(-1, 2), (-3, 4)}
+
+    def test_example_3_contravariant_flip(self):
+        # βid = fo -> fi (fi=1, fo=2).  Substituting a by b -> b gives two
+        # copies with columns ⟨¬f1, f2⟩ = ⟨-3, 4⟩ and ⟨¬f3, f4⟩ = ⟨-5, 6⟩:
+        # the result must contain f1 -> f3 and f4 -> f2 (Ex. 3).
+        beta = Cnf()
+        beta.add_implication(2, 1)  # fo -> fi
+        expand(beta, [1, 2], [-3, -5])  # column of the argument positions
+        expand(beta, [1, 2], [4, 6])  # column of the result positions
+        clauses = set(beta.clauses())
+        assert (-3, 5) in clauses  # f1 -> f3
+        assert (4, -6) in clauses  # f4 -> f2
+
+    def test_expand_many_runs_all_columns(self):
+        beta = Cnf([(-1, 2)])
+        expand_many(beta, [1, 2], [[3, 4], [5, 6]])
+        assert set(beta.clauses()) == {(-1, 2), (-3, 4), (-5, 6)}
+
+    def test_untouched_clauses_not_duplicated(self):
+        beta = Cnf([(7, 8)])
+        expand(beta, [1], [2])
+        assert set(beta.clauses()) == {(7, 8)}
+
+    def test_expansion_keeps_originals(self):
+        beta = Cnf([(1,)])
+        expand(beta, [1], [2])
+        assert set(beta.clauses()) == {(1,), (2,)}
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            expand(Cnf(), [1, 2], [3])
+
+    def test_duplicate_old_flags_raise(self):
+        with pytest.raises(ValueError):
+            expand(Cnf(), [1, 1], [2, 3])
+
+    def test_non_positive_old_flags_raise(self):
+        with pytest.raises(ValueError):
+            expand(Cnf(), [-1], [2])
+
+    def test_stale_flag_capture_the_sect6_bug(self):
+        # β = (fa -> fb) ∧ (fc <-> fa) with fc stale.  Expanding fa,fb to
+        # fa',fb' also copies the fc clauses, so fc transitively links fa
+        # and fa' — the bug described in Sect. 6.  Expansion is *defined*
+        # to do this; the inference must GC fc first.
+        beta = Cnf()
+        beta.add_implication(1, 2)  # fa -> fb
+        beta.add_iff(3, 1)  # fc <-> fa   (fc = 3 is stale)
+        expand(beta, [1, 2], [4, 5])
+        clauses = set(beta.clauses())
+        assert (-3, 4) in clauses and (3, -4) in clauses  # fc <-> fa'
+        # fa and fa' are now equated through fc: with fa true and fa'
+        # false the formula is unsatisfiable.
+        beta.add_unit(1)
+        beta.add_unit(-4)
+        from repro.boolfn import solve_2sat
+
+        assert solve_2sat(beta) is None
+
+    def test_clean_expansion_keeps_copies_independent(self):
+        # Same as above but with fc projected away first: fa' is then
+        # independent of fa.
+        from repro.boolfn import eliminate_variable, solve_2sat
+
+        beta = Cnf()
+        beta.add_implication(1, 2)
+        beta.add_iff(3, 1)
+        eliminate_variable(beta, 3)
+        expand(beta, [1, 2], [4, 5])
+        beta.add_unit(1)
+        beta.add_unit(-4)
+        assert solve_2sat(beta) is not None

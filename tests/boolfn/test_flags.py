@@ -1,0 +1,31 @@
+"""Tests for the flag supply."""
+
+from repro.boolfn import FlagSupply
+
+
+class TestFlagSupply:
+    def test_flags_are_positive_and_unique(self):
+        supply = FlagSupply()
+        flags = supply.fresh_many(100)
+        assert all(f > 0 for f in flags)
+        assert len(set(flags)) == 100
+
+    def test_issued_count(self):
+        supply = FlagSupply()
+        assert supply.issued == 0
+        supply.fresh()
+        supply.fresh_many(4)
+        assert supply.issued == 5
+
+    def test_names(self):
+        supply = FlagSupply()
+        named = supply.fresh("select:foo")
+        anonymous = supply.fresh()
+        assert supply.name_of(named) == "select:foo"
+        assert supply.name_of(anonymous) == f"f{anonymous}"
+
+    def test_set_name(self):
+        supply = FlagSupply()
+        flag = supply.fresh()
+        supply.set_name(flag, "renamed")
+        assert supply.name_of(flag) == "renamed"

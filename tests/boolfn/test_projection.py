@@ -1,0 +1,96 @@
+"""Tests for existential projection (closure under ∃, Sect. 1.1/5)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import Cnf, eliminate_variable, project_onto, projected
+
+
+class TestEliminateVariable:
+    def test_transitive_implication_survives(self):
+        # a -> b -> c; eliminating b keeps a -> c.
+        cnf = Cnf([(-1, 2), (-2, 3)])
+        eliminate_variable(cnf, 2)
+        assert set(cnf.clauses()) == {(-1, 3)}
+
+    def test_pure_positive_variable_just_disappears(self):
+        cnf = Cnf([(1, 2)])
+        eliminate_variable(cnf, 1)
+        assert list(cnf.clauses()) == []
+
+    def test_contradictory_units_derive_empty_clause(self):
+        cnf = Cnf([(1,), (-1,)])
+        eliminate_variable(cnf, 1)
+        assert cnf.known_unsat
+
+    def test_unit_resolution(self):
+        cnf = Cnf([(1,), (-1, 2)])
+        eliminate_variable(cnf, 1)
+        assert set(cnf.clauses()) == {(2,)}
+
+    def test_tautological_resolvents_dropped(self):
+        # (a \/ b) and (¬a \/ ¬b): resolving on a gives (b \/ ¬b) = ⊤.
+        cnf = Cnf([(1, 2), (-1, -2)])
+        eliminate_variable(cnf, 1)
+        assert list(cnf.clauses()) == []
+
+
+class TestProjectOnto:
+    def test_projection_keeps_live_relationships(self):
+        cnf = Cnf([(-1, 2), (-2, 3), (-3, 4)])
+        project_onto(cnf, {1, 4})
+        assert set(cnf.clauses()) == {(-1, 4)}
+
+    def test_projection_semantics_equals_model_projection(self):
+        rng = random.Random(21)
+        for _ in range(120):
+            cnf = Cnf()
+            n = rng.randint(2, 6)
+            for _ in range(rng.randint(1, 10)):
+                k = rng.randint(1, 3)
+                cnf.add_clause(
+                    [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(k)]
+                )
+            live = set(rng.sample(range(1, n + 1), rng.randint(0, n)))
+            proj = projected(cnf, live)
+            vocabulary = sorted(live)
+            got = {frozenset(m & live) for m in proj.models(over=vocabulary)}
+            want = {
+                frozenset(m & live)
+                for m in cnf.models(over=range(1, n + 1))
+            }
+            assert got == want
+
+    def test_projection_of_twocnf_stays_twocnf(self):
+        cnf = Cnf([(-1, 2), (-2, 3), (3, 4), (-4, 1)])
+        project_onto(cnf, {1, 3})
+        assert all(len(c) <= 2 for c in cnf.clauses())
+
+    def test_unsat_survives_projection(self):
+        cnf = Cnf([(1,), (-1, 2), (-2,)])
+        project_onto(cnf, set())
+        assert cnf.known_unsat
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=0,
+        max_size=10,
+    ),
+    st.sets(st.integers(min_value=1, max_value=5)),
+)
+def test_projection_preserves_satisfiability(clauses, live):
+    cnf = Cnf(clauses)
+    before = len(cnf.models(over=range(1, 6))) > 0
+    project_onto(cnf, live)
+    after = (not cnf.known_unsat) and len(cnf.models(over=range(1, 6))) > 0
+    assert before == after

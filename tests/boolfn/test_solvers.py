@@ -1,0 +1,225 @@
+"""Solver tests: 2-SAT, Horn, dual-Horn, DPLL, CDCL — unit + differential."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import (
+    Cnf,
+    NotHornError,
+    NotTwoCnfError,
+    is_horn_clause,
+    solve_2sat,
+    solve_cdcl,
+    solve_dpll,
+    solve_dual_horn,
+    solve_horn,
+)
+from repro.boolfn.cdcl import luby
+
+
+def brute_force_sat(cnf: Cnf) -> bool:
+    return len(cnf.models()) > 0
+
+
+# ---------------------------------------------------------------------------
+# 2-SAT
+# ---------------------------------------------------------------------------
+class TestTwoSat:
+    def test_empty_formula_sat(self):
+        assert solve_2sat(Cnf()) == {}
+
+    def test_single_unit(self):
+        model = solve_2sat(Cnf([(1,)]))
+        assert model == {1: True}
+
+    def test_contradictory_units(self):
+        assert solve_2sat(Cnf([(1,), (-1,)])) is None
+
+    def test_implication_chain_sat(self):
+        cnf = Cnf([(-1, 2), (-2, 3), (1,)])
+        model = solve_2sat(cnf)
+        assert model is not None and model[1] and model[2] and model[3]
+
+    def test_implication_cycle_with_negation_unsat(self):
+        # a -> b, b -> ¬a, ¬a -> a  makes a equivalent to ¬a.
+        cnf = Cnf([(-1, 2), (-2, -1), (1, 1)])
+        assert solve_2sat(cnf) is None
+
+    def test_known_unsat_short_circuit(self):
+        cnf = Cnf()
+        cnf.mark_unsat()
+        assert solve_2sat(cnf) is None
+
+    def test_rejects_wide_clause(self):
+        with pytest.raises(NotTwoCnfError):
+            solve_2sat(Cnf([(1, 2, 3)]))
+
+    def test_model_satisfies_formula(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            cnf = Cnf()
+            n = rng.randint(1, 8)
+            for _ in range(rng.randint(1, 14)):
+                k = rng.randint(1, 2)
+                cnf.add_clause(
+                    [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(k)]
+                )
+            model = solve_2sat(cnf)
+            if model is not None:
+                assert cnf.evaluate(model)
+            assert (model is not None) == brute_force_sat(cnf)
+
+
+# ---------------------------------------------------------------------------
+# Horn
+# ---------------------------------------------------------------------------
+class TestHorn:
+    def test_is_horn_clause(self):
+        assert is_horn_clause((1,))
+        assert is_horn_clause((-1, -2, 3))
+        assert is_horn_clause((-1, -2))
+        assert not is_horn_clause((1, 2))
+
+    def test_facts_propagate(self):
+        # a, a -> b, b & a -> c.
+        cnf = Cnf([(1,), (-1, 2), (-1, -2, 3)])
+        model = solve_horn(cnf)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_least_model_minimality(self):
+        cnf = Cnf([(-1, 2)])  # no facts: everything stays false
+        model = solve_horn(cnf)
+        assert model == {1: False, 2: False}
+
+    def test_goal_clause_violation(self):
+        cnf = Cnf([(1,), (2,), (-1, -2)])
+        assert solve_horn(cnf) is None
+
+    def test_rejects_non_horn(self):
+        with pytest.raises(NotHornError):
+            solve_horn(Cnf([(1, 2)]))
+
+    def test_differential_vs_brute_force(self):
+        rng = random.Random(13)
+        for _ in range(150):
+            cnf = Cnf()
+            n = rng.randint(1, 7)
+            for _ in range(rng.randint(1, 12)):
+                k = rng.randint(1, 4)
+                lits = [-rng.randint(1, n) for _ in range(k)]
+                if rng.random() < 0.7:
+                    lits[0] = abs(lits[0])
+                cnf.add_clause(lits)
+            assert (solve_horn(cnf) is not None) == brute_force_sat(cnf)
+
+
+class TestDualHorn:
+    def test_concat_shaped_clause(self):
+        # f3 -> f1 \/ f2 (the asymmetric concatenation constraint) with
+        # both inputs absent forces the output absent.
+        cnf = Cnf([(-3, 1, 2), (-1,), (-2,), (3,)])
+        assert solve_dual_horn(cnf) is None
+
+    def test_satisfiable_concat(self):
+        cnf = Cnf([(-3, 1, 2), (-1,), (3,)])
+        model = solve_dual_horn(cnf)
+        assert model is not None
+        assert cnf.evaluate(model)
+
+    def test_differential(self):
+        rng = random.Random(3)
+        for _ in range(150):
+            cnf = Cnf()
+            n = rng.randint(1, 7)
+            for _ in range(rng.randint(1, 12)):
+                k = rng.randint(1, 4)
+                lits = [rng.randint(1, n) for _ in range(k)]
+                if rng.random() < 0.7:
+                    lits[0] = -lits[0]
+                cnf.add_clause(lits)
+            assert (solve_dual_horn(cnf) is not None) == brute_force_sat(cnf)
+
+
+# ---------------------------------------------------------------------------
+# DPLL / CDCL
+# ---------------------------------------------------------------------------
+class TestGeneralSolvers:
+    def test_luby_sequence(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: x1 (p1 in hole), x2 (p2 in hole),
+        # both must be placed, not both in the hole.
+        cnf = Cnf([(1,), (2,), (-1, -2)])
+        assert solve_dpll(cnf) is None
+        assert solve_cdcl(cnf) is None
+
+    def test_xor_chain_sat(self):
+        # (a xor b) as CNF.
+        cnf = Cnf([(1, 2), (-1, -2)])
+        for solver in (solve_dpll, solve_cdcl):
+            model = solver(cnf)
+            assert model is not None
+            assert model[1] != model[2]
+
+    def test_cdcl_on_larger_random_instances(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            cnf = Cnf()
+            n = rng.randint(5, 12)
+            for _ in range(rng.randint(5, 40)):
+                k = rng.randint(1, 3)
+                cnf.add_clause(
+                    [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(k)]
+                )
+            dpll = solve_dpll(cnf)
+            cdcl = solve_cdcl(cnf)
+            assert (dpll is None) == (cdcl is None)
+            if cdcl is not None:
+                assert cnf.evaluate(cdcl)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=0,
+        max_size=15,
+    )
+)
+def test_cdcl_agrees_with_brute_force(clauses):
+    cnf = Cnf(clauses)
+    expected = brute_force_sat(cnf)
+    model = solve_cdcl(cnf)
+    assert (model is not None) == expected
+    if model is not None:
+        assert cnf.evaluate(model)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=2,
+        ),
+        min_size=0,
+        max_size=15,
+    )
+)
+def test_twosat_agrees_with_dpll(clauses):
+    cnf = Cnf(clauses)
+    assert (solve_2sat(cnf) is None) == (solve_dpll(cnf) is None)

@@ -1,0 +1,164 @@
+"""Direct tests of applyS (Fig. 4): rewriting + expansion + projection."""
+
+from repro.infer.applys import apply_subst
+from repro.infer.env import Mono, TypeEnv
+from repro.infer.state import FlowState
+from repro.types import (
+    Field,
+    INT,
+    Row,
+    Subst,
+    TFun,
+    TRec,
+    TVar,
+    all_flags,
+    strip,
+    type_vars,
+)
+
+
+def make_state():
+    return FlowState()
+
+
+class TestTypeVarRewriting:
+    def test_occurrence_replaced_by_decorated_copy(self):
+        state = make_state()
+        a = state.vars.fresh_type_var()
+        flagged = TVar(a, state.fresh_flag())
+        slot = state.push(flagged)
+        apply_subst(state, Subst({a: INT}, {}))
+        assert slot.value == INT
+
+    def test_each_occurrence_gets_fresh_flags(self):
+        state = make_state()
+        a = state.vars.fresh_type_var()
+        b = state.vars.fresh_type_var()
+        t = TFun(
+            TVar(a, state.fresh_flag()), TVar(a, state.fresh_flag())
+        )
+        slot = state.push(t)
+        apply_subst(state, Subst({a: TVar(b)}, {}))
+        rewritten = slot.value
+        assert type_vars(rewritten) == {b}
+        flags = all_flags(rewritten)
+        assert len(set(flags)) == 2  # distinct per occurrence
+
+    def test_flow_duplicated_per_occurrence(self):
+        # βid = f_out -> f_in over var a; substituting a by Int should
+        # eliminate the flags entirely (Int has no flag positions).
+        state = make_state()
+        a = state.vars.fresh_type_var()
+        f_in = state.fresh_flag()
+        f_out = state.fresh_flag()
+        state.add_implication(f_out, f_in)
+        slot = state.push(TFun(TVar(a, f_in), TVar(a, f_out)))
+        apply_subst(state, Subst({a: INT}, {}))
+        assert slot.value == TFun(INT, INT)
+        # the old flags were projected out
+        assert state.beta.variables() == set()
+
+    def test_example_3_contravariant_duplication(self):
+        # id : a.fi -> a.fo, flow fo -> fi; substitute a by b -> b.
+        state = make_state()
+        a = state.vars.fresh_type_var()
+        b = state.vars.fresh_type_var()
+        f_in = state.fresh_flag()
+        f_out = state.fresh_flag()
+        state.add_implication(f_out, f_in)
+        slot = state.push(TFun(TVar(a, f_in), TVar(a, f_out)))
+        apply_subst(state, Subst({a: TFun(TVar(b), TVar(b))}, {}))
+        rewritten = slot.value
+        assert strip(rewritten) == TFun(
+            TFun(TVar(b), TVar(b)), TFun(TVar(b), TVar(b))
+        )
+        # Ex. 3: β' = f4 -> f2 ∧ f1 -> f3 (argument copy flows forward,
+        # result copy backward).
+        f1 = rewritten.arg.arg.flag
+        f2 = rewritten.arg.res.flag
+        f3 = rewritten.res.arg.flag
+        f4 = rewritten.res.res.flag
+        clauses = set(state.beta.clauses())
+        assert tuple(sorted((-f4, f2), key=lambda l: (abs(l), l))) in clauses
+        assert tuple(sorted((-f1, f3), key=lambda l: (abs(l), l))) in clauses
+
+
+class TestRowRewriting:
+    def test_row_extension_distributes_absence(self):
+        # {} : {r.f} with ¬f; extending r with a field X must produce ¬ on
+        # the new field flag and the new tail flag.
+        state = make_state()
+        r = state.vars.fresh_row_var()
+        r2 = state.vars.fresh_row_var()
+        flag = state.fresh_flag()
+        state.add_unit(-flag)
+        slot = state.push(TRec((), Row(r, flag)))
+        extension = ((Field("x", INT),), Row(r2))
+        apply_subst(state, Subst({}, {r: extension}))
+        rewritten = slot.value
+        assert rewritten.labels() == ("x",)
+        new_field_flag = rewritten.fields[0].flag
+        new_row_flag = rewritten.row.flag
+        clauses = set(state.beta.clauses())
+        assert (-new_field_flag,) in clauses
+        assert (-new_row_flag,) in clauses
+
+    def test_row_closing(self):
+        state = make_state()
+        r = state.vars.fresh_row_var()
+        flag = state.fresh_flag()
+        slot = state.push(TRec((), Row(r, flag)))
+        apply_subst(state, Subst({}, {r: ((Field("x", INT),), None)}))
+        rewritten = slot.value
+        assert rewritten.row is None
+        assert rewritten.labels() == ("x",)
+
+
+class TestEnvRewriting:
+    def test_untouched_entries_shared(self):
+        state = make_state()
+        a = state.vars.fresh_type_var()
+        b = state.vars.fresh_type_var()
+        env = TypeEnv()
+        env = env.bind("x", Mono.of(TVar(a, state.fresh_flag())))
+        env = env.bind("y", Mono.of(TVar(b, state.fresh_flag())))
+        slot = state.push(env)
+        before_y = env.lookup("y")
+        apply_subst(state, Subst({a: INT}, {}))
+        after = slot.value
+        assert isinstance(after.lookup("x"), Mono)
+        assert after.lookup("x").type == INT
+        assert after.lookup("y") is before_y  # version-cache skip
+
+    def test_cache_disabled_still_correct(self):
+        from repro.infer.state import FlowOptions
+
+        state = FlowState(FlowOptions(env_var_cache=False))
+        a = state.vars.fresh_type_var()
+        env = TypeEnv().bind("x", Mono.of(TVar(a, state.fresh_flag())))
+        slot = state.push(env)
+        apply_subst(state, Subst({a: INT}, {}))
+        assert slot.value.lookup("x").type == INT
+        assert state.stats.env_rewrites_skipped == 0
+
+    def test_identity_substitution_is_noop(self):
+        state = make_state()
+        env = TypeEnv()
+        slot = state.push(env)
+        apply_subst(state, Subst({}, {}))
+        assert slot.value is env
+        assert state.stats.applys_calls == 0
+
+
+class TestSharedFlagsAcrossRoots:
+    def test_cond_style_snapshot_sharing(self):
+        # The same flagged type registered in two roots (COND snapshots):
+        # substitution must not crash and must produce per-root copies.
+        state = make_state()
+        a = state.vars.fresh_type_var()
+        t = TVar(a, state.fresh_flag())
+        slot1 = state.push(t)
+        slot2 = state.push(t)
+        apply_subst(state, Subst({a: TRec((), Row(0))}, {}))
+        assert strip(slot1.value) == strip(slot2.value)
+        assert all_flags(slot1.value) != all_flags(slot2.value)

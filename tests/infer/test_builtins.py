@@ -1,0 +1,74 @@
+"""Tests for builtin constants and their flow conventions."""
+
+import pytest
+
+from repro.infer import InferenceError, infer_flow
+from repro.lang import parse
+from repro.types import BOOL, INT, TList, strip
+
+
+def accepts(source):
+    try:
+        infer_flow(parse(source))
+        return True
+    except InferenceError:
+        return False
+
+
+class TestArithmeticAndLogic:
+    def test_types(self):
+        assert strip(infer_flow(parse("plus 1 2")).type) == INT
+        assert strip(infer_flow(parse("minus 5 3")).type) == INT
+        assert strip(infer_flow(parse("times 2 3")).type) == INT
+        assert strip(infer_flow(parse("eq 1 1")).type) == INT
+        assert strip(infer_flow(parse("lt 1 2")).type) == INT
+        assert strip(infer_flow(parse("and true false")).type) == BOOL
+        assert strip(infer_flow(parse("or true false")).type) == BOOL
+        assert strip(infer_flow(parse("not true")).type) == BOOL
+        assert strip(infer_flow(parse("positive 3")).type) == BOOL
+
+    def test_eq_result_usable_as_condition(self):
+        assert accepts("if eq 1 2 then 3 else 4")
+
+    def test_type_errors(self):
+        assert not accepts("plus true 1")
+        assert not accepts("and 1 2")
+        assert not accepts("not 0")
+
+
+class TestListBuiltins:
+    def test_null_on_lists(self):
+        assert accepts("if null [1] then 2 else 3")
+        assert not accepts("null 5")
+
+    def test_head_tail_cons(self):
+        assert strip(infer_flow(parse("head [1, 2]")).type) == INT
+        assert strip(infer_flow(parse("tail [1, 2]")).type) == TList(INT)
+        assert strip(infer_flow(parse("cons 0 [1]")).type) == TList(INT)
+
+    def test_head_preserves_record_fields(self):
+        # Flow through the list element: head's output flag implies its
+        # input flag, so fields of list elements stay accessible.
+        assert accepts("#foo (head [{foo = 1}])")
+        assert not accepts("#foo (head [{bar = 1}])")
+
+    def test_cons_joins_element_flows(self):
+        # A field is accessible from the consed list only if it is in the
+        # head and in the tail elements.
+        assert accepts("#a (head (cons ({a = 1}) [{a = 2}]))")
+        assert not accepts("#a (head (cons ({b = 1}) [{a = 2}]))")
+        assert not accepts("#a (head (cons ({a = 1}) [{b = 2}]))")
+
+    def test_tail_preserves_fields(self):
+        assert accepts("#a (head (tail [{a = 1}, {a = 2}]))")
+
+
+class TestNondeterministicConditions:
+    def test_some_condition_is_int(self):
+        assert accepts("if some_condition then 1 else 2")
+        assert accepts("if coin then 1 else 2")
+
+    def test_builtins_are_shadowable(self):
+        assert strip(
+            infer_flow(parse("let plus = \\x -> x in plus true")).type
+        ) == BOOL

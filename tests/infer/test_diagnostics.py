@@ -1,0 +1,42 @@
+"""Tests for the error diagnostics (implication-graph explanations)."""
+
+import pytest
+
+from repro.infer import FlowUnsatisfiable, infer_flow
+from repro.lang import parse
+
+
+def error_for(source, options=None):
+    with pytest.raises(FlowUnsatisfiable) as excinfo:
+        infer_flow(parse(source), options)
+    return excinfo.value
+
+
+class TestExplanations:
+    def test_select_on_empty_names_the_field(self):
+        error = error_for("#foo {}")
+        assert "foo" in str(error)
+
+    def test_wrong_field_after_update(self):
+        error = error_for("#bar (@{foo = 1} {})")
+        assert "bar" in str(error)
+
+    def test_field_name_survives_lambda(self):
+        error = error_for("(\\s -> #speed s) {}")
+        assert "speed" in str(error)
+
+    def test_span_information_present(self):
+        error = error_for("#foo {}")
+        assert error.span is not None
+
+    def test_distinct_fields_distinct_messages(self):
+        e1 = str(error_for("#alpha {}"))
+        e2 = str(error_for("#beta {}"))
+        assert "alpha" in e1 and "beta" in e2
+
+    def test_message_is_stable_for_deep_programs(self):
+        # After instantiation copies the message should still mention a
+        # field name (name inheritance through copies).
+        source = "let f = \\s -> plus (#count s) 1 in f {}"
+        error = error_for(source)
+        assert "may be accessed" in str(error) or "count" in str(error)

@@ -1,0 +1,75 @@
+"""Unit tests for the diagnostics plumbing (paths, names, fallbacks)."""
+
+from repro.boolfn import Cnf
+from repro.infer.diagnostics import (
+    _find_conflict_variable,
+    _shortest_path,
+    explain_unsat,
+)
+from repro.infer.state import FlowState
+
+
+class TestConflictDetection:
+    def test_no_conflict_in_satisfiable_formula(self):
+        assert _find_conflict_variable(Cnf([(-1, 2), (1,)])) is None
+
+    def test_unit_contradiction(self):
+        assert _find_conflict_variable(Cnf([(1,), (-1,)])) == 1
+
+    def test_chain_contradiction(self):
+        # f1 asserted, f1 -> f2, ¬f2 asserted.
+        cnf = Cnf([(1,), (-1, 2), (-2,)])
+        assert _find_conflict_variable(cnf) is not None
+
+
+class TestShortestPath:
+    def test_direct_edge(self):
+        graph = {1: [2], 2: [], -1: [], -2: []}
+        assert _shortest_path(graph, 1, 2) == [1, 2]
+
+    def test_unreachable(self):
+        graph = {1: [], 2: [], -1: [], -2: []}
+        assert _shortest_path(graph, 1, 2) is None
+
+    def test_source_is_target(self):
+        assert _shortest_path({1: []}, 1, 1) == [1]
+
+
+class TestExplainUnsat:
+    def _state_with(self, clauses, names=()):
+        state = FlowState()
+        for _ in range(8):
+            state.fresh_flag()
+        for flag, name in names:
+            state.flags.set_name(flag, name)
+        for clause in clauses:
+            state.beta.add_clause(clause)
+        return state
+
+    def test_known_unsat_message(self):
+        state = self._state_with([])
+        state.beta.mark_unsat()
+        assert "empty clause" in explain_unsat(state)
+
+    def test_named_select_appears_in_message(self):
+        state = self._state_with(
+            [(1,), (-1, 2), (-2,)],
+            names=[(1, "select:speed@3:4"), (2, "empty-record@1:1")],
+        )
+        message = explain_unsat(state)
+        assert message is not None
+        assert "speed" in message
+
+    def test_satisfiable_formula_has_no_explanation(self):
+        state = self._state_with([(1,), (-1, 2)])
+        assert explain_unsat(state) is None
+
+    def test_general_fallback_identifies_relaxable_select(self):
+        # A non-2-CNF formula whose unsat core includes a named select unit.
+        state = self._state_with(
+            [(9,), (-9, 1, 2), (-1,), (-2,)],
+            names=[(9, "select:mode@2:2")],
+        )
+        message = explain_unsat(state)
+        assert message is not None
+        assert "mode" in message

@@ -1,0 +1,119 @@
+"""Tests for the environment and engine-state plumbing."""
+
+import pytest
+
+from repro.infer.env import Mono, Poly, TypeEnv
+from repro.infer.state import FlowOptions, FlowState
+from repro.types import Field, INT, Row, Scheme, TFun, TRec, TVar
+
+
+def mono(var, flag):
+    return Mono.of(TVar(var, flag))
+
+
+class TestTypeEnv:
+    def test_bind_lookup_unbind(self):
+        env = TypeEnv()
+        env2 = env.bind("x", mono(0, 1))
+        assert env2.lookup("x") is not None
+        assert env.lookup("x") is None  # persistence
+        env3 = env2.unbind("x")
+        assert env3.lookup("x") is None
+
+    def test_flag_cache_incremental(self):
+        env = TypeEnv().bind("x", mono(0, 1)).bind("y", mono(1, 2))
+        assert env.flags == frozenset({1, 2})
+        env2 = env.bind("x", mono(0, 3))  # rebinding replaces flags
+        assert env2.flags == frozenset({2, 3})
+        env3 = env2.unbind("y")
+        assert env3.flags == frozenset({3})
+
+    def test_free_variable_caches(self):
+        entry = Mono.of(TFun(TVar(0, 1), TVar(1, 2)))
+        assert entry.free_type_vars == frozenset({0, 1})
+        scheme = Scheme(frozenset({0}), frozenset(), TFun(TVar(0, 1), TVar(1, 2)))
+        poly = Poly.of(scheme)
+        assert poly.free_type_vars == frozenset({1})  # 0 is quantified
+        assert poly.flags == frozenset({1, 2})  # but its flags are live
+
+    def test_row_var_caches(self):
+        entry = Mono.of(TRec((Field("a", INT, 1),), Row(7, 2)))
+        assert entry.free_row_vars == frozenset({7})
+
+    def test_domain_operations(self):
+        env = TypeEnv().bind("a", mono(0, 1)).bind("b", mono(1, 2))
+        assert set(env.names()) == {"a", "b"}
+        assert "a" in env and "c" not in env
+        assert len(env) == 2
+
+
+class TestFlowState:
+    def test_push_pop(self):
+        state = FlowState()
+        slot = state.push(INT)
+        assert state.pop(slot) == INT
+
+    def test_pop_by_identity_out_of_order(self):
+        state = FlowState()
+        slot1 = state.push(INT)
+        slot2 = state.push(INT)
+        assert state.pop(slot1) == INT  # pinned-slot removal
+        assert state.pop(slot2) == INT
+
+    def test_pop_unknown_slot_raises(self):
+        state = FlowState()
+        slot = state.push(INT)
+        state.pop(slot)
+        with pytest.raises(RuntimeError):
+            state.pop(slot)
+
+    def test_track_fields_off_suppresses_clauses(self):
+        state = FlowState(FlowOptions(track_fields=False))
+        state.add_unit(1)
+        state.add_iff(1, 2)
+        assert len(state.beta) == 0
+
+    def test_guards_wrap_clauses(self):
+        state = FlowState()
+        with state.guarded(9):
+            state.add_unit(1)
+        assert set(state.beta.clauses()) == {(1, -9)}
+        with state.guarded(-9):
+            state.add_implication(1, 2)
+        assert (-1, 2, 9) in set(state.beta.clauses())
+
+    def test_guard_stack_discipline(self):
+        state = FlowState()
+        guard = state.guarded(5)
+        guard.__enter__()
+        state.guards.append(6)
+        with pytest.raises(RuntimeError):
+            guard.__exit__(None, None, None)
+
+    def test_live_flags_covers_everything(self):
+        state = FlowState()
+        env = TypeEnv().bind("x", mono(0, 1))
+        state.push(env)
+        state.push(TVar(1, 2))
+        state.guards.append(3)
+        from repro.infer.conditional import CondConstraint
+
+        state.conditional_constraints.append(
+            CondConstraint(4, TVar(2, 5), TVar(3, 6))
+        )
+        assert state.live_flags() == {1, 2, 3, 4, 5, 6}
+
+    def test_peak_formula_class_tracking(self):
+        def peak_of(*clauses):
+            state = FlowState()
+            for clause in clauses:
+                state.add_clause(clause)
+            return state.stats.peak_formula_class
+
+        assert peak_of((-1, 2), (3,)) == "2-sat"
+        assert peak_of((-1, -2, 3), (-1, 2)) == "horn"
+        assert peak_of((-1, 2, 3)) == "dual-horn"
+        assert peak_of((1, 2, -3, -4)) == "general"
+        # wide Horn clauses are simultaneously non-2sat and non-dual-horn,
+        # so the reported peak is the cheapest class that still fits
+        assert peak_of((-1, -2, 3), (-1, 2, 3)) == "general"

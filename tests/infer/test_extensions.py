@@ -1,0 +1,129 @@
+"""Tests for the Sect. 5 extensions: removal, renaming, @, @@, when."""
+
+import pytest
+
+from repro.infer import FlowOptions, FlowUnsatisfiable, InferenceError, infer_flow
+from repro.lang import parse
+from repro.types import INT, TRec, strip
+
+
+def accepts(source, options=None):
+    try:
+        infer_flow(parse(source), options)
+        return True
+    except InferenceError:
+        return False
+
+
+class TestRemoval:
+    def test_removed_field_unreadable(self):
+        assert not accepts("#foo (~foo ({foo = 1}))")
+
+    def test_other_fields_survive(self):
+        assert accepts("#bar (~foo ({foo = 1, bar = 2}))")
+
+    def test_readd_after_removal_with_new_type(self):
+        # Removal forgets the type: re-adding at a different type is fine —
+        # the very scenario of Sect. 6 (removing a monadic field to avoid
+        # an occurs check).
+        assert accepts("#foo (@{foo = true} (~foo ({foo = 1})))")
+
+    def test_removal_stays_two_sat(self):
+        result = infer_flow(parse("#bar (~foo ({foo = 1, bar = 2}))"))
+        assert result.stats.peak_formula_class == "2-sat"
+
+
+class TestRenaming:
+    def test_moves_content_and_type(self):
+        assert strip(
+            infer_flow(parse("#b (@[a -> b] ({a = 5}))")).type
+        ) == INT
+
+    def test_old_name_gone(self):
+        assert not accepts("#a (@[a -> b] ({a = 5}))")
+
+    def test_source_must_be_present(self):
+        assert not accepts("@[a -> b] {}")
+
+    def test_renaming_to_itself_rejected(self):
+        with pytest.raises(InferenceError):
+            infer_flow(parse("@[a -> a] ({a = 1})"))
+
+    def test_renaming_stays_two_sat(self):
+        result = infer_flow(parse("#b (@[a -> b] ({a = 5}))"))
+        assert result.stats.peak_formula_class == "2-sat"
+
+
+class TestAsymmetricConcat:
+    def test_fields_from_both_sides(self):
+        assert accepts("#a ({a = 1} @ {b = 2})")
+        assert accepts("#b ({a = 1} @ {b = 2})")
+
+    def test_missing_field_rejected(self):
+        assert not accepts("#c ({a = 1} @ {b = 2})")
+
+    def test_concat_of_empties(self):
+        assert accepts("{} @ {}")
+        assert not accepts("#a ({} @ {})")
+
+    def test_leaves_two_sat_but_stays_linear(self):
+        result = infer_flow(parse("#a ({a = 1} @ {b = 2})"))
+        assert result.stats.peak_formula_class == "dual-horn"
+
+    def test_chained_concat(self):
+        assert accepts("#c ({a = 1} @ {b = 2} @ {c = 3})")
+
+
+class TestSymmetricConcat:
+    def test_paper_mode_conjoins_exclusion_only(self):
+        # Under the may-style flags of Fig. 3 the ¬(f1 ∧ f2) constraint is
+        # satisfiable for unaccessed literal fields (see DESIGN.md).
+        assert accepts("{a = 1} @@ {a = 2}")
+
+    def test_strict_mode_rejects_definite_overlap(self):
+        strict = FlowOptions(symcat_must=True)
+        assert not accepts("{a = 1} @@ {a = 2}", strict)
+        assert accepts("{a = 1} @@ {b = 2}", strict)
+
+    def test_strict_mode_accepts_provably_empty_side(self):
+        strict = FlowOptions(symcat_must=True)
+        assert accepts("{} @@ {a = 1}", strict)
+
+    def test_strict_mode_rejects_possible_overlap(self):
+        strict = FlowOptions(symcat_must=True)
+        assert not accepts("(\\x -> x @@ x) ({a = 1})", strict)
+
+
+class TestWhen:
+    def test_guarded_select_is_safe(self):
+        assert accepts("(\\s -> when foo in s then #foo s else 0) {}")
+
+    def test_unguarded_branch_still_checked(self):
+        assert not accepts(
+            "(\\s -> when foo in s then #foo s else #foo s) {}"
+        )
+
+    def test_else_branch_can_add_the_field(self):
+        source = (
+            "(\\s -> when foo in s then s else @{foo = 0} s) {}"
+        )
+        assert accepts(source)
+
+    def test_when_requires_record_scrutinee(self):
+        assert not accepts("(\\x -> when foo in x then 1 else 2) 5")
+
+    def test_when_with_real_branch_clauses_is_general(self):
+        source = (
+            "\\s -> when foo in s then #foo s else #bar (@{bar = 1} s)"
+        )
+        result = infer_flow(parse(source))
+        assert result.stats.peak_formula_class in ("general", "dual-horn")
+
+    def test_when_conditional_mode_allows_type_change(self):
+        options = FlowOptions(when_conditional=True)
+        # then-branch returns the field content, else branch a record:
+        # under the second Fig. 8 rule the branch types are related by
+        # conditional constraints instead of being unified.
+        source = "\\s -> when foo in s then plus (#foo s) 1 else {}"
+        assert accepts(source, options)
+        assert not accepts(source)  # the first rule unifies Int with {} and fails

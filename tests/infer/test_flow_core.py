@@ -1,0 +1,232 @@
+"""Core flow-inference tests: the Fig. 3 rules on the record-free fragment
+plus the basic record operations."""
+
+import pytest
+
+from repro.infer import (
+    FixpointDivergence,
+    FlowOptions,
+    FlowUnsatisfiable,
+    InferenceError,
+    UnboundVariable,
+    UnificationFailure,
+    infer_flow,
+)
+from repro.lang import parse
+from repro.types import (
+    BOOL,
+    INT,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    alpha_equivalent,
+    strip,
+)
+
+
+def infer_type(source, options=None):
+    return strip(infer_flow(parse(source), options).type)
+
+
+def accepts(source, options=None):
+    try:
+        infer_flow(parse(source), options)
+        return True
+    except InferenceError:
+        return False
+
+
+class TestBaseRules:
+    def test_integer(self):
+        assert infer_type("42") == INT
+
+    def test_boolean(self):
+        assert infer_type("true") == BOOL
+
+    def test_identity(self):
+        t = infer_type("\\x -> x")
+        assert alpha_equivalent(t, TFun(TVar(0), TVar(0)))
+
+    def test_application(self):
+        assert infer_type("(\\x -> x) 5") == INT
+
+    def test_application_type_error(self):
+        with pytest.raises(UnificationFailure):
+            infer_flow(parse("1 2"))
+
+    def test_unbound_variable(self):
+        with pytest.raises(UnboundVariable):
+            infer_flow(parse("zzz"))
+
+    def test_shadowing(self):
+        assert infer_type("\\x -> (\\x -> x) 1") == TFun(TVar(0), INT) or (
+            alpha_equivalent(infer_type("\\x -> (\\x -> x) 1"),
+                             TFun(TVar(0), INT))
+        )
+
+    def test_conditional_requires_int(self):
+        assert accepts("if 1 then 2 else 3")
+        assert not accepts("if true then 2 else 3")
+
+    def test_conditional_joins_branches(self):
+        assert infer_type("if some_condition then 1 else 2") == INT
+        assert not accepts("if some_condition then 1 else true")
+
+    def test_lists(self):
+        assert infer_type("[1, 2, 3]") == TList(INT)
+        assert not accepts("[1, true]")
+        t = infer_type("[]")
+        assert isinstance(t, TList)
+
+    def test_builtins(self):
+        assert infer_type("plus 1 2") == INT
+        assert infer_type("and true false") == BOOL
+        assert infer_type("head [1]") == INT
+
+
+class TestLetPolymorphism:
+    def test_polymorphic_identity(self):
+        assert infer_type("let id = \\x -> x in id 5") == INT
+
+    def test_self_application_of_let_bound_id(self):
+        # Needs two instantiations: id id 5 (Ex. 2's type-term side).
+        assert infer_type("let id = \\x -> x in id id 5") == INT
+
+    def test_instantiations_are_independent(self):
+        source = "let id = \\x -> x in (\\u -> id true) (id 1)"
+        assert infer_type(source) == BOOL
+
+    def test_lambda_bound_is_monomorphic(self):
+        # Sect. 4.4: a λ-bound function used at two different types.
+        assert not accepts("(\\f -> (\\u -> f true) (f 1)) (\\x -> x)")
+
+    def test_simple_recursion(self):
+        source = "let f = \\n -> if n then f 0 else 1 in f 5"
+        assert infer_type(source) == INT
+
+    def test_polymorphic_recursion_accepted(self):
+        # depth uses itself at [[a]] — Mycroft yes, Damas-Milner no.
+        source = (
+            "let depth = \\xs -> if null xs then 0 "
+            "else plus 1 (depth [xs]) in depth [1]"
+        )
+        assert infer_type(source) == INT
+
+    def test_paper_pathological_recursion_converges_from_top(self):
+        # The paper notes that f x = f 1 x yields infinite types under a
+        # bottom-up iteration; the Fig. 2/3 iteration starts from the most
+        # general scheme ∀a.a and *converges* — to ∀a b. a -> b, a sound
+        # type for a function that never returns.
+        t = infer_type("let f = \\x -> f 1 x in f")
+        assert alpha_equivalent(t, TFun(TVar(0), TVar(1)))
+
+    def test_fixpoint_iteration_cap_enforced(self):
+        # Any recursive definition needs at least two iterations; a cap of
+        # one must trip the divergence guard.
+        with pytest.raises(FixpointDivergence):
+            infer_flow(
+                parse("let f = \\n -> if n then f 0 else 1 in f 5"),
+                FlowOptions(letrec_max_iterations=1),
+            )
+
+    def test_mutual_shadowing_restores_outer(self):
+        source = "let x = 1 in (let x = true in x)"
+        assert infer_type(source) == BOOL
+        source = "let x = 1 in ((\\u -> x) (let x = true in x))"
+        assert infer_type(source) == INT
+
+
+class TestRecordRules:
+    def test_empty_record_type(self):
+        t = infer_type("{}")
+        assert isinstance(t, TRec)
+        assert t.fields == ()
+        assert t.row is not None
+
+    def test_select_after_update(self):
+        assert infer_type("#foo (@{foo = 42} {})") == INT
+
+    def test_select_on_empty_rejected(self):
+        with pytest.raises(FlowUnsatisfiable):
+            infer_flow(parse("#foo {}"))
+
+    def test_wrong_field_rejected(self):
+        with pytest.raises(FlowUnsatisfiable):
+            infer_flow(parse("#bar (@{foo = 42} {})"))
+
+    def test_update_overwrites_type(self):
+        # The field type is replaced, not unified with the old content.
+        assert infer_type("#a (@{a = true} ({a = 1}))") == BOOL
+
+    def test_requirement_propagates_through_lambda(self):
+        assert accepts("(\\s -> #foo s) ({foo = 1})")
+        assert not accepts("(\\s -> #foo s) {}")
+
+    def test_requirement_propagates_through_let(self):
+        assert not accepts("let f = \\s -> #foo s in f {}")
+        assert accepts("let f = \\s -> #foo s in f {foo = 1}")
+
+    def test_field_preserved_through_identity(self):
+        assert accepts("#foo ((\\x -> x) ({foo = 1}))")
+        assert not accepts("#foo ((\\x -> x) {})")
+
+    def test_field_preserved_through_polymorphic_identity(self):
+        assert accepts("let id = \\x -> x in #foo (id (id ({foo = 2})))")
+        assert not accepts("let id = \\x -> x in #foo (id (id {}))")
+
+    def test_base_fields_survive_decorating_function(self):
+        # A function adding x must not lose the base field a.
+        assert accepts("#a ((\\s -> @{x = 1} s) (@{a = 0} {}))")
+        assert not accepts("#b ((\\s -> @{x = 1} s) (@{a = 0} {}))")
+
+    def test_join_requires_field_on_both_branches(self):
+        assert accepts(
+            "#a (if some_condition then {a = 1, b = 2} else {a = 3})"
+        )
+        assert not accepts(
+            "#b (if some_condition then {a = 1, b = 2} else {a = 3})"
+        )
+
+    def test_record_branches_unify_rows(self):
+        t = infer_type("if some_condition then {a = 1} else {b = 2}")
+        assert isinstance(t, TRec)
+        assert set(t.labels()) == {"a", "b"}
+
+    def test_polymorphic_record_function_reusable(self):
+        source = (
+            "let get = \\s -> #foo s in "
+            "plus (get ({foo = 1})) (get ({foo = 2, bar = 3}))"
+        )
+        assert infer_type(source) == INT
+
+    def test_field_types_are_polymorphic_per_instance(self):
+        source = (
+            "let get = \\s -> #foo s in "
+            "(\\u -> get ({foo = true})) (get ({foo = 1}))"
+        )
+        assert infer_type(source) == BOOL
+
+
+class TestOptionsAndStats:
+    def test_track_fields_off_accepts_bad_programs(self):
+        options = FlowOptions(track_fields=False)
+        assert accepts("#foo {}", options)
+
+    def test_track_fields_off_still_catches_term_errors(self):
+        options = FlowOptions(track_fields=False)
+        assert not accepts("if {} then 1 else 2", options)
+
+    def test_stats_populated(self):
+        result = infer_flow(parse("let id = \\x -> x in id (id 5)"))
+        stats = result.stats
+        assert stats.flags_allocated > 0
+        assert stats.letrec_iterations >= 1
+
+    def test_formula_class_of_core_fragment(self):
+        result = infer_flow(parse("#foo (@{foo = 42} {})"))
+        assert result.stats.peak_formula_class == "2-sat"
+
+    def test_model_available_on_success(self):
+        result = infer_flow(parse("#foo (@{foo = 42} {})"))
+        assert result.model is not None

@@ -1,0 +1,136 @@
+"""Tests for the plain engines: Milner-Mycroft (Fig. 2) and Damas-Milner."""
+
+import pytest
+
+from repro.infer import InferenceError, infer_damas_milner, infer_mycroft
+from repro.infer.hm import PlainInference, is_syntactic_value
+from repro.lang import parse
+from repro.types import BOOL, INT, TFun, TList, TVar, alpha_equivalent
+
+
+def accepts(fn, source):
+    try:
+        fn(parse(source))
+        return True
+    except InferenceError:
+        return False
+
+
+POLYREC = (
+    "let depth = \\xs -> if null xs then 0 "
+    "else plus 1 (depth [xs]) in depth [1]"
+)
+
+
+class TestMycroft:
+    def test_basics(self):
+        assert infer_mycroft(parse("42")).type == INT
+        assert alpha_equivalent(
+            infer_mycroft(parse("\\x -> x")).type, TFun(TVar(0), TVar(0))
+        )
+
+    def test_let_polymorphism(self):
+        assert infer_mycroft(parse("let id = \\x -> x in id id 5")).type == INT
+
+    def test_polymorphic_recursion_accepted(self):
+        # The defining property of Milner-Mycroft (the optimality argument
+        # of Sect. 2.2: annotations cannot increase typeability).
+        assert infer_mycroft(parse(POLYREC)).type == INT
+
+    def test_iteration_count_recorded(self):
+        result = infer_mycroft(parse(POLYREC))
+        assert result.letrec_iterations >= 2
+
+    def test_records_are_structural_only(self):
+        # No field tracking: selecting from {} is fine for the plain engine
+        # (this is exactly the Fig. 9 "w/o fields" behaviour).
+        assert accepts(infer_mycroft, "#foo {}")
+
+    def test_row_errors_still_caught(self):
+        assert not accepts(infer_mycroft, "if {} then 1 else 2")
+        assert not accepts(infer_mycroft, "plus {} 1")
+
+    def test_concat_supported_structurally(self):
+        assert accepts(infer_mycroft, "#a ({a = 1} @ {b = 2})")
+
+
+class TestDamasMilner:
+    def test_agrees_with_mycroft_on_simple_programs(self):
+        for source in [
+            "42",
+            "let id = \\x -> x in id id 5",
+            "\\x -> plus x 1",
+            "let f = \\n -> if n then f 0 else 1 in f 5",
+        ]:
+            t1 = infer_mycroft(parse(source)).type
+            t2 = infer_damas_milner(parse(source)).type
+            assert alpha_equivalent(t1, t2)
+
+    def test_rejects_polymorphic_recursion(self):
+        # The non-optimality of Damas-Milner: the same program typechecks
+        # under Mycroft (or with an annotation) but W rejects it.
+        assert not accepts(infer_damas_milner, POLYREC)
+        assert accepts(infer_mycroft, POLYREC)
+
+
+class TestValueRestriction:
+    def test_is_syntactic_value(self):
+        assert is_syntactic_value(parse("\\x -> x"))
+        assert is_syntactic_value(parse("{}"))
+        assert is_syntactic_value(parse("#foo"))
+        assert is_syntactic_value(parse("[1, 2]"))
+        assert not is_syntactic_value(parse("f x"))
+        assert not is_syntactic_value(parse("if 1 then 2 else 3"))
+        assert not is_syntactic_value(parse("let x = 1 in x"))
+
+    def test_value_restriction_blocks_generalizing_applications(self):
+        engine = PlainInference(value_restriction=True)
+        # id 0 is expansive: y is monomorphic, so using it at two types
+        # fails.  (In the pure calculus this is over-conservative — which
+        # is why the paper's engines do not use the restriction.)
+        program = parse(
+            "let f = \\z -> z in "
+            "let y = f (\\x -> x) in (\\u -> y true) (y 1)"
+        )
+        with pytest.raises(InferenceError):
+            engine.infer_program(program)
+
+    def test_without_restriction_the_same_program_types(self):
+        engine = PlainInference(value_restriction=False)
+        program = parse(
+            "let f = \\z -> z in "
+            "let y = f (\\x -> x) in (\\u -> y true) (y 1)"
+        )
+        assert engine.infer_program(program).type == BOOL
+
+
+class TestPlainRecordOps:
+    def test_structural_remove_and_rename(self):
+        assert accepts(infer_mycroft, "#b (~a ({a = 1, b = 2}))")
+        assert accepts(infer_mycroft, "#b (@[a -> b] ({a = 1}))")
+        # No presence tracking: even reading the removed field types.
+        assert accepts(infer_mycroft, "#a (~a ({a = 1}))")
+
+    def test_when_types_structurally(self):
+        assert accepts(
+            infer_mycroft, "(\\s -> when a in s then #a s else 0) {}"
+        )
+
+    def test_lists(self):
+        result = infer_mycroft(parse("[1, 2]"))
+        assert result.type == TList(INT)
+        assert not accepts(infer_mycroft, "[1, true]")
+
+    def test_list_of_functions_unifies_elements(self):
+        result = infer_mycroft(parse("[\\x -> x, \\y -> 1]"))
+        assert alpha_equivalent(result.type, TList(TFun(INT, INT)))
+
+    def test_concat_merges_rows(self):
+        result = infer_mycroft(parse("{a = 1} @ {b = true}"))
+        t = result.type
+        assert set(t.labels()) == {"a", "b"}
+
+    def test_shadowing_restored(self):
+        assert infer_mycroft(
+            parse("let x = 1 in ((\\u -> x) (let x = true in x))")
+        ).type == INT

@@ -1,0 +1,119 @@
+"""Tests for the Pottier-style field-state checker (Sect. 1.1, E2)."""
+
+import pytest
+
+from repro.infer import PottierError, check_pottier
+from repro.infer.pottier import (
+    AInt,
+    ARecord,
+    FAbs,
+    FAny,
+    FEither,
+    FPre,
+    join_state,
+)
+from repro.lang import parse
+
+
+def accepts(source):
+    try:
+        check_pottier(parse(source))
+        return True
+    except PottierError:
+        return False
+
+
+class TestFieldStateLattice:
+    def test_join_pre_abs_is_either(self):
+        assert join_state(FPre(AInt()), FAbs()) == FEither(AInt())
+
+    def test_join_incompatible_pres_is_any(self):
+        assert isinstance(
+            join_state(FPre(AInt()), FPre(ARecord((), FAbs()))), FAny
+        )
+
+    def test_join_compatible_pres_stays_pre(self):
+        assert join_state(FPre(AInt()), FPre(AInt())) == FPre(AInt())
+
+    def test_any_is_absorbing(self):
+        assert isinstance(join_state(FAny(), FAbs()), FAny)
+        assert isinstance(join_state(FPre(AInt()), FAny()), FAny)
+
+
+class TestBasicChecking:
+    def test_select_present(self):
+        assert accepts("#foo ({foo = 1})")
+
+    def test_select_absent_rejected(self):
+        assert not accepts("#foo {}")
+
+    def test_select_either_rejected(self):
+        # Pottier requires Pre for selection; Either is not enough.
+        assert not accepts(
+            "#foo (if some_condition then {foo = 1} else {})"
+        )
+
+    def test_update_then_select(self):
+        assert accepts("#foo (@{foo = 42} {})")
+
+
+class TestDPrimeIncompleteness:
+    """Sect. 1.1: {} @ (if c then {f=42} else {f={}}) has no field selector
+    at all, yet D'r rejects it because the right operand's field state is
+    Any (no single d with a2 ≤ Either d)."""
+
+    PROGRAM = "{} @ (if some_condition then {f = 42} else {f = {}})"
+
+    def test_dprime_rejects_any_state_on_the_right(self):
+        with pytest.raises(PottierError) as excinfo:
+            check_pottier(parse(self.PROGRAM))
+        assert "D'r" in str(excinfo.value)
+
+    def test_consistent_branches_accepted(self):
+        assert accepts(
+            "{} @ (if some_condition then {f = 1} else {f = 2})"
+        )
+
+    def test_flow_engine_with_lazy_fields_accepts(self):
+        from repro.infer import FlowOptions, infer_flow
+
+        infer_flow(parse(self.PROGRAM), FlowOptions(lazy_fields=True))
+
+    def test_default_flow_engine_rejects_for_a_different_reason(self):
+        # The base system unifies field types at the join, so it also
+        # rejects — but with a unification error, not a D'r failure.
+        from repro.infer import UnificationFailure, infer_flow
+
+        with pytest.raises(UnificationFailure):
+            infer_flow(parse(self.PROGRAM))
+
+
+class TestPottierPermissiveness:
+    """Pottier's Abs/Any lattice accepts the intro's f {} (Sect. 1.1)."""
+
+    INTRO_F = """
+    let f = \\s -> if some_condition then
+                 (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+               else s
+    in f
+    """
+
+    def test_accepts_f_applied_to_empty(self):
+        assert accepts(f"({self.INTRO_F}) {{}}")
+
+    def test_rejects_access_after_f_empty(self):
+        assert not accepts(f"#foo (({self.INTRO_F}) {{}})")
+
+    def test_concat_asymmetric_right_wins(self):
+        assert accepts("#a ({a = 1} @ {a = 2})")
+        result = check_pottier(parse("{a = 1} @ {a = {}}"))
+        assert isinstance(result, ARecord)
+
+    def test_depth_bound(self):
+        from repro.infer.pottier import PottierChecker
+
+        checker = PottierChecker(max_depth=20)
+        with pytest.raises(PottierError):
+            # self-application loops the polyvariant analysis forever;
+            # the depth bound must stop it.
+            checker.check_program(parse("(\\x -> x x) (\\x -> x x)"))

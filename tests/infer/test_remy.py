@@ -1,0 +1,97 @@
+"""Tests for the Rémy baseline: Pre/Abs flags unified into the type terms."""
+
+import pytest
+
+from repro.infer import InferenceError, infer_flow, infer_remy
+from repro.infer.remy import ABS, PRE, RemyInference
+from repro.lang import parse
+from repro.types import INT, TFun, TRec
+
+
+def accepts(source):
+    try:
+        infer_remy(parse(source))
+        return True
+    except InferenceError:
+        return False
+
+
+INTRO_F = """
+let f = \\s -> if some_condition then
+             (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+           else s
+in f
+"""
+
+
+class TestRemyBasics:
+    def test_select_present_field(self):
+        assert infer_remy(parse("#foo ({foo = 1})")).type == INT
+
+    def test_select_on_empty_rejected(self):
+        assert not accepts("#foo {}")
+
+    def test_select_after_update(self):
+        assert accepts("#foo (@{foo = 42} {})")
+
+    def test_wrong_field_rejected(self):
+        assert not accepts("#bar (@{foo = 42} {})")
+
+    def test_record_free_programs(self):
+        assert infer_remy(parse("let id = \\x -> x in id 5")).type == INT
+
+    def test_concat_unsupported(self):
+        with pytest.raises(InferenceError):
+            infer_remy(parse("{} @ {}"))
+
+    def test_when_unsupported(self):
+        with pytest.raises(InferenceError):
+            infer_remy(parse("(\\s -> when a in s then 1 else 2) {}"))
+
+
+class TestIntroComparison:
+    """The Sect. 1 comparison: Rémy's unification of flags propagates Pre
+    into f's input, so f {} is rejected; the flow inference accepts it."""
+
+    def test_f_type_has_pre_flag(self):
+        result = infer_remy(parse(INTRO_F))
+        t = result.type
+        assert isinstance(t, TFun)
+        field = t.arg.field("foo")
+        assert field is not None
+        # encoding: field type = TFun(flag, content); the flag must have
+        # been unified with Pre all the way into the *input*.
+        assert field.type.arg == PRE
+
+    def test_remy_rejects_f_applied_to_empty(self):
+        assert not accepts(f"({INTRO_F}) {{}}")
+
+    def test_flow_inference_accepts_the_same_program(self):
+        infer_flow(parse(f"({INTRO_F}) {{}}"))  # must not raise
+
+    def test_both_reject_the_actual_access(self):
+        source = f"#foo (({INTRO_F}) {{}})"
+        assert not accepts(source)
+        with pytest.raises(InferenceError):
+            infer_flow(parse(source))
+
+    def test_remy_accepts_with_field_provided(self):
+        assert accepts(f"({INTRO_F}) {{foo = 1}}")
+
+
+class TestAbsRowPropagation:
+    def test_fields_pushed_into_empty_record_become_abs(self):
+        # unify {} with {foo : ?, row}: the foo flag must become Abs.
+        engine = RemyInference()
+        result = engine.infer_program(
+            parse("(\\s -> @{foo = 1} s) {}")
+        )
+        t = result.type
+        assert isinstance(t, TRec)
+
+    def test_removal_sets_abs(self):
+        assert not accepts("#foo (~foo ({foo = 1}))")
+
+    def test_rename_moves_pre(self):
+        assert accepts("#b (@[a -> b] ({a = 1}))")
+        assert not accepts("#a (@[a -> b] ({a = 1}))")

@@ -1,0 +1,70 @@
+"""Tests for the projected-signature rendering (the Sect. 5 conciseness
+argument: flows project onto the signature flags without precision loss)."""
+
+from repro.infer import infer_flow
+from repro.infer.signatures import render_type, signature
+from repro.lang import parse
+
+INTRO_F = """
+let f = \\s -> if some_condition then
+             (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+           else s
+in f
+"""
+
+
+class TestSignature:
+    def test_identity_signature_is_one_implication(self):
+        sig = signature(infer_flow(parse("\\x -> x")))
+        assert sig.clause_count == 1
+        assert "f2 -> f1" in sig.flow_text
+
+    def test_intro_signature_matches_paper(self):
+        # f : {FOO.fN : Int, a.fa} -> {FOO.f'N : Int, a.f'a}
+        # with f'N -> fN ∧ f'a -> fa  (two implications, output to input).
+        sig = signature(infer_flow(parse(INTRO_F)))
+        assert sig.type_text.count("foo") == 2
+        assert sig.clause_count == 2
+        assert "f3 -> f1" in sig.flow_text
+        assert "f4 -> f2" in sig.flow_text
+
+    def test_ground_program_has_empty_flow(self):
+        sig = signature(infer_flow(parse("plus 1 2")))
+        assert sig.type_text == "Int"
+        assert sig.flow_text == ""
+        assert str(sig) == "Int"
+
+    def test_empty_record_signature(self):
+        sig = signature(infer_flow(parse("{}")))
+        assert sig.type_text == "{r0.f1}"
+        assert "¬f1" in sig.flow_text
+
+    def test_signature_projection_is_lossless_for_rejection(self):
+        # Projection keeps satisfiability: a signature whose flow demands
+        # ¬f for a selected field still witnesses the behaviour.
+        sig = signature(
+            infer_flow(parse("let f = \\s -> #foo s in f"))
+        )
+        # the input field flag is forced true in the projected flow
+        assert "f1" in sig.flow_text
+
+    def test_str_renders_both_parts(self):
+        sig = signature(infer_flow(parse("\\x -> x")))
+        assert "where" in str(sig)
+
+
+class TestRenderType:
+    def test_function_argument_parenthesised(self):
+        result = infer_flow(parse("\\f -> \\x -> f x"))
+        text = render_type(result.type)
+        assert text.startswith("(")
+
+    def test_record_rendering(self):
+        result = infer_flow(parse("{a = 1}"))
+        text = render_type(result.type)
+        assert text.startswith("{a.f1 : Int, r")
+
+    def test_list_rendering(self):
+        result = infer_flow(parse("[{a = 1}]"))
+        text = render_type(result.type)
+        assert text.startswith("[{")

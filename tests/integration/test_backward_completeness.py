@@ -1,0 +1,104 @@
+"""E12 — optimality spot checks: the inference against T[[·]] (Fig. 6).
+
+Lemma 3/5 state that the inferences are backward-complete abstractions of
+the monotype semantics.  On bounded universes we can check pieces of that
+claim directly:
+
+* the stripped inferred type's ground instances (within the universe)
+  coincide with lca-closure of T[[e]]'s result types for record-free
+  programs (H[[·]] vs T[[·]], Lemma 3),
+* for record programs, γR of the flow result contains exactly T[[e]]'s
+  result types restricted to the universe (αR/γR round trip, Lemma 5) on
+  programs where the flow semantics is exact.
+"""
+
+import pytest
+
+from repro.boolfn import Cnf
+from repro.infer import infer_flow, infer_mycroft
+from repro.lang import parse
+from repro.semantics import MonotypeSemantics, gamma
+from repro.semantics.abstraction import model
+from repro.types import (
+    all_flags,
+    enumerate_monotypes,
+    ground_instances,
+    strip,
+)
+
+RECORD_FREE_PROGRAMS = [
+    "5",
+    "(\\x -> x) 5",
+    "\\x -> x",
+    "\\x -> 0",
+    "let id = \\x -> x in id 5",
+    "if 0 then 1 else 2",
+    "let id = \\x -> x in id",
+]
+
+RECORD_PROGRAMS = [
+    "{}",
+    "@{x = 1} {}",
+    "#x (@{x = 1} {})",
+    "if 0 then @{x = 1} {} else {x = 2}",
+]
+
+
+@pytest.mark.parametrize("source", RECORD_FREE_PROGRAMS)
+def test_plain_inference_matches_monotype_semantics(source):
+    universe = enumerate_monotypes(1)
+    semantics = MonotypeSemantics(universe)
+    expected = semantics.result_types(parse(source))
+    inferred = infer_mycroft(parse(source)).type
+    from repro.types import instance_of
+
+    # Soundness/optimality, both directions, relative to the universe:
+    # every semantics result is an instance of the inferred type (the type
+    # covers the semantics)...
+    for t in expected:
+        assert instance_of(t, inferred), f"{t!r} not covered by {inferred!r}"
+    # ...and every universe member the type admits is produced by the
+    # semantics (the type is not over-general).
+    for m in ground_instances(inferred, universe):
+        assert m in expected, f"{m!r} admitted but not in T[[e]]"
+
+
+@pytest.mark.parametrize("source", RECORD_PROGRAMS)
+def test_flow_inference_gamma_contains_monotype_results(source):
+    universe = enumerate_monotypes(
+        1, labels=("x",), include_functions=False
+    )
+    semantics = MonotypeSemantics(universe)
+    expected = semantics.result_types(parse(source))
+    result = infer_flow(parse(source))
+    flagged = result.type
+    concretization = set(gamma(flagged, result.beta, universe))
+    # Soundness direction of Lemma 6: γR(inferred) ⊇ T's results.
+    assert expected <= concretization, (
+        f"{source}: {expected - concretization} missing from γ"
+    )
+
+
+def test_flow_gamma_of_empty_record_is_exactly_empty():
+    universe = enumerate_monotypes(
+        1, labels=("x",), include_functions=False
+    )
+    result = infer_flow(parse("{}"))
+    concretization = gamma(result.type, result.beta, universe)
+    from repro.types import TRec
+
+    assert concretization == [TRec((), None)]
+
+
+def test_flow_gamma_respects_branch_intersection():
+    # if c then {x=1} else {}: x may be absent; γ must include both the
+    # record with x and the empty record, and accessing x is rejected.
+    universe = enumerate_monotypes(
+        1, labels=("x",), include_functions=False
+    )
+    source = "if 0 then @{x = 1} {} else {}"
+    semantics = MonotypeSemantics(universe)
+    expected = semantics.result_types(parse(source))
+    result = infer_flow(parse(source))
+    concretization = set(gamma(result.type, result.beta, universe))
+    assert expected <= concretization

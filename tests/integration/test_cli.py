@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    def write(source):
+        path = tmp_path / "program.rp"
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestInferCommand:
+    def test_well_typed_program(self, program_file, capsys):
+        code = main(["infer", program_file("#foo (@{foo = 42} {})")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Int" in out
+        assert "2-sat" in out
+
+    def test_ill_typed_program(self, program_file, capsys):
+        code = main(["infer", program_file("#foo {}")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "type error" in err
+        assert "foo" in err
+
+    def test_no_fields_mode(self, program_file):
+        assert main(
+            ["infer", "--no-fields", program_file("#foo {}")]
+        ) == 0
+
+    def test_other_engines(self, program_file):
+        source = "let id = \\x -> x in id 5"
+        for engine in ("mycroft", "damas-milner", "remy"):
+            assert main(
+                ["infer", "--engine", engine, program_file(source)]
+            ) == 0
+
+    def test_remy_rejects_intro(self, program_file):
+        source = """
+        let f = \\s -> if some_condition then
+                 (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+               else s
+        in f {}
+        """
+        assert main(["infer", "--engine", "remy", program_file(source)]) == 1
+        assert main(["infer", program_file(source)]) == 0
+
+    def test_stats_flag(self, program_file, capsys):
+        main(["infer", "--stats", program_file("#a ({a = 1})")])
+        out = capsys.readouterr().out
+        assert "flags_allocated" in out
+
+    def test_lazy_fields_flag(self, program_file):
+        source = "{} @ (if some_condition then {f = 42} else {f = {}})"
+        assert main(["infer", program_file(source)]) == 1
+        assert main(["infer", "--lazy-fields", program_file(source)]) == 0
+
+
+class TestEvalCommand:
+    def test_evaluates(self, program_file, capsys):
+        assert main(["eval", program_file("plus 20 22")]) == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_runtime_error(self, program_file, capsys):
+        assert main(["eval", program_file("#foo {}")]) == 1
+        assert "Ω" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_emits_program(self, capsys):
+        assert main(["generate", "--lines", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "let" in out
+        assert "dispatch" in out
+
+
+class TestBenchCommand:
+    def test_fig9_table_smoke(self, capsys):
+        # A tiny scale keeps this a smoke test; the real table is a bench.
+        assert main(["bench", "fig9", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Atmel AVR" in out
+        assert "Intel x86 + Sem" in out
+        assert "paper ratio" in out
+
+
+class TestShowFlow:
+    def test_signature_output(self, program_file, capsys):
+        source = (
+            "let f = \\s -> if some_condition then "
+            "(let s2 = @{foo = 42} s in let v = #foo s2 in s2) else s in f"
+        )
+        assert main(["infer", "--show-flow", program_file(source)]) == 0
+        out = capsys.readouterr().out
+        assert "signature:" in out
+        assert "where" in out
+        assert "->" in out
+
+    def test_no_flow_for_ground_types(self, program_file, capsys):
+        assert main(["infer", "--show-flow", program_file("plus 1 2")]) == 0
+        out = capsys.readouterr().out
+        assert "signature: Int" in out

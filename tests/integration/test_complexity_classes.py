@@ -1,0 +1,86 @@
+"""E3: the Sect. 5 complexity classification, measured on real programs.
+
+| operations used                     | peak formula class |
+|-------------------------------------|--------------------|
+| {} / #N / @{N=e} / ~N / @[a->b]     | 2-SAT              |
+| + asymmetric concatenation @        | dual-Horn          |
+| + symmetric concatenation @@        | (dual-)Horn + excl.|
+| + when N in x (both branches real)  | general            |
+"""
+
+from repro.infer import FlowOptions, infer_flow
+from repro.lang import parse
+
+CORE_PROGRAMS = [
+    "#foo (@{foo = 42} {})",
+    "let f = \\s -> @{a = 1} s in #a (f {})",
+    "#b (@[a -> b] ({a = 1}))",
+    "#bar (~foo ({foo = 1, bar = 2}))",
+    "#a (if some_condition then {a = 1} else {a = 2})",
+    "let id = \\x -> x in #foo (id ({foo = 1}))",
+]
+
+
+class TestCoreFragmentIsTwoSat:
+    def test_all_core_programs(self):
+        for source in CORE_PROGRAMS:
+            result = infer_flow(parse(source))
+            assert result.stats.peak_formula_class == "2-sat", source
+
+    def test_every_clause_has_at_most_two_literals(self):
+        result = infer_flow(
+            parse("let f = \\s -> #foo s in f ({foo = 1, bar = 2})"),
+            FlowOptions(gc=False),  # keep all clauses for inspection
+        )
+        assert all(len(c) <= 2 for c in result.beta.clauses())
+
+
+class TestConcatenationClasses:
+    def test_asymmetric_concat_is_dual_horn(self):
+        result = infer_flow(parse("#a ({a = 1} @ {b = 2})"))
+        assert result.stats.peak_formula_class == "dual-horn"
+
+    def test_asymmetric_concat_clause_shape(self):
+        # f3 -> (f1 \/ f2): one negative, two positive literals.
+        result = infer_flow(
+            parse("{a = 1} @ {b = 2}"), FlowOptions(gc=False)
+        )
+        wide = [c for c in result.beta.clauses() if len(c) == 3]
+        assert wide, "expected at least one 3-literal concat clause"
+        for clause in wide:
+            positives = sum(1 for lit in clause if lit > 0)
+            assert positives == 2  # dual-Horn as written
+
+    def test_symmetric_concat_adds_exclusions(self):
+        result = infer_flow(
+            parse("{a = 1} @@ {b = 2}"), FlowOptions(gc=False)
+        )
+        exclusions = [
+            c
+            for c in result.beta.clauses()
+            if len(c) == 2 and all(lit < 0 for lit in c)
+        ]
+        assert exclusions, "expected ¬(f1 ∧ f2) exclusion clauses"
+
+
+class TestWhenIsGeneral:
+    def test_two_sided_when_leaves_horn(self):
+        source = (
+            "\\s -> when foo in s then #foo s else #bar (@{bar = 1} s)"
+        )
+        result = infer_flow(parse(source))
+        assert result.stats.peak_formula_class in ("general", "dual-horn")
+        # the else-branch guard produces clauses with 2+ positive literals
+        result2 = infer_flow(parse(source), FlowOptions(gc=False))
+        non_horn = [
+            c
+            for c in result2.beta.clauses()
+            if sum(1 for lit in c if lit > 0) > 1 and len(c) > 2
+        ]
+        assert non_horn
+
+    def test_one_sided_when_can_stay_cheaper(self):
+        source = "(\\s -> when foo in s then #foo s else 0) {}"
+        result = infer_flow(parse(source))
+        # guarded 2-clauses of the then branch are Horn.
+        assert result.stats.peak_formula_class in ("2-sat", "horn")

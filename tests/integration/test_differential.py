@@ -1,0 +1,123 @@
+"""Differential testing between the engines.
+
+* On record-free programs the flow inference and the plain Milner-Mycroft
+  engine must produce α-equivalent type terms (the flow engine is the Fig. 2
+  engine plus flags).
+* On arbitrary accepted programs, the stripped flow result must agree with
+  Mycroft's result (field tracking never changes type terms).
+* Acceptance ordering: Rémy rejects ⊇ flow rejects ⊇ plain rejects.
+"""
+
+import random
+
+import pytest
+
+from repro.infer import (
+    InferenceError,
+    infer_flow,
+    infer_mycroft,
+    infer_remy,
+)
+from repro.lang import parse, pretty
+from repro.lang.ast import (
+    App,
+    EmptyRec,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Select,
+    Update,
+    Var,
+)
+from repro.types import alpha_equivalent, strip
+
+RECORD_FREE = [
+    "42",
+    "\\x -> x",
+    "\\f -> \\x -> f x",
+    "\\f -> \\g -> \\x -> f (g x)",
+    "let id = \\x -> x in id id",
+    "let twice = \\f -> \\x -> f (f x) in twice",
+    "let k = \\x -> \\y -> x in k 1",
+    "if some_condition then \\x -> x else \\y -> y",
+    "let depth = \\xs -> if null xs then 0 else plus 1 (depth [xs]) "
+    "in depth [1]",
+    "[\\x -> x, \\y -> y]",
+]
+
+WITH_RECORDS = [
+    "#foo (@{foo = 42} {})",
+    "let f = \\s -> @{a = 1} s in f ({b = 2})",
+    "if some_condition then {a = 1} else {a = 2, b = 3}",
+    "\\s -> @{x = #a s} s",
+    "let get = \\s -> #foo s in get",
+]
+
+
+@pytest.mark.parametrize("source", RECORD_FREE)
+def test_flow_and_mycroft_agree_on_record_free_terms(source):
+    flow_type = strip(infer_flow(parse(source)).type)
+    plain_type = infer_mycroft(parse(source)).type
+    assert alpha_equivalent(flow_type, plain_type), (
+        f"{source}: {flow_type!r} vs {plain_type!r}"
+    )
+
+
+@pytest.mark.parametrize("source", WITH_RECORDS)
+def test_stripped_flow_type_matches_mycroft(source):
+    flow_type = strip(infer_flow(parse(source)).type)
+    plain_type = infer_mycroft(parse(source)).type
+    assert alpha_equivalent(flow_type, plain_type), (
+        f"{source}: {flow_type!r} vs {plain_type!r}"
+    )
+
+
+def _accepts(fn, expr):
+    try:
+        fn(expr)
+        return True
+    except InferenceError:
+        return False
+
+
+def _random_program(seed):
+    rng = random.Random(seed)
+    labels = ("a", "b")
+
+    def record(depth, vars_):
+        kind = rng.choice(
+            ["empty", "update", "update"]
+            + (["if"] if depth else [])
+            + (["var"] if vars_ else [])
+        )
+        if kind == "empty":
+            return EmptyRec()
+        if kind == "var":
+            return Var(rng.choice(vars_))
+        if kind == "update":
+            return App(
+                Update(rng.choice(labels), IntLit(rng.randint(0, 9))),
+                record(depth - 1, vars_),
+            )
+        return If(
+            IntLit(rng.randint(0, 1)),
+            record(depth - 1, vars_),
+            record(depth - 1, vars_),
+        )
+
+    body = App(Select(rng.choice(labels)), record(3, []))
+    if rng.random() < 0.5:
+        body = Let("r", record(2, []), body)
+    return body
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_acceptance_ordering(seed):
+    """Rémy ⊆ flow ⊆ plain, as sets of accepted programs."""
+    program = _random_program(seed)
+    remy_ok = _accepts(infer_remy, program)
+    flow_ok = _accepts(infer_flow, program)
+    plain_ok = _accepts(infer_mycroft, program)
+    assert not (remy_ok and not flow_ok), pretty(program)
+    assert not (flow_ok and not plain_ok), pretty(program)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic GDSL workload generator and the Fig. 9 corpora."""
+
+import pytest
+
+from repro.gdsl import (
+    FIG9_CORPORA,
+    GeneratorConfig,
+    build_corpus,
+    generate_decoder,
+)
+from repro.infer import FlowOptions, infer_flow
+from repro.lang import parse
+from repro.util import run_deep
+
+
+class TestGenerator:
+    def test_target_lines_respected(self):
+        for target in (100, 300):
+            program = generate_decoder(GeneratorConfig(target_lines=target))
+            assert abs(program.lines - target) <= 25
+
+    def test_deterministic_per_seed(self):
+        a = generate_decoder(GeneratorConfig(target_lines=120, seed=3))
+        b = generate_decoder(GeneratorConfig(target_lines=120, seed=3))
+        c = generate_decoder(GeneratorConfig(target_lines=120, seed=4))
+        assert a.source == b.source
+        assert a.source != c.source
+
+    def test_semantics_variant_adds_functions(self):
+        plain = generate_decoder(GeneratorConfig(target_lines=200))
+        sem = generate_decoder(
+            GeneratorConfig(target_lines=200, with_semantics=True)
+        )
+        assert plain.semantic_functions == 0
+        assert sem.semantic_functions > 0
+
+    def test_generated_programs_parse(self):
+        program = generate_decoder(GeneratorConfig(target_lines=150))
+        run_deep(lambda: parse(program.source))
+
+    def test_generated_programs_are_well_typed(self):
+        program = generate_decoder(GeneratorConfig(target_lines=150))
+        expr = run_deep(lambda: parse(program.source))
+        result = run_deep(lambda: infer_flow(expr))
+        assert result.stats.peak_formula_class == "2-sat"
+
+    def test_well_typed_with_semantics(self):
+        program = generate_decoder(
+            GeneratorConfig(target_lines=150, with_semantics=True, seed=1)
+        )
+        expr = run_deep(lambda: parse(program.source))
+        run_deep(lambda: infer_flow(expr))
+
+    def test_well_typed_without_field_tracking(self):
+        program = generate_decoder(GeneratorConfig(target_lines=150))
+        expr = run_deep(lambda: parse(program.source))
+        run_deep(
+            lambda: infer_flow(expr, FlowOptions(track_fields=False))
+        )
+
+
+class TestCorpora:
+    def test_fig9_rows(self):
+        names = [spec.name for spec in FIG9_CORPORA]
+        assert names == [
+            "Atmel AVR",
+            "Atmel AVR + Sem",
+            "Intel x86",
+            "Intel x86 + Sem",
+        ]
+        lines = [spec.lines for spec in FIG9_CORPORA]
+        assert lines == [1468, 5166, 9315, 18124]
+
+    def test_paper_times_recorded(self):
+        avr = FIG9_CORPORA[0]
+        assert avr.paper_seconds_without_fields == 0.18
+        assert avr.paper_seconds_with_fields == 0.32
+
+    def test_build_corpus_scaling(self):
+        spec = FIG9_CORPORA[0]
+        small = build_corpus(spec, scale=0.1)
+        assert small.lines <= spec.lines * 0.2
+        assert small.name == spec.name
+
+    @pytest.mark.parametrize("spec", FIG9_CORPORA, ids=lambda s: s.name)
+    def test_scaled_corpora_infer_cleanly(self, spec):
+        program = build_corpus(spec, scale=0.05)
+        expr = run_deep(lambda: parse(program.source))
+        run_deep(lambda: infer_flow(expr))

@@ -1,0 +1,112 @@
+"""Metamorphic properties of the flow inference.
+
+Transformations that must not change the verdict (and mostly not the type):
+
+* determinism: inferring twice gives α-equivalent types and the same
+  number of projected signature clauses;
+* η-ish wrapping: applying the literal identity `(\\x -> x) e` preserves
+  acceptance and the stripped type;
+* let-introduction of an unused binding preserves everything;
+* dead-branch duplication `if c then e else e` preserves acceptance;
+* extending a record literal with an extra (unread) field preserves
+  acceptance of accepted programs (row polymorphism!).
+"""
+
+import pytest
+
+from repro.infer import InferenceError, infer_flow
+from repro.lang import parse, pretty
+from repro.lang.ast import App, EmptyRec, If, IntLit, Lam, Let, Var
+from repro.types import alpha_equivalent, strip
+
+PROGRAMS = [
+    "42",
+    "\\x -> x",
+    "let id = \\x -> x in id 5",
+    "#foo (@{foo = 42} {})",
+    "let f = \\s -> #foo s in f ({foo = 1})",
+    "#a (if some_condition then {a = 1} else {a = 2, b = 3})",
+    "let depth = \\xs -> if null xs then 0 else plus 1 (depth [xs]) "
+    "in depth [1]",
+    "#b (@[a -> b] ({a = 5}))",
+    "#x ({x = 1} @ {y = 2})",
+]
+
+REJECTED = [
+    "#foo {}",
+    "let f = \\s -> #foo s in f {}",
+    "#b (if some_condition then {a = 1, b = 2} else {a = 3})",
+]
+
+
+def verdict(expr):
+    try:
+        return strip(infer_flow(expr).type)
+    except InferenceError:
+        return None
+
+
+@pytest.mark.parametrize("source", PROGRAMS + REJECTED)
+def test_inference_is_deterministic(source):
+    expr = parse(source)
+    first = verdict(expr)
+    second = verdict(expr)
+    if first is None:
+        assert second is None
+    else:
+        assert alpha_equivalent(first, second)
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_identity_wrapping_preserves_type(source):
+    expr = parse(source)
+    wrapped = App(Lam("metamorphic_x", Var("metamorphic_x")), expr)
+    original = verdict(expr)
+    transformed = verdict(wrapped)
+    assert original is not None
+    assert transformed is not None
+    assert alpha_equivalent(original, transformed), pretty(wrapped)
+
+
+@pytest.mark.parametrize("source", PROGRAMS + REJECTED)
+def test_unused_let_binding_is_inert(source):
+    expr = parse(source)
+    wrapped = Let("metamorphic_unused", IntLit(0), expr)
+    original = verdict(expr)
+    transformed = verdict(wrapped)
+    if original is None:
+        assert transformed is None
+    else:
+        assert transformed is not None
+        assert alpha_equivalent(original, transformed)
+
+
+@pytest.mark.parametrize("source", PROGRAMS + REJECTED)
+def test_branch_duplication_preserves_verdict(source):
+    expr = parse(source)
+    duplicated = If(IntLit(1), expr, expr)
+    assert (verdict(expr) is None) == (verdict(duplicated) is None)
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_extra_record_field_is_harmless(source):
+    # Replace every record literal {} with {extra_field = 0}: row
+    # polymorphism guarantees the program still types.
+    transformed_source = source.replace(
+        "{}", "(@{zzextra = 0} {})"
+    )
+    assert verdict(parse(transformed_source)) is not None
+
+
+@pytest.mark.parametrize("source", REJECTED)
+def test_track_fields_off_is_strictly_more_permissive(source):
+    from repro.infer import FlowOptions
+
+    expr = parse(source)
+    assert verdict(expr) is None
+    try:
+        infer_flow(expr, FlowOptions(track_fields=False))
+    except InferenceError as error:  # pragma: no cover
+        raise AssertionError(
+            f"w/o-fields mode must accept flow-rejected programs: {error}"
+        )

@@ -1,0 +1,161 @@
+"""E10 — Observation 1, tested differentially on random programs.
+
+    "Under the assumption that conditionals are abstracted to
+    non-deterministic choices and that no argument is a function expecting
+    a record or that such functions are only used once, our inference
+    rejects a program if and only if it contains a path from an empty
+    record to a field access on which the field has not been added."
+
+We generate random first-order record programs (state-passing updates,
+selects, conditional joins, let-bound record functions — the fragment where
+the observation applies), and check:
+
+    infer_flow rejects  <=>  the collecting semantics has a missing-field
+                             path.
+
+All field contents are Int, so type-term errors cannot occur and every
+rejection is a flow rejection.
+"""
+
+import random
+
+import pytest
+
+from repro.infer import InferenceError, infer_flow
+from repro.lang.ast import (
+    App,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Select,
+    Update,
+    Var,
+)
+from repro.semantics import has_missing_field_path
+
+LABELS = ("a", "b", "c")
+
+
+class ProgramGenerator:
+    """Random programs in the Observation-1 fragment."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def record_expr(self, depth: int, record_vars: list[str]) -> Expr:
+        choices = ["empty", "update"]
+        if record_vars:
+            choices += ["var", "var", "update", "update"]
+        if depth > 0:
+            choices += ["if", "let_chain"]
+        kind = self.rng.choice(choices)
+        if kind == "empty":
+            return EmptyRec()
+        if kind == "var":
+            return Var(self.rng.choice(record_vars))
+        if kind == "update":
+            inner = self.record_expr(depth - 1, record_vars)
+            label = self.rng.choice(LABELS)
+            value = self.int_expr(depth - 1, record_vars)
+            return App(Update(label, value), inner)
+        if kind == "if":
+            return If(
+                IntLit(self.rng.randint(0, 1)),
+                self.record_expr(depth - 1, record_vars),
+                self.record_expr(depth - 1, record_vars),
+            )
+        # let_chain: bind an intermediate state
+        name = self.fresh("s")
+        bound = self.record_expr(depth - 1, record_vars)
+        body = self.record_expr(depth - 1, record_vars + [name])
+        return Let(name, bound, body)
+
+    def int_expr(self, depth: int, record_vars: list[str]) -> Expr:
+        choices = ["lit", "lit"]
+        if depth > 0:
+            choices.append("select")
+        if depth > 0:
+            choices.append("if")
+        kind = self.rng.choice(choices)
+        if kind == "lit":
+            return IntLit(self.rng.randint(0, 9))
+        if kind == "select":
+            record = self.record_expr(depth - 1, record_vars)
+            return App(Select(self.rng.choice(LABELS)), record)
+        return If(
+            IntLit(self.rng.randint(0, 1)),
+            self.int_expr(depth - 1, record_vars),
+            self.int_expr(depth - 1, record_vars),
+        )
+
+    def program(self) -> Expr:
+        # Optionally wrap in a let-bound record transformer used on
+        # concrete records (let-bound, so polymorphic — allowed by the
+        # side conditions).
+        body = self.int_expr(3, [])
+        if self.rng.random() < 0.4:
+            fn_name = self.fresh("f")
+            param = self.fresh("s")
+            fn_body = self.record_expr(2, [param])
+            use = App(
+                Select(self.rng.choice(LABELS)),
+                App(Var(fn_name), self.record_expr(2, [])),
+            )
+            return Let(fn_name, Lam(param, fn_body), use)
+        return body
+
+
+def flow_accepts(expr: Expr) -> bool:
+    try:
+        infer_flow(expr)
+        return True
+    except InferenceError:
+        return False
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_observation_1_on_random_programs(seed):
+    generator = ProgramGenerator(seed)
+    for _ in range(10):
+        program = generator.program()
+        has_error_path = has_missing_field_path(program, max_paths=8192)
+        accepted = flow_accepts(program)
+        assert accepted == (not has_error_path), (
+            f"Observation 1 violated (seed {seed}): "
+            f"accepted={accepted}, error path={has_error_path}, "
+            f"program={program!r}"
+        )
+
+
+def test_observation_1_handpicked_accepts():
+    from repro.lang import parse
+
+    for source in [
+        "#a (if 0 then {a = 1} else {a = 2, b = 3})",
+        "let f = \\s -> @{a = #b s} s in #a (f ({b = 1}))",
+        "#a (let s = {} in @{a = 0} s)",
+    ]:
+        expr = parse(source)
+        assert not has_missing_field_path(expr)
+        assert flow_accepts(expr)
+
+
+def test_observation_1_handpicked_rejects():
+    from repro.lang import parse
+
+    for source in [
+        "#a (if 0 then {a = 1} else {b = 2})",
+        "let f = \\s -> #a s in f ({b = 1})",
+        "#b (let s = {b = 1} in (if 1 then s else {}))",
+    ]:
+        expr = parse(source)
+        assert has_missing_field_path(expr)
+        assert not flow_accepts(expr)

@@ -1,0 +1,128 @@
+"""E1: the introductory example across all four inference engines.
+
+The paper's Sect. 1 program (a state record conditionally extended by a
+producer and read by a consumer) is the yardstick:
+
+* Rémy's flag unification rejects ``f {}`` outright,
+* Pottier's subtyping accepts ``f {}`` (and also ``f {foo="bad"}``-style
+  mistyped fields via Any — not expressible here),
+* the paper's flow inference accepts ``f {}`` but rejects
+  ``#foo (f {})`` — the optimal behaviour.
+"""
+
+import pytest
+
+from repro.infer import (
+    FlowUnsatisfiable,
+    InferenceError,
+    check_pottier,
+    infer_flow,
+    infer_mycroft,
+    infer_remy,
+)
+from repro.lang import parse
+from repro.semantics import has_missing_field_path
+
+INTRO_F = """
+let f = \\s -> if some_condition then
+             (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+           else s
+in f
+"""
+
+F_EMPTY = f"({INTRO_F}) {{}}"
+ACCESS_AFTER_F_EMPTY = f"#foo (({INTRO_F}) {{}})"
+F_WITH_FOO = f"({INTRO_F}) {{foo = 7}}"
+ACCESS_WITH_FOO = f"#foo (({INTRO_F}) {{foo = 7}})"
+
+
+class TestFlowInference:
+    def test_accepts_f(self):
+        infer_flow(parse(INTRO_F))
+
+    def test_accepts_f_empty(self):
+        infer_flow(parse(F_EMPTY))
+
+    def test_rejects_access_after_f_empty(self):
+        with pytest.raises(FlowUnsatisfiable):
+            infer_flow(parse(ACCESS_AFTER_F_EMPTY))
+
+    def test_accepts_access_with_foo(self):
+        infer_flow(parse(ACCESS_WITH_FOO))
+
+
+class TestBaselines:
+    def test_remy_rejects_f_empty(self):
+        with pytest.raises(InferenceError):
+            infer_remy(parse(F_EMPTY))
+
+    def test_pottier_accepts_f_empty(self):
+        check_pottier(parse(F_EMPTY))
+
+    def test_pottier_rejects_the_access(self):
+        with pytest.raises(InferenceError):
+            check_pottier(parse(ACCESS_AFTER_F_EMPTY))
+
+    def test_plain_mycroft_accepts_everything(self):
+        # No field tracking at all: even the bad access types.
+        infer_mycroft(parse(ACCESS_AFTER_F_EMPTY))
+
+
+class TestAgainstTheCollectingSemantics:
+    """The flow inference's verdicts coincide with runtime reality on this
+    example: rejection iff some non-deterministic path errs."""
+
+    @pytest.mark.parametrize(
+        "source, should_fail",
+        [
+            (F_EMPTY, False),
+            (ACCESS_AFTER_F_EMPTY, True),
+            (F_WITH_FOO, False),
+            (ACCESS_WITH_FOO, False),
+        ],
+    )
+    def test_verdict_matches_paths(self, source, should_fail):
+        expr = parse(source)
+        assert has_missing_field_path(expr) == should_fail
+        try:
+            infer_flow(expr)
+            accepted = True
+        except InferenceError:
+            accepted = False
+        assert accepted == (not should_fail)
+
+
+class TestWronglyTypedField:
+    """Sect. 1.1: Pottier's Any element makes f {foo = "bad"} typeable;
+    'Our type inference rejects the latter call since the type of field
+    FOO is not unifiable.'  (Booleans stand in for strings.)"""
+
+    BAD_CALL = f"({INTRO_F}) ({{foo = true}})"
+
+    def test_flow_rejects_with_a_unification_error(self):
+        from repro.infer import UnificationFailure
+
+        with pytest.raises(UnificationFailure):
+            infer_flow(parse(self.BAD_CALL))
+
+    def test_pottier_accepts_via_any(self):
+        from repro.infer.pottier import ARecord, FAny
+
+        value = check_pottier(parse(self.BAD_CALL))
+        assert isinstance(value, ARecord)
+
+    def test_lazy_fields_also_accept_it(self):
+        # The Sect. 5 refinement 'à la Pottier': fields need a consistent
+        # type only if accessed.
+        from repro.infer import FlowOptions
+
+        infer_flow(parse(self.BAD_CALL), FlowOptions(lazy_fields=True))
+
+    def test_lazy_fields_reject_the_access(self):
+        from repro.infer import FlowOptions, InferenceError
+
+        with pytest.raises(InferenceError):
+            infer_flow(
+                parse(f"plus (#foo ({self.BAD_CALL})) 1"),
+                FlowOptions(lazy_fields=True),
+            )

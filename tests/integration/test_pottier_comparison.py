@@ -1,0 +1,99 @@
+"""E2 — the three-way comparison of Sect. 1.1 on record concatenation.
+
+* Pottier's simplified D'r rule rejects a concatenation whose right
+  operand has an Any-state field, even when nothing is ever selected;
+* the paper's base system also rejects it, but for a shallower reason
+  (field types are unified at the conditional join);
+* the paper's conditional-unification extension (Sect. 5) accepts it and
+  defers the type consistency obligation until the field is accessed.
+"""
+
+import pytest
+
+from repro.infer import (
+    FlowOptions,
+    InferenceError,
+    PottierError,
+    UnificationFailure,
+    check_pottier,
+    infer_flow,
+)
+from repro.lang import parse
+
+MIXED = "{} @ (if some_condition then {f = 42} else {f = {}})"
+CONSISTENT = "{} @ (if some_condition then {f = 1} else {f = 2})"
+LAZY = FlowOptions(lazy_fields=True)
+
+
+class TestTheComparison:
+    def test_pottier_rejects_unaccessed_mixed_field(self):
+        with pytest.raises(PottierError) as excinfo:
+            check_pottier(parse(MIXED))
+        assert "Any" in str(excinfo.value)
+
+    def test_base_flow_rejects_with_unification_error(self):
+        with pytest.raises(UnificationFailure):
+            infer_flow(parse(MIXED))
+
+    def test_lazy_fields_accept(self):
+        infer_flow(parse(MIXED), LAZY)
+
+    def test_lazy_fields_still_reject_the_access(self):
+        with pytest.raises(InferenceError):
+            infer_flow(parse(f"#f ({MIXED})"), LAZY)
+
+    def test_all_three_accept_the_consistent_variant(self):
+        check_pottier(parse(CONSISTENT))
+        infer_flow(parse(CONSISTENT))
+        infer_flow(parse(CONSISTENT), LAZY)
+
+    def test_lazy_access_of_consistent_variant_ok(self):
+        infer_flow(parse(f"#f ({CONSISTENT})"), LAZY)
+
+
+class TestEitherVsPre:
+    """Pottier's Either state lets the field come from either side of the
+    concatenation; selection afterwards requires Pre."""
+
+    def test_either_after_concat_selectable_via_right(self):
+        # right side definitely has it: Pre wins.
+        check_pottier(parse("#f ({} @ {f = 1})"))
+
+    def test_left_only_field_preserved(self):
+        check_pottier(parse("#g ({g = 1} @ {f = 2})"))
+
+    def test_maybe_present_is_not_selectable(self):
+        with pytest.raises(PottierError):
+            check_pottier(
+                parse(
+                    "#f ({} @ (if some_condition then {f = 1} else {}))"
+                )
+            )
+
+
+class TestPreciseDrRule:
+    """The paper's contrast: the precise rule Dr ('Note that Pottier only
+    proposes D'r rules rather than the more precise Dr rules') is
+    non-monotone for his solver but directly expressible here."""
+
+    def test_dr_accepts_the_unaccessed_mixed_field(self):
+        from repro.infer.pottier import PottierChecker
+        from repro.infer.pottier import ARecord, FAny
+
+        checker = PottierChecker(rule="Dr")
+        value = checker.check_program(parse(MIXED))
+        assert isinstance(value, ARecord)
+        assert isinstance(value.state("f"), FAny)
+
+    def test_dr_still_rejects_the_access(self):
+        from repro.infer.pottier import PottierChecker
+
+        with pytest.raises(PottierError):
+            PottierChecker(rule="Dr").check_program(parse(f"#f ({MIXED})"))
+
+    def test_dprime_is_the_shipped_default(self):
+        from repro.infer.pottier import PottierChecker
+
+        assert PottierChecker().rule == "D'r"
+        with pytest.raises(ValueError):
+            PottierChecker(rule="Dq")

@@ -1,0 +1,71 @@
+"""The Sect. 6 implementation anecdote: monadic actions in the state record.
+
+    "One problem we came across was that we needed to store a monadic
+    action inside the state of the monad itself.  However, extracting this
+    monad and running it will unify the type of the field holding the
+    monad with the monad type itself.  This leads to an occurs check since
+    both monad states share at least the same row variable. ...  Our
+    solution was to define an operator to remove a record field."
+
+The λ-bound version triggers the row occurs check; applying the removal
+operator first — the workaround the paper shipped — restores typeability.
+"""
+
+import pytest
+
+from repro.infer import InferenceError, UnificationFailure, infer_flow
+from repro.infer.hm import infer_mycroft
+from repro.lang import parse
+from repro.types import TFun, strip
+
+
+class TestMonadicStateOccursCheck:
+    def test_running_a_stored_action_on_its_own_state_fails(self):
+        # #k s : record-containing-k -> result; applying it to s unifies
+        # the field's type with the record itself — an infinite type.
+        with pytest.raises(UnificationFailure) as excinfo:
+            infer_flow(parse("\\s -> (#k s) s"))
+        assert "occurs" in str(excinfo.value)
+
+    def test_the_removal_operator_fixes_it(self):
+        # Removing k before passing the state breaks the cycle — the
+        # operator the paper added for exactly this reason.
+        result = infer_flow(parse("\\s -> (#k s) (~k s)"))
+        t = strip(result.type)
+        assert isinstance(t, TFun)
+        assert t.arg.field("k") is not None
+
+    def test_removing_an_unrelated_field_does_not_help(self):
+        with pytest.raises(UnificationFailure):
+            infer_flow(parse("\\s -> (#k (~n s)) s"))
+
+    def test_plain_engine_shows_the_same_occurs_check(self):
+        # The occurs check is a type-term phenomenon: the Fig. 2 engine
+        # (no flags) behaves identically.
+        with pytest.raises(UnificationFailure):
+            infer_mycroft(parse("\\s -> (#k s) s"))
+        infer_mycroft(parse("\\s -> (#k s) (~k s)"))
+
+    def test_polymorphic_state_avoids_the_problem(self):
+        # With a let-bound (polymorphic) state the two uses instantiate
+        # the row independently, so no cycle forms.
+        source = (
+            "let s = @{k = \\t -> #n t} (@{n = 1} {}) in (#k s) s"
+        )
+        from repro.types import INT
+
+        assert strip(infer_flow(parse(source)).type) == INT
+
+    def test_a_working_state_machine_with_removal(self):
+        # An executable version of the pattern: store a step function in
+        # the state, extract it, run it on the k-less state.
+        source = """
+        let init = @{count = 0} ({}) in
+        let with_action = @{step = \\t -> plus (#count t) 1} init in
+        (#step with_action) (~step with_action)
+        """
+        from repro.semantics import VInt, evaluate
+        from repro.types import INT
+
+        assert strip(infer_flow(parse(source)).type) == INT
+        assert evaluate(parse(source)) == VInt(1)

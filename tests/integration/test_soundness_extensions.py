@@ -1,0 +1,131 @@
+"""Soundness of the extended operations against the collecting semantics.
+
+For the core fragment Observation 1 gives an exact characterisation
+(tests/integration/test_observation1.py).  The extensions only promise
+soundness of the missing-field analysis: *accepted ⇒ no execution path
+selects a missing field*.  We check that direction on random programs that
+also use removal, renaming, asymmetric concatenation and `when`.
+
+(Symmetric concatenation is excluded: its conflict error is a different
+error class that the default may-analysis does not claim to catch — see
+DESIGN.md.)
+"""
+
+import random
+
+import pytest
+
+from repro.infer import InferenceError, infer_flow
+from repro.lang.ast import (
+    App,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    Remove,
+    Rename,
+    Select,
+    Concat,
+    Update,
+    Var,
+    When,
+)
+from repro.lang import pretty
+from repro.semantics import has_missing_field_path
+
+LABELS = ("a", "b", "c")
+
+
+class ExtendedGenerator:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def record(self, depth: int, vars_: list[str]) -> Expr:
+        options = ["empty", "update", "update"]
+        if vars_:
+            options += ["var", "var"]
+        if depth > 0:
+            options += ["if", "remove", "rename", "concat", "when", "let"]
+        kind = self.rng.choice(options)
+        if kind == "empty":
+            return EmptyRec()
+        if kind == "var":
+            return Var(self.rng.choice(vars_))
+        if kind == "update":
+            return App(
+                Update(self.rng.choice(LABELS), self.int_(depth - 1, vars_)),
+                self.record(depth - 1, vars_),
+            )
+        if kind == "if":
+            return If(
+                IntLit(self.rng.randint(0, 1)),
+                self.record(depth - 1, vars_),
+                self.record(depth - 1, vars_),
+            )
+        if kind == "remove":
+            return App(
+                Remove(self.rng.choice(LABELS)),
+                self.record(depth - 1, vars_),
+            )
+        if kind == "rename":
+            old, new = self.rng.sample(LABELS, 2)
+            return App(Rename(old, new), self.record(depth - 1, vars_))
+        if kind == "concat":
+            return Concat(
+                self.record(depth - 1, vars_),
+                self.record(depth - 1, vars_),
+            )
+        if kind == "when":
+            name = self.fresh("s")
+            return Let(
+                name,
+                self.record(depth - 1, vars_),
+                When(
+                    self.rng.choice(LABELS),
+                    name,
+                    self.record(depth - 1, vars_ + [name]),
+                    self.record(depth - 1, vars_ + [name]),
+                ),
+            )
+        name = self.fresh("r")
+        return Let(
+            name,
+            self.record(depth - 1, vars_),
+            self.record(depth - 1, vars_ + [name]),
+        )
+
+    def int_(self, depth: int, vars_: list[str]) -> Expr:
+        if depth > 0 and self.rng.random() < 0.35:
+            return App(
+                Select(self.rng.choice(LABELS)),
+                self.record(depth - 1, vars_),
+            )
+        return IntLit(self.rng.randint(0, 9))
+
+    def program(self) -> Expr:
+        return self.int_(4, [])
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_accepted_extended_programs_never_err(seed):
+    generator = ExtendedGenerator(seed)
+    checked = 0
+    for _ in range(8):
+        program = generator.program()
+        try:
+            infer_flow(program)
+        except InferenceError:
+            continue  # rejection: only the core fragment promises iff
+        checked += 1
+        assert not has_missing_field_path(program, max_paths=8192), (
+            f"accepted program errs (seed {seed}): {pretty(program)}"
+        )
+    # the generator must actually produce accepted programs
+    assert checked >= 1

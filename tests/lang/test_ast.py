@@ -1,0 +1,88 @@
+"""AST helper tests: free variables, traversal, sizes, builders."""
+
+from repro.lang import free_variables, parse, size, subexpressions
+from repro.lang.ast import Lam, Let, Var
+from repro.lang.builder import (
+    app,
+    build,
+    concat,
+    empty,
+    if_,
+    lam,
+    let,
+    list_,
+    lit,
+    record,
+    remove,
+    rename,
+    select,
+    symcat,
+    update,
+    var,
+    when,
+)
+
+
+class TestFreeVariables:
+    def test_variable_is_free(self):
+        assert free_variables(parse("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_variables(parse("\\x -> x y")) == {"y"}
+
+    def test_let_binds_in_both_parts(self):
+        assert free_variables(parse("let f = f x in f y")) == {"x", "y"}
+
+    def test_when_scrutinee_is_free(self):
+        assert free_variables(parse("when foo in s then 1 else 2")) == {"s"}
+
+    def test_update_value(self):
+        assert free_variables(parse("@{foo = x}")) == {"x"}
+
+    def test_closed_program(self):
+        assert free_variables(parse("let id = \\x -> x in id id")) == set()
+
+
+class TestTraversal:
+    def test_subexpressions_counts_nodes(self):
+        expr = parse("f (g x)")
+        nodes = list(subexpressions(expr))
+        assert len(nodes) == 5  # App, f, App, g, x
+
+    def test_size(self):
+        assert size(parse("x")) == 1
+        assert size(parse("\\x -> x")) == 2
+        assert size(parse("if a then b else c")) == 4
+
+
+class TestBuilder:
+    def test_quickstart_shape(self):
+        program = let(
+            "f",
+            lam("s", select("foo")(update("foo", 42)(var("s")))),
+            var("f")(empty()),
+        )
+        expr = build(program)
+        assert expr == parse("let f = \\s -> #foo (@{foo = 42} s) in f {}")
+
+    def test_coercions(self):
+        assert build(lit(5)) == parse("5")
+        assert build(lit(True)) == parse("true")
+        assert build(app("f", 1, "x")) == parse("f 1 x")
+
+    def test_record_sugar(self):
+        assert build(record(a=1, b=2)) == parse("{a = 1, b = 2}")
+
+    def test_multi_param_lambda(self):
+        assert build(lam(["x", "y"], "x")) == parse("\\x y -> x")
+
+    def test_control_builders(self):
+        assert build(if_("c", 1, 2)) == parse("if c then 1 else 2")
+        assert build(when("foo", "s", 1, 2)) == parse(
+            "when foo in s then 1 else 2"
+        )
+        assert build(concat(empty(), empty())) == parse("{} @ {}")
+        assert build(symcat(empty(), empty())) == parse("{} @@ {}")
+        assert build(list_(1, 2)) == parse("[1, 2]")
+        assert build(remove("foo")) == parse("~foo")
+        assert build(rename("a", "b")) == parse("@[a -> b]")

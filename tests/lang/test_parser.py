@@ -1,0 +1,163 @@
+"""Parser tests, including the desugarings."""
+
+import pytest
+
+from repro.lang import (
+    App,
+    Concat,
+    EmptyRec,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    ParseError,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+    parse,
+)
+
+
+class TestAtoms:
+    def test_variable(self):
+        assert parse("x") == Var("x")
+
+    def test_integer(self):
+        assert parse("42") == IntLit(42)
+
+    def test_booleans(self):
+        from repro.lang import BoolLit
+
+        assert parse("true") == BoolLit(True)
+        assert parse("false") == BoolLit(False)
+
+    def test_empty_record(self):
+        assert parse("{}") == EmptyRec()
+
+    def test_selector(self):
+        assert parse("#foo") == Select("foo")
+
+    def test_removal(self):
+        assert parse("~foo") == Remove("foo")
+
+    def test_rename(self):
+        assert parse("@[a -> b]") == Rename("a", "b")
+
+    def test_update(self):
+        assert parse("@{foo = 1}") == Update("foo", IntLit(1))
+
+    def test_list(self):
+        assert parse("[1, 2]") == ListLit((IntLit(1), IntLit(2)))
+        assert parse("[]") == ListLit(())
+
+    def test_parenthesized(self):
+        assert parse("(x)") == Var("x")
+
+
+class TestCompound:
+    def test_application_left_associative(self):
+        assert parse("f a b") == App(App(Var("f"), Var("a")), Var("b"))
+
+    def test_lambda_multi_param_sugar(self):
+        assert parse("\\x y -> x") == Lam("x", Lam("y", Var("x")))
+
+    def test_lambda_extends_right(self):
+        assert parse("\\x -> f x") == Lam("x", App(Var("f"), Var("x")))
+
+    def test_let_simple(self):
+        assert parse("let x = 1 in x") == Let("x", IntLit(1), Var("x"))
+
+    def test_let_function_sugar(self):
+        assert parse("let f x = x in f") == Let(
+            "f", Lam("x", Var("x")), Var("f")
+        )
+
+    def test_let_multi_binding_desugars_to_nested(self):
+        expr = parse("let x = 1; y = x in y")
+        assert expr == Let("x", IntLit(1), Let("y", Var("x"), Var("y")))
+
+    def test_let_trailing_semicolon_tolerated(self):
+        assert parse("let x = 1 ; in x") == Let("x", IntLit(1), Var("x"))
+
+    def test_if(self):
+        assert parse("if c then 1 else 2") == If(
+            Var("c"), IntLit(1), IntLit(2)
+        )
+
+    def test_when(self):
+        expr = parse("when foo in s then 1 else 2")
+        assert expr == When("foo", "s", IntLit(1), IntLit(2))
+
+    def test_concat_left_associative(self):
+        expr = parse("a @ b @ c")
+        assert isinstance(expr, Concat)
+        assert isinstance(expr.left, Concat)
+        assert not expr.symmetric
+
+    def test_symmetric_concat(self):
+        expr = parse("a @@ b")
+        assert isinstance(expr, Concat) and expr.symmetric
+
+    def test_concat_binds_looser_than_application(self):
+        expr = parse("f a @ g b")
+        assert isinstance(expr, Concat)
+        assert expr.left == App(Var("f"), Var("a"))
+
+    def test_record_literal_desugars_to_updates(self):
+        expr = parse("{a = 1, b = 2}")
+        # @{b = 2} (@{a = 1} {})
+        assert expr == App(
+            Update("b", IntLit(2)),
+            App(Update("a", IntLit(1)), EmptyRec()),
+        )
+
+    def test_selector_application(self):
+        assert parse("#foo r") == App(Select("foo"), Var("r"))
+
+
+class TestErrors:
+    def test_trailing_junk(self):
+        with pytest.raises(ParseError):
+            parse("x )")
+
+    def test_unclosed_record(self):
+        with pytest.raises(ParseError):
+            parse("{a = 1")
+
+    def test_duplicate_record_field(self):
+        with pytest.raises(ParseError):
+            parse("{a = 1, a = 2}")
+
+    def test_missing_else(self):
+        with pytest.raises(ParseError):
+            parse("if c then 1")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_when_requires_variable(self):
+        with pytest.raises(ParseError):
+            parse("when foo in (f x) then 1 else 2")
+
+
+class TestPaperPrograms:
+    def test_intro_example_parses(self):
+        source = """
+        let f s = if some_condition then
+                    (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+                  else s
+        in f {}
+        """
+        expr = parse(source)
+        assert isinstance(expr, Let)
+        assert expr.name == "f"
+
+    def test_example_4_parses(self):
+        source = "let g y = if null [x, y] then g 7 else y in g"
+        expr = parse(source)
+        assert isinstance(expr, Let)

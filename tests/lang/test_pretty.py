@@ -1,0 +1,99 @@
+"""Pretty printer tests: targeted cases plus a random round-trip property."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse, pretty
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    Concat,
+    EmptyRec,
+    Expr,
+    If,
+    IntLit,
+    Lam,
+    Let,
+    ListLit,
+    Remove,
+    Rename,
+    Select,
+    Update,
+    Var,
+    When,
+)
+
+
+class TestPretty:
+    def test_minimal_parentheses_for_application(self):
+        assert pretty(parse("f (g x)")) == "f (g x)"
+        assert pretty(parse("f g x")) == "f g x"
+
+    def test_lambda_parenthesized_in_application(self):
+        assert pretty(parse("(\\x -> x) y")) == "(\\x -> x) y"
+
+    def test_multi_param_lambda_collapses(self):
+        assert pretty(parse("\\x -> \\y -> x")) == "\\x y -> x"
+
+    def test_concat_precedence(self):
+        assert pretty(parse("f a @ b")) == "f a @ b"
+        assert pretty(parse("f (a @ b)")) == "f (a @ b)"
+
+    def test_if_and_let(self):
+        assert (
+            pretty(parse("let x = 1 in if c then x else 2"))
+            == "let x = 1 in if c then x else 2"
+        )
+
+    def test_record_ops(self):
+        assert pretty(parse("#a")) == "#a"
+        assert pretty(parse("~a")) == "~a"
+        assert pretty(parse("@[a -> b]")) == "@[a -> b]"
+        assert pretty(parse("@{a = 1}")) == "@{a = 1}"
+        assert pretty(parse("{}")) == "{}"
+
+
+# ---------------------------------------------------------------------------
+# random round trip: parse(pretty(e)) == e
+# ---------------------------------------------------------------------------
+_names = st.sampled_from(["x", "y", "z", "f", "g", "s"])
+_labels = st.sampled_from(["foo", "bar", "baz"])
+
+
+def _expr_strategy() -> st.SearchStrategy[Expr]:
+    leaves = st.one_of(
+        _names.map(Var),
+        st.integers(min_value=0, max_value=99).map(IntLit),
+        st.booleans().map(BoolLit),
+        st.just(EmptyRec()),
+        _labels.map(Select),
+        _labels.map(Remove),
+        st.tuples(_labels, _labels).filter(lambda p: p[0] != p[1]).map(
+            lambda p: Rename(*p)
+        ),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: App(*p)),
+            st.tuples(_names, children).map(lambda p: Lam(*p)),
+            st.tuples(_names, children, children).map(lambda p: Let(*p)),
+            st.tuples(children, children, children).map(lambda p: If(*p)),
+            st.tuples(_labels, children).map(lambda p: Update(*p)),
+            st.lists(children, max_size=3).map(
+                lambda items: ListLit(tuple(items))
+            ),
+            st.tuples(children, children, st.booleans()).map(
+                lambda p: Concat(p[0], p[1], symmetric=p[2])
+            ),
+            st.tuples(_labels, _names, children, children).map(
+                lambda p: When(*p)
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_expr_strategy())
+def test_parse_pretty_roundtrip(expr):
+    assert parse(pretty(expr)) == expr

@@ -1,0 +1,111 @@
+"""Tests for model(·,·) (Fig. 7) and the αR/γR pair (Sect. 4.3)."""
+
+from repro.boolfn import Cnf, FlagSupply
+from repro.semantics import alpha, contains_nonempty_record, gamma, model
+from repro.types import (
+    BOOL,
+    Field,
+    INT,
+    Row,
+    TFun,
+    TRec,
+    TVar,
+    enumerate_monotypes,
+)
+
+
+class TestContainsNonemptyRecord:
+    def test_base_types(self):
+        assert not contains_nonempty_record(INT)
+        assert not contains_nonempty_record(TRec((), None))
+
+    def test_record_with_field(self):
+        assert contains_nonempty_record(TRec((Field("x", INT),), None))
+
+    def test_nested_in_function(self):
+        t = TFun(TRec((Field("x", INT),), None), INT)
+        assert contains_nonempty_record(t)
+
+
+class TestModel:
+    def test_variable_flag_tracks_nonempty_records(self):
+        flagged = TVar(0, 1)
+        assert model(flagged, INT) == frozenset()
+        assert model(flagged, TRec((Field("x", INT),), None)) == frozenset(
+            {1}
+        )
+        # γR example from Sect. 4.3: γ(⟨a.fa, ¬fa⟩) = monotypes in M̄.
+        assert model(flagged, TRec((), None)) == frozenset()
+
+    def test_record_field_flag(self):
+        flagged = TRec((Field("x", INT, 1),), Row(0, 2))
+        present = TRec((Field("x", INT),), None)
+        absent = TRec((), None)
+        extra = TRec((Field("x", INT), Field("y", BOOL)), None)
+        assert model(flagged, present) == frozenset({1})
+        assert model(flagged, absent) == frozenset()
+        assert model(flagged, extra) == frozenset({1, 2})
+
+    def test_paper_example(self):
+        # γR(⟨{N.fa : b.fb, c.fc}, fa ∧ ¬fc⟩) = {N : t | t ∈ M} — check the
+        # model function side of that statement.
+        flagged = TRec((Field("N", TVar(1, 2), 1),), Row(0, 3))
+        inhabitant = TRec((Field("N", INT),), None)
+        assert model(flagged, inhabitant) == frozenset({1})
+
+    def test_structural_mismatch_is_none(self):
+        assert model(TFun(TVar(0, 1), TVar(0, 2)), INT) is None
+
+    def test_closed_record_rejects_extras(self):
+        flagged = TRec((Field("x", INT, 1),), None)
+        extra = TRec((Field("x", INT), Field("y", INT)), None)
+        assert model(flagged, extra) is None
+
+
+class TestAlphaGamma:
+    def test_alpha_of_record_set(self):
+        monos = [
+            TRec((Field("x", INT),), None),
+            TRec((), None),
+        ]
+        result = alpha(monos)
+        assert result is not None
+        flagged, models = result
+        assert isinstance(flagged, TRec)
+        # Two models: one with the x flag (and nothing else), one empty.
+        assert len(models) == 2
+        assert frozenset() in models
+
+    def test_alpha_of_empty_set_is_bottom(self):
+        assert alpha([]) is None
+
+    def test_gamma_respects_beta(self):
+        flags = FlagSupply()
+        row_flag = flags.fresh()
+        flagged = TRec((), Row(0, row_flag))
+        universe = enumerate_monotypes(1, labels=("x",))
+        # β = ¬f_row: only the empty record concretizes.
+        beta = Cnf([(-row_flag,)])
+        concretized = gamma(flagged, beta, universe)
+        assert concretized == [TRec((), None)]
+        # unconstrained β: all records concretize.
+        all_records = gamma(flagged, Cnf(), universe)
+        assert TRec((Field("x", INT),), None) in all_records
+
+    def test_alpha_gamma_roundtrip_is_extensive(self):
+        # γ(α(T)) ⊇ T on a small record set.
+        monos = [
+            TRec((Field("x", INT),), None),
+            TRec((Field("x", BOOL),), None),
+        ]
+        flagged, models = alpha(monos)
+        beta = Cnf()
+        # encode the model set exactly: here both models make the field
+        # flag true, so assert it.
+        common = frozenset.intersection(*models)
+        for flag in common:
+            beta.add_unit(flag)
+        universe = enumerate_monotypes(1, labels=("x",))
+        concretized = gamma(flagged, beta, universe)
+        for mono in monos:
+            assert mono in concretized

@@ -1,0 +1,73 @@
+"""Tests for the collecting semantics (non-deterministic conditionals)."""
+
+from repro.lang import parse
+from repro.semantics import (
+    OmegaOutcome,
+    VInt,
+    collect_outcomes,
+    has_missing_field_path,
+    has_omega_path,
+)
+
+
+class TestCollectOutcomes:
+    def test_no_branches_single_path(self):
+        outcomes = collect_outcomes(parse("plus 1 2"))
+        assert outcomes == [((), VInt(3))]
+
+    def test_one_conditional_two_paths(self):
+        outcomes = collect_outcomes(parse("if 1 then 10 else 20"))
+        results = {outcome for _, outcome in outcomes}
+        assert results == {VInt(10), VInt(20)}
+
+    def test_condition_value_is_ignored(self):
+        # Even a constant-false condition explores both branches.
+        outcomes = collect_outcomes(parse("if 0 then 1 else 2"))
+        assert {o for _, o in outcomes} == {VInt(1), VInt(2)}
+
+    def test_nested_conditionals_enumerate_paths(self):
+        source = "if 0 then (if 0 then 1 else 2) else (if 0 then 3 else 4)"
+        outcomes = collect_outcomes(parse(source))
+        assert {o for _, o in outcomes} == {VInt(1), VInt(2), VInt(3), VInt(4)}
+
+    def test_error_on_one_path_only(self):
+        source = "if 0 then #foo {} else 1"
+        outcomes = collect_outcomes(parse(source))
+        kinds = {type(o) for _, o in outcomes}
+        assert OmegaOutcome in kinds
+        assert VInt in kinds
+
+
+class TestObservationHelpers:
+    def test_missing_field_path_detected(self):
+        assert has_missing_field_path(parse("if 0 then 1 else #foo {}"))
+
+    def test_clean_program(self):
+        assert not has_missing_field_path(parse("if 0 then 1 else 2"))
+
+    def test_non_field_omega_distinguished(self):
+        program = parse("if 0 then 1 else (2 3)")  # non-function application
+        assert has_omega_path(program)
+        assert not has_missing_field_path(program)
+
+    def test_intro_example_f_empty_has_no_error_path(self):
+        # f {} never *accesses* a missing field on any path — the basis for
+        # the optimal inference accepting it (Sect. 1).
+        source = """
+        let f = \\s -> if some_condition then
+                    (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+                  else s
+        in f {}
+        """
+        assert not has_missing_field_path(parse(source))
+
+    def test_intro_example_select_after_f_empty_fails(self):
+        source = """
+        #foo (
+          (let f = \\s -> if some_condition then
+                      (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+                    else s
+           in f) {}
+        )
+        """
+        assert has_missing_field_path(parse(source))

@@ -1,0 +1,120 @@
+"""Tests for the concrete semantics S[[·]] (the interpreter)."""
+
+import pytest
+
+from repro.lang import parse
+from repro.semantics import (
+    Interpreter,
+    MissingFieldError,
+    NonTermination,
+    Omega,
+    VBool,
+    VInt,
+    VList,
+    VRecord,
+    evaluate,
+)
+
+
+class TestBasics:
+    def test_literals(self):
+        assert evaluate(parse("42")) == VInt(42)
+        assert evaluate(parse("true")) == VBool(True)
+        assert evaluate(parse("[1, 2]")) == VList((VInt(1), VInt(2)))
+
+    def test_application(self):
+        assert evaluate(parse("(\\x -> x) 5")) == VInt(5)
+
+    def test_let_and_shadowing(self):
+        assert evaluate(parse("let x = 1 in let x = 2 in x")) == VInt(2)
+
+    def test_recursion(self):
+        source = (
+            "let f = \\n -> if n then plus n (f (minus n 1)) else 0 in f 4"
+        )
+        assert evaluate(parse(source)) == VInt(10)
+
+    def test_unbound_variable_is_omega(self):
+        with pytest.raises(Omega):
+            evaluate(parse("nope"))
+
+    def test_conditional_tests_integer(self):
+        assert evaluate(parse("if 1 then 10 else 20")) == VInt(10)
+        assert evaluate(parse("if 0 then 10 else 20")) == VInt(20)
+
+    def test_conditional_on_non_int_is_omega(self):
+        with pytest.raises(Omega):
+            evaluate(parse("if {} then 1 else 2"))
+
+    def test_application_of_non_function_is_omega(self):
+        with pytest.raises(Omega):
+            evaluate(parse("1 2"))
+
+    def test_self_reference_during_definition_is_omega(self):
+        with pytest.raises(Omega):
+            evaluate(parse("let x = plus x 1 in x"))
+
+
+class TestRecords:
+    def test_empty_record(self):
+        assert evaluate(parse("{}")) == VRecord({})
+
+    def test_update_and_select(self):
+        assert evaluate(parse("#foo (@{foo = 7} {})")) == VInt(7)
+
+    def test_update_overwrites(self):
+        assert evaluate(parse("#a (@{a = 2} ({a = 1}))")) == VInt(2)
+
+    def test_select_missing_field(self):
+        with pytest.raises(MissingFieldError) as excinfo:
+            evaluate(parse("#foo {}"))
+        assert excinfo.value.label == "foo"
+
+    def test_removal(self):
+        with pytest.raises(MissingFieldError):
+            evaluate(parse("#a (~a ({a = 1}))"))
+        assert evaluate(parse("#b (~a ({a = 1, b = 2}))")) == VInt(2)
+
+    def test_removal_of_absent_field_is_noop(self):
+        assert evaluate(parse("~a {}")) == VRecord({})
+
+    def test_rename(self):
+        assert evaluate(parse("#b (@[a -> b] ({a = 5}))")) == VInt(5)
+        with pytest.raises(MissingFieldError):
+            evaluate(parse("@[a -> b] {}"))
+
+    def test_asymmetric_concat_right_wins(self):
+        assert evaluate(parse("#a ({a = 1} @ {a = 2})")) == VInt(2)
+        assert evaluate(parse("#b ({a = 1} @ {b = 3})")) == VInt(3)
+
+    def test_symmetric_concat_conflict(self):
+        with pytest.raises(MissingFieldError):
+            evaluate(parse("{a = 1} @@ {a = 2}"))
+        assert evaluate(parse("#b ({a = 1} @@ {b = 2})")) == VInt(2)
+
+    def test_when_branches_on_presence(self):
+        source = "(\\s -> when foo in s then 1 else 2) {foo = 0}"
+        assert evaluate(parse(source)) == VInt(1)
+        assert evaluate(parse("(\\s -> when foo in s then 1 else 2) {}")) == VInt(2)
+
+
+class TestBuiltinsAndLimits:
+    def test_step_budget(self):
+        diverging = parse("let f = \\x -> f x in f 1")
+        with pytest.raises(NonTermination):
+            Interpreter(max_steps=1000).eval(diverging)
+
+    def test_intro_example_runs(self):
+        source = """
+        let f = \\s -> if c then
+                    (let s2 = @{foo = 42} s in let v = #foo s2 in s2)
+                  else s
+        in f {}
+        """
+        # With c = 0 the else branch returns {} unchanged: no error.
+        expr = parse(source)
+        value = evaluate(expr, env={"c": VInt(0)})
+        assert value == VRecord({})
+        # With c = 1 the then branch sets and reads foo: still no error.
+        value = evaluate(expr, env={"c": VInt(1)})
+        assert value == VRecord({"foo": VInt(42)})

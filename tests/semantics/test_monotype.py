@@ -1,0 +1,79 @@
+"""Tests for the monotype semantics T[[·]] (Fig. 6) on bounded universes."""
+
+from repro.lang import parse
+from repro.semantics import MonotypeSemantics
+from repro.types import BOOL, Field, INT, TFun, TRec, enumerate_monotypes
+
+
+def semantics(depth=1, labels=(), **kwargs):
+    return MonotypeSemantics(enumerate_monotypes(depth, labels, **kwargs))
+
+
+class TestCore:
+    def test_integer_literal(self):
+        assert semantics().result_types(parse("5")) == frozenset({INT})
+
+    def test_identity_application(self):
+        assert semantics().result_types(parse("(\\x -> x) 5")) == frozenset(
+            {INT}
+        )
+
+    def test_lambda_enumerates_graph(self):
+        types = semantics(depth=1).result_types(parse("\\x -> x"))
+        # Every t -> t over the universe, nothing else.
+        assert TFun(INT, INT) in types
+        assert TFun(BOOL, BOOL) in types
+        assert TFun(INT, BOOL) not in types
+
+    def test_constant_function(self):
+        types = semantics(depth=1).result_types(parse("\\x -> 0"))
+        assert TFun(INT, INT) in types
+        assert TFun(BOOL, INT) in types
+        assert TFun(INT, BOOL) not in types
+
+    def test_conditional_intersects_branches(self):
+        # if c then 1 else true: no common type -> empty result.
+        sem = semantics()
+        assert sem.result_types(parse("if 0 then 1 else true")) == frozenset()
+        assert sem.result_types(parse("if 0 then 1 else 2")) == frozenset(
+            {INT}
+        )
+
+    def test_let_polymorphism(self):
+        # let id = \x -> x in id 5: κ must be Int.
+        sem = semantics(depth=1)
+        assert sem.result_types(parse("let id = \\x -> x in id 5")) == (
+            frozenset({INT})
+        )
+
+    def test_let_two_instantiations(self):
+        # id used at Int and Bool: only possible thanks to the let (VAR)
+        # rule's re-instantiation (Fig. 6 / Ex. 4).
+        sem = semantics(depth=1)
+        program = parse(
+            "let id = \\x -> x in if 0 then id 1 else (if id true then 1 else 2)"
+        )
+        # `if id true` is ill-formed (Bool cond) — use a different probe:
+        program = parse("let id = \\x -> x in (\\u -> id 1) (id true)")
+        assert sem.result_types(program) == frozenset({INT})
+
+
+class TestRecords:
+    def test_empty_record(self):
+        sem = semantics(labels=("x",), include_functions=False)
+        assert sem.result_types(parse("{}")) == frozenset({TRec((), None)})
+
+    def test_update_then_select(self):
+        sem = semantics(labels=("x",), include_functions=False)
+        assert sem.result_types(parse("#x (@{x = 1} {})")) == frozenset(
+            {INT}
+        )
+
+    def test_select_on_empty_record_has_no_types(self):
+        sem = semantics(labels=("x",), include_functions=False)
+        assert sem.result_types(parse("#x {}")) == frozenset()
+
+    def test_update_output_contains_field(self):
+        sem = semantics(labels=("x",), include_functions=False)
+        types = sem.result_types(parse("@{x = 1} {}"))
+        assert types == frozenset({TRec((Field("x", INT),), None)})

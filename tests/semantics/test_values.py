@@ -1,0 +1,51 @@
+"""Tests for the runtime value universe."""
+
+import pytest
+
+from repro.semantics import (
+    MissingFieldError,
+    VBool,
+    VInt,
+    VList,
+    VRecord,
+)
+
+
+class TestVRecord:
+    def test_get_and_set_are_persistent(self):
+        record = VRecord({"a": VInt(1)})
+        updated = record.set("b", VInt(2))
+        assert record.has("a") and not record.has("b")
+        assert updated.get("b") == VInt(2)
+
+    def test_get_missing_raises_with_label(self):
+        with pytest.raises(MissingFieldError) as excinfo:
+            VRecord({}).get("speed")
+        assert excinfo.value.label == "speed"
+
+    def test_without(self):
+        record = VRecord({"a": VInt(1), "b": VInt(2)})
+        assert not record.without("a").has("a")
+        assert record.without("zz") == record
+
+    def test_equality_and_hash_are_structural(self):
+        r1 = VRecord({"a": VInt(1), "b": VInt(2)})
+        r2 = VRecord({"b": VInt(2), "a": VInt(1)})
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != VRecord({"a": VInt(1)})
+
+    def test_repr_is_sorted(self):
+        record = VRecord({"b": VInt(2), "a": VInt(1)})
+        assert repr(record) == "{a = 1, b = 2}"
+
+
+class TestScalars:
+    def test_reprs(self):
+        assert repr(VInt(3)) == "3"
+        assert repr(VBool(True)) == "true"
+        assert repr(VList((VInt(1),))) == "[1]"
+
+    def test_equality(self):
+        assert VInt(1) == VInt(1)
+        assert VInt(1) != VBool(True)

@@ -1,0 +1,54 @@
+"""Tests for shared utilities and the top-level package surface."""
+
+import pytest
+
+import repro
+from repro.util import run_deep
+
+
+class TestRunDeep:
+    def test_returns_value(self):
+        assert run_deep(lambda: 42) == 42
+
+    def test_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            run_deep(lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+    def test_survives_deep_recursion(self):
+        def deep(n: int) -> int:
+            if n == 0:
+                return 0
+            return 1 + deep(n - 1)
+
+        assert run_deep(lambda: deep(100_000)) == 100_000
+
+    def test_deep_nested_let_chain(self):
+        from repro.lang import parse
+        from repro.types import INT, strip
+
+        bindings = "\n".join(f"let x{i} = {i} in" for i in range(3000))
+        source = bindings + " x0"
+        result = run_deep(lambda: repro.infer(run_deep(lambda: parse(source))))
+        assert strip(result.type) == INT
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_infer_alias(self):
+        assert repro.infer is repro.infer_flow
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quick_end_to_end(self):
+        from repro.types import INT, strip
+
+        result = repro.infer(repro.parse("#foo (@{foo = 42} {})"))
+        assert strip(result.type) == INT
+        value = repro.evaluate(repro.parse("#foo (@{foo = 42} {})"))
+        from repro.semantics import VInt
+
+        assert value == VInt(42)

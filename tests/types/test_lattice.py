@@ -1,0 +1,171 @@
+"""Lattice tests: instance order, gci (meet), lca (join), α-equivalence."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.types import (
+    BOOL,
+    Field,
+    INT,
+    Row,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    VarSupply,
+    alpha_equivalent,
+    canonical,
+    enumerate_monotypes,
+    gci,
+    ground_instances,
+    instance_of,
+    lca,
+    lca_many,
+    match,
+)
+
+
+def supply():
+    s = VarSupply()
+    for _ in range(50):
+        s.fresh_type_var()
+        s.fresh_row_var()
+    return s
+
+
+class TestInstanceOrder:
+    def test_ground_instance_of_variable(self):
+        assert instance_of(INT, TVar(0))
+        assert not instance_of(TVar(0), INT)
+
+    def test_reflexive(self):
+        t = TFun(TVar(0), TVar(0))
+        assert instance_of(t, t)
+
+    def test_shared_variable_constrains(self):
+        assert instance_of(TFun(INT, INT), TFun(TVar(0), TVar(0)))
+        assert not instance_of(TFun(INT, BOOL), TFun(TVar(0), TVar(0)))
+
+    def test_record_row_absorbs_extras(self):
+        general = TRec((Field("x", INT),), Row(0))
+        specific = TRec((Field("x", INT), Field("y", BOOL)), None)
+        assert instance_of(specific, general)
+        assert not instance_of(general, specific)
+
+    def test_closed_record_matches_exactly(self):
+        closed = TRec((Field("x", INT),), None)
+        bigger = TRec((Field("x", INT), Field("y", INT)), None)
+        assert not instance_of(bigger, closed)
+
+    def test_match_returns_substitution(self):
+        subst = match(TFun(TVar(0), TVar(1)), TFun(INT, BOOL))
+        assert subst is not None
+        assert subst.apply(TVar(0)) == INT
+
+
+class TestGci:
+    def test_paper_example(self):
+        # gci([a] -> [Int], [Int] -> a) = [Int] -> [Int] (Sect. 4.2).
+        s = supply()
+        result = gci(
+            TFun(TList(TVar(0)), TList(INT)),
+            TFun(TList(INT), TVar(0)),
+            s,
+        )
+        assert result == TFun(TList(INT), TList(INT))
+
+    def test_incompatible_types_give_none(self):
+        assert gci(INT, BOOL, supply()) is None
+
+    def test_gci_is_instance_of_both(self):
+        s = supply()
+        t1 = TFun(TVar(0), INT)
+        t2 = TFun(BOOL, TVar(1))
+        result = gci(t1, t2, s)
+        assert result is not None
+        assert instance_of(result, t1)
+        assert instance_of(result, t2)
+
+    def test_renames_apart(self):
+        # Shared variable names in inputs must not capture.
+        s = supply()
+        result = gci(TVar(0), TFun(TVar(0), TVar(0)), s)
+        assert result is not None  # not an occurs failure
+
+
+class TestLca:
+    def test_join_of_different_constants_is_variable(self):
+        assert isinstance(lca(INT, BOOL, supply()), TVar)
+
+    def test_identical_pairs_share_variable(self):
+        # lgg(Int -> Bool, Bool -> Int): the two positions get *different*
+        # variables; lgg(Int -> Int, Bool -> Bool) shares one.
+        shared = lca(TFun(INT, INT), TFun(BOOL, BOOL), supply())
+        assert isinstance(shared, TFun)
+        assert shared.arg == shared.res
+        unshared = lca(TFun(INT, BOOL), TFun(BOOL, INT), supply())
+        assert unshared.arg != unshared.res
+
+    def test_records_generalize_to_open_row(self):
+        small = TRec((Field("x", INT),), None)
+        large = TRec((Field("x", INT), Field("y", BOOL)), None)
+        join = lca(small, large, supply())
+        assert isinstance(join, TRec)
+        assert join.labels() == ("x",)
+        assert join.row is not None
+        assert instance_of(small, join)
+        assert instance_of(large, join)
+
+    def test_lca_many(self):
+        s = supply()
+        result = lca_many([INT, INT, INT], s)
+        assert result == INT
+        assert lca_many([], s) is None
+
+
+class TestAlphaEquivalence:
+    def test_renaming_invariance(self):
+        assert alpha_equivalent(TFun(TVar(5), TVar(5)), TFun(TVar(9), TVar(9)))
+
+    def test_distinct_sharing_patterns_differ(self):
+        assert not alpha_equivalent(
+            TFun(TVar(5), TVar(6)), TFun(TVar(9), TVar(9))
+        )
+
+    def test_rows_participate(self):
+        assert alpha_equivalent(TRec((), Row(3)), TRec((), Row(8)))
+
+    def test_canonical_is_stable(self):
+        t = TFun(TVar(7), TRec((), Row(4)))
+        assert canonical(t) == canonical(canonical(t))
+
+
+class TestGroundUniverses:
+    def test_enumerate_depth_zero(self):
+        assert set(enumerate_monotypes(0)) == {INT, BOOL}
+
+    def test_enumerate_depth_one_contains_functions_and_records(self):
+        universe = enumerate_monotypes(1, labels=("x",))
+        assert TFun(INT, BOOL) in universe
+        assert TRec((), None) in universe
+        assert TRec((Field("x", INT),), None) in universe
+
+    def test_ground_instances_of_open_record(self):
+        universe = enumerate_monotypes(1, labels=("x",))
+        instances = ground_instances(TRec((), Row(0)), universe)
+        assert TRec((), None) in instances
+        assert all(isinstance(t, TRec) for t in instances)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.sampled_from(
+        enumerate_monotypes(1, labels=("x",), include_functions=True)
+    ),
+    st.sampled_from(
+        enumerate_monotypes(1, labels=("x",), include_functions=True)
+    ),
+)
+def test_lca_is_upper_bound(m1, m2):
+    join = lca(m1, m2, supply())
+    assert instance_of(m1, join)
+    assert instance_of(m2, join)

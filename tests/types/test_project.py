@@ -1,0 +1,117 @@
+"""Tests for ⇓RP/⇑RP and the flag-sequence extraction of Definition 1."""
+
+import pytest
+
+from repro.boolfn import FlagSupply
+from repro.types import (
+    BOOL,
+    Field,
+    INT,
+    Row,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    decorate,
+    env_flag_literals,
+    flag_literals,
+    occurrence_flags,
+    redecorate,
+    strip,
+)
+
+
+class TestStripDecorate:
+    def test_strip_removes_all_flags(self):
+        t = TRec((Field("x", TVar(0, 2), 1),), Row(0, 3))
+        stripped = strip(t)
+        assert stripped == TRec((Field("x", TVar(0)),), Row(0))
+
+    def test_decorate_fills_every_position(self):
+        flags = FlagSupply()
+        t = decorate(TFun(TVar(0), TRec((Field("x", INT),), Row(0))), flags)
+        assert isinstance(t, TFun)
+        assert t.arg.flag is not None
+        assert t.res.fields[0].flag is not None
+        assert t.res.row.flag is not None
+
+    def test_redecorate_renames_all_flags(self):
+        flags = FlagSupply()
+        original = decorate(TVar(0), flags)
+        copy = redecorate(original, flags)
+        assert strip(copy) == strip(original)
+        assert copy.flag != original.flag
+
+    def test_strip_decorate_roundtrip(self):
+        flags = FlagSupply()
+        t = TFun(TList(TVar(1)), TRec((), Row(2)))
+        assert strip(decorate(t, flags)) == t
+
+
+class TestFlagLiterals:
+    def test_variable(self):
+        assert flag_literals(TVar(0, 7)) == (7,)
+
+    def test_base_types_have_no_flags(self):
+        assert flag_literals(INT) == ()
+        assert flag_literals(BOOL) == ()
+
+    def test_function_negates_argument(self):
+        # [t1 -> t2] = ⟨¬f1..¬fn⟩ · [t2]
+        t = TFun(TVar(0, 1), TVar(0, 2))
+        assert flag_literals(t) == (-1, 2)
+
+    def test_double_negation_in_nested_argument(self):
+        # ((a.f1 -> a.f2) -> a.f3): f1 is doubly contravariant = positive.
+        t = TFun(TFun(TVar(0, 1), TVar(0, 2)), TVar(0, 3))
+        assert flag_literals(t) == (1, -2, 3)
+
+    def test_record_order_fields_then_row_then_contents(self):
+        t = TRec(
+            (
+                Field("a", TVar(0, 13), 10),
+                Field("b", TVar(1, 14), 11),
+            ),
+            Row(0, 12),
+        )
+        assert flag_literals(t) == (10, 11, 12, 13, 14)
+
+    def test_list_is_transparent(self):
+        assert flag_literals(TList(TVar(0, 9))) == (9,)
+
+    def test_undecorated_position_raises(self):
+        with pytest.raises(ValueError):
+            flag_literals(TVar(0))
+
+    def test_equal_skeletons_align(self):
+        flags = FlagSupply()
+        skeleton = TFun(TRec((Field("x", TVar(0)),), Row(0)), TVar(1))
+        a = decorate(skeleton, flags)
+        b = decorate(skeleton, flags)
+        assert len(flag_literals(a)) == len(flag_literals(b))
+        # signs agree positionally
+        for la, lb in zip(flag_literals(a), flag_literals(b)):
+            assert (la > 0) == (lb > 0)
+
+
+class TestEnvFlagLiterals:
+    def test_sorted_name_order(self):
+        env = {"b": TVar(0, 2), "a": TVar(1, 1)}
+        assert env_flag_literals(env) == (1, 2)
+
+
+class TestOccurrenceFlags:
+    def test_type_variable_occurrences(self):
+        t = TFun(TVar(0, 1), TFun(TVar(1, 2), TVar(0, 3)))
+        assert occurrence_flags(t, type_var=0) == [1, 3]
+        assert occurrence_flags(t, type_var=1) == [2]
+
+    def test_row_occurrences(self):
+        t = TFun(TRec((), Row(0, 1)), TRec((), Row(0, 2)))
+        assert occurrence_flags(t, row_var=0) == [1, 2]
+
+    def test_requires_exactly_one_kind(self):
+        with pytest.raises(ValueError):
+            occurrence_flags(INT)
+        with pytest.raises(ValueError):
+            occurrence_flags(INT, type_var=0, row_var=0)

@@ -1,0 +1,100 @@
+"""Property-based tests for Definition 1 (flag sequences) and ⇑/⇓."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import FlagSupply
+from repro.types import (
+    BOOL,
+    Field,
+    INT,
+    Row,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    all_flags,
+    decorate,
+    flag_literals,
+    strip,
+)
+
+
+def _plain_type_strategy():
+    leaves = st.one_of(
+        st.just(INT),
+        st.just(BOOL),
+        st.integers(min_value=0, max_value=3).map(TVar),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: TFun(*p)),
+            children.map(TList),
+            st.tuples(
+                st.lists(
+                    st.tuples(st.sampled_from(["x", "y", "z"]), children),
+                    max_size=3,
+                    unique_by=lambda kv: kv[0],
+                ),
+                st.integers(min_value=0, max_value=2),
+            ).map(
+                lambda p: TRec(
+                    tuple(Field(k, v) for k, v in p[0]), Row(p[1])
+                )
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_plain_type_strategy())
+def test_decorate_strip_roundtrip(t):
+    flags = FlagSupply()
+    assert strip(decorate(t, flags)) == t
+
+
+@settings(max_examples=200, deadline=None)
+@given(_plain_type_strategy())
+def test_flag_sequence_covers_every_flag_exactly_once(t):
+    flags = FlagSupply()
+    decorated = decorate(t, flags)
+    literals = flag_literals(decorated)
+    assert sorted(abs(lit) for lit in literals) == sorted(all_flags(decorated))
+    assert len(set(abs(lit) for lit in literals)) == len(literals)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_plain_type_strategy())
+def test_sequences_of_equal_skeletons_align(t):
+    flags = FlagSupply()
+    a = decorate(t, flags)
+    b = decorate(t, flags)
+    lits_a = flag_literals(a)
+    lits_b = flag_literals(b)
+    assert len(lits_a) == len(lits_b)
+    for la, lb in zip(lits_a, lits_b):
+        assert (la > 0) == (lb > 0)  # variance agrees positionally
+
+
+@settings(max_examples=200, deadline=None)
+@given(_plain_type_strategy())
+def test_argument_position_flips_every_sign(t):
+    flags = FlagSupply()
+    decorated = decorate(t, flags)
+    result_var = TVar(9, flags.fresh())
+    wrapped = TFun(decorated, result_var)
+    inner = flag_literals(decorated)
+    outer = flag_literals(wrapped)
+    # [t1 -> t2] = ⟨¬f1..¬fn⟩ · [t2]
+    assert outer[: len(inner)] == tuple(-lit for lit in inner)
+    assert outer[len(inner):] == flag_literals(result_var)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_plain_type_strategy())
+def test_double_wrapping_restores_signs(t):
+    flags = FlagSupply()
+    decorated = decorate(t, flags)
+    twice = TFun(TFun(decorated, INT), INT)
+    assert flag_literals(twice) == flag_literals(decorated) + ()

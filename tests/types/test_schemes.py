@@ -1,0 +1,62 @@
+"""Tests for type schemes: generalisation and instantiation."""
+
+from repro.types import (
+    Field,
+    INT,
+    Row,
+    Scheme,
+    TFun,
+    TRec,
+    TVar,
+    VarSupply,
+    alpha_equivalent,
+    generalize,
+    instantiate,
+    monomorphic,
+    type_vars,
+)
+
+
+class TestGeneralize:
+    def test_quantifies_free_variables(self):
+        scheme = generalize(TFun(TVar(0), TVar(0)), [])
+        assert scheme.quantified_type_vars == frozenset({0})
+
+    def test_env_variables_stay_monomorphic(self):
+        scheme = generalize(TFun(TVar(0), TVar(1)), [TVar(0)])
+        assert scheme.quantified_type_vars == frozenset({1})
+
+    def test_rows_quantify_independently(self):
+        t = TRec((Field("x", TVar(0)),), Row(3))
+        scheme = generalize(t, [TRec((), Row(3))])
+        assert scheme.quantified_type_vars == frozenset({0})
+        assert scheme.quantified_row_vars == frozenset()
+
+    def test_monomorphic_helper(self):
+        scheme = monomorphic(TVar(0))
+        assert scheme.is_monomorphic()
+
+
+class TestInstantiate:
+    def test_fresh_variables_per_instance(self):
+        supply = VarSupply()
+        a = supply.fresh_type_var()
+        scheme = Scheme(frozenset({a}), frozenset(), TFun(TVar(a), TVar(a)))
+        inst1 = instantiate(scheme, supply)
+        inst2 = instantiate(scheme, supply)
+        assert alpha_equivalent(inst1, inst2)
+        assert type_vars(inst1).isdisjoint(type_vars(inst2))
+
+    def test_unquantified_variables_shared(self):
+        supply = VarSupply()
+        a = supply.fresh_type_var()
+        b = supply.fresh_type_var()
+        scheme = Scheme(frozenset({a}), frozenset(), TFun(TVar(a), TVar(b)))
+        inst = instantiate(scheme, supply)
+        assert b in type_vars(inst)
+        assert a not in type_vars(inst)
+
+    def test_instantiating_ground_scheme_is_identity(self):
+        supply = VarSupply()
+        scheme = monomorphic(INT)
+        assert instantiate(scheme, supply) == INT

@@ -1,0 +1,66 @@
+"""Tests for substitution application."""
+
+import pytest
+
+from repro.types import (
+    Field,
+    IDENTITY,
+    INT,
+    Row,
+    Subst,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+)
+
+
+class TestApply:
+    def test_identity(self):
+        assert IDENTITY.is_identity()
+        t = TFun(TVar(0), INT)
+        assert IDENTITY.apply(t) == t
+
+    def test_type_variable_replacement(self):
+        subst = Subst({0: INT}, {})
+        assert subst.apply(TVar(0)) == INT
+        assert subst.apply(TVar(1)) == TVar(1)
+
+    def test_structural_recursion(self):
+        subst = Subst({0: INT}, {})
+        assert subst.apply(TList(TFun(TVar(0), TVar(0)))) == TList(
+            TFun(INT, INT)
+        )
+
+    def test_row_extension(self):
+        subst = Subst({}, {0: ((Field("x", INT),), Row(1))})
+        record = TRec((Field("y", INT),), Row(0))
+        applied = subst.apply(record)
+        assert applied.labels() == ("x", "y")
+        assert applied.row == Row(1)
+
+    def test_row_closing(self):
+        subst = Subst({}, {0: ((), None)})
+        applied = subst.apply(TRec((Field("y", INT),), Row(0)))
+        assert applied.row is None
+
+    def test_apply_env(self):
+        subst = Subst({0: INT}, {})
+        env = {"a": TVar(0), "b": TVar(1)}
+        assert subst.apply_env(env) == {"a": INT, "b": TVar(1)}
+
+    def test_domains(self):
+        subst = Subst({0: INT, 3: INT}, {7: ((), None)})
+        assert subst.domain_type_vars() == {0, 3}
+        assert subst.domain_row_vars() == {7}
+
+    def test_flagged_terms_rejected(self):
+        # Substitutions are σ ∈ V -> P; flagged terms must go through
+        # applyS so flow information is duplicated.
+        subst = Subst({0: INT}, {})
+        with pytest.raises(ValueError):
+            subst.apply(TVar(0, 5))
+        with pytest.raises(ValueError):
+            subst.apply(TRec((Field("x", INT, 5),), None))
+        with pytest.raises(ValueError):
+            subst.apply(TRec((), Row(0, 5)))

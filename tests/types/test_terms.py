@@ -1,0 +1,90 @@
+"""Tests for type-term construction and traversals."""
+
+import pytest
+
+from repro.types import (
+    BOOL,
+    Field,
+    INT,
+    Row,
+    TCon,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    VarSupply,
+    all_flags,
+    fun,
+    is_monotype,
+    rec,
+    row_vars,
+    subterms,
+    type_vars,
+)
+
+
+class TestConstruction:
+    def test_record_fields_sorted_by_label(self):
+        record = TRec((Field("b", INT), Field("a", BOOL)), None)
+        assert record.labels() == ("a", "b")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            TRec((Field("a", INT), Field("a", BOOL)), None)
+
+    def test_field_lookup(self):
+        record = rec({"x": INT, "y": BOOL})
+        assert record.field("x").type == INT
+        assert record.field("nope") is None
+
+    def test_fun_right_associates(self):
+        assert fun(INT, BOOL, INT) == TFun(INT, TFun(BOOL, INT))
+
+    def test_fun_requires_one_type(self):
+        with pytest.raises(ValueError):
+            fun()
+
+    def test_tcon_identity(self):
+        assert TCon("Pre") == TCon("Pre")
+        assert TCon("Pre") != TCon("Abs")
+
+
+class TestVariables:
+    def test_type_vars(self):
+        t = TFun(TVar(0), TRec((Field("x", TVar(1)),), Row(5)))
+        assert type_vars(t) == {0, 1}
+        assert row_vars(t) == {5}
+
+    def test_supply_is_monotonic(self):
+        supply = VarSupply()
+        assert supply.fresh_type_var() == 0
+        assert supply.fresh_type_var() == 1
+        assert supply.fresh_row_var() == 0  # separate namespace
+
+
+class TestTraversals:
+    def test_subterms(self):
+        t = TFun(INT, TList(BOOL))
+        assert list(subterms(t)) == [t, INT, TList(BOOL), BOOL]
+
+    def test_all_flags_positional_order(self):
+        # Record: field flags, row flag, then content flags (Def. 1 order).
+        t = TRec((Field("a", TVar(0, 11), 10),), Row(0, 12))
+        assert all_flags(t) == [10, 12, 11]
+
+    def test_all_flags_skips_undecorated(self):
+        assert all_flags(TFun(INT, TVar(0))) == []
+
+
+class TestIsMonotype:
+    def test_ground_types(self):
+        assert is_monotype(INT)
+        assert is_monotype(TFun(INT, BOOL))
+        assert is_monotype(TRec((Field("a", INT),), None))
+
+    def test_variables_are_not_monotypes(self):
+        assert not is_monotype(TVar(0))
+        assert not is_monotype(TList(TVar(0)))
+
+    def test_open_records_are_not_monotypes(self):
+        assert not is_monotype(TRec((), Row(0)))

@@ -1,0 +1,192 @@
+"""Unification tests: standard cases, row rewriting, occurs checks, and a
+hypothesis property (an mgu actually unifies)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.types import (
+    BOOL,
+    Field,
+    INT,
+    OccursCheckError,
+    Row,
+    TFun,
+    TList,
+    TRec,
+    TVar,
+    UnifyError,
+    VarSupply,
+    mgu,
+    mgu_env,
+    strip,
+    unifiable,
+)
+
+
+def fresh_supply(n_types=20, n_rows=20):
+    supply = VarSupply()
+    for _ in range(n_types):
+        supply.fresh_type_var()
+    for _ in range(n_rows):
+        supply.fresh_row_var()
+    return supply
+
+
+class TestBasicUnification:
+    def test_identical_constants(self):
+        assert mgu(INT, INT, fresh_supply()).is_identity()
+
+    def test_constant_clash(self):
+        with pytest.raises(UnifyError):
+            mgu(INT, BOOL, fresh_supply())
+
+    def test_variable_binding(self):
+        subst = mgu(TVar(0), INT, fresh_supply())
+        assert subst.apply(TVar(0)) == INT
+
+    def test_function_components(self):
+        subst = mgu(
+            TFun(TVar(0), TVar(0)), TFun(INT, TVar(1)), fresh_supply()
+        )
+        assert subst.apply(TVar(1)) == INT
+
+    def test_occurs_check(self):
+        with pytest.raises(OccursCheckError):
+            mgu(TVar(0), TFun(TVar(0), INT), fresh_supply())
+
+    def test_lists(self):
+        subst = mgu(TList(TVar(0)), TList(INT), fresh_supply())
+        assert subst.apply(TVar(0)) == INT
+
+    def test_unifiable_helper(self):
+        assert unifiable(TVar(0), INT, fresh_supply())
+        assert not unifiable(INT, BOOL, fresh_supply())
+
+
+class TestRowUnification:
+    def test_disjoint_fields_exchange(self):
+        t1 = TRec((Field("x", INT),), Row(0))
+        t2 = TRec((Field("y", BOOL),), Row(1))
+        subst = mgu(t1, t2, fresh_supply())
+        u1, u2 = subst.apply(t1), subst.apply(t2)
+        assert u1 == u2
+        assert set(u1.labels()) == {"x", "y"}
+        assert u1.row is not None  # still open
+
+    def test_common_fields_unify_pointwise(self):
+        t1 = TRec((Field("x", TVar(0)),), Row(0))
+        t2 = TRec((Field("x", INT),), Row(1))
+        subst = mgu(t1, t2, fresh_supply())
+        assert subst.apply(TVar(0)) == INT
+
+    def test_field_type_clash(self):
+        t1 = TRec((Field("x", INT),), Row(0))
+        t2 = TRec((Field("x", BOOL),), Row(1))
+        with pytest.raises(UnifyError):
+            mgu(t1, t2, fresh_supply())
+
+    def test_closed_record_absorbs_from_open(self):
+        closed = TRec((Field("x", INT),), None)
+        open_ = TRec((), Row(0))
+        subst = mgu(closed, open_, fresh_supply())
+        assert subst.apply(open_) == closed
+
+    def test_closed_record_missing_field_fails(self):
+        closed = TRec((Field("x", INT),), None)
+        demanding = TRec((Field("y", INT),), Row(0))
+        with pytest.raises(UnifyError):
+            mgu(closed, demanding, fresh_supply())
+
+    def test_same_row_different_fields_fails(self):
+        t1 = TRec((Field("x", INT),), Row(0))
+        t2 = TRec((), Row(0))
+        with pytest.raises(UnifyError):
+            mgu(t1, t2, fresh_supply())
+
+    def test_same_row_same_fields_succeeds(self):
+        t1 = TRec((Field("x", TVar(0)),), Row(0))
+        t2 = TRec((Field("x", INT),), Row(0))
+        subst = mgu(t1, t2, fresh_supply())
+        assert subst.apply(TVar(0)) == INT
+
+    def test_row_occurs_check(self):
+        # The monadic-state scenario of Sect. 6: a record whose field
+        # contains the record's own row.
+        inner = TRec((), Row(0))
+        t1 = TRec((Field("k", inner),), Row(1))
+        t2 = TRec((), Row(0))
+        with pytest.raises(OccursCheckError):
+            mgu(t1, t2, fresh_supply())
+
+    def test_variable_unifies_with_record(self):
+        record = TRec((Field("x", INT),), Row(0))
+        subst = mgu(TVar(0), record, fresh_supply())
+        assert subst.apply(TVar(0)) == record
+
+
+class TestMguEnv:
+    def test_pointwise(self):
+        env1 = {"a": TVar(0), "b": TFun(TVar(0), INT)}
+        env2 = {"a": INT, "b": TVar(1)}
+        subst = mgu_env(env1, env2, fresh_supply())
+        assert subst.apply_env(env1) == subst.apply_env(env2)
+
+    def test_domain_mismatch(self):
+        with pytest.raises(UnifyError):
+            mgu_env({"a": INT}, {"b": INT}, fresh_supply())
+
+
+class TestFlagAgnosticResolve:
+    def test_substitution_output_is_stripped(self):
+        # The unifier may be fed flagged terms; the extracted substitution
+        # must be plain (σ ∈ V -> P).
+        flagged = TRec((Field("x", TVar(1, 7), 6),), Row(0, 8))
+        subst = mgu(TVar(0, 5), flagged, fresh_supply())
+        image = subst.apply(TVar(0))
+        assert image == strip(flagged)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: mgu really unifies; idempotence
+# ---------------------------------------------------------------------------
+def _type_strategy():
+    leaves = st.one_of(
+        st.just(INT),
+        st.just(BOOL),
+        st.integers(min_value=0, max_value=3).map(TVar),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: TFun(*p)),
+            children.map(TList),
+            st.tuples(
+                st.lists(
+                    st.tuples(st.sampled_from(["x", "y"]), children),
+                    max_size=2,
+                    unique_by=lambda kv: kv[0],
+                ),
+                st.integers(min_value=0, max_value=2),
+            ).map(
+                lambda p: TRec(
+                    tuple(Field(k, v) for k, v in p[0]), Row(p[1])
+                )
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+@settings(max_examples=300, deadline=None)
+@given(_type_strategy(), _type_strategy())
+def test_mgu_unifies_and_is_idempotent(t1, t2):
+    supply = fresh_supply()
+    try:
+        subst = mgu(t1, t2, supply)
+    except UnifyError:
+        return
+    u1 = subst.apply(t1)
+    u2 = subst.apply(t2)
+    assert u1 == u2
+    # idempotence
+    assert subst.apply(u1) == u1

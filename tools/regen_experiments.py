@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables of EXPERIMENTS.md and print them as
+markdown.  Keeps the documented numbers honest: run this and paste.
+
+    python tools/regen_experiments.py --scale 0.15
+    python tools/regen_experiments.py --scale 1.0     # full paper sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.gdsl import FIG9_CORPORA, build_corpus  # noqa: E402
+from repro.infer import FlowOptions, infer_flow  # noqa: E402
+from repro.lang import parse  # noqa: E402
+from repro.util import run_deep  # noqa: E402
+
+
+def fig9_table(scale: float, seed: int) -> None:
+    print(f"Measured (synthetic corpora, scale {scale}):")
+    print()
+    print("| decoder          | lines | w/o fields | w. fields | ratio |")
+    print("|------------------|-------|-----------:|----------:|------:|")
+    for spec in FIG9_CORPORA:
+        program = build_corpus(spec, scale=scale, seed=seed)
+        expr = run_deep(lambda: parse(program.source))
+        start = time.perf_counter()
+        run_deep(lambda: infer_flow(expr, FlowOptions(track_fields=False)))
+        without = time.perf_counter() - start
+        start = time.perf_counter()
+        run_deep(lambda: infer_flow(expr))
+        with_fields = time.perf_counter() - start
+        print(
+            f"| {spec.name:<16} | {program.lines:>5} | "
+            f"{without:>9.2f} s | {with_fields:>8.2f} s | "
+            f"{with_fields / max(without, 1e-9):>5.2f} |"
+        )
+    print()
+
+
+def cost_split() -> None:
+    from repro.gdsl import GeneratorConfig, generate_decoder
+
+    program = generate_decoder(GeneratorConfig(target_lines=600))
+    expr = run_deep(lambda: parse(program.source))
+    start = time.perf_counter()
+    result = run_deep(lambda: infer_flow(expr))
+    total = time.perf_counter() - start
+    stats = result.stats
+    print(f"E5 cost split on a 600-line decoder (total {total:.2f} s):")
+    print(f"  applyS : {stats.applys_seconds:6.3f} s "
+          f"({stats.applys_seconds / total:5.1%})")
+    print(f"  GC     : {stats.gc_seconds:6.3f} s "
+          f"({stats.gc_seconds / total:5.1%})")
+    print(f"  solver : {stats.solver_seconds:6.3f} s "
+          f"({stats.solver_seconds / total:5.1%})")
+    print()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-cost-split", action="store_true",
+        help="only print the Fig. 9 table",
+    )
+    args = parser.parse_args()
+    fig9_table(args.scale, args.seed)
+    if not args.skip_cost_split:
+        cost_split()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,20 @@
 The same program skeleton is typed with each class of record operation and
 the final satisfiability check is timed, demonstrating the cost ladder of
 Sect. 5: 2-SAT (select/update) < dual-Horn (@) < general (when / @@).
+
+Queries go through :class:`repro.boolfn.SatEngine`, so each row also
+reports the engine's telemetry (dispatch class, CDCL counters, cache
+hits).  ``python benchmarks/bench_solver_classes.py --quick`` runs every
+program once without pytest-benchmark and prints the stats as JSON — the
+CI smoke test asserts that output is well-formed.
 """
+
+import json
 
 import pytest
 
-from repro.boolfn.classify import FormulaClass, classify, solve
+from repro.boolfn import SatEngine
+from repro.boolfn.classify import classify
 from repro.infer import FlowOptions, infer_flow
 from repro.lang import parse
 
@@ -22,14 +31,84 @@ PROGRAMS = {
     "general(symcat)": "({a = 1} @@ {b = 2}) @@ {c = 3}",
 }
 
+EXPECTED_STAT_KEYS = {
+    "queries",
+    "sat_answers",
+    "unsat_answers",
+    "dispatch_class",
+    "dispatch_counts",
+    "clauses_ingested",
+    "upgrades",
+    "rebuilds",
+    "cache_hits",
+    "conflicts",
+    "propagations",
+    "restarts",
+    "decisions",
+    "wall_seconds",
+}
+
+
+def _formula_of(name: str):
+    # Build the formula once with GC off so the full clause set remains.
+    result = infer_flow(parse(PROGRAMS[name]), FlowOptions(gc=False))
+    return result
+
 
 @pytest.mark.parametrize("name", list(PROGRAMS))
 def test_solve_formula_of_class(benchmark, name):
-    # Build the formula once with GC off so the full clause set remains.
-    result = infer_flow(parse(PROGRAMS[name]), FlowOptions(gc=False))
+    result = _formula_of(name)
     beta = result.beta
+    engine = SatEngine(beta)
     benchmark.extra_info["formula_class"] = classify(beta).value
     benchmark.extra_info["peak_class"] = result.stats.peak_formula_class
     benchmark.extra_info["clauses"] = len(beta)
-    model = benchmark(lambda: solve(beta))
+    model = benchmark(engine.solve)
     assert model is not None
+    stats = engine.stats().as_dict()
+    assert EXPECTED_STAT_KEYS <= set(stats)
+    benchmark.extra_info["engine_stats"] = json.loads(json.dumps(stats))
+
+
+def collect_stats() -> dict:
+    """One engine-backed solve per program; returns the telemetry table.
+
+    The quick mode of the CI workflow calls this and checks the result
+    round-trips through JSON with the expected keys.
+    """
+    table = {}
+    for name in PROGRAMS:
+        result = _formula_of(name)
+        engine = SatEngine(result.beta)
+        model = engine.solve()
+        assert model is not None, f"{name}: expected satisfiable"
+        stats = engine.stats().as_dict()
+        missing = EXPECTED_STAT_KEYS - set(stats)
+        assert not missing, f"{name}: stats missing keys {sorted(missing)}"
+        table[name] = {
+            "formula_class": classify(result.beta).value,
+            "clauses": len(result.beta),
+            "engine_stats": stats,
+        }
+    return table
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run each program once and print the stats table as JSON",
+    )
+    parser.parse_args(argv)
+    table = collect_stats()
+    text = json.dumps(table, indent=2, sort_keys=True)
+    # Round-trip: the stats hook must emit JSON-serialisable values only.
+    json.loads(text)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,13 +9,23 @@ and a family of solvers matching the complexity classes of Sect. 5
 """
 
 from .bdd import Bdd
-from .cdcl import is_satisfiable_cdcl, solve_cdcl
-from .classify import FormulaClass, classify, is_satisfiable, solve
+from .cdcl import is_satisfiable_cdcl, luby, solve_cdcl
+from .classify import (
+    CLASS_RANK,
+    FormulaClass,
+    class_of_profile,
+    classify,
+    clause_profile,
+    is_satisfiable,
+    solve,
+)
 from .cnf import Clause, Cnf, Literal, normalize_clause, substitute_literals
 from .dpll import is_satisfiable_dpll, solve_dpll
+from .engine import SatEngine, SolverStats
 from .expansion import expand, expand_many
 from .flags import FlagSupply
 from .hornsat import (
+    IncrementalHorn,
     NotHornError,
     is_horn_clause,
     is_satisfiable_horn,
@@ -23,17 +33,30 @@ from .hornsat import (
     solve_horn,
 )
 from .projection import eliminate_variable, project_onto, projected
-from .twosat import NotTwoCnfError, is_satisfiable_2sat, solve_2sat
+from .twosat import (
+    IncrementalTwoSat,
+    NotTwoCnfError,
+    is_satisfiable_2sat,
+    solve_2sat,
+)
 
 __all__ = [
     "Bdd",
+    "CLASS_RANK",
     "Clause",
     "Cnf",
     "FlagSupply",
     "FormulaClass",
+    "IncrementalHorn",
+    "IncrementalTwoSat",
     "Literal",
     "NotHornError",
     "NotTwoCnfError",
+    "SatEngine",
+    "SolverStats",
+    "class_of_profile",
+    "clause_profile",
+    "luby",
     "classify",
     "eliminate_variable",
     "expand",

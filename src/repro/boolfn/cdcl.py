@@ -42,7 +42,13 @@ def luby(i: int) -> int:
 
 
 class _Solver:
-    """One CDCL search over a fixed clause database."""
+    """One CDCL search over a growable clause database.
+
+    The instance survives between :meth:`solve` calls: learnt clauses,
+    variable activities, saved phases and the root-level trail all persist,
+    and :meth:`add_clause` attaches new clauses so the next query resumes
+    instead of starting over (MiniSat-style incremental solving).
+    """
 
     def __init__(self, clauses: list[list[int]], variables: set[int]) -> None:
         self.clauses: list[list[int]] = clauses
@@ -58,6 +64,15 @@ class _Solver:
         self.var_decay = 0.95
         self.qhead = 0
         self.variables = variables
+        # False once a root-level conflict is derived: the clause set only
+        # grows, so unsatisfiability is permanent.
+        self.ok = True
+        self._units_asserted = False
+        # Telemetry (cumulative across solve calls).
+        self.conflicts = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.decisions = 0
         for idx, clause in enumerate(self.clauses):
             if len(clause) >= 2:
                 self._watch(clause[0], idx)
@@ -121,6 +136,7 @@ class _Solver:
                     self.qhead = len(self.trail)
                     return idx
                 self.enqueue(first, idx)
+                self.propagations += 1
                 i += 1
         return None
 
@@ -204,13 +220,52 @@ class _Solver:
                     best_activity = activity
         return best
 
+    def add_clause(self, literals: list[int]) -> None:
+        """Attach a new clause between queries (incremental interface).
+
+        Backtracks to the root level, orders two currently-unfalsified
+        literals into the watch positions, and enqueues the clause's
+        consequence if it is already unit under the root assignment.
+        """
+        self.backjump(0)
+        for lit in literals:
+            var = abs(lit)
+            if var not in self.variables:
+                self.variables.add(var)
+                self.activity.setdefault(var, 0.0)
+        idx = len(self.clauses)
+        if len(literals) == 1:
+            self.clauses.append(list(literals))
+            if not self.enqueue(literals[0], idx):
+                self.ok = False
+            return
+        unfalsified = [l for l in literals if self.value(l) is not False]
+        falsified = [l for l in literals if self.value(l) is False]
+        arranged = unfalsified + falsified
+        self.clauses.append(arranged)
+        self._watch(arranged[0], idx)
+        self._watch(arranged[1], idx)
+        if not unfalsified:
+            self.ok = False
+        elif len(unfalsified) == 1:
+            if not self.enqueue(arranged[0], idx):
+                self.ok = False
+
     def solve(self) -> Optional[dict[int, bool]]:
-        # Assert unit clauses at level 0.
-        for idx, clause in enumerate(self.clauses):
-            if len(clause) == 1:
-                if not self.enqueue(clause[0], idx):
-                    return None
+        if not self.ok:
+            return None
+        self.backjump(0)
+        if not self._units_asserted:
+            # Assert the initial unit clauses at level 0 (clauses added
+            # later assert theirs in add_clause).
+            self._units_asserted = True
+            for idx, clause in enumerate(self.clauses):
+                if len(clause) == 1:
+                    if not self.enqueue(clause[0], idx):
+                        self.ok = False
+                        return None
         if self.propagate() is not None:
+            self.ok = False
             return None
 
         restart_count = 1
@@ -221,7 +276,9 @@ class _Solver:
             conflict = self.propagate()
             if conflict is not None:
                 conflicts += 1
+                self.conflicts += 1
                 if self.decision_level() == 0:
+                    self.ok = False
                     return None
                 learnt, back_level = self.analyze(conflict)
                 self.backjump(back_level)
@@ -236,12 +293,14 @@ class _Solver:
                     conflicts = 0
                     restart_count += 1
                     conflicts_until_restart = 32 * luby(restart_count)
+                    self.restarts += 1
                     self.backjump(0)
                 continue
             variable = self.pick_branch_variable()
             if variable is None:
                 return dict(self.assign)
             self.trail_lim.append(len(self.trail))
+            self.decisions += 1
             polarity = self.phase.get(variable, False)
             self.enqueue(variable if polarity else -variable, None)
 

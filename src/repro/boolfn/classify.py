@@ -33,26 +33,38 @@ class FormulaClass(enum.Enum):
     GENERAL = "general"
 
 
-def classify(cnf: Cnf) -> FormulaClass:
-    """Return the cheapest class the formula belongs to.
+#: Cost order of the classes; adding clauses can only move a formula to a
+#: class of equal or higher rank (see ``class_of_profile``).
+CLASS_RANK: dict[FormulaClass, int] = {
+    FormulaClass.TWO_SAT: 0,
+    FormulaClass.HORN: 1,
+    FormulaClass.DUAL_HORN: 2,
+    FormulaClass.GENERAL: 3,
+}
+
+
+def clause_profile(clause: tuple[int, ...]) -> tuple[bool, bool, bool]:
+    """``(two, horn, dual)`` membership of a single clause.
+
+    The profile of a formula is the pointwise conjunction of its clause
+    profiles, which is what makes classification incremental: each flag is
+    monotonically falsified as clauses arrive.
+    """
+    positives = sum(1 for lit in clause if lit > 0)
+    return (
+        len(clause) <= 2,
+        positives <= 1,
+        len(clause) - positives <= 1,
+    )
+
+
+def class_of_profile(two: bool, horn: bool, dual: bool) -> FormulaClass:
+    """The cheapest class compatible with a formula profile.
 
     2-CNF is reported before Horn (both are linear, but the 2-SAT solver is
     the one the core inference uses); dual-Horn is reported only for
     formulas that are not Horn as written.
     """
-    two = True
-    horn = True
-    dual = True
-    for clause in cnf.clauses():
-        if len(clause) > 2:
-            two = False
-        positives = sum(1 for lit in clause if lit > 0)
-        if positives > 1:
-            horn = False
-        if len(clause) - positives > 1:
-            dual = False
-        if not (two or horn or dual):
-            return FormulaClass.GENERAL
     if two:
         return FormulaClass.TWO_SAT
     if horn:
@@ -60,6 +72,21 @@ def classify(cnf: Cnf) -> FormulaClass:
     if dual:
         return FormulaClass.DUAL_HORN
     return FormulaClass.GENERAL
+
+
+def classify(cnf: Cnf) -> FormulaClass:
+    """Return the cheapest class the formula belongs to."""
+    two = True
+    horn = True
+    dual = True
+    for clause in cnf.clauses():
+        c_two, c_horn, c_dual = clause_profile(clause)
+        two = two and c_two
+        horn = horn and c_horn
+        dual = dual and c_dual
+        if not (two or horn or dual):
+            return FormulaClass.GENERAL
+    return class_of_profile(two, horn, dual)
 
 
 def solve(cnf: Cnf) -> Optional[dict[int, bool]]:

@@ -59,13 +59,19 @@ class Cnf:
     onto the live flags (stale-variable GC, Sect. 6).
     """
 
-    __slots__ = ("_clauses", "_index", "_clause_set", "_unsat")
+    __slots__ = ("_clauses", "_index", "_clause_set", "_unsat", "_revision")
 
     def __init__(self, clauses: Iterable[Iterable[Literal]] = ()) -> None:
         self._clauses: list[Optional[Clause]] = []
         self._index: dict[int, set[int]] = {}
         self._clause_set: set[Clause] = set()
         self._unsat = False
+        # Bumped on every *non-monotonic* change (clause removal or storage
+        # compaction).  Incremental consumers (repro.boolfn.engine) combine
+        # it with a cursor into the append-only tail: while the revision is
+        # unchanged, `clauses_from(cursor)` yields exactly the clauses added
+        # since the cursor was taken; a revision bump invalidates cursors.
+        self._revision = 0
         for clause in clauses:
             self.add_clause(clause)
 
@@ -150,6 +156,28 @@ class Cnf:
         """Iterate over the live clauses."""
         return (c for c in self._clauses if c is not None)
 
+    @property
+    def revision(self) -> int:
+        """Generation counter for non-monotonic changes.
+
+        Unchanged revision guarantees the formula only *grew* since a
+        cursor was taken with :meth:`cursor`/:meth:`clauses_from`.
+        """
+        return self._revision
+
+    def cursor(self) -> int:
+        """Opaque position marking the current end of the clause log."""
+        return len(self._clauses)
+
+    def clauses_from(self, start: int) -> tuple[list[Clause], int]:
+        """Live clauses appended at or after ``start``, plus a new cursor.
+
+        Only meaningful while :attr:`revision` is unchanged since ``start``
+        was obtained.
+        """
+        added = [c for c in self._clauses[start:] if c is not None]
+        return added, len(self._clauses)
+
     def __len__(self) -> int:
         return len(self._clause_set)
 
@@ -179,6 +207,7 @@ class Cnf:
         other._index = {v: set(ps) for v, ps in self._index.items()}
         other._clause_set = set(self._clause_set)
         other._unsat = self._unsat
+        other._revision = self._revision
         return other
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -204,6 +233,8 @@ class Cnf:
             self._clause_set.discard(clause)
             for lit in clause:
                 self._index[abs(lit)].discard(position)
+        if removed:
+            self._revision += 1
         return removed
 
     def compact(self, force: bool = True) -> None:
@@ -215,6 +246,7 @@ class Cnf:
         live = [c for c in self._clauses if c is not None]
         if not force and len(self._clauses) < 2 * len(live) + 16:
             return
+        self._revision += 1
         self._clauses = []
         self._index = {}
         self._clause_set = set()

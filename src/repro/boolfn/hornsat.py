@@ -31,6 +31,97 @@ def is_horn_clause(clause: tuple[int, ...]) -> bool:
     return sum(1 for lit in clause if lit > 0) <= 1
 
 
+class IncrementalHorn:
+    """Dowling–Gallier forward chaining that persists between queries.
+
+    The least model of a Horn formula only grows as clauses are conjoined,
+    so the per-clause pending counters, the watch lists and the set of
+    derived facts all survive clause additions: each added clause is
+    charged against the facts already derived, and a query merely drains
+    the propagation queue.  Total work over any addition/query interleaving
+    is O(formula), matching the one-shot algorithm.
+
+    ``flip=True`` solves *dual-Horn* formulas: literals are negated on
+    ingestion and the model complemented on output, exactly like
+    :func:`solve_dual_horn`.
+    """
+
+    __slots__ = (
+        "_heads",
+        "_pending",
+        "_watch",
+        "_true",
+        "_queue",
+        "_unsat",
+        "_variables",
+        "_flip",
+        "last_query_cached",
+        "_clean",
+    )
+
+    def __init__(self, flip: bool = False) -> None:
+        self._heads: list[Optional[int]] = []
+        self._pending: list[int] = []
+        self._watch: dict[int, list[int]] = {}
+        self._true: set[int] = set()
+        self._queue: deque[int] = deque()
+        self._unsat = False
+        self._variables: set[int] = set()
+        self._flip = flip
+        self.last_query_cached = False
+        self._clean = True
+
+    def add_clause(self, clause: tuple[int, ...]) -> None:
+        """Conjoin one (dual-)Horn clause."""
+        if self._flip:
+            clause = tuple(-lit for lit in clause)
+        head: Optional[int] = None
+        pending = 0
+        position = len(self._heads)
+        for lit in clause:
+            self._variables.add(abs(lit))
+            if lit > 0:
+                if head is not None:
+                    raise NotHornError(f"clause {clause} is not Horn")
+                head = lit
+            elif -lit not in self._true:
+                pending += 1
+                self._watch.setdefault(-lit, []).append(position)
+        self._heads.append(head)
+        self._pending.append(pending)
+        self._clean = False
+        if pending == 0:
+            self._fire(position)
+
+    def _fire(self, position: int) -> None:
+        """All negative literals of ``position`` hold; derive its head."""
+        head = self._heads[position]
+        if head is None:
+            self._unsat = True
+        elif head not in self._true:
+            self._true.add(head)
+            self._queue.append(head)
+
+    def solve(self) -> Optional[dict[int, bool]]:
+        """Least model over the variables seen so far, or ``None``."""
+        self.last_query_cached = self._clean
+        self._clean = True
+        if self._unsat:
+            return None
+        queue = self._queue
+        while queue:
+            var = queue.popleft()
+            for position in self._watch.get(var, ()):
+                self._pending[position] -= 1
+                if self._pending[position] == 0:
+                    self._fire(position)
+            if self._unsat:
+                return None
+        if self._flip:
+            return {v: v not in self._true for v in self._variables}
+        return {v: v in self._true for v in self._variables}
+
+
 def solve_horn(cnf: Cnf) -> Optional[dict[int, bool]]:
     """Solve a Horn formula; return its least model, or ``None`` if unsat.
 

@@ -108,6 +108,83 @@ def tarjan_scc(graph: dict[int, list[int]]) -> dict[int, int]:
     return component
 
 
+class IncrementalTwoSat:
+    """A 2-SAT solver that keeps its implication graph between queries.
+
+    Clause additions extend the graph in place (O(1) per clause); a query
+    only re-runs the SCC pass when some added clause is not already
+    satisfied by the cached model — a growing 2-CNF whose cached model
+    keeps working is re-certified in O(new clauses) instead of O(formula).
+    Once unsatisfiable, a growing formula stays unsatisfiable, so the
+    verdict is sticky.
+    """
+
+    __slots__ = ("_graph", "_model", "_dirty", "_unsat", "last_query_cached")
+
+    def __init__(self) -> None:
+        self._graph: dict[int, list[int]] = {}
+        self._model: Optional[dict[int, bool]] = None
+        self._dirty = False
+        self._unsat = False
+        #: True when the previous :meth:`solve` reused the cached model
+        #: without an SCC recomputation (telemetry hook).
+        self.last_query_cached = False
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        graph = self._graph
+        graph.setdefault(src, []).append(dst)
+        graph.setdefault(dst, [])
+        graph.setdefault(-src, [])
+        graph.setdefault(-dst, [])
+
+    def _model_satisfies(self, clause: Clause) -> bool:
+        model = self._model
+        assert model is not None
+        # Variables the cached model has never seen default to false, the
+        # same completion `solve` reports.
+        return any(model.get(abs(lit), False) == (lit > 0) for lit in clause)
+
+    def add_clause(self, clause: Clause) -> None:
+        """Conjoin one clause (length 1 or 2) to the formula."""
+        if len(clause) == 1:
+            (a,) = clause
+            self._add_edge(-a, a)
+        elif len(clause) == 2:
+            a, b = clause
+            self._add_edge(-a, b)
+            self._add_edge(-b, a)
+        else:
+            raise NotTwoCnfError(f"clause {clause} has more than 2 literals")
+        if self._model is not None and not self._model_satisfies(clause):
+            self._dirty = True
+
+    def solve(self) -> Optional[dict[int, bool]]:
+        """Model over the variables seen so far, or ``None`` if unsat."""
+        if self._unsat:
+            self.last_query_cached = True
+            return None
+        if self._model is not None and not self._dirty:
+            self.last_query_cached = True
+            return self._model
+        self.last_query_cached = False
+        component = tarjan_scc(self._graph)
+        model: dict[int, bool] = {}
+        for node in self._graph:
+            var = abs(node)
+            if var in model:
+                continue
+            pos = component[var]
+            neg = component[-var]
+            if pos == neg:
+                self._unsat = True
+                self._model = None
+                return None
+            model[var] = pos < neg
+        self._model = model
+        self._dirty = False
+        return model
+
+
 def solve_2sat(cnf: Cnf) -> Optional[dict[int, bool]]:
     """Solve a 2-CNF; return a model (variable -> bool) or ``None`` if unsat.
 

@@ -64,6 +64,15 @@ def cmd_infer(args: argparse.Namespace) -> int:
             if args.stats:
                 for key, value in result.stats.as_dict().items():
                     print(f"  {key}: {value}")
+            if args.solver_stats:
+                import json
+
+                stats = (
+                    result.solver_stats.as_dict()
+                    if result.solver_stats is not None
+                    else {}
+                )
+                print(json.dumps(stats, indent=2, sort_keys=True))
         else:
             result = run_deep(lambda: ENGINES[args.engine](expr))
             print(f"type    : {result.type!r}")
@@ -166,6 +175,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="strict must-analysis for symmetric concatenation",
     )
     p_infer.add_argument("--stats", action="store_true", help="print stats")
+    p_infer.add_argument(
+        "--solver-stats", action="store_true",
+        help="print the SatEngine telemetry (dispatch class, conflicts, "
+        "propagations, cache hits, ...) as JSON",
+    )
     p_infer.add_argument(
         "--show-flow", action="store_true",
         help="print the signature with its projected flow formula",

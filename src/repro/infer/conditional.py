@@ -29,8 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..boolfn.classify import solve as solve_formula
 from ..boolfn.cnf import Cnf
+from ..boolfn.engine import SatEngine
 from ..types.subst import Subst
 from ..types.terms import Type, VarSupply
 from ..types.unify import UnifyError, _Unifier
@@ -84,11 +84,16 @@ def solve_with_unification_theory(
     from ..types.project import strip
 
     working = beta.copy()
+    # One incremental engine for the whole DPLL(T) loop: each theory
+    # failure only conjoins a blocking clause, so the propositional search
+    # resumes with its learnt clauses and phases intact instead of
+    # re-solving the formula from scratch every iteration.
+    engine = SatEngine(working)
     # Guards must appear in the formula so the solver assigns them; a guard
     # on an otherwise-unconstrained flag defaults to "false" in our model
     # completion, which activates negative-guard constraints correctly.
     for iteration in range(1, max_iterations + 1):
-        model = solve_formula(working)
+        model = engine.solve()
         if model is None:
             return None
         active = [

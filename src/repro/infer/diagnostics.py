@@ -21,7 +21,7 @@ from collections import deque
 from typing import Optional
 
 from ..boolfn.cnf import Cnf
-from ..boolfn.classify import FormulaClass, classify, solve
+from ..boolfn.classify import FormulaClass, solve
 from ..boolfn.twosat import implication_graph, tarjan_scc
 from .state import FlowState
 
@@ -67,7 +67,9 @@ def explain_unsat(state: FlowState) -> Optional[str]:
     beta = state.beta
     if beta.known_unsat:
         return "contradictory flow constraints (empty clause derived)"
-    if classify(beta) is FormulaClass.TWO_SAT:
+    # The engine has classified β incrementally already; asking it avoids
+    # one O(formula) re-scan (it also follows snapshot swaps of state.beta).
+    if state.sat_engine().formula_class() is FormulaClass.TWO_SAT:
         message = _explain_two_sat(state)
         if message is not None:
             return message

@@ -34,8 +34,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..boolfn.classify import FormulaClass, classify as classify_formula, solve as solve_formula
+from ..boolfn.classify import FormulaClass
 from ..boolfn.cnf import Cnf
+from ..boolfn.engine import SolverStats
 from ..boolfn.expansion import expand
 from ..boolfn.projection import eliminate_variable, project_onto
 from ..lang.ast import (
@@ -96,6 +97,7 @@ class FlowResult:
     model: Optional[dict[int, bool]]
     formula_class: FormulaClass
     stats: "object"
+    solver_stats: Optional[SolverStats] = None
 
     def __repr__(self) -> str:
         return f"FlowResult({self.type!r} | {len(self.beta)} clauses)"
@@ -135,15 +137,17 @@ class FlowInference(ExtensionRules):
         self.state.pop(result_slot)
         self.state.pop(env_slot)
         model = None
-        formula_class = classify_formula(self.state.beta)
+        engine = self.state.sat_engine()
+        formula_class = engine.formula_class()
         if self.state.options.track_fields:
-            model = solve_formula(self.state.beta)
+            model = engine.solve()
         return FlowResult(
             type=t,
             beta=self.state.beta,
             model=model,
             formula_class=formula_class,
             stats=self.state.stats,
+            solver_stats=engine.stats(),
         )
 
     # ------------------------------------------------------------------
@@ -357,7 +361,11 @@ class FlowInference(ExtensionRules):
         if not state.options.track_fields:
             return
         if not force:
-            if state.beta.known_unsat:
+            if state.beta.known_unsat or (
+                state.options.eager_sat_checks
+                and not state.conditional_constraints
+                and state.solve_beta() is None
+            ):
                 raise FlowUnsatisfiable(
                     "a record field may be accessed without having been set",
                     expr.span,
@@ -380,8 +388,7 @@ class FlowInference(ExtensionRules):
                 )
             state.stats.theory_iterations += outcome.iterations
             return
-        with state.timed_solver():
-            model = solve_formula(state.beta)
+        model = state.solve_beta()
         if model is None:
             from .diagnostics import explain_unsat
 

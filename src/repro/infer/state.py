@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, Union
 
 from ..boolfn.cnf import Cnf, Literal
+from ..boolfn.engine import SatEngine
 from ..boolfn.flags import FlagSupply
 from ..types.terms import Type, VarSupply
 from .env import TypeEnv
@@ -51,6 +52,12 @@ class FlowOptions:
     # instead of unification).
     lazy_fields: bool = False
     when_conditional: bool = False
+    # Run a full (incremental) satisfiability query at every let boundary
+    # instead of only checking for an already-derived empty clause.  Cheap
+    # with the SatEngine — between checks only the clauses added since the
+    # previous query are ingested — and it reports unsatisfiability at the
+    # offending let rather than at program level.
+    eager_sat_checks: bool = False
     # Debug/testing: after every rule, assert that β mentions only flags
     # attached to live roots (the central invariant behind the stale-flag
     # GC).  Quadratic — tests only.
@@ -111,6 +118,10 @@ class FlowState:
         self.vars = VarSupply()
         self.flags = FlagSupply()
         self.beta = Cnf()
+        # One incremental engine for the whole run: satisfiability checks
+        # between emitted constraints reuse solver state instead of
+        # re-solving β from scratch (see repro.boolfn.engine).
+        self.engine = SatEngine(self.beta)
         self.live: list[Slot] = []
         self.stats = FlowStats()
         # Guard literals for branch-sensitive constructs (``when N in x``,
@@ -222,6 +233,21 @@ class FlowState:
             live.update(all_flags(constraint.left))
             live.update(all_flags(constraint.right))
         return live
+
+    def sat_engine(self) -> SatEngine:
+        """The incremental engine attached to the *current* β.
+
+        Diagnostics temporarily swap ``self.beta`` for a snapshot; the
+        engine follows the live object and rebuilds when it changes.
+        """
+        if self.engine.cnf is not self.beta:
+            self.engine = SatEngine(self.beta)
+        return self.engine
+
+    def solve_beta(self):
+        """One timed incremental satisfiability query against β."""
+        with self.timed_solver():
+            return self.sat_engine().solve()
 
     def guarded(self, guard: Literal) -> "_Guard":
         """Context manager: clauses added inside become ``guard -> clause``."""

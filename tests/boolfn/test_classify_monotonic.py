@@ -1,0 +1,105 @@
+"""Property tests: classification upgrades are monotone while a CNF grows.
+
+The engine's lazy-upgrade dispatch is only sound because of two facts:
+
+1. adding a clause never moves a formula to a *cheaper* class — the
+   per-clause profile flags conjoin pointwise and can only falsify, so the
+   class rank (2-SAT < Horn < dual-Horn < general) never decreases;
+2. the class chosen for a formula always *accepts* every clause in it —
+   each solver's fragment condition holds clause-wise.
+
+Both are checked with hypothesis over random clause sequences, and the
+second additionally against the live backend a :class:`SatEngine` picks.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn import Cnf, SatEngine
+from repro.boolfn.classify import (
+    CLASS_RANK,
+    FormulaClass,
+    class_of_profile,
+    classify,
+    clause_profile,
+)
+from repro.boolfn.hornsat import IncrementalHorn
+from repro.boolfn.twosat import IncrementalTwoSat
+
+literals = st.integers(min_value=1, max_value=8).flatmap(
+    lambda v: st.sampled_from((v, -v))
+)
+clauses = st.lists(literals, min_size=1, max_size=5).filter(
+    lambda lits: not any(-l in lits for l in lits)
+)
+clause_sequences = st.lists(clauses, min_size=1, max_size=20)
+
+
+def fragment_accepts(formula_class: FormulaClass, clause) -> bool:
+    """Whether ``clause`` lies inside the solver fragment of the class."""
+    two, horn, dual = clause_profile(clause)
+    return {
+        FormulaClass.TWO_SAT: two,
+        FormulaClass.HORN: horn,
+        FormulaClass.DUAL_HORN: dual,
+        FormulaClass.GENERAL: True,
+    }[formula_class]
+
+
+@settings(max_examples=300, deadline=None)
+@given(clause_sequences)
+def test_rank_never_decreases_while_growing(sequence):
+    cnf = Cnf()
+    previous_rank = CLASS_RANK[FormulaClass.TWO_SAT]
+    for clause in sequence:
+        cnf.add_clause(clause)
+        rank = CLASS_RANK[classify(cnf)]
+        assert rank >= previous_rank, (
+            f"adding {clause} demoted the class: "
+            f"rank {previous_rank} -> {rank}"
+        )
+        previous_rank = rank
+
+
+@settings(max_examples=300, deadline=None)
+@given(clause_sequences)
+def test_chosen_class_accepts_every_clause(sequence):
+    cnf = Cnf()
+    for clause in sequence:
+        cnf.add_clause(clause)
+    formula_class = classify(cnf)
+    for clause in cnf.clauses():
+        assert fragment_accepts(formula_class, clause), (
+            f"{formula_class} does not accept {clause}"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(clause_sequences)
+def test_engine_backend_matches_classification(sequence):
+    """The engine's live backend is always the one its class dictates."""
+    cnf = Cnf()
+    engine = SatEngine(cnf)
+    for clause in sequence:
+        cnf.add_clause(clause)
+        formula_class = engine.formula_class()
+        assert formula_class is classify(cnf)
+        backend = engine._backend
+        if formula_class is FormulaClass.TWO_SAT:
+            assert isinstance(backend, IncrementalTwoSat)
+        elif formula_class is FormulaClass.HORN:
+            assert isinstance(backend, IncrementalHorn) and not backend._flip
+        elif formula_class is FormulaClass.DUAL_HORN:
+            assert isinstance(backend, IncrementalHorn) and backend._flip
+        for held in cnf.clauses():
+            assert fragment_accepts(formula_class, held)
+
+
+@settings(max_examples=300, deadline=None)
+@given(clauses, st.tuples(st.booleans(), st.booleans(), st.booleans()))
+def test_profile_fold_is_monotone_from_any_state(clause, flags):
+    """Folding a clause profile into ANY flag state never lowers the rank."""
+    two, horn, dual = flags
+    c_two, c_horn, c_dual = clause_profile(clause)
+    folded = class_of_profile(two and c_two, horn and c_horn, dual and c_dual)
+    assert CLASS_RANK[folded] >= CLASS_RANK[class_of_profile(two, horn, dual)]

@@ -1,0 +1,98 @@
+"""Metamorphic test: incremental ≡ restart on real inference clause streams.
+
+For any clause sequence, querying an incremental :class:`SatEngine` at an
+arbitrary ascending set of prefixes must give the same verdict as one
+from-scratch solve of each prefix formula.  The sequences come from the
+``gdsl`` generator corpus at small seeds — the clause streams the Fig. 9
+decoder workload actually emits — plus the `when`-bearing variant that
+leaves the linear fragments.
+"""
+
+import random
+
+import pytest
+
+from repro.boolfn import Cnf, SatEngine, solve
+from repro.boolfn.cnf import Clause
+from repro.gdsl import GeneratorConfig, generate_decoder
+from repro.infer.flow import FlowInference
+from repro.lang import parse
+from repro.util import run_deep
+
+
+class RecordingCnf(Cnf):
+    """A Cnf that logs every clause that actually enters the formula."""
+
+    __slots__ = ("log",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.log: list[Clause] = []
+
+    def add_clause(self, literals) -> None:
+        before = self.cursor()
+        super().add_clause(literals)
+        added, _ = self.clauses_from(before)
+        self.log.extend(added)
+
+
+def decoder_stream(seed: int, with_when: bool) -> list[Clause]:
+    """The ordered clause stream of one small generated decoder."""
+    program = generate_decoder(
+        GeneratorConfig(
+            target_lines=70,
+            seed=seed,
+            with_semantics=with_when,
+            with_when=with_when,
+        )
+    )
+    expr = run_deep(lambda: parse(program.source))
+    inference = FlowInference()
+    recording = RecordingCnf()
+    inference.state.beta = recording
+    run_deep(lambda: inference.infer_program(expr))
+    return recording.log
+
+
+def assert_incremental_matches_restart(
+    stream: list[Clause], prefixes: list[int], context: str
+) -> None:
+    engine = SatEngine()
+    position = 0
+    for prefix in prefixes:
+        for clause in stream[position:prefix]:
+            engine.add_clause(clause)
+        position = prefix
+        incremental = engine.solve()
+        restart = solve(Cnf(stream[:prefix]))
+        assert (incremental is None) == (restart is None), (
+            f"{context}: prefix {prefix} disagrees with restart solve"
+        )
+        if incremental is not None:
+            assert Cnf(stream[:prefix]).evaluate(incremental), (
+                f"{context}: prefix {prefix} model bogus"
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("with_when", (False, True))
+def test_incremental_equals_restart_on_decoder_streams(seed, with_when):
+    stream = decoder_stream(seed, with_when)
+    assert len(stream) > 40, "corpus too small to be meaningful"
+    rng = random.Random(seed * 7 + with_when)
+    for _ in range(3):
+        count = rng.randint(3, 12)
+        prefixes = sorted(rng.sample(range(1, len(stream) + 1), count))
+        if prefixes[-1] != len(stream):
+            prefixes.append(len(stream))
+        assert_incremental_matches_restart(
+            stream, prefixes, f"decoder(seed={seed}, when={with_when})"
+        )
+
+
+def test_query_after_every_clause_matches_restart():
+    """The densest interleaving: a query after every single clause."""
+    stream = decoder_stream(seed=1, with_when=False)[:120]
+    assert_incremental_matches_restart(
+        stream, list(range(1, len(stream) + 1)), "dense"
+    )

@@ -1,0 +1,81 @@
+"""Regression tests for the CDCL restart schedule and clause canonicaliser.
+
+``luby`` drives the restart cadence of the incremental CDCL backend and
+``normalize_clause`` defines the canonical clause form every solver and
+the engine's profile-based dispatch rely on; pin both down exactly.
+"""
+
+import pytest
+
+from repro.boolfn import luby
+from repro.boolfn.cnf import normalize_clause
+
+# Knuth's "reluctant doubling" sequence, 1-based: 1 1 2 1 1 2 4 ...
+LUBY_FIRST_31 = [
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 16,
+]
+
+
+def test_luby_first_31_values():
+    assert [luby(i) for i in range(1, 32)] == LUBY_FIRST_31
+
+
+def test_luby_powers_of_two_at_block_ends():
+    # luby(2^k - 1) = 2^(k-1): each block ends by doubling the peak.
+    for k in range(1, 12):
+        assert luby((1 << k) - 1) == 1 << (k - 1)
+
+
+def test_luby_is_one_based():
+    with pytest.raises(ValueError):
+        luby(0)
+    with pytest.raises(ValueError):
+        luby(-3)
+
+
+def test_luby_self_similarity():
+    # After a block ends at 2^k - 1, the sequence restarts from luby(1).
+    values = [luby(i) for i in range(1, 128)]
+    for k in range(1, 6):
+        end = (1 << k) - 1
+        assert values[end : end + end] == values[:end]
+
+
+def test_normalize_tautology_is_none():
+    assert normalize_clause([1, -1]) is None
+    assert normalize_clause([3, -2, 5, 2]) is None
+
+
+def test_normalize_drops_duplicates_and_sorts():
+    assert normalize_clause([5, -3, 5, 1, -3]) == (1, -3, 5)
+    assert normalize_clause([2, 2, 2]) == (2,)
+
+
+def test_normalize_tautology_detected_regardless_of_position():
+    assert normalize_clause([2, -2, 7]) is None
+    assert normalize_clause([-7, 7, 7]) is None
+    assert normalize_clause([9, -1, 1]) is None
+
+
+def test_normalize_canonical_order():
+    assert normalize_clause([7, -2, 1]) == (1, -2, 7)
+    assert normalize_clause([1, 2]) == (1, 2)
+    assert normalize_clause([-4]) == (-4,)
+
+
+def test_normalize_rejects_literal_zero():
+    with pytest.raises(ValueError):
+        normalize_clause([1, 0, 2])
+    with pytest.raises(ValueError):
+        normalize_clause([0])
+
+
+def test_normalize_rejects_empty_clause():
+    with pytest.raises(ValueError):
+        normalize_clause([])
+
+
+def test_normalize_idempotent():
+    clause = normalize_clause([-8, 3, 3, -2])
+    assert normalize_clause(clause) == clause == (-2, 3, -8)

@@ -1,0 +1,149 @@
+"""Single-declaration-edit replay on the Fig. 9 decoder corpus.
+
+The module-session layer exists so an edit to one declaration does not pay
+for the whole module again: :meth:`repro.infer.InferSession.recheck`
+re-infers only the edited declaration and the dependents whose dependency
+*signatures* changed.  This harness measures that claim directly:
+
+1. check a generated decoder module from scratch (the baseline),
+2. replay a stream of single-declaration edits, timing each re-check and
+   recording how many declarations were re-inferred vs reused,
+3. assert verdict/signature parity between the incremental session and a
+   fresh from-scratch check of the final edited module,
+4. assert the mean re-check is at least ``MIN_SPEEDUP``× faster than the
+   from-scratch baseline.
+
+``python benchmarks/bench_incremental_check.py --quick`` runs a small
+replay and writes the numbers to ``BENCH_incremental_check.json`` (the CI
+smoke artefact) as well as stdout.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import touch_decl
+from repro.gdsl import FIG9_CORPORA, build_corpus
+from repro.infer import InferSession, check_module
+from repro.lang import parse_module
+from repro.util import run_deep
+
+#: The incremental re-check must beat from-scratch by at least this factor
+#: (the measured margin is 1–2 orders of magnitude; 5 is the safe floor).
+MIN_SPEEDUP = 5.0
+
+OUTPUT_FILE = "BENCH_incremental_check.json"
+
+
+def _edit_targets(module, sample: int) -> list[str]:
+    """Evenly spaced declaration names — a spread of dependent fan-outs."""
+    names = module.names()
+    if len(names) <= sample:
+        return list(names)
+    step = len(names) / sample
+    return [names[int(index * step)] for index in range(sample)]
+
+
+def replay(scale: float = 0.05, seed: int = 0, sample: int = 6,
+           engine: str = "flow") -> dict:
+    """Run the edit replay; returns the JSON-ready measurement table."""
+    spec = FIG9_CORPORA[0]  # Atmel AVR, the paper's smallest corpus
+    program = build_corpus(spec, scale=scale, seed=seed)
+    module = run_deep(lambda: parse_module(program.source))
+    session = InferSession(engine)
+
+    started = time.perf_counter()
+    baseline = run_deep(lambda: session.check(module))
+    full_seconds = time.perf_counter() - started
+    assert baseline.ok, "the generated corpus must be well-typed"
+
+    edits = []
+    current = module
+    for name in _edit_targets(module, sample):
+        current = touch_decl(current, name)
+        edited = current
+        started = time.perf_counter()
+        result = run_deep(lambda: session.recheck(edited))
+        seconds = time.perf_counter() - started
+        assert result.ok
+        edits.append(
+            {
+                "decl": name,
+                "seconds": seconds,
+                "decls_checked": result.checked,
+                "decls_reused": result.reused,
+            }
+        )
+
+    # Parity: the incremental session must agree with a fresh check of the
+    # final module, signature for signature.
+    final_incremental = run_deep(lambda: session.recheck(current))
+    fresh = run_deep(lambda: check_module(current, engine))
+    incremental_sigs = {
+        (r.name, r.status, r.signature) for r in final_incremental.decls
+    }
+    fresh_sigs = {(r.name, r.status, r.signature) for r in fresh.decls}
+    assert incremental_sigs == fresh_sigs, "recheck/fresh parity violated"
+
+    mean_recheck = sum(e["seconds"] for e in edits) / len(edits)
+    return {
+        "corpus": spec.name,
+        "engine": engine,
+        "scale": scale,
+        "lines": program.lines,
+        "decls": len(module),
+        "full_check_seconds": full_seconds,
+        "mean_recheck_seconds": mean_recheck,
+        "speedup": full_seconds / max(mean_recheck, 1e-9),
+        "edits": edits,
+        "session_stats": session.stats.as_dict(),
+    }
+
+
+@pytest.mark.parametrize("engine", ["flow", "mycroft"])
+def test_incremental_replay(benchmark, engine):
+    table = benchmark.pedantic(
+        lambda: replay(scale=0.05, sample=4, engine=engine),
+        rounds=1,
+        iterations=1,
+    )
+    assert table["speedup"] >= MIN_SPEEDUP
+    benchmark.extra_info.update(
+        {key: table[key] for key in ("corpus", "decls", "speedup")}
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small replay; write BENCH_incremental_check.json",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--sample", type=int, default=None)
+    parser.add_argument("--engine", default="flow")
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (
+        0.05 if args.quick else 0.15
+    )
+    sample = args.sample if args.sample is not None else (
+        4 if args.quick else 8
+    )
+    table = replay(scale=scale, sample=sample, engine=args.engine)
+    assert table["speedup"] >= MIN_SPEEDUP, (
+        f"incremental recheck speedup {table['speedup']:.1f}x is below "
+        f"the {MIN_SPEEDUP}x floor"
+    )
+    text = json.dumps(table, indent=2, sort_keys=True)
+    json.loads(text)  # the table must stay JSON-serialisable
+    with open(OUTPUT_FILE, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,22 +3,32 @@
 Subcommands:
 
 * ``infer FILE``     — type-check a program with a chosen engine,
+* ``check PATH...``  — batch-check module files (``--jobs/--json/--trace``),
 * ``eval FILE``      — run a program under the concrete semantics,
 * ``bench fig9``     — regenerate the Fig. 9 table,
 * ``generate``       — emit a synthetic decoder specification.
+
+Exit codes follow the usual compiler convention: 0 = well-typed, 1 =
+ill-typed, 2 = parse/usage error.  Diagnostics go to stderr; structured
+output (``--json``) goes to stdout and never contains timings, so the
+output of ``check --jobs N`` is byte-identical for every N.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
 from .gdsl import FIG9_CORPORA, GeneratorConfig, build_corpus, generate_decoder
-from .infer import FlowOptions, InferenceError, infer_flow
+from .infer import FlowOptions, InferenceError, InferSession, infer_flow
+from .infer.engines import SESSION_ENGINES
 from .infer.hm import infer_damas_milner, infer_mycroft
 from .infer.remy import infer_remy
-from .lang import parse
+from .lang import LexError, ParseError, parse, parse_module
+from .lang.ast import IntLit, Let
 from .semantics import Omega, evaluate
 from .types.project import strip
 from .util import run_deep
@@ -30,6 +40,13 @@ ENGINES = {
     "remy": infer_remy,
 }
 
+#: File extension collected when a ``check`` path is a directory.
+MODULE_SUFFIX = ".rp"
+
+EXIT_OK = 0
+EXIT_ILL_TYPED = 1
+EXIT_USAGE = 2
+
 
 def _read_program(path: str) -> str:
     if path == "-":
@@ -39,8 +56,15 @@ def _read_program(path: str) -> str:
 
 
 def cmd_infer(args: argparse.Namespace) -> int:
-    source = _read_program(args.file)
-    expr = run_deep(lambda: parse(source))
+    try:
+        source = _read_program(args.file)
+        expr = run_deep(lambda: parse(source))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except (ParseError, LexError) as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     try:
         if args.engine == "flow":
             options = FlowOptions(
@@ -78,20 +102,170 @@ def cmd_infer(args: argparse.Namespace) -> int:
             print(f"type    : {result.type!r}")
     except InferenceError as error:
         print(f"type error: {error}", file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_ILL_TYPED
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# check: batch module checking through inference sessions
+# ---------------------------------------------------------------------------
+def _collect_check_files(paths: list[str]) -> list[str] | None:
+    """Expand directories into their ``*.rp`` files; None on a bad path."""
+    files: list[str] = []
+    for path in paths:
+        if path == "-":
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(MODULE_SUFFIX)
+                )
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {path}",
+                  file=sys.stderr)
+            return None
+    return files
+
+
+def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
+    """Check one module file; the unit of work for the ``--jobs`` pool.
+
+    The returned payload is a plain dict (picklable, JSON-ready) and
+    carries timings separately from the stable ``report`` part, so the
+    ``--json`` output can stay deterministic across worker counts.
+    """
+    path, engine, options = item
+    started = time.perf_counter()
+    try:
+        source = _read_program(path)
+        parse_started = time.perf_counter()
+        module = run_deep(lambda: parse_module(source))
+    except OSError as error:
+        return {
+            "file": path,
+            "report": {"file": path, "ok": False, "error": "IOError",
+                       "message": str(error)},
+            "exit": EXIT_USAGE,
+            "trace": {},
+        }
+    except (ParseError, LexError) as error:
+        return {
+            "file": path,
+            "report": {"file": path, "ok": False,
+                       "error": type(error).__name__, "message": str(error)},
+            "exit": EXIT_USAGE,
+            "trace": {},
+        }
+    parse_seconds = time.perf_counter() - parse_started
+    session = InferSession(engine, options)
+    result = run_deep(lambda: session.check(module))
+    report = {"file": path}
+    report.update(result.as_dict())
+    trace = {"parse": parse_seconds, "total": time.perf_counter() - started}
+    trace.update(result.trace_spans())
+    return {
+        "file": path,
+        "report": report,
+        "exit": EXIT_OK if result.ok else EXIT_ILL_TYPED,
+        "trace": trace,
+    }
+
+
+def _print_trace(payload: dict[str, object]) -> None:
+    spans = payload["trace"]
+    if not spans:
+        return
+    order = ("parse", "infer", "unify", "sat", "gc", "total")
+    rendered = " ".join(
+        f"{phase}={spans[phase] * 1000:.1f}ms"
+        for phase in order
+        if phase in spans
+    )
+    print(f"trace: {payload['file']}: {rendered}", file=sys.stderr)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    files = _collect_check_files(args.paths)
+    if files is None:
+        return EXIT_USAGE
+    if not files:
+        print("error: no module files to check", file=sys.stderr)
+        return EXIT_USAGE
+    options = FlowOptions(
+        track_fields=not args.no_fields,
+        gc=not args.no_gc,
+    )
+    items = [(path, args.engine, options) for path in files]
+    if args.jobs > 1 and len(items) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            # ``map`` preserves input order, so every downstream artefact
+            # (JSON, diagnostics, exit code) is independent of scheduling.
+            payloads = list(pool.map(_check_one_file, items))
+    else:
+        payloads = [_check_one_file(item) for item in items]
+    exit_code = EXIT_OK
+    for payload in payloads:
+        exit_code = max(exit_code, payload["exit"])
+        if args.trace:
+            _print_trace(payload)
+        report = payload["report"]
+        if report["ok"] or args.json:
+            continue
+        if "decls" not in report:  # file-level parse/read failure
+            print(f"{payload['file']}: {report['error']}: "
+                  f"{report['message']}", file=sys.stderr)
+            continue
+        for decl in report["decls"]:
+            if decl["status"] == "ok":
+                continue
+            print(
+                f"{payload['file']}:{decl['line']}:{decl['column']}: "
+                f"{decl['decl']}: {decl['error']}: {decl['message']}",
+                file=sys.stderr,
+            )
+    if args.json:
+        print(json.dumps([p["report"] for p in payloads],
+                         indent=2, sort_keys=True))
+    else:
+        for payload in payloads:
+            report = payload["report"]
+            if report["ok"]:
+                count = len(report["decls"])
+                print(f"{payload['file']}: ok ({count} declarations)")
+            else:
+                failed = sum(
+                    1
+                    for decl in report.get("decls", [])
+                    if decl["status"] != "ok"
+                ) or 1
+                print(f"{payload['file']}: FAILED ({failed} errors)")
+    return exit_code
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
-    source = _read_program(args.file)
-    expr = run_deep(lambda: parse(source))
+    try:
+        source = _read_program(args.file)
+        expr = run_deep(lambda: parse(source))
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except (ParseError, LexError) as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     try:
         value = run_deep(lambda: evaluate(expr, max_steps=args.max_steps))
     except Omega as error:
         print(f"runtime error (Ω): {error}", file=sys.stderr)
-        return 1
+        return EXIT_ILL_TYPED
     print(repr(value))
-    return 0
+    return EXIT_OK
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -106,31 +280,54 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def touch_decl(module, name: str):
+    """A fingerprint-changing, signature-preserving edit of one declaration.
+
+    Wraps the body in ``let __edit = 0 in body``: the pretty-printed form
+    (hence the fingerprint) changes, the inferred scheme does not — the
+    single-declaration-edit replay the incremental benchmark drives.
+    """
+    decl = module[name]
+    return module.with_decl(
+        name, Let("__edit", IntLit(0), decl.expr, span=decl.span)
+    )
+
+
 def cmd_bench_fig9(args: argparse.Namespace) -> int:
     print(f"Fig. 9 — inference times (scale={args.scale})")
     header = (
-        f"{'decoder':<18} {'lines':>6} {'w/o fields':>11} "
-        f"{'w. fields':>10} {'ratio':>6} {'paper ratio':>11}"
+        f"{'decoder':<18} {'lines':>6} {'decls':>6} {'w/o fields':>11} "
+        f"{'w. fields':>10} {'recheck':>8} {'ratio':>6} {'paper ratio':>11}"
     )
     print(header)
     print("-" * len(header))
     for spec in FIG9_CORPORA:
         program = build_corpus(spec, scale=args.scale, seed=args.seed)
-        expr = run_deep(lambda: parse(program.source))
+        module = run_deep(lambda: parse_module(program.source))
         start = time.perf_counter()
         run_deep(
-            lambda: infer_flow(expr, FlowOptions(track_fields=False))
+            lambda: InferSession(
+                "flow", FlowOptions(track_fields=False)
+            ).check(module)
         )
         without = time.perf_counter() - start
+        session = InferSession("flow")
         start = time.perf_counter()
-        run_deep(lambda: infer_flow(expr))
+        run_deep(lambda: session.check(module))
         with_fields = time.perf_counter() - start
+        # Single-declaration-edit replay: touch the first declaration
+        # (the one with the most dependents) and re-check incrementally.
+        edited = touch_decl(module, module.names()[0])
+        start = time.perf_counter()
+        run_deep(lambda: session.recheck(edited))
+        recheck = time.perf_counter() - start
         paper_ratio = (
             spec.paper_seconds_with_fields / spec.paper_seconds_without_fields
         )
         print(
-            f"{spec.name:<18} {program.lines:>6} {without:>10.2f}s "
-            f"{with_fields:>9.2f}s {with_fields / max(without, 1e-9):>6.2f} "
+            f"{spec.name:<18} {program.lines:>6} {len(module):>6} "
+            f"{without:>10.2f}s {with_fields:>9.2f}s {recheck:>7.2f}s "
+            f"{with_fields / max(without, 1e-9):>6.2f} "
             f"{paper_ratio:>11.2f}"
         )
     return 0
@@ -185,6 +382,45 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print the signature with its projected flow formula",
     )
     p_infer.set_defaults(handler=cmd_infer)
+
+    p_check = sub.add_parser(
+        "check",
+        help="batch-check module files (per-declaration sessions)",
+    )
+    p_check.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=f"module files, or directories searched for *{MODULE_SUFFIX}",
+    )
+    p_check.add_argument(
+        "--engine",
+        choices=sorted(SESSION_ENGINES),
+        default="flow",
+        help="inference engine (default: the paper's flow inference)",
+    )
+    p_check.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="check files on N worker processes (output is independent "
+        "of N)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true",
+        help="print per-declaration results as JSON on stdout "
+        "(deterministic: no timings)",
+    )
+    p_check.add_argument(
+        "--trace", action="store_true",
+        help="print per-file phase timings (parse/infer/unify/sat/gc) "
+        "on stderr",
+    )
+    p_check.add_argument(
+        "--no-fields", action="store_true",
+        help="disable field tracking (Fig. 9 'w/o fields' mode)",
+    )
+    p_check.add_argument(
+        "--no-gc", action="store_true",
+        help="disable stale-flag garbage collection",
+    )
+    p_check.set_defaults(handler=cmd_check)
 
     p_eval = sub.add_parser("eval", help="run a program")
     p_eval.add_argument("file", help="program file ('-' for stdin)")

@@ -18,6 +18,14 @@ from .hm import (
 )
 from .pottier import PottierChecker, PottierError, check_pottier
 from .remy import RemyInference, infer_remy
+from .engines import SESSION_ENGINES, DeclCheck, SessionEngine, make_engine
+from .session import (
+    DeclReport,
+    InferSession,
+    ModuleResult,
+    SessionStats,
+    check_module,
+)
 from .state import FlowOptions, FlowState, FlowStats
 
 
@@ -31,6 +39,8 @@ def infer_flow(expr, options=None, builtins=None) -> FlowResult:
 
 __all__ = [
     "CondConstraint",
+    "DeclCheck",
+    "DeclReport",
     "FixpointDivergence",
     "FlowInference",
     "FlowOptions",
@@ -38,7 +48,9 @@ __all__ = [
     "FlowState",
     "FlowStats",
     "FlowUnsatisfiable",
+    "InferSession",
     "InferenceError",
+    "ModuleResult",
     "Mono",
     "PlainInference",
     "PlainResult",
@@ -46,13 +58,18 @@ __all__ = [
     "PottierError",
     "RemyInference",
     "Poly",
+    "SESSION_ENGINES",
+    "SessionEngine",
+    "SessionStats",
     "TypeEnv",
     "UnboundVariable",
     "UnificationFailure",
+    "check_module",
     "check_pottier",
     "infer_damas_milner",
     "infer_flow",
     "infer_mycroft",
     "infer_remy",
+    "make_engine",
     "solve_with_unification_theory",
 ]

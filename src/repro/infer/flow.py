@@ -110,8 +110,12 @@ class FlowInference(ExtensionRules):
         self,
         options: Optional[FlowOptions] = None,
         builtins: Optional[dict[str, Builder]] = None,
+        state: Optional[FlowState] = None,
     ) -> None:
-        self.state = FlowState(options)
+        # A prebuilt state lets a module session share variable/flag
+        # supplies (and seed β with dependency signatures) across the
+        # per-declaration engine instances.
+        self.state = state if state is not None else FlowState(options)
         self.builtins = DEFAULT_BUILTINS if builtins is None else builtins
         # Slots pinned for the whole run (lazy-field rhs types); popped in
         # LIFO order before the program-level pops in infer_program.
@@ -125,7 +129,17 @@ class FlowInference(ExtensionRules):
     # ------------------------------------------------------------------
     def infer_program(self, expr: Expr) -> FlowResult:
         """Infer the type of a closed program; raise on type errors."""
-        env_slot = self.state.push(TypeEnv())
+        return self.infer_with_env(expr, TypeEnv())
+
+    def infer_with_env(self, expr: Expr, env: TypeEnv) -> FlowResult:
+        """Infer ``expr`` under an initial environment.
+
+        The environment's entries behave like let-bound context (a module
+        session binds the schemes of previously checked declarations); the
+        final satisfiability check and stale-flag GC run exactly as for a
+        closed program.
+        """
+        env_slot = self.state.push(env)
         t = self.infer(env_slot, expr)
         result_slot = self.state.push(t)
         # Check before GC: projection can collapse the witness implication

@@ -125,8 +125,11 @@ class PlainInference:
         max_iterations: int = 100,
         builtins: Optional[dict[str, PlainBuilder]] = None,
         value_restriction: bool = False,
+        supply: Optional[VarSupply] = None,
     ) -> None:
-        self.supply = VarSupply()
+        # A shared supply keeps the schemes of separately inferred
+        # module declarations variable-disjoint (repro.infer.session).
+        self.supply = supply if supply is not None else VarSupply()
         self.polymorphic_recursion = polymorphic_recursion
         # ML-style value restriction: only syntactic values generalise.
         # Off for the paper's engines (the calculus is pure); on for the

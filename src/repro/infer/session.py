@@ -1,0 +1,338 @@
+"""Module-level inference sessions with incremental per-declaration re-check.
+
+An :class:`InferSession` owns everything one engine needs to check a
+:class:`~repro.lang.module.Module` and to *re*-check edited versions of it
+cheaply:
+
+* the engine itself (one of :data:`repro.infer.engines.SESSION_ENGINES`),
+  whose shared variable/flag supplies keep separately checked declarations
+  disjoint;
+* a per-declaration result cache keyed on ``(declaration fingerprint,
+  dependency signatures)`` — an edit re-checks only the touched declaration
+  and those dependents whose dependency *signatures* actually changed
+  (early cutoff: an edit that preserves a signature stops propagating
+  immediately);
+* the module-level flow formula — the conjunction of every declaration's
+  projected signature clauses — kept in one persistent
+  :class:`~repro.boolfn.cnf.Cnf` with a clause *interval* per declaration.
+  Invalidating a declaration retracts its interval
+  (:meth:`Cnf.retract_interval`) and appends the new clauses at the tail;
+  the attached :class:`~repro.boolfn.engine.SatEngine` survives untouched
+  re-checks incrementally and rebuilds once per retraction.
+
+Checking a declaration wraps it as ``let x = e in x`` so recursion works
+exactly as in the expression language, binds every dependency to its
+exported scheme, and seeds β with the dependencies' signature clauses.
+Sect. 5's closure-under-projection argument is what makes the per-
+declaration split precision-preserving: projecting a declaration's β onto
+the flags of its type loses nothing a dependent could observe, so checking
+against signatures agrees with checking the inlined module expression.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..boolfn.cnf import Cnf
+from ..boolfn.engine import SatEngine
+from ..lang.module import Module
+from .engines import DeclCheck, make_engine
+from .errors import InferenceError
+from .state import FlowOptions
+
+
+@dataclass(frozen=True)
+class DeclReport:
+    """The user-facing outcome for one declaration.
+
+    ``status`` is ``"ok"``, ``"error"`` (the declaration itself failed) or
+    ``"dependency-error"`` (skipped because a dependency failed).  All
+    fields except ``cached``/``seconds``/``trace`` are deterministic for a
+    given module and engine, which is what the ``--jobs`` byte-parity and
+    the recheck≡fresh metamorphic tests rely on.
+    """
+
+    name: str
+    status: str
+    signature: str = ""
+    type_text: str = ""
+    flow_text: str = ""
+    error_class: str = ""
+    message: str = ""
+    line: int = 0
+    column: int = 0
+    cached: bool = False
+    seconds: float = 0.0
+    trace: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict[str, object]:
+        """Stable JSON payload: no timings, no cache provenance."""
+        out: dict[str, object] = {"decl": self.name, "status": self.status}
+        if self.ok:
+            out["signature"] = self.signature
+        else:
+            out["error"] = self.error_class
+            out["message"] = self.message
+            out["line"] = self.line
+            out["column"] = self.column
+        return out
+
+
+@dataclass
+class ModuleResult:
+    """Outcome of one :meth:`InferSession.check` call."""
+
+    engine: str
+    decls: list[DeclReport]
+    checked: int
+    reused: int
+    module_satisfiable: Optional[bool]
+    module_clauses: int
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.decls)
+
+    def report(self, name: str) -> DeclReport:
+        for decl_report in self.decls:
+            if decl_report.name == name:
+                return decl_report
+        raise KeyError(name)
+
+    def signatures(self) -> dict[str, str]:
+        return {r.name: r.signature for r in self.decls if r.ok}
+
+    def diagnostics(self) -> list[dict[str, object]]:
+        """The failing declarations' stable JSON payloads."""
+        return [r.as_dict() for r in self.decls if not r.ok]
+
+    def as_dict(self) -> dict[str, object]:
+        """Stable JSON payload for ``rowpoly check --json``."""
+        return {
+            "engine": self.engine,
+            "ok": self.ok,
+            "decls": [r.as_dict() for r in self.decls],
+        }
+
+    def trace_spans(self) -> dict[str, float]:
+        """Aggregated per-phase wall time (``--trace``)."""
+        spans: dict[str, float] = {"infer": 0.0}
+        for r in self.decls:
+            spans["infer"] += r.seconds
+            for phase, seconds in r.trace.items():
+                spans[phase] = spans.get(phase, 0.0) + seconds
+        return spans
+
+
+@dataclass
+class SessionStats:
+    """Counters across the lifetime of one session."""
+
+    checks: int = 0
+    rechecks: int = 0
+    decls_checked: int = 0
+    decls_reused: int = 0
+    clauses_retracted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+@dataclass
+class _CacheEntry:
+    key: tuple[str, ...]
+    check: Optional[DeclCheck]
+    report: DeclReport
+
+
+class InferSession:
+    """One engine + cache + module formula, reusable across rechecks."""
+
+    def __init__(
+        self,
+        engine: str = "flow",
+        options: Optional[FlowOptions] = None,
+    ) -> None:
+        self.engine_name = engine
+        self.engine = make_engine(engine, options)
+        self.stats = SessionStats()
+        self.beta = Cnf()
+        self.sat = SatEngine(self.beta)
+        self._cache: dict[str, _CacheEntry] = {}
+        self._intervals: dict[str, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def check(self, module: Module) -> ModuleResult:
+        """Check every declaration, reusing cached results where valid."""
+        started = time.perf_counter()
+        self.stats.checks += 1
+        for name in set(self._cache) - set(module.names()):
+            self._invalidate(name)
+        dependencies = module.dependencies()
+        checks: dict[str, DeclCheck] = {}
+        reports: list[DeclReport] = []
+        by_name: dict[str, DeclReport] = {}
+        checked = reused = 0
+        for decl in module:
+            dep_names = dependencies[decl.name]
+            key, failed_dep = self._cache_key(decl, dep_names, by_name, checks)
+            entry = self._cache.get(decl.name)
+            if entry is not None and entry.key == key:
+                report = replace(entry.report, cached=True, seconds=0.0,
+                                 trace={})
+                if entry.check is not None:
+                    checks[decl.name] = entry.check
+                reused += 1
+            else:
+                self._invalidate(decl.name)
+                check, report = self._check_decl(
+                    decl, dep_names, failed_dep, checks
+                )
+                if check is not None:
+                    checks[decl.name] = check
+                    self._assert_clauses(decl.name, check)
+                self._cache[decl.name] = _CacheEntry(key, check, report)
+                checked += 1
+            by_name[decl.name] = report
+            reports.append(report)
+        satisfiable = self._module_verdict()
+        self.stats.decls_checked += checked
+        self.stats.decls_reused += reused
+        return ModuleResult(
+            engine=self.engine_name,
+            decls=reports,
+            checked=checked,
+            reused=reused,
+            module_satisfiable=satisfiable,
+            module_clauses=len(self.beta),
+            seconds=time.perf_counter() - started,
+        )
+
+    def recheck(self, module: Module) -> ModuleResult:
+        """Re-check an edited module; synonym of :meth:`check` that counts
+        separately (the incremental path is the cache, not the method)."""
+        self.stats.rechecks += 1
+        return self.check(module)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self,
+        decl,
+        dep_names: list[str],
+        by_name: dict[str, DeclReport],
+        checks: dict[str, DeclCheck],
+    ) -> tuple[tuple[str, ...], Optional[str]]:
+        """(cache key, first failed dependency or None).
+
+        The key folds in each dependency's *signature*, not its
+        fingerprint: a dependency edit that leaves the signature unchanged
+        does not invalidate dependents (early cutoff).  A failed
+        dependency contributes its status so dependents re-run when it is
+        fixed.
+        """
+        parts = [decl.fingerprint]
+        failed: Optional[str] = None
+        for dep in dep_names:
+            dep_report = by_name[dep]
+            if dep_report.ok:
+                parts.append(f"{dep}={checks[dep].signature}")
+            else:
+                parts.append(f"{dep}!{dep_report.status}")
+                if failed is None:
+                    failed = dep
+        return tuple(parts), failed
+
+    def _check_decl(
+        self,
+        decl,
+        dep_names: list[str],
+        failed_dep: Optional[str],
+        checks: dict[str, DeclCheck],
+    ) -> tuple[Optional[DeclCheck], DeclReport]:
+        if failed_dep is not None:
+            return None, DeclReport(
+                name=decl.name,
+                status="dependency-error",
+                error_class="DependencyError",
+                message=(
+                    f"not checked: dependency {failed_dep!r} has errors"
+                ),
+                line=decl.span.line,
+                column=decl.span.column,
+            )
+        started = time.perf_counter()
+        try:
+            check = self.engine.check_decl(
+                decl, [(dep, checks[dep]) for dep in dep_names]
+            )
+        except InferenceError as error:
+            span = error.span or decl.span
+            return None, DeclReport(
+                name=decl.name,
+                status="error",
+                error_class=type(error).__name__,
+                message=str(error),
+                line=span.line,
+                column=span.column,
+                seconds=time.perf_counter() - started,
+            )
+        return check, DeclReport(
+            name=decl.name,
+            status="ok",
+            signature=check.signature,
+            type_text=check.type_text,
+            flow_text=check.flow_text,
+            seconds=time.perf_counter() - started,
+            trace=dict(check.trace),
+        )
+
+    def _assert_clauses(self, name: str, check: DeclCheck) -> None:
+        """Append the declaration's signature clauses as its interval."""
+        if not check.clauses:
+            return
+        start = self.beta.checkpoint()
+        for clause in check.clauses:
+            self.beta.add_clause(clause)
+        self._intervals[name] = (start, self.beta.checkpoint())
+
+    def _invalidate(self, name: str) -> None:
+        """Drop a declaration's cache entry and retract its clauses."""
+        self._cache.pop(name, None)
+        interval = self._intervals.pop(name, None)
+        if interval is not None:
+            removed = self.beta.retract_interval(*interval)
+            self.stats.clauses_retracted += len(removed)
+
+    def _module_verdict(self) -> Optional[bool]:
+        """Satisfiability of the conjoined signature clauses.
+
+        ``None`` for engines that do not produce flow clauses.  The
+        declaration signatures have pairwise-disjoint flags, so this is a
+        consistency sanity check rather than new information — each
+        declaration was already checked satisfiable in context — but it
+        exercises the persistent engine's retract/extend path and is the
+        number surfaced by ``--trace``.
+        """
+        if len(self.beta) == 0 and not self._intervals:
+            return None
+        return self.sat.solve() is not None
+
+
+def check_module(
+    module: Module,
+    engine: str = "flow",
+    options: Optional[FlowOptions] = None,
+) -> ModuleResult:
+    """One-shot module check (fresh session each call)."""
+    return InferSession(engine, options).check(module)

@@ -113,10 +113,19 @@ class Slot:
 class FlowState:
     """All mutable state threaded through one inference run."""
 
-    def __init__(self, options: FlowOptions | None = None) -> None:
+    def __init__(
+        self,
+        options: FlowOptions | None = None,
+        vars: VarSupply | None = None,
+        flags: FlagSupply | None = None,
+    ) -> None:
         self.options = options or FlowOptions()
-        self.vars = VarSupply()
-        self.flags = FlagSupply()
+        # Supplies are normally private to one run; a module-level
+        # InferSession passes shared supplies so that the schemes and
+        # signature clauses of separately checked declarations never
+        # collide (repro.infer.session).
+        self.vars = vars if vars is not None else VarSupply()
+        self.flags = flags if flags is not None else FlagSupply()
         self.beta = Cnf()
         # One incremental engine for the whole run: satisfiability checks
         # between emitted constraints reuse solver state instead of

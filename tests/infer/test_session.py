@@ -1,0 +1,194 @@
+"""Tests for module inference sessions: caching, invalidation, parity."""
+
+import pytest
+
+from repro.infer import (
+    SESSION_ENGINES,
+    InferSession,
+    check_module,
+)
+from repro.lang import parse, parse_module
+
+WELL_TYPED = r"""
+let id = \x -> x;
+    mk = \v -> {a = v, b = 1};
+    get = \r -> #a r;
+    use = get (mk true)
+in use
+"""
+
+
+@pytest.fixture(params=SESSION_ENGINES)
+def engine(request):
+    return request.param
+
+
+class TestFreshCheck:
+    def test_all_declarations_ok(self, engine):
+        result = check_module(parse_module(WELL_TYPED), engine)
+        assert result.ok
+        assert [r.name for r in result.decls] == [
+            "id", "mk", "get", "use", "it",
+        ]
+        assert all(r.signature for r in result.decls)
+
+    def test_flow_signatures_are_concise(self):
+        result = check_module(parse_module(WELL_TYPED), "flow")
+        get = result.report("get")
+        # Projected onto the type's flags and canonically renumbered.
+        assert get.type_text == "{a.f1 : a0.f2, r0.f3} -> a0.f4"
+        assert "f1" in get.flow_text
+
+    def test_recursive_declaration(self, engine):
+        module = parse_module(
+            r"len = \l -> if null l then 0 else plus 1 (len (tail l));"
+            r"n = len [1, 2, 3]"
+        )
+        result = check_module(module, engine)
+        assert result.ok
+
+    def test_module_verdict_only_for_flow(self):
+        module = parse_module(WELL_TYPED)
+        assert check_module(module, "flow").module_satisfiable is True
+        assert check_module(module, "mycroft").module_satisfiable is None
+
+    def test_ill_typed_declaration_and_dependents(self, engine):
+        # `#a (plus 1 true)` fails under every engine: a unification
+        # clash for the term engines, a non-Pre field for Pottier (the
+        # plain engines have open rows, so `#a {}` alone would pass).
+        module = parse_module(
+            "bad = #a (plus 1 true); dep = bad; independent = 1"
+        )
+        result = check_module(module, engine)
+        assert not result.ok
+        assert result.report("bad").status == "error"
+        assert result.report("bad").error_class
+        assert result.report("dep").status == "dependency-error"
+        assert result.report("independent").status == "ok"
+        assert {d["decl"] for d in result.diagnostics()} == {"bad", "dep"}
+
+
+class TestIncrementalRecheck:
+    def test_noop_recheck_reuses_everything(self, engine):
+        module = parse_module(WELL_TYPED)
+        session = InferSession(engine)
+        session.check(module)
+        result = session.recheck(module)
+        assert result.checked == 0
+        assert result.reused == len(module)
+        assert all(r.cached for r in result.decls)
+
+    def test_edit_rechecks_only_decl_and_dependents(self, engine):
+        module = parse_module(WELL_TYPED)
+        session = InferSession(engine)
+        session.check(module)
+        edited = module.with_decl("get", parse(r"\r -> #b r"))
+        result = session.recheck(edited)
+        rechecked = {r.name for r in result.decls if not r.cached}
+        assert "get" in rechecked
+        assert rechecked <= {"get"} | set(module.dependents()["get"])
+        assert result.report("id").cached
+        assert result.report("mk").cached
+
+    @pytest.mark.parametrize("cutoff_engine",
+                             ["flow", "mycroft", "damas-milner"])
+    def test_early_cutoff_on_signature_preserving_edit(self, cutoff_engine):
+        # (Pottier is excluded: its abstract-closure signatures include
+        # the body text, so an alpha-rename is a signature change there.)
+        module = parse_module(WELL_TYPED)
+        session = InferSession(cutoff_engine)
+        session.check(module)
+        # `mk` has dependents, but an alpha-renamed body yields the same
+        # canonical signature, so propagation stops at `mk` itself.
+        edited = module.with_decl("mk", parse(r"\w -> {a = w, b = 1}"))
+        result = session.recheck(edited)
+        assert result.checked == 1
+        assert result.reused == len(module) - 1
+
+    def test_recheck_matches_fresh_session(self, engine):
+        module = parse_module(WELL_TYPED)
+        session = InferSession(engine)
+        session.check(module)
+        edited = module.with_decl("get", parse(r"\r -> #b r"))
+        incremental = session.recheck(edited)
+        fresh = check_module(edited, engine)
+        assert [
+            (r.name, r.status, r.signature) for r in incremental.decls
+        ] == [(r.name, r.status, r.signature) for r in fresh.decls]
+
+    def test_break_then_fix_recovers(self, engine):
+        module = parse_module(WELL_TYPED)
+        session = InferSession(engine)
+        assert session.check(module).ok
+        # A non-lambda body that fails eagerly under every engine
+        # (Pottier analyses lambda bodies lazily at call sites).
+        broken = module.with_decl("mk", parse("#missing (plus 1 true)"))
+        result = session.recheck(broken)
+        assert not result.ok
+        assert result.report("use").status == "dependency-error"
+        fixed = session.recheck(module)
+        assert fixed.ok
+        # `id` and `get` never changed; only mk + dependents re-ran.
+        assert fixed.report("id").cached
+        assert fixed.report("get").cached
+
+    def test_removed_declaration_is_invalidated(self):
+        # `a` has signature clauses (field present, row closed); removing
+        # it must retract its interval from the module formula.
+        module = parse_module("a = {x = 1}; b = 2")
+        session = InferSession("flow")
+        session.check(module)
+        smaller = parse_module("b = 2")
+        result = session.recheck(smaller)
+        assert result.ok
+        assert [r.name for r in result.decls] == ["b"]
+        assert result.report("b").cached
+        assert session.stats.clauses_retracted > 0
+
+    def test_stats_accumulate(self, engine):
+        module = parse_module(WELL_TYPED)
+        session = InferSession(engine)
+        session.check(module)
+        session.recheck(module)
+        stats = session.stats.as_dict()
+        assert stats["checks"] == 2
+        assert stats["rechecks"] == 1
+        assert stats["decls_checked"] == len(module)
+        assert stats["decls_reused"] == len(module)
+
+
+class TestCanonicalSignatures:
+    def test_stable_across_sessions(self, engine):
+        # Two sessions allocate different variable/flag ids; the canonical
+        # renumbering must hide that.
+        module = parse_module(WELL_TYPED)
+        first = check_module(module, engine).signatures()
+        warmed = InferSession(engine)
+        warmed.check(parse_module("unrelated = {q = 7}; z = #q unrelated"))
+        second = warmed.recheck(module).signatures()
+        assert first == second
+
+    def test_as_dict_is_timing_free(self, engine):
+        result = check_module(parse_module(WELL_TYPED), engine)
+        payload = result.as_dict()
+        assert payload["ok"] is True
+        for decl in payload["decls"]:
+            assert "seconds" not in decl
+            assert "cached" not in decl
+
+
+class TestModuleFormula:
+    def test_clause_intervals_retracted_on_edit(self):
+        module = parse_module(WELL_TYPED)
+        session = InferSession("flow")
+        first = session.check(module)
+        assert first.module_satisfiable is True
+        before = session.stats.clauses_retracted
+        edited = module.with_decl("get", parse(r"\r -> #b r"))
+        result = session.recheck(edited)
+        assert result.module_satisfiable is True
+        assert session.stats.clauses_retracted > before
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            InferSession("banana")

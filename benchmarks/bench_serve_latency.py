@@ -1,0 +1,206 @@
+"""Warm-daemon serving latency vs a fresh ``rowpoly check`` process.
+
+The serving layer exists because a compiler front-end (editor, build
+daemon, CI runner) re-checks the same modules over and over: a fresh
+``rowpoly check`` process pays interpreter start-up, module import,
+parsing and a from-scratch inference on every call, while a warm daemon
+keeps the :class:`~repro.infer.InferSession` alive and re-infers only
+what an edit invalidated.  This harness measures that gap end to end —
+client round trip included — on the Fig. 9 decoder corpus:
+
+1. time ``cold_runs`` fresh ``rowpoly check --json`` subprocesses (the
+   baseline a Makefile-style integration pays),
+2. start a daemon on an ephemeral TCP port, warm it with one check, then
+   time (a) pure replays of the same source (fingerprint hit) and
+   (b) re-checks after a one-literal edit per lap (invalidation path),
+3. assert the warm re-check p50 beats the fresh-process p50 by at least
+   ``MIN_SPEEDUP``×, and that the served report matches the offline one.
+
+``python benchmarks/bench_serve_latency.py --quick`` writes the numbers
+to ``BENCH_serve_latency.json`` (the CI smoke artefact) and stdout.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.gdsl import FIG9_CORPORA, build_corpus
+from repro.server.client import ServeClient
+from repro.server.daemon import Daemon, DaemonConfig
+
+#: The warm re-check p50 must beat the fresh-process p50 by this factor
+#: (process start-up alone is tens of ms; the measured margin is much
+#: larger — 5 is the safe floor, matching the incremental benchmark).
+MIN_SPEEDUP = 5.0
+
+OUTPUT_FILE = "BENCH_serve_latency.json"
+
+_LITERAL = re.compile(r"(@\{\w+ = )(\d+)(\})")
+
+
+def edit_source(source: str, lap: int) -> str:
+    """A single-declaration edit: bump the corpus's first field literal.
+
+    Changes exactly one declaration's AST (and hence its fingerprint)
+    without changing any inferred scheme, so the warm session re-infers
+    one declaration and replays the rest — the editor-loop workload.
+    """
+    return _LITERAL.sub(
+        lambda match: f"{match.group(1)}{int(match.group(2)) + lap + 1}"
+        f"{match.group(3)}",
+        source,
+        count=1,
+    )
+
+
+def _p50(seconds: list) -> float:
+    ordered = sorted(seconds)
+    return ordered[len(ordered) // 2]
+
+
+def _fresh_check_env() -> dict:
+    env = dict(os.environ)
+    src_dir = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath(src_dir), env.get("PYTHONPATH", "")])
+    )
+    return env
+
+
+def measure(scale: float = 0.05, seed: int = 0, cold_runs: int = 3,
+            warm_laps: int = 9, engine: str = "flow") -> dict:
+    """Run the comparison; returns the JSON-ready measurement table."""
+    spec = FIG9_CORPORA[0]  # Atmel AVR, the paper's smallest corpus
+    program = build_corpus(spec, scale=scale, seed=seed)
+    assert edit_source(program.source, 0) != program.source
+
+    with tempfile.TemporaryDirectory() as workdir:
+        corpus_path = os.path.join(workdir, "corpus.rp")
+        with open(corpus_path, "w") as handle:
+            handle.write(program.source)
+
+        # -- cold baseline: one whole process per check -----------------
+        env = _fresh_check_env()
+        cold_seconds = []
+        for _ in range(cold_runs):
+            started = time.perf_counter()
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro", "check", corpus_path,
+                 "--json", "--engine", engine],
+                capture_output=True,
+                env=env,
+                text=True,
+            )
+            cold_seconds.append(time.perf_counter() - started)
+            assert completed.returncode == 0, completed.stderr
+        offline_report = json.loads(completed.stdout)[0]
+
+        # -- warm daemon: one process, many checks ----------------------
+        daemon = Daemon(DaemonConfig(engine=engine, workers=1))
+        host, port = daemon.serve_tcp(port=0, background=True)
+        try:
+            with ServeClient(f"{host}:{port}") as client:
+                warmup = client.check(corpus_path, program.source)
+                assert warmup["exit"] == 0
+
+                replay_seconds = []
+                for _ in range(warm_laps):
+                    started = time.perf_counter()
+                    served = client.check(corpus_path, program.source)
+                    replay_seconds.append(time.perf_counter() - started)
+                    assert served["cached"] is True
+
+                edit_seconds = []
+                for lap in range(warm_laps):
+                    edited = edit_source(program.source, lap)
+                    started = time.perf_counter()
+                    served = client.check(corpus_path, edited)
+                    edit_seconds.append(time.perf_counter() - started)
+                    assert served["cached"] is False
+                    assert served["exit"] == 0
+
+                stats = client.stats()
+        finally:
+            daemon.request_shutdown()
+            assert daemon.wait_drained(timeout=30.0)
+
+    # Parity: the daemon's last pre-edit report must equal the offline
+    # JSON for the same source, byte for byte.
+    offline_text = json.dumps(offline_report, sort_keys=True)
+    served_text = json.dumps(warmup["report"], sort_keys=True)
+    assert served_text == offline_text, "server/offline parity violated"
+
+    cold_p50 = _p50(cold_seconds)
+    edit_p50 = _p50(edit_seconds)
+    replay_p50 = _p50(replay_seconds)
+    return {
+        "corpus": spec.name,
+        "engine": engine,
+        "scale": scale,
+        "lines": program.lines,
+        "cold_runs": cold_runs,
+        "warm_laps": warm_laps,
+        "cold_seconds": cold_seconds,
+        "cold_p50_seconds": cold_p50,
+        "warm_recheck_seconds": edit_seconds,
+        "warm_recheck_p50_seconds": edit_p50,
+        "warm_replay_seconds": replay_seconds,
+        "warm_replay_p50_seconds": replay_p50,
+        "recheck_speedup": cold_p50 / max(edit_p50, 1e-9),
+        "replay_speedup": cold_p50 / max(replay_p50, 1e-9),
+        "daemon_sessions": stats["sessions"],
+    }
+
+
+def test_serve_latency(benchmark):
+    table = benchmark.pedantic(
+        lambda: measure(scale=0.05, cold_runs=2, warm_laps=5),
+        rounds=1,
+        iterations=1,
+    )
+    assert table["recheck_speedup"] >= MIN_SPEEDUP
+    assert table["replay_speedup"] >= MIN_SPEEDUP
+    benchmark.extra_info.update(
+        {
+            key: table[key]
+            for key in ("corpus", "lines", "recheck_speedup",
+                        "replay_speedup")
+        }
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small corpus; write BENCH_serve_latency.json",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--laps", type=int, default=None)
+    parser.add_argument("--engine", default="flow")
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (
+        0.05 if args.quick else 0.15
+    )
+    laps = args.laps if args.laps is not None else (5 if args.quick else 9)
+    table = measure(scale=scale, warm_laps=laps, engine=args.engine)
+    assert table["recheck_speedup"] >= MIN_SPEEDUP, (
+        f"warm re-check speedup {table['recheck_speedup']:.1f}x is below "
+        f"the {MIN_SPEEDUP}x floor"
+    )
+    text = json.dumps(table, indent=2, sort_keys=True)
+    json.loads(text)  # the table must stay JSON-serialisable
+    with open(OUTPUT_FILE, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

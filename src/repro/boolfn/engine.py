@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from .cdcl import _Solver as _CdclSolver
 from .classify import (
@@ -81,6 +81,42 @@ class SolverStats:
         out: dict[str, object] = dict(vars(self))
         out["dispatch_counts"] = dict(self.dispatch_counts)
         return out
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Fold ``other`` into this record in place (and return ``self``).
+
+        The batch checker and the serving daemon aggregate the telemetry
+        of many per-declaration engines; every numeric counter is summed,
+        ``dispatch_counts`` is summed key-wise, and ``dispatch_class``
+        becomes the *costliest* class either side dispatched to — the
+        number a fleet-wide rollup cares about.
+        """
+        for name in (
+            "queries", "sat_answers", "unsat_answers", "clauses_ingested",
+            "upgrades", "rebuilds", "cache_hits", "model_extensions",
+            "conflicts", "propagations", "restarts", "decisions",
+            "wall_seconds",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for key, count in other.dispatch_counts.items():
+            self.dispatch_counts[key] = (
+                self.dispatch_counts.get(key, 0) + count
+            )
+        rank = {c.value: CLASS_RANK[c] for c in FormulaClass}
+        if rank.get(other.dispatch_class, 0) > rank.get(
+            self.dispatch_class, 0
+        ):
+            self.dispatch_class = other.dispatch_class
+        return self
+
+    @classmethod
+    def merged(cls, stats: "Iterable[Optional[SolverStats]]") -> "SolverStats":
+        """A fresh rollup of every non-``None`` record in ``stats``."""
+        total = cls()
+        for record in stats:
+            if record is not None:
+                total.merge(record)
+        return total
 
 
 class SatEngine:

@@ -3,7 +3,10 @@
 Subcommands:
 
 * ``infer FILE``     — type-check a program with a chosen engine,
-* ``check PATH...``  — batch-check module files (``--jobs/--json/--trace``),
+* ``check PATH...``  — batch-check module files (``--jobs/--json/--trace``;
+  ``--server ADDR`` routes through a running daemon),
+* ``serve``          — run the persistent inference daemon (stdio or TCP),
+* ``client``         — one raw JSON-RPC call against a running daemon,
 * ``eval FILE``      — run a program under the concrete semantics,
 * ``bench fig9``     — regenerate the Fig. 9 table,
 * ``generate``       — emit a synthetic decoder specification.
@@ -11,7 +14,9 @@ Subcommands:
 Exit codes follow the usual compiler convention: 0 = well-typed, 1 =
 ill-typed, 2 = parse/usage error.  Diagnostics go to stderr; structured
 output (``--json``) goes to stdout and never contains timings, so the
-output of ``check --jobs N`` is byte-identical for every N.
+output of ``check --jobs N`` is byte-identical for every N — and so is
+``check --server`` against the offline run, which is the daemon's parity
+contract.
 """
 
 from __future__ import annotations
@@ -22,9 +27,11 @@ import os
 import sys
 import time
 
+from .boolfn.engine import SolverStats
 from .gdsl import FIG9_CORPORA, GeneratorConfig, build_corpus, generate_decoder
 from .infer import FlowOptions, InferenceError, InferSession, infer_flow
 from .infer.engines import SESSION_ENGINES
+from .server.service import check_source
 from .infer.hm import infer_damas_milner, infer_mycroft
 from .infer.remy import infer_remy
 from .lang import LexError, ParseError, parse, parse_module
@@ -135,16 +142,16 @@ def _collect_check_files(paths: list[str]) -> list[str] | None:
 def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
     """Check one module file; the unit of work for the ``--jobs`` pool.
 
-    The returned payload is a plain dict (picklable, JSON-ready) and
-    carries timings separately from the stable ``report`` part, so the
-    ``--json`` output can stay deterministic across worker counts.
+    The returned payload is a plain dict (picklable, JSON-ready except for
+    the ``solver_stats`` record) and carries timings separately from the
+    stable ``report`` part, so the ``--json`` output can stay
+    deterministic across worker counts.  The check itself is the shared
+    :func:`repro.server.service.check_source` routine — the same code the
+    daemon serves, which is what makes ``--server`` parity structural.
     """
     path, engine, options = item
-    started = time.perf_counter()
     try:
         source = _read_program(path)
-        parse_started = time.perf_counter()
-        module = run_deep(lambda: parse_module(source))
     except OSError as error:
         return {
             "file": path,
@@ -152,27 +159,15 @@ def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
                        "message": str(error)},
             "exit": EXIT_USAGE,
             "trace": {},
+            "solver_stats": None,
         }
-    except (ParseError, LexError) as error:
-        return {
-            "file": path,
-            "report": {"file": path, "ok": False,
-                       "error": type(error).__name__, "message": str(error)},
-            "exit": EXIT_USAGE,
-            "trace": {},
-        }
-    parse_seconds = time.perf_counter() - parse_started
-    session = InferSession(engine, options)
-    result = run_deep(lambda: session.check(module))
-    report = {"file": path}
-    report.update(result.as_dict())
-    trace = {"parse": parse_seconds, "total": time.perf_counter() - started}
-    trace.update(result.trace_spans())
+    outcome = check_source(path, source, engine=engine, options=options)
     return {
         "file": path,
-        "report": report,
-        "exit": EXIT_OK if result.ok else EXIT_ILL_TYPED,
-        "trace": trace,
+        "report": outcome.report,
+        "exit": outcome.exit,
+        "trace": outcome.trace,
+        "solver_stats": outcome.solver_stats,
     }
 
 
@@ -200,16 +195,33 @@ def cmd_check(args: argparse.Namespace) -> int:
         track_fields=not args.no_fields,
         gc=not args.no_gc,
     )
-    items = [(path, args.engine, options) for path in files]
-    if args.jobs > 1 and len(items) > 1:
+    if args.server:
+        from .server.client import check_files_via_server
+
+        try:
+            payloads = check_files_via_server(
+                args.server,
+                files,
+                engine=args.engine,
+                options=options,
+                read_program=_read_program,
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: cannot reach server {args.server}: {error}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    elif args.jobs > 1 and len(files) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        items = [(path, args.engine, options) for path in files]
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             # ``map`` preserves input order, so every downstream artefact
             # (JSON, diagnostics, exit code) is independent of scheduling.
             payloads = list(pool.map(_check_one_file, items))
     else:
-        payloads = [_check_one_file(item) for item in items]
+        payloads = [
+            _check_one_file((path, args.engine, options)) for path in files
+        ]
     exit_code = EXIT_OK
     for payload in payloads:
         exit_code = max(exit_code, payload["exit"])
@@ -246,7 +258,111 @@ def cmd_check(args: argparse.Namespace) -> int:
                     if decl["status"] != "ok"
                 ) or 1
                 print(f"{payload['file']}: FAILED ({failed} errors)")
+    if args.solver_stats:
+        _print_check_solver_stats(payloads, args)
     return exit_code
+
+
+def _print_check_solver_stats(
+    payloads: list[dict[str, object]], args: argparse.Namespace
+) -> None:
+    """The batch-wide SolverStats rollup (parity with ``infer``'s flag).
+
+    Goes to stdout like ``rowpoly infer --solver-stats``, except under
+    ``--json``, where stdout is the deterministic report array and the
+    rollup moves to stderr.
+    """
+    if args.server:
+        print(
+            "note: --server keeps solver telemetry on the daemon; "
+            f"query it with: rowpoly client {args.server} stats",
+            file=sys.stderr,
+        )
+        return
+    rollup = SolverStats.merged(p["solver_stats"] for p in payloads)
+    text = json.dumps(rollup.as_dict(), indent=2, sort_keys=True)
+    print(text, file=sys.stderr if args.json else sys.stdout)
+
+
+# ---------------------------------------------------------------------------
+# serve / client: the persistent inference daemon
+# ---------------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .server import Daemon, DaemonConfig
+
+    config = DaemonConfig(
+        engine=args.engine,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        sessions=args.sessions,
+        deadline_ms=args.deadline_ms,
+        track_fields=not args.no_fields,
+        gc=not args.no_gc,
+    )
+    daemon = Daemon(config)
+
+    def on_signal(signum, frame):  # SIGTERM/SIGINT: graceful drain
+        daemon.request_shutdown()
+        daemon.wait_drained(config.drain_timeout + 5.0)
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    try:
+        if args.tcp:
+            host, _, port_text = args.tcp.rpartition(":")
+            host = host or "127.0.0.1"
+            try:
+                port = int(port_text)
+            except ValueError:
+                print(f"error: bad --tcp address {args.tcp!r} "
+                      f"(expected HOST:PORT)", file=sys.stderr)
+                return EXIT_USAGE
+            # Bind before announcing so `--tcp HOST:0` prints the real port.
+            bound = daemon.serve_tcp(host, port, background=True)
+            print(f"rowpoly serve: listening on {bound[0]}:{bound[1]}",
+                  file=sys.stderr, flush=True)
+            # Poll so SIGTERM/SIGINT are serviced promptly on every
+            # platform while the acceptor thread does the work.
+            while not daemon.drained.wait(1.0):
+                pass
+        else:
+            daemon.serve_stdio()
+    finally:
+        daemon.request_shutdown()
+        daemon.wait_drained(config.drain_timeout + 5.0)
+        dump = daemon.metrics.render_text()
+        print(dump, file=sys.stderr)
+        if args.metrics_dump:
+            with open(args.metrics_dump, "w") as handle:
+                json.dump(daemon.metrics.snapshot(), handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")
+    return EXIT_OK
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from .server.client import ServeClient
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as error:
+        print(f"error: --params is not valid JSON: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if not isinstance(params, dict):
+        print("error: --params must be a JSON object", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        with ServeClient(args.address, timeout=args.timeout) as client:
+            response = client.call(args.method, params)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot reach server {args.address}: {error}",
+              file=sys.stderr)
+        return EXIT_USAGE
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return EXIT_OK if "result" in response else EXIT_ILL_TYPED
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
@@ -420,7 +536,85 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--no-gc", action="store_true",
         help="disable stale-flag garbage collection",
     )
+    p_check.add_argument(
+        "--server", metavar="ADDR", default=None,
+        help="route the batch through a running `rowpoly serve` daemon at "
+        "HOST:PORT (output is byte-identical to the offline run)",
+    )
+    p_check.add_argument(
+        "--solver-stats", action="store_true",
+        help="print the batch-wide SolverStats rollup as JSON (stdout; "
+        "stderr under --json so the report array stays deterministic)",
+    )
     p_check.set_defaults(handler=cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent inference daemon (JSON-RPC over "
+        "stdio, or TCP with --tcp)",
+    )
+    p_serve.add_argument(
+        "--tcp", metavar="HOST:PORT", default=None,
+        help="listen on TCP instead of stdio (use port 0 for an "
+        "ephemeral port; the bound address is printed on stderr)",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=sorted(SESSION_ENGINES),
+        default="flow",
+        help="default inference engine (requests may override)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker threads serving check requests (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="bounded request queue; beyond it requests are rejected "
+        "with an 'overloaded' error (default: 16)",
+    )
+    p_serve.add_argument(
+        "--sessions", type=int, default=32, metavar="N",
+        help="LRU capacity of the warm-session registry (default: 32)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="default per-request wall-clock deadline "
+        "(default: unbounded; requests may override)",
+    )
+    p_serve.add_argument(
+        "--no-fields", action="store_true",
+        help="default to field tracking off",
+    )
+    p_serve.add_argument(
+        "--no-gc", action="store_true",
+        help="default to stale-flag garbage collection off",
+    )
+    p_serve.add_argument(
+        "--metrics-dump", metavar="PATH", default=None,
+        help="also write the final metrics snapshot as JSON to PATH "
+        "at shutdown (the text dump always goes to stderr)",
+    )
+    p_serve.set_defaults(handler=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="one raw JSON-RPC call against a running daemon",
+    )
+    p_client.add_argument("address", metavar="ADDR", help="daemon HOST:PORT")
+    p_client.add_argument(
+        "method", metavar="METHOD",
+        help="RPC method (check, stats, ping, cancel, shutdown)",
+    )
+    p_client.add_argument(
+        "--params", metavar="JSON", default=None,
+        help="request params as a JSON object",
+    )
+    p_client.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="socket timeout (default: 30)",
+    )
+    p_client.set_defaults(handler=cmd_client)
 
     p_eval = sub.add_parser("eval", help="run a program")
     p_eval.add_argument("file", help="program file ('-' for stdin)")

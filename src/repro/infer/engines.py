@@ -35,8 +35,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
 from ..boolfn.cnf import Clause, Cnf
+from ..boolfn.engine import SolverStats
 from ..boolfn.flags import FlagSupply
 from ..boolfn.projection import projected
+from ..util import Deadline
 from ..lang.ast import Expr, Let, Var
 from ..lang.module import Decl
 from ..lang.pretty import pretty
@@ -82,6 +84,10 @@ class DeclCheck:
     export: object
     clauses: tuple[Clause, ...] = ()
     trace: dict[str, float] = field(default_factory=dict)
+    #: SatEngine telemetry of the run that produced this check (``None``
+    #: for solver-free engines); rolled up by ``check --solver-stats``
+    #: and the serving daemon's metrics.
+    solver_stats: Optional[SolverStats] = None
 
 
 class SessionEngine(Protocol):
@@ -90,12 +96,17 @@ class SessionEngine(Protocol):
     name: str
 
     def check_decl(
-        self, decl: Decl, deps: Sequence[tuple[str, DeclCheck]]
+        self,
+        decl: Decl,
+        deps: Sequence[tuple[str, DeclCheck]],
+        deadline: Optional[Deadline] = None,
     ) -> DeclCheck:
         """Check one declaration given its dependencies' exports.
 
         Raises :class:`~repro.infer.errors.InferenceError` when the
-        declaration is ill-typed.
+        declaration is ill-typed, and lets the ``deadline``'s
+        :class:`~repro.util.DeadlineExceeded`/:class:`~repro.util.Cancelled`
+        propagate when the request budget runs out mid-check.
         """
         ...
 
@@ -232,9 +243,13 @@ class FlowSessionEngine:
         self.flags = FlagSupply()
 
     def check_decl(
-        self, decl: Decl, deps: Sequence[tuple[str, DeclCheck]]
+        self,
+        decl: Decl,
+        deps: Sequence[tuple[str, DeclCheck]],
+        deadline: Optional[Deadline] = None,
     ) -> DeclCheck:
         state = FlowState(self.options, vars=self.vars, flags=self.flags)
+        state.deadline = deadline
         inference = FlowInference(builtins=self.builtins, state=state)
         env = TypeEnv()
         for dep_name, dep in deps:
@@ -268,6 +283,7 @@ class FlowSessionEngine:
                 "sat": stats.solver_seconds,
                 "gc": stats.gc_seconds,
             },
+            solver_stats=result.solver_stats,
         )
 
 
@@ -283,8 +299,15 @@ class PlainSessionEngine:
         self.supply = VarSupply()
 
     def check_decl(
-        self, decl: Decl, deps: Sequence[tuple[str, DeclCheck]]
+        self,
+        decl: Decl,
+        deps: Sequence[tuple[str, DeclCheck]],
+        deadline: Optional[Deadline] = None,
     ) -> DeclCheck:
+        # The plain engines have no per-clause hot loop to instrument;
+        # declaration granularity is their deadline resolution.
+        if deadline is not None:
+            deadline.check()
         inference = PlainInference(
             polymorphic_recursion=self.polymorphic_recursion,
             supply=self.supply,
@@ -317,8 +340,13 @@ class PottierSessionEngine:
         self.rule = rule
 
     def check_decl(
-        self, decl: Decl, deps: Sequence[tuple[str, DeclCheck]]
+        self,
+        decl: Decl,
+        deps: Sequence[tuple[str, DeclCheck]],
+        deadline: Optional[Deadline] = None,
     ) -> DeclCheck:
+        if deadline is not None:
+            deadline.check()
         env = dict(DEFAULT_ABSTRACT_ENV)
         for dep_name, dep in deps:
             env[dep_name] = dep.export

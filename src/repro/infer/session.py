@@ -36,8 +36,9 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..boolfn.cnf import Cnf
-from ..boolfn.engine import SatEngine
+from ..boolfn.engine import SatEngine, SolverStats
 from ..lang.module import Module
+from ..util import Deadline
 from .engines import DeclCheck, make_engine
 from .errors import InferenceError
 from .state import FlowOptions
@@ -66,6 +67,9 @@ class DeclReport:
     cached: bool = False
     seconds: float = 0.0
     trace: dict[str, float] = field(default_factory=dict, compare=False)
+    #: Solver telemetry of the run that (last) checked this declaration;
+    #: never part of the stable JSON payload.
+    solver_stats: Optional[SolverStats] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -130,6 +134,16 @@ class ModuleResult:
                 spans[phase] = spans.get(phase, 0.0) + seconds
         return spans
 
+    def solver_rollup(self) -> SolverStats:
+        """Per-declaration :class:`SolverStats` merged across the module.
+
+        Cached declarations contribute the telemetry recorded when they
+        were last actually checked, so the rollup describes the work the
+        module's current results cost (``check --solver-stats`` and the
+        daemon's metrics subsystem consume this).
+        """
+        return SolverStats.merged(r.solver_stats for r in self.decls)
+
 
 @dataclass
 class SessionStats:
@@ -171,8 +185,18 @@ class InferSession:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def check(self, module: Module) -> ModuleResult:
-        """Check every declaration, reusing cached results where valid."""
+    def check(
+        self, module: Module, deadline: Optional[Deadline] = None
+    ) -> ModuleResult:
+        """Check every declaration, reusing cached results where valid.
+
+        ``deadline`` is a cooperative per-request budget (the serving
+        layer's): when it expires or is cancelled mid-check, the
+        corresponding exception propagates *between* cache updates, so the
+        session is left consistent — every declaration checked so far
+        keeps its valid entry, the interrupted declaration simply has
+        none, and the next ``check`` resumes from that point.
+        """
         started = time.perf_counter()
         self.stats.checks += 1
         for name in set(self._cache) - set(module.names()):
@@ -183,6 +207,8 @@ class InferSession:
         by_name: dict[str, DeclReport] = {}
         checked = reused = 0
         for decl in module:
+            if deadline is not None:
+                deadline.check()
             dep_names = dependencies[decl.name]
             key, failed_dep = self._cache_key(decl, dep_names, by_name, checks)
             entry = self._cache.get(decl.name)
@@ -195,7 +221,7 @@ class InferSession:
             else:
                 self._invalidate(decl.name)
                 check, report = self._check_decl(
-                    decl, dep_names, failed_dep, checks
+                    decl, dep_names, failed_dep, checks, deadline
                 )
                 if check is not None:
                     checks[decl.name] = check
@@ -217,11 +243,13 @@ class InferSession:
             seconds=time.perf_counter() - started,
         )
 
-    def recheck(self, module: Module) -> ModuleResult:
+    def recheck(
+        self, module: Module, deadline: Optional[Deadline] = None
+    ) -> ModuleResult:
         """Re-check an edited module; synonym of :meth:`check` that counts
         separately (the incremental path is the cache, not the method)."""
         self.stats.rechecks += 1
-        return self.check(module)
+        return self.check(module, deadline)
 
     # ------------------------------------------------------------------
     # internals
@@ -259,6 +287,7 @@ class InferSession:
         dep_names: list[str],
         failed_dep: Optional[str],
         checks: dict[str, DeclCheck],
+        deadline: Optional[Deadline] = None,
     ) -> tuple[Optional[DeclCheck], DeclReport]:
         if failed_dep is not None:
             return None, DeclReport(
@@ -274,7 +303,9 @@ class InferSession:
         started = time.perf_counter()
         try:
             check = self.engine.check_decl(
-                decl, [(dep, checks[dep]) for dep in dep_names]
+                decl,
+                [(dep, checks[dep]) for dep in dep_names],
+                deadline=deadline,
             )
         except InferenceError as error:
             span = error.span or decl.span
@@ -295,6 +326,7 @@ class InferSession:
             flow_text=check.flow_text,
             seconds=time.perf_counter() - started,
             trace=dict(check.trace),
+            solver_stats=check.solver_stats,
         )
 
     def _assert_clauses(self, name: str, check: DeclCheck) -> None:

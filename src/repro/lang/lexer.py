@@ -83,7 +83,14 @@ class Token:
 
 
 class LexError(SyntaxError):
-    """Raised on an unrecognised character."""
+    """Raised on an unrecognised character.
+
+    ``span`` locates the offending character for structured diagnostics.
+    """
+
+    def __init__(self, message: str, span: "Span | None" = None) -> None:
+        super().__init__(message)
+        self.span = span
 
 
 _TOKEN_RE = re.compile(
@@ -131,7 +138,7 @@ def tokenize(source: str) -> list[Token]:
         if match is None:
             span = Span(position, position + 1, line, position - line_start + 1)
             raise LexError(
-                f"unexpected character {source[position]!r} at {span}"
+                f"unexpected character {source[position]!r} at {span}", span
             )
         position = match.end()
         kind_name = match.lastgroup

@@ -75,7 +75,8 @@ class Module:
             if decl.name in self._by_name:
                 raise ParseError(
                     f"duplicate top-level declaration {decl.name!r} "
-                    f"at {decl.span}"
+                    f"at {decl.span}",
+                    decl.span,
                 )
             self._by_name[decl.name] = decl
 
@@ -221,7 +222,8 @@ def parse_module(source: str, main: str = MAIN_DECL) -> Module:
         if trailing.kind is not TokenKind.EOF:
             raise ParseError(
                 f"unexpected {trailing.kind.value!r} ({trailing.text!r}) "
-                f"after expression at {trailing.span}"
+                f"after expression at {trailing.span}",
+                trailing.span,
             )
         return module_from_expr(expr, main=main)
     parser = _Parser(tokenize(source))
@@ -258,6 +260,7 @@ def parse_module(source: str, main: str = MAIN_DECL) -> Module:
     if trailing.kind is not TokenKind.EOF:
         raise ParseError(
             f"unexpected {trailing.kind.value!r} ({trailing.text!r}) after "
-            f"module declarations at {trailing.span}"
+            f"module declarations at {trailing.span}",
+            trailing.span,
         )
     return Module(decls)

@@ -38,6 +38,7 @@ from .ast import (
     Remove,
     Rename,
     Select,
+    Span,
     Update,
     Var,
     When,
@@ -47,7 +48,16 @@ from .lexer import Token, TokenKind, tokenize
 
 
 class ParseError(SyntaxError):
-    """Raised on a syntax error, with the offending token position."""
+    """Raised on a syntax error, with the offending token position.
+
+    ``span`` is the structured source region of the offending token (when
+    one is known) so that batch/daemon JSON diagnostics can report
+    line/column without scraping the message text.
+    """
+
+    def __init__(self, message: str, span: "Span | None" = None) -> None:
+        super().__init__(message)
+        self.span = span
 
 
 _ATOM_STARTERS = frozenset(
@@ -87,7 +97,8 @@ class _Parser:
         if token.kind is not kind:
             raise ParseError(
                 f"expected {kind.value!r} but found {token.kind.value!r} "
-                f"({token.text!r}) at {token.span}"
+                f"({token.text!r}) at {token.span}",
+                token.span,
             )
         return self.advance()
 
@@ -231,7 +242,8 @@ class _Parser:
             return expr
         raise ParseError(
             f"expected an expression but found {kind.value!r} "
-            f"({token.text!r}) at {token.span}"
+            f"({token.text!r}) at {token.span}",
+            token.span,
         )
 
     def record(self) -> Expr:
@@ -245,7 +257,8 @@ class _Parser:
             if label.text in fields:
                 raise ParseError(
                     f"duplicate field {label.text!r} in record literal "
-                    f"at {label.span}"
+                    f"at {label.span}",
+                    label.span,
                 )
             self.expect(TokenKind.EQUALS)
             fields[label.text] = self.expr()
@@ -276,6 +289,7 @@ def parse(source: str) -> Expr:
     if trailing.kind is not TokenKind.EOF:
         raise ParseError(
             f"unexpected {trailing.kind.value!r} ({trailing.text!r}) after "
-            f"expression at {trailing.span}"
+            f"expression at {trailing.span}",
+            trailing.span,
         )
     return expr

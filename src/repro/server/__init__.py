@@ -1,0 +1,46 @@
+"""The serving layer: a persistent inference daemon (``rowpoly serve``).
+
+Every ``rowpoly check`` process rebuilds the world — supplies, builtins,
+sessions, solver state — only to throw it away.  The paper's design (one
+persistent β with per-declaration clause intervals, incremental
+satisfiability, signature-keyed caches) pays off precisely when that state
+stays *warm across requests*, which is how editor tooling actually drives
+a type checker.  This package keeps it warm:
+
+* :mod:`protocol`  — newline-delimited JSON-RPC framing and error codes,
+* :mod:`service`   — the canonical "check one module source" routine
+  shared by the offline batch checker and the daemon (parity by
+  construction),
+* :mod:`registry`  — an LRU-bounded pool of warm
+  :class:`~repro.infer.session.InferSession` objects keyed by module
+  path, invalidated by source fingerprint,
+* :mod:`scheduler` — a worker pool with a bounded queue, per-request
+  deadlines, client cancellation, backpressure and graceful drain,
+* :mod:`metrics`   — counters, latency histograms and
+  :class:`~repro.boolfn.engine.SolverStats` rollups, served by the
+  ``stats`` RPC and dumped on shutdown,
+* :mod:`daemon`    — the long-lived process tying it together (stdio and
+  TCP transports),
+* :mod:`client`    — the thin client behind ``rowpoly client`` and
+  ``rowpoly check --server ADDR``.
+"""
+
+from .client import ServeClient, check_files_via_server
+from .daemon import Daemon, DaemonConfig
+from .metrics import ServerMetrics
+from .registry import SessionRegistry
+from .scheduler import Scheduler
+from .service import CheckOutcome, check_source, fingerprint_source
+
+__all__ = [
+    "CheckOutcome",
+    "Daemon",
+    "DaemonConfig",
+    "Scheduler",
+    "ServeClient",
+    "ServerMetrics",
+    "SessionRegistry",
+    "check_files_via_server",
+    "check_source",
+    "fingerprint_source",
+]

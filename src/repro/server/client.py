@@ -1,0 +1,235 @@
+"""The thin client: ``rowpoly client`` and ``rowpoly check --server``.
+
+A :class:`ServeClient` speaks the newline-delimited JSON-RPC of
+:mod:`repro.server.protocol` over one TCP connection, synchronously: send
+a request, read lines until the matching ``id`` comes back.  (The daemon
+may interleave responses to pipelined requests; matching by id keeps the
+client correct either way.)
+
+:func:`check_files_via_server` is the batch driver behind
+``rowpoly check --server ADDR``: it reads each file locally, ships the
+source to the daemon, and reassembles payloads of exactly the shape the
+offline checker produces — so the downstream printing/exit-code logic in
+the CLI is shared and the ``--json`` output is byte-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Optional
+
+from ..infer.state import FlowOptions
+from .service import EXIT_USAGE
+
+
+class ServeError(Exception):
+    """An error response from the daemon, with its structured payload."""
+
+    def __init__(self, code: int, name: str, message: str,
+                 data: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.name = name
+        self.data = data or {}
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``HOST:PORT``, ``:PORT`` or bare ``PORT`` → (host, port)."""
+    host, _, port_text = address.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad server address {address!r} (expected HOST:PORT)"
+        ) from None
+    return host, port
+
+
+class ServeClient:
+    """One synchronous JSON-RPC connection to a running daemon."""
+
+    def __init__(self, address: str, timeout: Optional[float] = None) -> None:
+        host, port = parse_address(address)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def close(self) -> None:
+        for closable in (self._reader, self._writer, self._sock):
+            try:
+                closable.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # raw RPC
+    # ------------------------------------------------------------------
+    def call(
+        self, method: str, params: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
+        """One round trip; returns the raw response object."""
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            line = json.dumps(
+                {"id": request_id, "method": method, "params": params or {}},
+                separators=(",", ":"),
+                sort_keys=True,
+            )
+            self._writer.write(line + "\n")
+            self._writer.flush()
+            while True:
+                response_line = self._reader.readline()
+                if not response_line:
+                    raise ConnectionError(
+                        "server closed the connection mid-request"
+                    )
+                response = json.loads(response_line)
+                if response.get("id") == request_id:
+                    return response
+
+    def request(
+        self, method: str, params: Optional[dict[str, Any]] = None
+    ) -> Any:
+        """One round trip; unwraps ``result`` or raises :class:`ServeError`."""
+        response = self.call(method, params)
+        if "error" in response:
+            error = response["error"]
+            raise ServeError(
+                error.get("code", 0),
+                error.get("name", "error"),
+                error.get("message", "server error"),
+                error.get("data"),
+            )
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # convenience methods
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        path: str,
+        source: Optional[str] = None,
+        engine: Optional[str] = None,
+        options: Optional[dict[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"path": path}
+        if source is not None:
+            params["source"] = source
+        if engine is not None:
+            params["engine"] = engine
+        if options is not None:
+            params["options"] = options
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.request("check", params)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def cancel(self, request_id: object) -> bool:
+        return bool(
+            self.request("cancel", {"id": request_id}).get("cancelled")
+        )
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")
+
+
+def check_files_via_server(
+    address: str,
+    files: list[str],
+    engine: str = "flow",
+    options: Optional[FlowOptions] = None,
+    deadline_ms: Optional[float] = None,
+    read_program=None,
+) -> list[dict[str, Any]]:
+    """Drive a file list through a daemon; payloads match the offline path.
+
+    Each payload is ``{"file", "report", "exit", "trace"}`` plus
+    ``"solver_stats": None`` (per-request solver telemetry stays on the
+    daemon, aggregated under its ``stats`` RPC).  Sources are read locally
+    so a daemon on another mount checks what the caller sees; local read
+    failures produce the offline checker's IOError report without a round
+    trip.
+    """
+    if read_program is None:
+        def read_program(path: str) -> str:
+            with open(path) as handle:
+                return handle.read()
+
+    if options is None:
+        options = FlowOptions()
+    wire_options = {"track_fields": options.track_fields, "gc": options.gc}
+    payloads: list[dict[str, Any]] = []
+    with ServeClient(address) as client:
+        for path in files:
+            try:
+                source = read_program(path)
+            except OSError as error:
+                payloads.append(
+                    {
+                        "file": path,
+                        "report": {
+                            "file": path,
+                            "ok": False,
+                            "error": "IOError",
+                            "message": str(error),
+                        },
+                        "exit": EXIT_USAGE,
+                        "trace": {},
+                        "solver_stats": None,
+                    }
+                )
+                continue
+            try:
+                result = client.check(
+                    path,
+                    source,
+                    engine=engine,
+                    options=wire_options,
+                    deadline_ms=deadline_ms,
+                )
+            except ServeError as error:
+                payloads.append(
+                    {
+                        "file": path,
+                        "report": {
+                            "file": path,
+                            "ok": False,
+                            "error": f"Server{error.name}",
+                            "message": str(error),
+                        },
+                        "exit": EXIT_USAGE,
+                        "trace": {},
+                        "solver_stats": None,
+                    }
+                )
+                continue
+            payloads.append(
+                {
+                    "file": path,
+                    "report": result["report"],
+                    "exit": result["exit"],
+                    "trace": result.get("trace", {}),
+                    "solver_stats": None,
+                }
+            )
+    return payloads

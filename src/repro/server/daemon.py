@@ -1,0 +1,454 @@
+"""The persistent inference daemon behind ``rowpoly serve``.
+
+One long-lived process, two transports (newline-delimited JSON-RPC over
+stdio or TCP), one shared worker pool.  ``check``/``recheck`` requests go
+through the :class:`~repro.server.scheduler.Scheduler`; the control
+methods (``cancel``, ``stats``, ``ping``, ``shutdown``) are answered
+inline so they work even when the queue is saturated — you can always ask
+a drowning daemon how it is drowning.
+
+Request lifecycle for ``check``:
+
+1. decode + validate (bad params are answered immediately),
+2. submit to the bounded queue — full queue answers ``overloaded`` (429),
+   a draining daemon answers ``shutting-down`` (503),
+3. a worker resolves the module's warm session in the LRU registry:
+   an identical source fingerprint replays the stored outcome without
+   touching the engine; otherwise :func:`~repro.server.service.check_source`
+   runs on the warm session under the request's deadline,
+4. deadline expiry / client cancellation surface as structured 408/499
+   errors; the session is left consistent either way (see
+   :meth:`repro.infer.session.InferSession.check`), so the next request
+   on that module simply resumes.
+
+Shutdown (EOF, ``shutdown`` RPC, or SIGTERM via ``rowpoly serve``) drains:
+intake stops, accepted jobs finish and are answered, workers join, and
+the metrics subsystem dumps its final report.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..infer.engines import SESSION_ENGINES
+from ..infer.state import FlowOptions
+from ..util import Cancelled, DeadlineExceeded, Deadline
+from . import protocol
+from .metrics import ServerMetrics
+from .registry import SessionRegistry
+from .scheduler import Job, Scheduler
+from .service import (
+    EXIT_USAGE,
+    CheckOutcome,
+    check_source,
+    fingerprint_source,
+)
+
+
+@dataclass
+class DaemonConfig:
+    """Tunables of one daemon instance (the ``rowpoly serve`` flags)."""
+
+    engine: str = "flow"
+    workers: int = 2
+    queue_limit: int = 16
+    sessions: int = 32
+    #: Default per-request wall-clock budget; ``None`` = unbounded.
+    deadline_ms: Optional[float] = None
+    track_fields: bool = True
+    gc: bool = True
+    #: Drain budget at shutdown before giving up on stuck workers.
+    drain_timeout: float = 30.0
+
+
+class _InvalidParams(Exception):
+    pass
+
+
+class Daemon:
+    """The serving loop: transports in, scheduler through, metrics out."""
+
+    def __init__(
+        self,
+        config: Optional[DaemonConfig] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.config = config or DaemonConfig()
+        if self.config.engine not in SESSION_ENGINES:
+            raise ValueError(f"unknown engine {self.config.engine!r}")
+        self.metrics = metrics or ServerMetrics()
+        self.registry = SessionRegistry(self.config.sessions, self.metrics)
+        self.scheduler = Scheduler(
+            self._run_check_job,
+            workers=self.config.workers,
+            queue_limit=self.config.queue_limit,
+            metrics=self.metrics,
+        )
+        self.shutdown_requested = threading.Event()
+        self.drained = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._tcp_server: Optional[socketserver.ThreadingTCPServer] = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def handle_line(
+        self,
+        line: str,
+        respond: Callable[[dict[str, Any]], None],
+        client: object = None,
+    ) -> None:
+        """Decode and dispatch one request line (transport-agnostic)."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            request = protocol.parse_request(line)
+        except protocol.ProtocolError as error:
+            self.metrics.record_request("?", "invalid")
+            respond(
+                protocol.error_response(
+                    error.request_id, error.code, str(error)
+                )
+            )
+            return
+        self._dispatch(request, respond, client)
+
+    def _dispatch(
+        self,
+        request: protocol.Request,
+        respond: Callable[[dict[str, Any]], None],
+        client: object,
+    ) -> None:
+        method = request.method
+        if method in ("check", "recheck"):
+            self._dispatch_check(request, respond, client)
+        elif method == "cancel":
+            target = request.params.get("id")
+            cancelled = self.scheduler.cancel(client, target)
+            self.metrics.record_request("cancel", "ok")
+            respond(protocol.ok_response(request.id, {"cancelled": cancelled}))
+        elif method == "stats":
+            self.metrics.record_request("stats", "ok")
+            respond(protocol.ok_response(request.id, self.metrics.snapshot()))
+        elif method == "ping":
+            respond(protocol.ok_response(request.id, {"pong": True}))
+        elif method == "shutdown":
+            # Answer first — the drain below may be the last thing we do.
+            respond(
+                protocol.ok_response(
+                    request.id, {"ok": True, "draining": True}
+                )
+            )
+            self.request_shutdown()
+        else:
+            self.metrics.record_request(method, "invalid")
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.METHOD_NOT_FOUND,
+                    f"unknown method {method!r}",
+                )
+            )
+
+    def _dispatch_check(
+        self,
+        request: protocol.Request,
+        respond: Callable[[dict[str, Any]], None],
+        client: object,
+    ) -> None:
+        deadline_ms = request.params.get("deadline_ms", self.config.deadline_ms)
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            self.metrics.record_request(request.method, "invalid")
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.INVALID_PARAMS,
+                    "'deadline_ms' must be a positive number",
+                )
+            )
+            return
+        job = Job(
+            id=request.id,
+            method=request.method,
+            params=request.params,
+            deadline=Deadline(
+                None if deadline_ms is None else deadline_ms / 1000.0
+            ),
+            respond=respond,
+            client=client,
+        )
+        verdict = self.scheduler.submit(job)
+        if verdict == "overloaded":
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.OVERLOADED,
+                    "request queue is full; retry later",
+                    {"queue_limit": self.config.queue_limit},
+                )
+            )
+        elif verdict == "shutting-down":
+            self.metrics.record_request(request.method, "rejected")
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.SHUTTING_DOWN,
+                    "daemon is draining; no new requests accepted",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # the scheduler's handler (runs on worker threads)
+    # ------------------------------------------------------------------
+    def _check_params(self, params: dict[str, Any]) -> tuple:
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            raise _InvalidParams("'path' must be a non-empty string")
+        source = params.get("source")
+        if source is not None and not isinstance(source, str):
+            raise _InvalidParams("'source' must be a string when given")
+        engine = params.get("engine", self.config.engine)
+        if engine not in SESSION_ENGINES:
+            raise _InvalidParams(
+                f"unknown engine {engine!r} "
+                f"(expected one of {', '.join(SESSION_ENGINES)})"
+            )
+        raw_options = params.get("options", {})
+        if not isinstance(raw_options, dict):
+            raise _InvalidParams("'options' must be a JSON object")
+        options = FlowOptions(
+            track_fields=bool(
+                raw_options.get("track_fields", self.config.track_fields)
+            ),
+            gc=bool(raw_options.get("gc", self.config.gc)),
+        )
+        return path, source, engine, options
+
+    def _run_check_job(
+        self, job: Job, queue_seconds: float
+    ) -> dict[str, Any]:
+        started = time.monotonic()
+
+        def finish(status: str) -> None:
+            self.metrics.record_request(
+                job.method,
+                status,
+                queue_seconds,
+                time.monotonic() - started,
+            )
+
+        try:
+            # A job whose budget died in the queue never touches a session.
+            job.deadline.check()
+            path, source, engine, options = self._check_params(job.params)
+            if source is None:
+                try:
+                    with open(path) as handle:
+                        source = handle.read()
+                except OSError as error:
+                    finish("ok")  # served, with a well-formed failure report
+                    return self._check_response(
+                        job,
+                        CheckOutcome(
+                            report={
+                                "file": path,
+                                "ok": False,
+                                "error": "IOError",
+                                "message": str(error),
+                            },
+                            exit=EXIT_USAGE,
+                        ),
+                        cached=False,
+                    )
+            entry = self.registry.acquire(path, engine, options)
+            with entry.lock:
+                fingerprint = fingerprint_source(source)
+                label = self.registry.classify_request(entry, fingerprint)
+                self.registry.record(label)
+                if label == "hit":
+                    outcome, cached = entry.outcome, True
+                else:
+                    outcome = check_source(
+                        path,
+                        source,
+                        engine=engine,
+                        options=options,
+                        session=entry.session,
+                        recheck=entry.checks > 0,
+                        deadline=job.deadline,
+                        deep=False,
+                    )
+                    entry.checks += 1
+                    entry.fingerprint = fingerprint
+                    entry.outcome = outcome
+                    self.metrics.merge_solver_stats(outcome.solver_stats)
+                    cached = False
+        except _InvalidParams as error:
+            finish("invalid")
+            return protocol.error_response(
+                job.id, protocol.INVALID_PARAMS, str(error)
+            )
+        except Cancelled:
+            finish("cancelled")
+            return protocol.error_response(
+                job.id,
+                protocol.CANCELLED,
+                "request cancelled by client",
+                {"path": job.params.get("path")},
+            )
+        except DeadlineExceeded:
+            finish("timeout")
+            return protocol.error_response(
+                job.id,
+                protocol.DEADLINE_EXCEEDED,
+                "request deadline exceeded",
+                {
+                    "path": job.params.get("path"),
+                    "deadline_ms": job.params.get(
+                        "deadline_ms", self.config.deadline_ms
+                    ),
+                },
+            )
+        except Exception as error:  # noqa: BLE001 — answered, not fatal
+            finish("error")
+            return protocol.error_response(
+                job.id,
+                protocol.INTERNAL_ERROR,
+                f"{type(error).__name__}: {error}",
+            )
+        finish("ok")
+        return self._check_response(job, outcome, cached)
+
+    @staticmethod
+    def _check_response(
+        job: Job, outcome: CheckOutcome, cached: bool
+    ) -> dict[str, Any]:
+        return protocol.ok_response(
+            job.id,
+            {
+                "report": outcome.report,
+                "exit": outcome.exit,
+                "trace": outcome.trace,
+                "cached": cached,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # transports
+    # ------------------------------------------------------------------
+    def serve_stdio(self, stdin=None, stdout=None) -> None:
+        """Serve newline-delimited JSON-RPC on stdio until EOF/shutdown."""
+        import sys
+
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        self.scheduler.start()
+        write_lock = threading.Lock()
+
+        def respond(message: dict[str, Any]) -> None:
+            data = protocol.encode(message)
+            with write_lock:
+                stdout.write(data)
+                stdout.flush()
+
+        for line in stdin:
+            self.handle_line(line, respond, client="stdio")
+            if self.shutdown_requested.is_set():
+                break
+        self._drain()
+
+    def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0, background: bool = False
+    ) -> tuple[str, int]:
+        """Serve over TCP; returns the bound (host, port).
+
+        ``background=True`` runs the accept loop on a thread (tests and
+        benchmarks); otherwise this blocks until shutdown.
+        """
+        daemon = self
+
+        class _Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                write_lock = threading.Lock()
+                client_tag = object()  # namespaces request ids per connection
+
+                def respond(message: dict[str, Any]) -> None:
+                    data = protocol.encode(message).encode()
+                    with write_lock:
+                        self.wfile.write(data)
+                        self.wfile.flush()
+
+                for raw in self.rfile:
+                    daemon.handle_line(
+                        raw.decode("utf-8", "replace"), respond, client_tag
+                    )
+                    if daemon.shutdown_requested.is_set():
+                        break
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self.scheduler.start()
+        server = _Server((host, port), _Handler)
+        self._tcp_server = server
+        bound = server.server_address[:2]
+        if background:
+            thread = threading.Thread(
+                target=server.serve_forever,
+                name="rowpoly-acceptor",
+                daemon=True,
+            )
+            thread.start()
+        else:
+            try:
+                server.serve_forever()
+            finally:
+                server.server_close()
+        return bound
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown without blocking the caller.
+
+        Safe from RPC dispatch, signal handlers and tests alike; the
+        actual drain runs on its own thread and is done exactly once.
+        """
+        with self._shutdown_lock:
+            if self.shutdown_requested.is_set():
+                return
+            self.shutdown_requested.set()
+        threading.Thread(
+            target=self._drain, name="rowpoly-drain", daemon=False
+        ).start()
+
+    def _drain(self) -> None:
+        with self._shutdown_lock:
+            if self.drained.is_set():
+                return
+            self.shutdown_requested.set()
+            clean = self.scheduler.drain(timeout=self.config.drain_timeout)
+            server, self._tcp_server = self._tcp_server, None
+            if server is not None:
+                server.shutdown()
+                server.server_close()
+            self.drained.set()
+        if not clean:  # pragma: no cover - only on a wedged worker
+            import sys
+
+            print(
+                "rowpoly serve: drain timed out with requests in flight",
+                file=sys.stderr,
+            )
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        return self.drained.wait(timeout)

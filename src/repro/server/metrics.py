@@ -1,0 +1,215 @@
+"""The daemon's metrics subsystem.
+
+Three kinds of instruments, all behind one lock (contention is negligible
+next to an inference request):
+
+* **counters** — requests by method and outcome status, session-registry
+  traffic (hits/misses/evictions/invalidations), totals;
+* **latency histograms** — per method, split into *queue* time (submit →
+  worker pickup; the backpressure signal) and *service* time (worker
+  pickup → response).  Buckets are geometric from 100µs to ~2 minutes, so
+  p50/p90/p99 come out of bucket interpolation with bounded error and the
+  snapshot stays a few hundred bytes;
+* **solver rollup** — one :class:`~repro.boolfn.engine.SolverStats` that
+  every completed check's per-declaration telemetry is merged into
+  (:meth:`SolverStats.merge`), the daemon-lifetime analogue of
+  ``rowpoly check --solver-stats``.
+
+:meth:`ServerMetrics.snapshot` is the payload of the ``stats`` RPC;
+:meth:`ServerMetrics.render_text` is what the daemon dumps on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..boolfn.engine import SolverStats
+
+#: Geometric latency bucket upper bounds, in seconds (last bucket open).
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    0.0001 * (2.0 ** i) for i in range(21)
+)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with interpolated percentiles."""
+
+    __slots__ = ("counts", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = 0
+        while index < len(_BUCKET_BOUNDS) and seconds > _BUCKET_BOUNDS[index]:
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 < q < 1), linearly interpolated."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lower = _BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    _BUCKET_BOUNDS[index]
+                    if index < len(_BUCKET_BOUNDS)
+                    else self.max
+                )
+                fraction = (rank - seen) / bucket_count
+                return lower + (upper - lower) * fraction
+            seen += bucket_count
+        return self.max
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.max,
+        }
+
+
+class ServerMetrics:
+    """All of the daemon's observable state, thread-safe."""
+
+    #: Request outcome statuses the counters are keyed by.
+    STATUSES = (
+        "ok", "error", "timeout", "cancelled", "rejected", "invalid",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests: dict[str, dict[str, int]] = {}
+        self._queue_latency: dict[str, Histogram] = {}
+        self._service_latency: dict[str, Histogram] = {}
+        self._sessions = {
+            "hits": 0, "misses": 0, "evictions": 0, "invalidations": 0,
+        }
+        self._solver = SolverStats()
+        self._solver_merges = 0
+
+    # -- recording -----------------------------------------------------
+    def record_request(
+        self,
+        method: str,
+        status: str,
+        queue_seconds: float = 0.0,
+        service_seconds: float = 0.0,
+    ) -> None:
+        with self._lock:
+            per_status = self._requests.setdefault(
+                method, {s: 0 for s in self.STATUSES}
+            )
+            per_status[status] = per_status.get(status, 0) + 1
+            if queue_seconds:
+                self._queue_latency.setdefault(
+                    method, Histogram()
+                ).observe(queue_seconds)
+            if status != "rejected":
+                self._service_latency.setdefault(
+                    method, Histogram()
+                ).observe(service_seconds)
+
+    def record_session_event(self, event: str, count: int = 1) -> None:
+        """``event`` ∈ {hits, misses, evictions, invalidations}."""
+        with self._lock:
+            self._sessions[event] = self._sessions.get(event, 0) + count
+
+    def merge_solver_stats(self, stats: Optional[SolverStats]) -> None:
+        if stats is None:
+            return
+        with self._lock:
+            self._solver.merge(stats)
+            self._solver_merges += 1
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready view; the ``stats`` RPC result."""
+        with self._lock:
+            hits, misses = self._sessions["hits"], self._sessions["misses"]
+            lookups = hits + misses
+            return {
+                "uptime_seconds": time.monotonic() - self._started,
+                "requests": {
+                    method: dict(statuses)
+                    for method, statuses in sorted(self._requests.items())
+                },
+                "latency": {
+                    method: {
+                        "queue": self._queue_latency[method].snapshot()
+                        if method in self._queue_latency
+                        else None,
+                        "service": histogram.snapshot(),
+                    }
+                    for method, histogram in sorted(
+                        self._service_latency.items()
+                    )
+                },
+                "sessions": {
+                    **self._sessions,
+                    "hit_rate": hits / lookups if lookups else 0.0,
+                },
+                "solver": {
+                    "rollup": self._solver.as_dict(),
+                    "merged_runs": self._solver_merges,
+                },
+            }
+
+    def render_text(self) -> str:
+        """The human-readable dump written at shutdown."""
+        snap = self.snapshot()
+        lines = [
+            "rowpoly serve metrics "
+            f"(uptime {snap['uptime_seconds']:.1f}s)",
+        ]
+        for method, statuses in snap["requests"].items():
+            total = sum(statuses.values())
+            detail = ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(statuses.items())
+                if count
+            )
+            lines.append(f"  {method}: {total} requests ({detail})")
+            latency = snap["latency"].get(method)
+            if latency:
+                service = latency["service"]
+                lines.append(
+                    f"    service p50={service['p50'] * 1000:.1f}ms "
+                    f"p90={service['p90'] * 1000:.1f}ms "
+                    f"p99={service['p99'] * 1000:.1f}ms "
+                    f"max={service['max'] * 1000:.1f}ms"
+                )
+        sessions = snap["sessions"]
+        lines.append(
+            f"  sessions: hit_rate={sessions['hit_rate']:.2f} "
+            f"(hits={sessions['hits']}, misses={sessions['misses']}, "
+            f"evictions={sessions['evictions']}, "
+            f"invalidations={sessions['invalidations']})"
+        )
+        solver = snap["solver"]["rollup"]
+        lines.append(
+            f"  solver: queries={solver['queries']} "
+            f"conflicts={solver['conflicts']} "
+            f"propagations={solver['propagations']} "
+            f"cache_hits={solver['cache_hits']} "
+            f"wall={solver['wall_seconds']:.3f}s"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Newline-delimited JSON-RPC framing for the inference daemon.
+
+One request or response per line, UTF-8, compact JSON with sorted keys (so
+transcripts are byte-stable and diffable).  The shape follows JSON-RPC 2.0
+closely enough to be unsurprising without pulling in a dependency:
+
+* request:  ``{"id": 7, "method": "check", "params": {...}}``
+* success:  ``{"id": 7, "result": {...}}``
+* failure:  ``{"id": 7, "error": {"code": 408, "message": ..., "data": ...}}``
+
+Standard JSON-RPC codes cover malformed traffic; the application codes are
+HTTP-flavoured on purpose — a deadline miss is a 408, backpressure is a
+429, a drain rejection is a 503 — because that is the vocabulary the
+serving layer's operators already speak.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+# -- JSON-RPC framing errors ------------------------------------------------
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+# -- application errors (HTTP-flavoured) ------------------------------------
+DEADLINE_EXCEEDED = 408
+OVERLOADED = 429
+CANCELLED = 499
+SHUTTING_DOWN = 503
+
+#: Human labels for the error codes (carried in responses for greppability).
+ERROR_NAMES = {
+    PARSE_ERROR: "parse-error",
+    INVALID_REQUEST: "invalid-request",
+    METHOD_NOT_FOUND: "method-not-found",
+    INVALID_PARAMS: "invalid-params",
+    INTERNAL_ERROR: "internal-error",
+    DEADLINE_EXCEEDED: "deadline-exceeded",
+    OVERLOADED: "overloaded",
+    CANCELLED: "cancelled",
+    SHUTTING_DOWN: "shutting-down",
+}
+
+
+class ProtocolError(Exception):
+    """A request that cannot be dispatched; carries its error code."""
+
+    def __init__(self, code: int, message: str,
+                 request_id: object = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+@dataclass
+class Request:
+    """One decoded request line."""
+
+    id: object
+    method: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def parse_request(line: str) -> Request:
+    """Decode one request line; raise :class:`ProtocolError` on junk."""
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(PARSE_ERROR, f"malformed JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(INVALID_REQUEST, "request must be a JSON object")
+    request_id = payload.get("id")
+    method = payload.get("method")
+    if not isinstance(method, str) or not method:
+        raise ProtocolError(
+            INVALID_REQUEST, "request needs a string 'method'", request_id
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            INVALID_PARAMS, "'params' must be a JSON object", request_id
+        )
+    return Request(id=request_id, method=method, params=params)
+
+
+def ok_response(request_id: object, result: Any) -> dict[str, Any]:
+    return {"id": request_id, "result": result}
+
+
+def error_response(
+    request_id: object,
+    code: int,
+    message: str,
+    data: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    error: dict[str, Any] = {
+        "code": code,
+        "name": ERROR_NAMES.get(code, "error"),
+        "message": message,
+    }
+    if data:
+        error["data"] = data
+    return {"id": request_id, "error": error}
+
+
+def encode(message: dict[str, Any]) -> str:
+    """One wire line (terminator included), byte-stable for equal inputs."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"

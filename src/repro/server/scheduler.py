@@ -1,0 +1,211 @@
+"""Request scheduling: a worker pool with a bounded queue.
+
+The daemon enqueues check jobs here; everything about robustness lives in
+this one file:
+
+* **backpressure** — the queue is bounded; :meth:`Scheduler.submit`
+  refuses instead of blocking when it is full, and the daemon turns the
+  refusal into a 429-style ``overloaded`` error the client can retry on;
+* **deadlines** — every job carries a :class:`~repro.util.Deadline`.  A
+  job whose deadline passed while it sat in the queue is answered with a
+  timeout *without ever touching a session*; one that expires mid-service
+  is interrupted by the inference's cooperative polls;
+* **cancellation** — :meth:`cancel` flips the job's deadline token; a
+  queued job is dropped at pickup, a running one stops at its next poll;
+* **graceful drain** — :meth:`drain` stops intake (submits are refused as
+  ``shutting-down``), lets the workers finish every job already accepted,
+  and joins them, so an in-flight request is never dropped by shutdown.
+
+Workers are created with a large thread stack and a high recursion limit
+(the right-nested Fig. 9 modules need both), which is why the service
+layer is called with ``deep=False`` from here — no per-request deep-stack
+thread, unlike the cold CLI path.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..util import Deadline
+from .metrics import ServerMetrics
+
+#: Worker thread stack size (bytes) — matches repro.util.run_deep.
+_WORKER_STACK_BYTES = 512 * 1024 * 1024
+_WORKER_RECURSION_LIMIT = 1_000_000
+
+
+@dataclass
+class Job:
+    """One scheduled request."""
+
+    id: object
+    method: str
+    params: dict[str, Any]
+    deadline: Deadline
+    respond: Callable[[dict[str, Any]], None]
+    #: Opaque client tag namespacing ``id`` (one per connection).
+    client: object = None
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def key(self) -> tuple:
+        return (self.client, self.id)
+
+
+class Scheduler:
+    """Run jobs through ``handler`` on a bounded worker pool.
+
+    ``handler(job, queue_seconds)`` must return the complete response
+    dict; it is also responsible for mapping its own failures (including
+    deadline/cancellation) to error responses.  The scheduler calls
+    ``job.respond`` exactly once per accepted job.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Job, float], dict[str, Any]],
+        workers: int = 2,
+        queue_limit: int = 16,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.handler = handler
+        self.metrics = metrics
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
+            maxsize=max(queue_limit, 1)
+        )
+        self._jobs: dict[tuple, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._workers: list[threading.Thread] = []
+        self._worker_count = workers
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        # stack_size is process-global state: set it once here, before any
+        # concurrent thread creation, and restore afterwards.
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(_WORKER_STACK_BYTES)
+        except (ValueError, RuntimeError):  # platform refuses: run shallow
+            old_stack = None
+        try:
+            for index in range(self._worker_count):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"rowpoly-worker-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        finally:
+            if old_stack is not None:
+                threading.stack_size(old_stack)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop intake, finish accepted jobs, join the workers.
+
+        Returns ``True`` when every worker exited within ``timeout``.
+        """
+        self._draining.set()
+        if not self._started:
+            return True
+        for _ in self._workers:
+            self._queue.put(None)  # one poison pill per worker, FIFO-last
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        clean = True
+        for worker in self._workers:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            worker.join(remaining)
+            clean = clean and not worker.is_alive()
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def backlog(self) -> int:
+        """Jobs accepted but not yet responded to."""
+        with self._jobs_lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> str:
+        """Accept a job, or refuse with a reason.
+
+        Returns ``"accepted"``, ``"overloaded"`` (queue full — the
+        backpressure signal) or ``"shutting-down"`` (drain started).
+        """
+        if self._draining.is_set():
+            return "shutting-down"
+        with self._jobs_lock:
+            self._jobs[job.key] = job
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._jobs_lock:
+                self._jobs.pop(job.key, None)
+            if self.metrics is not None:
+                self.metrics.record_request(job.method, "rejected")
+            return "overloaded"
+        return "accepted"
+
+    def cancel(self, client: object, request_id: object) -> bool:
+        """Client-initiated cancellation of a queued or running job.
+
+        Idempotent; returns ``True`` when the job was still in flight.
+        The job still gets exactly one response (a ``cancelled`` error),
+        produced by the worker that picks it up or is running it.
+        """
+        with self._jobs_lock:
+            job = self._jobs.get((client, request_id))
+        if job is None:
+            return False
+        job.deadline.cancel()
+        return True
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        sys.setrecursionlimit(_WORKER_RECURSION_LIMIT)
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            queue_seconds = time.monotonic() - job.enqueued_at
+            try:
+                response = self.handler(job, queue_seconds)
+            except BaseException as error:  # handler bug: answer, keep going
+                from . import protocol
+
+                response = protocol.error_response(
+                    job.id,
+                    protocol.INTERNAL_ERROR,
+                    f"unhandled {type(error).__name__}: {error}",
+                )
+            finally:
+                with self._jobs_lock:
+                    self._jobs.pop(job.key, None)
+            try:
+                job.respond(response)
+            except (OSError, ValueError):
+                pass  # client went away (ValueError: closed file object)

@@ -1,0 +1,123 @@
+"""The canonical "check one module source" routine.
+
+``rowpoly check`` (offline, possibly ``--jobs N``) and the serving daemon
+must produce *byte-identical* stable reports for the same source — the
+parity requirement that keeps the warm path honest.  Both therefore call
+:func:`check_source`; neither re-implements the parse/report/exit-code
+logic.
+
+The stable ``report`` dict never contains timings or cache provenance.
+Parse and lex failures carry structured ``line``/``column`` fields
+whenever the offending token's span is known (I/O failures have no span
+and carry none).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..boolfn.engine import SolverStats
+from ..infer import InferSession
+from ..infer.state import FlowOptions
+from ..lang import LexError, ParseError, parse_module
+from ..util import Deadline, run_deep
+
+EXIT_OK = 0
+EXIT_ILL_TYPED = 1
+EXIT_USAGE = 2
+
+
+@dataclass
+class CheckOutcome:
+    """Everything one module check produced.
+
+    ``report`` is the stable (deterministic, timing-free) JSON payload;
+    ``trace`` and ``solver_stats`` are the non-stable companions.
+    """
+
+    report: dict[str, object]
+    exit: int
+    trace: dict[str, float] = field(default_factory=dict)
+    solver_stats: Optional[SolverStats] = None
+    fingerprint: str = ""
+
+
+def fingerprint_source(source: str) -> str:
+    """Content hash used for warm-session invalidation and replay hits."""
+    return hashlib.sha256(source.encode()).hexdigest()[:24]
+
+
+def _failure_report(
+    path: str, error: Exception, span=None
+) -> dict[str, object]:
+    report: dict[str, object] = {
+        "file": path,
+        "ok": False,
+        "error": type(error).__name__,
+        "message": str(error),
+    }
+    if span is not None:
+        report["line"] = span.line
+        report["column"] = span.column
+    return report
+
+
+def check_source(
+    path: str,
+    source: str,
+    *,
+    engine: str = "flow",
+    options: Optional[FlowOptions] = None,
+    session: Optional[InferSession] = None,
+    recheck: bool = False,
+    deadline: Optional[Deadline] = None,
+    deep: bool = True,
+) -> CheckOutcome:
+    """Check one module source and package the outcome.
+
+    ``session=None`` checks in a fresh throwaway session (the offline
+    path); a provided session is used warm (the daemon path), with
+    ``recheck=True`` routing through :meth:`InferSession.recheck` so the
+    session's counters tell check and re-check traffic apart.
+
+    ``deep=True`` runs parse and inference on a deep-stack thread
+    (:func:`repro.util.run_deep`) — required for the right-nested Fig. 9
+    corpora.  The daemon's workers are already deep-stack threads and pass
+    ``deep=False``.
+
+    :class:`~repro.util.DeadlineExceeded`/:class:`~repro.util.Cancelled`
+    propagate to the caller: a timeout is not a verdict about the module
+    and must never be folded into the report.
+    """
+    run = run_deep if deep else (lambda fn: fn())
+    started = time.perf_counter()
+    parse_started = time.perf_counter()
+    try:
+        module = run(lambda: parse_module(source))
+    except (ParseError, LexError) as error:
+        return CheckOutcome(
+            report=_failure_report(path, error, getattr(error, "span", None)),
+            exit=EXIT_USAGE,
+            fingerprint=fingerprint_source(source),
+        )
+    parse_seconds = time.perf_counter() - parse_started
+    if session is None:
+        session = InferSession(engine, options)
+    if recheck:
+        result = run(lambda: session.recheck(module, deadline))
+    else:
+        result = run(lambda: session.check(module, deadline))
+    report: dict[str, object] = {"file": path}
+    report.update(result.as_dict())
+    trace = {"parse": parse_seconds, "total": time.perf_counter() - started}
+    trace.update(result.trace_spans())
+    return CheckOutcome(
+        report=report,
+        exit=EXIT_OK if result.ok else EXIT_ILL_TYPED,
+        trace=trace,
+        solver_stats=result.solver_rollup(),
+        fingerprint=fingerprint_source(source),
+    )

@@ -4,9 +4,76 @@ from __future__ import annotations
 
 import sys
 import threading
-from typing import Callable, TypeVar
+import time
+from typing import Callable, Optional, TypeVar
 
 T = TypeVar("T")
+
+
+class DeadlineExceeded(Exception):
+    """A request's wall-clock budget ran out mid-inference.
+
+    Deliberately *not* an :class:`repro.infer.errors.InferenceError`: a
+    timeout says nothing about the program being ill-typed, so it must
+    never be recorded as a type error (or cached as one).
+    """
+
+
+class Cancelled(Exception):
+    """A request was cancelled by its client before completion."""
+
+
+class Deadline:
+    """A cooperative wall-clock deadline with client-side cancellation.
+
+    The serving layer creates one per request and threads it into the
+    inference engines, which call :meth:`check` at safe points (between
+    declarations; periodically inside the flow engine's hot loop).  The
+    object is also the cancellation token: :meth:`cancel` can be called
+    from any thread and the next :meth:`check` raises :class:`Cancelled`.
+
+    ``Deadline(None)`` never expires (but can still be cancelled), so
+    callers can thread one unconditionally.
+    """
+
+    __slots__ = ("expires_at", "_cancelled")
+
+    def __init__(self, seconds: Optional[float] = None) -> None:
+        self.expires_at = (
+            None if seconds is None else time.monotonic() + seconds
+        )
+        self._cancelled = threading.Event()
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        return cls(seconds)
+
+    def cancel(self) -> None:
+        """Request cancellation (thread-safe, idempotent)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or ``None`` for an unbounded deadline."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return (
+            self.expires_at is not None
+            and time.monotonic() >= self.expires_at
+        )
+
+    def check(self) -> None:
+        """Raise :class:`Cancelled`/:class:`DeadlineExceeded` when due."""
+        if self._cancelled.is_set():
+            raise Cancelled("request cancelled by client")
+        if self.expired():
+            raise DeadlineExceeded("request deadline exceeded")
 
 
 def run_deep(fn: Callable[[], T], stack_mb: int = 512,

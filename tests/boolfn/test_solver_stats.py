@@ -1,0 +1,83 @@
+"""Unit tests for SolverStats aggregation (merge / merged)."""
+
+from repro.boolfn.engine import SolverStats
+
+
+class TestMerge:
+    def test_counters_are_summed(self):
+        left = SolverStats(queries=3, sat_answers=2, unsat_answers=1,
+                           clauses_ingested=40, cache_hits=5,
+                           wall_seconds=0.25)
+        right = SolverStats(queries=7, sat_answers=6, unsat_answers=1,
+                            clauses_ingested=60, conflicts=4,
+                            propagations=100, wall_seconds=0.75)
+        merged = left.merge(right)
+        assert merged is left  # in place, fluently
+        assert left.queries == 10
+        assert left.sat_answers == 8
+        assert left.unsat_answers == 2
+        assert left.clauses_ingested == 100
+        assert left.cache_hits == 5
+        assert left.conflicts == 4
+        assert left.propagations == 100
+        assert abs(left.wall_seconds - 1.0) < 1e-12
+
+    def test_dispatch_counts_merge_keywise(self):
+        left = SolverStats()
+        left.dispatch_counts = {"2-sat": 2, "horn": 1}
+        right = SolverStats()
+        right.dispatch_counts = {"horn": 3, "general": 1}
+        left.merge(right)
+        assert left.dispatch_counts["2-sat"] == 2
+        assert left.dispatch_counts["horn"] == 4
+        assert left.dispatch_counts["general"] == 1
+
+    def test_dispatch_class_takes_the_costliest(self):
+        cheap = SolverStats(dispatch_class="2-sat")
+        costly = SolverStats(dispatch_class="general")
+        assert cheap.merge(costly).dispatch_class == "general"
+        # and merging the cheap one back does not downgrade
+        assert costly.merge(SolverStats(dispatch_class="horn")
+                            ).dispatch_class == "general"
+
+    def test_other_side_is_unchanged(self):
+        left = SolverStats(queries=1)
+        right = SolverStats(queries=2, dispatch_class="horn")
+        left.merge(right)
+        assert right.queries == 2
+        assert right.dispatch_class == "horn"
+
+
+class TestMerged:
+    def test_merged_folds_everything(self):
+        total = SolverStats.merged(
+            [SolverStats(queries=1), SolverStats(queries=2),
+             SolverStats(queries=3)]
+        )
+        assert total.queries == 6
+
+    def test_merged_skips_none(self):
+        total = SolverStats.merged([SolverStats(queries=5), None, None])
+        assert total.queries == 5
+
+    def test_merged_of_nothing_is_zero(self):
+        total = SolverStats.merged([])
+        assert total.queries == 0
+        assert total.wall_seconds == 0.0
+
+    def test_merged_result_is_fresh(self):
+        source = SolverStats(queries=9)
+        total = SolverStats.merged([source])
+        total.queries += 1
+        assert source.queries == 9
+
+    def test_as_dict_round_trip_after_merge(self):
+        import json
+
+        total = SolverStats.merged(
+            [SolverStats(queries=2), SolverStats(conflicts=1)]
+        )
+        payload = json.loads(json.dumps(total.as_dict()))
+        assert payload["queries"] == 2
+        assert payload["conflicts"] == 1
+        assert isinstance(payload["dispatch_counts"], dict)

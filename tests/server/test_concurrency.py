@@ -1,0 +1,139 @@
+"""The serving layer's concurrency contract: determinism under threads.
+
+Disjoint warm sessions (different module paths) may be driven from
+different worker threads at once.  The result must be *byte-identical* to
+driving the same checks serially — inference shares no hidden mutable
+state across sessions, and the daemon's JSON encoding is deterministic.
+"""
+
+import json
+import pathlib
+import threading
+
+import pytest
+
+from repro.infer import InferSession
+from repro.lang import parse_module
+from repro.server.client import ServeClient
+from repro.server.daemon import Daemon, DaemonConfig
+
+EXAMPLES = sorted(
+    str(path)
+    for path in (
+        pathlib.Path(__file__).resolve().parents[2] / "examples" / "modules"
+    ).glob("*.rp")
+)
+
+#: Enough laps that an actual shared-state race would get a chance to bite.
+LAPS = 5
+
+
+def _serial_reports(sources):
+    reports = {}
+    for path, source in sources.items():
+        session = InferSession("flow")
+        module = parse_module(source)
+        result = session.check(module)
+        for _ in range(LAPS - 1):
+            result = session.recheck(module)
+        reports[path] = json.dumps(result.as_dict(), sort_keys=True)
+    return reports
+
+
+def _threaded_reports(sources):
+    reports = {}
+    errors = []
+    barrier = threading.Barrier(len(sources))
+
+    def drive(path, source):
+        try:
+            session = InferSession("flow")
+            module = parse_module(source)
+            barrier.wait(timeout=10.0)
+            result = session.check(module)
+            for _ in range(LAPS - 1):
+                result = session.recheck(module)
+            reports[path] = json.dumps(result.as_dict(), sort_keys=True)
+        except Exception as error:  # surfaced by the assertion below
+            errors.append((path, error))
+
+    threads = [
+        threading.Thread(target=drive, args=item) for item in sources.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors, errors
+    return reports
+
+
+@pytest.fixture(scope="module")
+def sources():
+    assert EXAMPLES, "examples/modules/*.rp must exist"
+    return {path: open(path).read() for path in EXAMPLES}
+
+
+class TestDisjointSessions:
+    def test_threaded_equals_serial_byte_for_byte(self, sources):
+        serial = _serial_reports(sources)
+        threaded = _threaded_reports(sources)
+        assert threaded == serial
+
+    def test_two_threads_same_source_different_paths(self, sources):
+        source = next(iter(sources.values()))
+        pair = {"left.rp": source, "right.rp": source}
+        serial = _serial_reports(pair)
+        threaded = _threaded_reports(pair)
+        assert threaded == serial
+        # and both paths agree with each other modulo the path key
+        assert serial["left.rp"] == serial["right.rp"]
+
+
+class TestDaemonConcurrency:
+    def test_worker_pool_is_deterministic(self, sources):
+        daemon = Daemon(DaemonConfig(workers=4, queue_limit=32))
+        host, port = daemon.serve_tcp(port=0, background=True)
+        address = f"{host}:{port}"
+        try:
+            # serial reference run against a throwaway daemon state
+            reference = Daemon(DaemonConfig(workers=1))
+            ref_host, ref_port = reference.serve_tcp(port=0, background=True)
+            try:
+                with ServeClient(f"{ref_host}:{ref_port}") as client:
+                    expected = {
+                        path: json.dumps(
+                            client.check(path, source)["report"],
+                            sort_keys=True,
+                        )
+                        for path, source in sources.items()
+                    }
+            finally:
+                reference.request_shutdown()
+                assert reference.wait_drained(timeout=30.0)
+
+            results = {}
+            errors = []
+
+            def drive(path, source):
+                try:
+                    with ServeClient(address) as client:
+                        for _ in range(LAPS):
+                            report = client.check(path, source)["report"]
+                        results[path] = json.dumps(report, sort_keys=True)
+                except Exception as error:
+                    errors.append((path, error))
+
+            threads = [
+                threading.Thread(target=drive, args=item)
+                for item in sources.items()
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not errors, errors
+            assert results == expected
+        finally:
+            daemon.request_shutdown()
+            assert daemon.wait_drained(timeout=30.0)

@@ -1,0 +1,96 @@
+"""Unit tests for the daemon metrics subsystem."""
+
+from repro.boolfn.engine import SolverStats
+from repro.server.metrics import Histogram, ServerMetrics
+
+
+class TestHistogram:
+    def test_empty_snapshot_is_all_zero(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["p99"] == 0.0
+
+    def test_count_and_mean(self):
+        histogram = Histogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert abs(snap["mean"] - 0.002) < 1e-9
+        assert snap["max"] == 0.003
+
+    def test_percentiles_are_ordered(self):
+        histogram = Histogram()
+        for index in range(1, 101):
+            histogram.observe(index / 1000.0)  # 1ms .. 100ms
+        snap = histogram.snapshot()
+        assert snap["p50"] <= snap["p90"] <= snap["p99"]
+        # geometric buckets are coarse; just pin the right decade
+        assert 0.02 < snap["p50"] < 0.13
+        assert snap["p99"] <= snap["max"] * 2.1
+
+    def test_out_of_range_values_clamp(self):
+        histogram = Histogram()
+        histogram.observe(0.0)       # below the first bound
+        histogram.observe(1e9)       # beyond the last bucket
+        snap = histogram.snapshot()
+        assert snap["count"] == 2
+        assert snap["max"] == 1e9
+
+
+class TestServerMetrics:
+    def test_request_counters_by_status(self):
+        metrics = ServerMetrics()
+        metrics.record_request("check", "ok", service_seconds=0.01)
+        metrics.record_request("check", "ok", service_seconds=0.02)
+        metrics.record_request("check", "timeout", service_seconds=0.5)
+        metrics.record_request("check", "rejected")
+        snap = metrics.snapshot()
+        counts = snap["requests"]["check"]
+        assert counts["ok"] == 2
+        assert counts["timeout"] == 1
+        assert counts["rejected"] == 1
+        # rejected requests never ran: only the 3 served ones are timed
+        assert snap["latency"]["check"]["service"]["count"] == 3
+
+    def test_session_hit_rate(self):
+        metrics = ServerMetrics()
+        metrics.record_session_event("hits", 3)
+        metrics.record_session_event("misses", 1)
+        metrics.record_session_event("evictions")
+        snap = metrics.snapshot()["sessions"]
+        assert snap["hits"] == 3
+        assert snap["misses"] == 1
+        assert snap["evictions"] == 1
+        assert snap["hit_rate"] == 0.75
+
+    def test_hit_rate_with_no_traffic_is_zero(self):
+        assert ServerMetrics().snapshot()["sessions"]["hit_rate"] == 0.0
+
+    def test_solver_rollup_uses_merge(self):
+        metrics = ServerMetrics()
+        metrics.merge_solver_stats(SolverStats(queries=4, cache_hits=1))
+        metrics.merge_solver_stats(SolverStats(queries=6, conflicts=2))
+        metrics.merge_solver_stats(None)  # tolerated, not counted
+        snap = metrics.snapshot()["solver"]
+        assert snap["merged_runs"] == 2
+        assert snap["rollup"]["queries"] == 10
+        assert snap["rollup"]["cache_hits"] == 1
+        assert snap["rollup"]["conflicts"] == 2
+
+    def test_render_text_mentions_methods_and_sessions(self):
+        metrics = ServerMetrics()
+        metrics.record_request("check", "ok", service_seconds=0.01)
+        metrics.record_session_event("hits")
+        text = metrics.render_text()
+        assert "check" in text
+        assert "hit_rate" in text
+
+    def test_snapshot_is_json_clean(self):
+        import json
+
+        metrics = ServerMetrics()
+        metrics.record_request("check", "ok", service_seconds=0.01)
+        metrics.merge_solver_stats(SolverStats(queries=1))
+        json.dumps(metrics.snapshot())  # must not raise

@@ -1,0 +1,87 @@
+"""Wire-level tests for the newline-delimited JSON-RPC protocol."""
+
+import json
+
+import pytest
+
+from repro.server import protocol
+
+
+class TestParseRequest:
+    def test_minimal_request(self):
+        request = protocol.parse_request('{"id": 1, "method": "ping"}')
+        assert request.id == 1
+        assert request.method == "ping"
+        assert request.params == {}
+
+    def test_params_pass_through(self):
+        request = protocol.parse_request(
+            '{"id": "a", "method": "check", "params": {"path": "m.rp"}}'
+        )
+        assert request.params == {"path": "m.rp"}
+
+    def test_bad_json_is_parse_error(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.parse_request("{nope")
+        assert excinfo.value.code == protocol.PARSE_ERROR
+
+    def test_non_object_is_invalid_request(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.parse_request("[1, 2, 3]")
+        assert excinfo.value.code == protocol.INVALID_REQUEST
+
+    def test_missing_method_is_invalid_request(self):
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.parse_request('{"id": 7}')
+        assert excinfo.value.code == protocol.INVALID_REQUEST
+        # the id still comes back so the client can match the error
+        assert excinfo.value.request_id == 7
+
+    def test_non_string_method_is_invalid_request(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request('{"id": 1, "method": 42}')
+
+    def test_non_object_params_is_invalid_request(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_request(
+                '{"id": 1, "method": "check", "params": [1]}'
+            )
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        assert protocol.ok_response(3, {"pong": True}) == {
+            "id": 3,
+            "result": {"pong": True},
+        }
+
+    def test_error_response_carries_symbolic_name(self):
+        response = protocol.error_response(
+            9, protocol.DEADLINE_EXCEEDED, "too slow", {"path": "m.rp"}
+        )
+        assert response["id"] == 9
+        assert response["error"]["code"] == protocol.DEADLINE_EXCEEDED
+        assert response["error"]["name"] == "deadline-exceeded"
+        assert response["error"]["data"] == {"path": "m.rp"}
+
+    def test_every_code_has_a_name(self):
+        for code in (
+            protocol.PARSE_ERROR,
+            protocol.INVALID_REQUEST,
+            protocol.METHOD_NOT_FOUND,
+            protocol.INVALID_PARAMS,
+            protocol.INTERNAL_ERROR,
+            protocol.DEADLINE_EXCEEDED,
+            protocol.OVERLOADED,
+            protocol.CANCELLED,
+            protocol.SHUTTING_DOWN,
+        ):
+            assert code in protocol.ERROR_NAMES
+
+    def test_encode_is_one_compact_sorted_line(self):
+        line = protocol.encode({"b": 1, "a": {"z": 0, "y": 1}})
+        assert line.endswith("\n")
+        assert "\n" not in line[:-1]
+        assert line.index('"a"') < line.index('"b"')
+        assert " " not in line
+        assert json.loads(line) == {"a": {"y": 1, "z": 0}, "b": 1}

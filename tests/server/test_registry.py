@@ -1,0 +1,83 @@
+"""Unit tests for the warm-session LRU registry."""
+
+import pytest
+
+from repro.infer.state import FlowOptions
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import SessionRegistry, options_key
+from repro.server.service import check_source
+
+
+class TestAcquire:
+    def test_same_path_reuses_the_entry(self):
+        registry = SessionRegistry(capacity=4)
+        first = registry.acquire("a.rp")
+        second = registry.acquire("a.rp")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_engine_and_options_split_the_key(self):
+        registry = SessionRegistry(capacity=8)
+        base = registry.acquire("a.rp", engine="flow")
+        assert registry.acquire("a.rp", engine="mycroft") is not base
+        assert (
+            registry.acquire("a.rp", options=FlowOptions(track_fields=False))
+            is not base
+        )
+        assert len(registry) == 3
+
+    def test_options_key_normalises_none(self):
+        assert options_key(None) == options_key(FlowOptions())
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionRegistry(capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        metrics = ServerMetrics()
+        registry = SessionRegistry(capacity=2, metrics=metrics)
+        a = registry.acquire("a.rp")
+        registry.acquire("b.rp")
+        registry.acquire("a.rp")  # refresh a: b is now least-recent
+        registry.acquire("c.rp")  # evicts b
+        assert len(registry) == 2
+        assert registry.acquire("a.rp") is a  # survived
+        assert metrics.snapshot()["sessions"]["evictions"] == 1
+
+    def test_evicted_path_comes_back_cold(self):
+        registry = SessionRegistry(capacity=1)
+        first = registry.acquire("a.rp")
+        registry.acquire("b.rp")  # evicts a
+        assert registry.acquire("a.rp") is not first
+
+    def test_explicit_evict(self):
+        registry = SessionRegistry(capacity=4)
+        registry.acquire("a.rp")
+        assert registry.evict("a.rp") is True
+        assert registry.evict("a.rp") is False
+        assert len(registry) == 0
+
+
+class TestClassification:
+    def test_cold_entry_is_a_miss(self):
+        registry = SessionRegistry(capacity=4)
+        entry = registry.acquire("a.rp")
+        assert registry.classify_request(entry, "f1") == "miss"
+
+    def test_same_fingerprint_is_a_replay_hit(self):
+        registry = SessionRegistry(capacity=4)
+        entry = registry.acquire("a.rp")
+        outcome = check_source("a.rp", "x = 1", session=entry.session)
+        entry.outcome = outcome
+        entry.fingerprint = "f1"
+        entry.checks = 1
+        assert registry.classify_request(entry, "f1") == "hit"
+
+    def test_changed_fingerprint_is_an_invalidation(self):
+        registry = SessionRegistry(capacity=4)
+        entry = registry.acquire("a.rp")
+        entry.fingerprint = "f1"
+        entry.checks = 1
+        assert registry.classify_request(entry, "f2") == "invalidate"

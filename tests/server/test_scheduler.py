@@ -1,0 +1,139 @@
+"""Unit tests for the worker pool: backpressure, cancel, drain."""
+
+import threading
+import time
+
+from repro.server.metrics import ServerMetrics
+from repro.server.scheduler import Job, Scheduler
+from repro.util import Deadline
+
+
+def _job(job_id, respond=None, method="check"):
+    responses = []
+
+    def default_respond(message):
+        responses.append(message)
+
+    job = Job(
+        id=job_id,
+        method=method,
+        params={},
+        deadline=Deadline(),
+        respond=respond or default_respond,
+    )
+    job.responses = responses
+    return job
+
+
+class TestBackpressure:
+    def test_queue_full_refuses_with_overloaded(self):
+        metrics = ServerMetrics()
+        release = threading.Event()
+
+        def handler(job, queue_seconds):
+            release.wait(5.0)
+            return {"id": job.id, "result": {}}
+
+        scheduler = Scheduler(
+            handler, workers=1, queue_limit=1, metrics=metrics
+        )
+        scheduler.start()
+        try:
+            # first job occupies the worker, second fills the queue; after
+            # that every submit must be refused, not blocked.
+            assert scheduler.submit(_job(1)) == "accepted"
+            deadline = time.monotonic() + 5.0
+            verdicts = []
+            while time.monotonic() < deadline:
+                verdicts.append(scheduler.submit(_job(len(verdicts) + 2)))
+                if verdicts[-1] == "overloaded":
+                    break
+            assert verdicts[-1] == "overloaded"
+            counts = metrics.snapshot()["requests"]["check"]
+            assert counts["rejected"] >= 1
+        finally:
+            release.set()
+            scheduler.drain(timeout=5.0)
+
+    def test_rejected_job_is_not_tracked(self):
+        release = threading.Event()
+        scheduler = Scheduler(
+            lambda job, q: release.wait(5.0) or {"id": job.id, "result": {}},
+            workers=1,
+            queue_limit=1,
+        )
+        scheduler.start()
+        try:
+            submitted = 0
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                submitted += 1
+                if scheduler.submit(_job(submitted)) == "overloaded":
+                    break
+            # the refused job must not leak into the in-flight map
+            assert scheduler.backlog() < submitted
+            assert scheduler.cancel(None, submitted) is False
+        finally:
+            release.set()
+            scheduler.drain(timeout=5.0)
+
+
+class TestCancel:
+    def test_cancel_flips_the_jobs_deadline(self):
+        scheduler = Scheduler(lambda job, q: {"id": job.id, "result": {}})
+        job = _job(7)
+        with scheduler._jobs_lock:
+            scheduler._jobs[job.key] = job
+        assert scheduler.cancel(None, 7) is True
+        assert job.deadline.cancelled
+        assert scheduler.cancel(None, 8) is False
+
+    def test_cancel_is_idempotent(self):
+        scheduler = Scheduler(lambda job, q: {"id": job.id, "result": {}})
+        job = _job(7)
+        with scheduler._jobs_lock:
+            scheduler._jobs[job.key] = job
+        assert scheduler.cancel(None, 7) is True
+        assert scheduler.cancel(None, 7) is True
+
+
+class TestDrain:
+    def test_drain_finishes_accepted_jobs(self):
+        done = []
+
+        def handler(job, queue_seconds):
+            time.sleep(0.01)
+            done.append(job.id)
+            return {"id": job.id, "result": {}}
+
+        scheduler = Scheduler(handler, workers=2, queue_limit=8)
+        scheduler.start()
+        for job_id in range(5):
+            assert scheduler.submit(_job(job_id)) == "accepted"
+        assert scheduler.drain(timeout=10.0) is True
+        assert sorted(done) == [0, 1, 2, 3, 4]
+        assert scheduler.backlog() == 0
+
+    def test_submit_after_drain_is_refused(self):
+        scheduler = Scheduler(lambda job, q: {"id": job.id, "result": {}})
+        scheduler.start()
+        assert scheduler.drain(timeout=5.0) is True
+        assert scheduler.submit(_job(1)) == "shutting-down"
+
+    def test_drain_without_start_is_clean(self):
+        scheduler = Scheduler(lambda job, q: {"id": job.id, "result": {}})
+        assert scheduler.drain(timeout=1.0) is True
+
+    def test_handler_exception_still_responds(self):
+        def handler(job, queue_seconds):
+            raise RuntimeError("handler bug")
+
+        responses = []
+        scheduler = Scheduler(handler, workers=1)
+        scheduler.start()
+        job = _job(3, respond=responses.append)
+        assert scheduler.submit(job) == "accepted"
+        assert scheduler.drain(timeout=5.0) is True
+        assert len(responses) == 1
+        assert responses[0]["error"]["code"] == -32603
+        assert "handler bug" in responses[0]["error"]["message"]

@@ -3,7 +3,47 @@
 import pytest
 
 import repro
-from repro.util import run_deep
+from repro.util import Cancelled, Deadline, DeadlineExceeded, run_deep
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() is None
+        assert not deadline.expired()
+        deadline.check()  # must not raise
+
+    def test_expired_deadline_raises(self):
+        deadline = Deadline(-0.001)  # already in the past
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_future_deadline_passes_check(self):
+        deadline = Deadline(60.0)
+        assert deadline.remaining() > 0
+        deadline.check()  # must not raise
+
+    def test_cancel_wins_over_time(self):
+        deadline = Deadline(60.0)
+        deadline.cancel()
+        assert deadline.cancelled
+        with pytest.raises(Cancelled):
+            deadline.check()
+
+    def test_cancel_works_on_unbounded_deadline(self):
+        deadline = Deadline(None)
+        deadline.cancel()
+        with pytest.raises(Cancelled):
+            deadline.check()
+
+    def test_timeout_errors_are_not_inference_errors(self):
+        # the non-poisoning invariant: a timeout/cancel must never be
+        # mistaken for (or cached as) a type error.
+        from repro.infer.errors import InferenceError
+
+        assert not issubclass(DeadlineExceeded, InferenceError)
+        assert not issubclass(Cancelled, InferenceError)
 
 
 class TestRunDeep:

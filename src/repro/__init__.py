@@ -27,8 +27,17 @@ Quickstart::
     Traceback (most recent call last):
     ...
     repro.infer.errors.FlowUnsatisfiable: ...
+
+Tooling should embed through the stable facade (:mod:`repro.api`),
+which reports rejections as data instead of raising::
+
+    >>> from repro import check_source
+    >>> check_source("bad = #foo {}").codes()
+    ['RP0001']
 """
 
+from .api import CheckReport, check_path, check_source
+from .diag import Diagnostic
 from .infer import (
     FlowInference,
     FlowOptions,
@@ -51,6 +60,8 @@ __version__ = "1.0.0"
 infer = infer_flow
 
 __all__ = [
+    "CheckReport",
+    "Diagnostic",
     "FlowInference",
     "FlowOptions",
     "FlowResult",
@@ -58,7 +69,9 @@ __all__ = [
     "InferenceError",
     "UnificationFailure",
     "__version__",
+    "check_path",
     "check_pottier",
+    "check_source",
     "evaluate",
     "infer",
     "infer_damas_milner",

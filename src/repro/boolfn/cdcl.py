@@ -68,6 +68,12 @@ class _Solver:
         # grows, so unsatisfiability is permanent.
         self.ok = True
         self._units_asserted = False
+        #: After an UNSAT answer to :meth:`solve` with assumptions: the
+        #: subset of assumption *variables* whose joint assignment is
+        #: already inconsistent with the clause database (MiniSat's
+        #: ``analyzeFinal`` conflict set — the raw material of
+        #: assumption-based unsat cores).
+        self.conflict_assumptions: set[int] = set()
         # Telemetry (cumulative across solve calls).
         self.conflicts = 0
         self.propagations = 0
@@ -251,7 +257,42 @@ class _Solver:
             if not self.enqueue(arranged[0], idx):
                 self.ok = False
 
-    def solve(self) -> Optional[dict[int, bool]]:
+    def analyze_final(self, failed: int) -> set[int]:
+        """Assumption variables that force the failed assumption false.
+
+        The MiniSat ``analyzeFinal`` walk: starting from the failed
+        assumption literal, resolve backwards along the trail's reason
+        clauses; every decision reached is (by construction of the
+        assumption-first decision order) an assumption, and the collected
+        set of assumption variables is jointly inconsistent with the
+        clause database.  With one selector variable per clause this set
+        *is* an unsat core of the selected clauses.
+        """
+        out = {abs(failed)}
+        if self.decision_level() == 0:
+            return out
+        seen = {abs(failed)}
+        for position in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[position]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            reason_idx = self.reason.get(var)
+            if reason_idx is None:
+                out.add(var)  # a decision, i.e. an assumption
+            else:
+                for q in self.clauses[reason_idx]:
+                    q_var = abs(q)
+                    if q_var != var and self.level.get(q_var, 0) > 0:
+                        seen.add(q_var)
+            seen.discard(var)
+        return out
+
+    def solve(
+        self, assumptions: Optional[list[int]] = None
+    ) -> Optional[dict[int, bool]]:
+        assumptions = list(assumptions or ())
+        self.conflict_assumptions = set()
         if not self.ok:
             return None
         self.backjump(0)
@@ -296,6 +337,25 @@ class _Solver:
                     self.restarts += 1
                     self.backjump(0)
                 continue
+            if self.decision_level() < len(assumptions):
+                # Re-establish the next assumption as this level's decision
+                # (MiniSat's assumption-first decision order).
+                literal = assumptions[self.decision_level()]
+                current = self.value(literal)
+                if current is True:
+                    # Already implied; open an empty level so decision
+                    # levels and assumption indices stay aligned.
+                    self.trail_lim.append(len(self.trail))
+                    continue
+                if current is False:
+                    # The database refutes this assumption given the
+                    # earlier ones: final-conflict analysis names them.
+                    self.conflict_assumptions = self.analyze_final(literal)
+                    return None
+                self.trail_lim.append(len(self.trail))
+                self.decisions += 1
+                self.enqueue(literal, None)
+                continue
             variable = self.pick_branch_variable()
             if variable is None:
                 return dict(self.assign)
@@ -303,6 +363,44 @@ class _Solver:
             self.decisions += 1
             polarity = self.phase.get(variable, False)
             self.enqueue(variable if polarity else -variable, None)
+
+
+def unsat_core_cdcl(
+    clauses: "list[tuple[int, ...]]",
+) -> Optional[list[tuple[int, ...]]]:
+    """Assumption-based unsat core for an arbitrary clause list.
+
+    Standard selector encoding: each clause ``C_i`` becomes
+    ``¬s_i ∨ C_i`` for a fresh selector variable ``s_i``, and the solver
+    runs under the assumptions ``[s_1 .. s_n]``.  If the instance is
+    unsatisfiable, MiniSat-style final-conflict analysis returns the set
+    of selector assumptions involved in the refutation — exactly the
+    clauses of a core.  Returns ``None`` when satisfiable.  The core is
+    not guaranteed subset-minimal; callers minimize by deletion.
+    """
+    clause_list = [tuple(c) for c in clauses]
+    if not clause_list:
+        return None
+    max_var = max(abs(lit) for clause in clause_list for lit in clause)
+    selector_of_index = {
+        index: max_var + 1 + index for index in range(len(clause_list))
+    }
+    index_of_selector = {s: i for i, s in selector_of_index.items()}
+    augmented = [
+        [-selector_of_index[index]] + list(clause)
+        for index, clause in enumerate(clause_list)
+    ]
+    variables = {abs(lit) for clause in augmented for lit in clause}
+    solver = _Solver(augmented, variables)
+    model = solver.solve([selector_of_index[i] for i in range(len(clause_list))])
+    if model is not None:
+        return None
+    core_indices = sorted(
+        index_of_selector[var]
+        for var in solver.conflict_assumptions
+        if var in index_of_selector
+    )
+    return [clause_list[index] for index in core_indices]
 
 
 def solve_cdcl(cnf: Cnf) -> Optional[dict[int, bool]]:

@@ -33,15 +33,18 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from .cdcl import _Solver as _CdclSolver
+from .cdcl import unsat_core_cdcl
 from .classify import (
     CLASS_RANK,
     FormulaClass,
     class_of_profile,
     clause_profile,
 )
+from .classify import solve as _solve_dispatch
 from .cnf import Clause, Cnf, Literal
 from .hornsat import IncrementalHorn
 from .twosat import IncrementalTwoSat
+from .twosat import unsat_core_2sat
 
 
 @dataclass
@@ -74,6 +77,13 @@ class SolverStats:
     propagations: int = 0
     restarts: int = 0
     decisions: int = 0
+    # Unsat-core extraction (diagnostics engine).
+    #: Cores extracted via :meth:`SatEngine.unsat_core`.
+    cores: int = 0
+    #: Total clauses across all extracted (minimized) cores.
+    core_clauses: int = 0
+    #: Satisfiability re-queries spent by deletion-based minimization.
+    core_minimize_queries: int = 0
     wall_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, object]:
@@ -95,6 +105,7 @@ class SolverStats:
             "queries", "sat_answers", "unsat_answers", "clauses_ingested",
             "upgrades", "rebuilds", "cache_hits", "model_extensions",
             "conflicts", "propagations", "restarts", "decisions",
+            "cores", "core_clauses", "core_minimize_queries",
             "wall_seconds",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
@@ -307,6 +318,71 @@ class SatEngine:
     def is_satisfiable(self) -> bool:
         """Incremental satisfiability of the attached formula."""
         return self.solve() is not None
+
+    def unsat_core(self) -> Optional[list[Clause]]:
+        """A minimal unsatisfiable subset of the formula's clauses.
+
+        ``None`` while the formula is satisfiable.  When unsatisfiable,
+        extraction dispatches on the formula class — implication-graph
+        SCC paths (2-SAT), the Dowling–Gallier propagation trace
+        ((dual-)Horn), or assumption-based final-conflict analysis
+        (general CNF) — and the raw core is then *deletion-minimized*:
+        the result is unsatisfiable and removing any single clause makes
+        it satisfiable.  A formula marked unsat outside the clause log
+        (:meth:`~repro.boolfn.cnf.Cnf.mark_unsat`) has no clause-level
+        witness; the core is the empty list in that case.
+        """
+        if self.solve() is not None:
+            return None
+        stats = self._stats
+        start = time.perf_counter()
+        try:
+            if self.cnf.known_unsat and _solve_dispatch(
+                Cnf(self._ingested)
+            ) is not None:
+                # Unsat by external decree only (empty clause derived
+                # outside the log): no subset of clauses witnesses it.
+                stats.cores += 1
+                return []
+            core = self._extract_core()
+            assert core is not None, "unsat formula must yield a core"
+            core = self._minimize_core(core)
+            stats.cores += 1
+            stats.core_clauses += len(core)
+            return core
+        finally:
+            stats.wall_seconds += time.perf_counter() - start
+
+    def _extract_core(self) -> Optional[list[Clause]]:
+        """Raw (unminimized) core from the current backend's refutation."""
+        backend = self._backend
+        if self._class is FormulaClass.TWO_SAT:
+            return unsat_core_2sat(self._ingested)
+        if isinstance(backend, IncrementalHorn):
+            core = backend.unsat_core()
+            if core is not None:
+                return core
+        # General formulas — and the defensive case of a Horn backend
+        # without a usable trace — go through the selector encoding.
+        return unsat_core_cdcl(self._ingested)
+
+    def _minimize_core(self, core: list[Clause]) -> list[Clause]:
+        """Deletion-based minimization: drop clauses that stay unsat.
+
+        One pass suffices for single-deletion minimality: a subset of an
+        already-satisfiable clause set is satisfiable, so every clause
+        kept is necessary in the *final* core too.
+        """
+        kept = list(core)
+        index = 0
+        while index < len(kept):
+            candidate = kept[:index] + kept[index + 1 :]
+            self._stats.core_minimize_queries += 1
+            if _solve_dispatch(Cnf(candidate)) is None:
+                kept = candidate
+            else:
+                index += 1
+        return kept
 
     def _query_backend(self) -> Optional[dict[int, bool]]:
         backend = self._backend

@@ -43,6 +43,10 @@ class FlagSupply:
         """Attach or replace the debug name of ``flag``."""
         self._names[flag] = name
 
+    def named_flags(self) -> dict[int, str]:
+        """A copy of the flag -> debug-name table (diagnostics only)."""
+        return dict(self._names)
+
     @property
     def issued(self) -> int:
         """Number of flags issued so far."""

@@ -57,6 +57,10 @@ class IncrementalHorn:
         "_flip",
         "last_query_cached",
         "_clean",
+        "_bodies",
+        "_originals",
+        "_reason",
+        "_fail_position",
     )
 
     def __init__(self, flip: bool = False) -> None:
@@ -70,9 +74,19 @@ class IncrementalHorn:
         self._flip = flip
         self.last_query_cached = False
         self._clean = True
+        # Dowling–Gallier propagation trace (unsat-core support): the
+        # clause as ingested (post-flip body literals), the clause as the
+        # caller handed it in (pre-flip), the clause position that first
+        # derived each fact, and the all-negative clause whose body was
+        # fully derived when the formula became unsatisfiable.
+        self._bodies: list[tuple[int, ...]] = []
+        self._originals: list[tuple[int, ...]] = []
+        self._reason: dict[int, int] = {}
+        self._fail_position: Optional[int] = None
 
     def add_clause(self, clause: tuple[int, ...]) -> None:
         """Conjoin one (dual-)Horn clause."""
+        original = clause
         if self._flip:
             clause = tuple(-lit for lit in clause)
         head: Optional[int] = None
@@ -89,6 +103,8 @@ class IncrementalHorn:
                 self._watch.setdefault(-lit, []).append(position)
         self._heads.append(head)
         self._pending.append(pending)
+        self._bodies.append(clause)
+        self._originals.append(original)
         self._clean = False
         if pending == 0:
             self._fire(position)
@@ -97,10 +113,13 @@ class IncrementalHorn:
         """All negative literals of ``position`` hold; derive its head."""
         head = self._heads[position]
         if head is None:
-            self._unsat = True
+            if not self._unsat:
+                self._unsat = True
+                self._fail_position = position
         elif head not in self._true:
             self._true.add(head)
             self._queue.append(head)
+            self._reason[head] = position
 
     def solve(self) -> Optional[dict[int, bool]]:
         """Least model over the variables seen so far, or ``None``."""
@@ -120,6 +139,48 @@ class IncrementalHorn:
         if self._flip:
             return {v: v not in self._true for v in self._variables}
         return {v: v in self._true for v in self._variables}
+
+    def unsat_core(self) -> Optional[list[tuple[int, ...]]]:
+        """An unsatisfiable subset of the clauses, from the trace.
+
+        Dowling–Gallier forward chaining derives facts along a DAG of
+        clause firings; when an all-negative clause's body is fully
+        derived, walking the recorded reasons backwards from that clause
+        yields exactly the sub-derivation that proves falsity — an unsat
+        core, linear in the size of the derivation.  Clauses are returned
+        in their *original* (pre-flip) polarity, so the same trace serves
+        Horn and dual-Horn formulas.  ``None`` while satisfiable.
+        """
+        if not self._unsat:
+            self.solve()
+        if not self._unsat:
+            return None
+        if self._fail_position is None:
+            return None  # unsat was recorded without a trace (defensive)
+        seen_positions: set[int] = set()
+        stack = [self._fail_position]
+        while stack:
+            position = stack.pop()
+            if position in seen_positions:
+                continue
+            seen_positions.add(position)
+            for lit in self._bodies[position]:
+                if lit < 0:
+                    reason = self._reason.get(-lit)
+                    if reason is not None:
+                        stack.append(reason)
+        # Deterministic order: as the clauses were ingested.
+        return [self._originals[p] for p in sorted(seen_positions)]
+
+
+def unsat_core_horn(
+    clauses: "list[tuple[int, ...]]", flip: bool = False
+) -> Optional[list[tuple[int, ...]]]:
+    """One-shot trace-based core for a (dual-)Horn clause list."""
+    solver = IncrementalHorn(flip=flip)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.unsat_core()
 
 
 def solve_horn(cnf: Cnf) -> Optional[dict[int, bool]]:

@@ -185,6 +185,82 @@ class IncrementalTwoSat:
         return model
 
 
+def _edge_key(src: int, dst: int) -> tuple[int, int]:
+    return (src, dst)
+
+
+def unsat_core_2sat(clauses: Iterable[Clause]) -> Optional[list[Clause]]:
+    """An unsatisfiable subset of a 2-CNF's clauses, or ``None`` if sat.
+
+    Unsatisfiability of a 2-CNF means some variable ``v`` shares an SCC
+    with its negation: there are implication paths ``v -> ... -> ¬v`` and
+    ``¬v -> ... -> v``.  Each edge on those paths was contributed by one
+    clause, so the union of the contributing clauses is itself
+    unsatisfiable — a *core* extracted straight from the implication
+    graph, no search required (Observation 1's witness path is exactly
+    the first half of this cycle).  The returned core is small (two
+    shortest paths) but not guaranteed subset-minimal; callers minimize
+    by deletion (:meth:`repro.boolfn.engine.SatEngine.unsat_core`).
+    """
+    clauses = list(clauses)
+    graph = implication_graph(clauses)
+    # Remember which clause put each edge in the graph (first writer wins;
+    # duplicates are semantically identical for core purposes).
+    edge_clause: dict[tuple[int, int], Clause] = {}
+    for clause in clauses:
+        if len(clause) == 1:
+            (a,) = clause
+            edge_clause.setdefault(_edge_key(-a, a), clause)
+        else:
+            a, b = clause
+            edge_clause.setdefault(_edge_key(-a, b), clause)
+            edge_clause.setdefault(_edge_key(-b, a), clause)
+    component = tarjan_scc(graph)
+    conflict: Optional[int] = None
+    for node in graph:
+        if node > 0 and component.get(node) == component.get(-node):
+            conflict = node
+            break
+    if conflict is None:
+        return None
+    core: list[Clause] = []
+    seen: set[Clause] = set()
+    for source, target in ((conflict, -conflict), (-conflict, conflict)):
+        path = _bfs_path(graph, source, target)
+        assert path is not None, "SCC members must be mutually reachable"
+        for src, dst in zip(path, path[1:]):
+            clause = edge_clause[_edge_key(src, dst)]
+            if clause not in seen:
+                seen.add(clause)
+                core.append(clause)
+    return core
+
+
+def _bfs_path(
+    graph: dict[int, list[int]], source: int, target: int
+) -> Optional[list[int]]:
+    """Shortest implication path (list of literal nodes), or ``None``."""
+    if source == target:
+        return [source]
+    from collections import deque
+
+    parents: dict[int, int] = {source: source}
+    queue = deque((source,))
+    while queue:
+        node = queue.popleft()
+        for succ in graph.get(node, ()):
+            if succ in parents:
+                continue
+            parents[succ] = node
+            if succ == target:
+                path = [succ]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            queue.append(succ)
+    return None
+
+
 def solve_2sat(cnf: Cnf) -> Optional[dict[int, bool]]:
     """Solve a 2-CNF; return a model (variable -> bool) or ``None`` if unsat.
 

@@ -27,11 +27,11 @@ import os
 import sys
 import time
 
+from .api import check_source
 from .boolfn.engine import SolverStats
 from .gdsl import FIG9_CORPORA, GeneratorConfig, build_corpus, generate_decoder
 from .infer import FlowOptions, InferenceError, InferSession, infer_flow
 from .infer.engines import SESSION_ENGINES
-from .server.service import check_source
 from .infer.hm import infer_damas_milner, infer_mycroft
 from .infer.remy import infer_remy
 from .lang import LexError, ParseError, parse, parse_module
@@ -108,9 +108,25 @@ def cmd_infer(args: argparse.Namespace) -> int:
             result = run_deep(lambda: ENGINES[args.engine](expr))
             print(f"type    : {result.type!r}")
     except InferenceError as error:
-        print(f"type error: {error}", file=sys.stderr)
+        print(f"type error[{error.diagnostic.code}]: {error}",
+              file=sys.stderr)
+        _print_diagnostic_details(error.diagnostics)
         return EXIT_ILL_TYPED
     return EXIT_OK
+
+
+def _print_diagnostic_details(diagnostics) -> None:
+    """The indented witness/related lines under an error header.
+
+    One rendering for every text surface (``infer`` and ``check``); the
+    header line differs per command, the detail lines do not.
+    """
+    for diagnostic in diagnostics:
+        witness = diagnostic.witness_text()
+        if witness:
+            print(f"  witness: {witness}", file=sys.stderr)
+        for message, pos in diagnostic.related:
+            print(f"  note: {message} ({pos})", file=sys.stderr)
 
 
 # ---------------------------------------------------------------------------
@@ -145,8 +161,8 @@ def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
     The returned payload is a plain dict (picklable, JSON-ready except for
     the ``solver_stats`` record) and carries timings separately from the
     stable ``report`` part, so the ``--json`` output can stay
-    deterministic across worker counts.  The check itself is the shared
-    :func:`repro.server.service.check_source` routine — the same code the
+    deterministic across worker counts.  The check itself is the public
+    :func:`repro.api.check_source` facade over the same routine the
     daemon serves, which is what makes ``--server`` parity structural.
     """
     path, engine, options = item
@@ -161,14 +177,39 @@ def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
             "trace": {},
             "solver_stats": None,
         }
-    outcome = check_source(path, source, engine=engine, options=options)
+    outcome = check_source(source, path, engine=engine, options=options)
     return {
         "file": path,
         "report": outcome.report,
-        "exit": outcome.exit,
+        "exit": outcome.exit_code,
         "trace": outcome.trace,
         "solver_stats": outcome.solver_stats,
     }
+
+
+def _code_suffix(payload: dict[str, object]) -> str:
+    """``[RP####]`` when the payload carries a diagnostic code."""
+    code = payload.get("code")
+    return f"[{code}]" if code else ""
+
+
+def _print_payload_diagnostics(payload: dict[str, object]) -> None:
+    """Witness/related lines from a JSON payload's diagnostic dicts.
+
+    The dict twin of :func:`_print_diagnostic_details`: ``check``
+    renders from the stable report (also when it came over the wire
+    from a daemon), so the text output is identical offline and
+    ``--server``.
+    """
+    for diagnostic in payload.get("diagnostics") or []:
+        steps = diagnostic.get("witness") or []
+        if steps:
+            witness = " -> ".join(step["description"] for step in steps)
+            print(f"  witness: {witness}", file=sys.stderr)
+        for note in diagnostic.get("related") or []:
+            pos = note.get("pos") or {}
+            where = f"{pos.get('line', '?')}:{pos.get('column', '?')}"
+            print(f"  note: {note['message']} ({where})", file=sys.stderr)
 
 
 def _print_trace(payload: dict[str, object]) -> None:
@@ -231,17 +272,20 @@ def cmd_check(args: argparse.Namespace) -> int:
         if report["ok"] or args.json:
             continue
         if "decls" not in report:  # file-level parse/read failure
-            print(f"{payload['file']}: {report['error']}: "
-                  f"{report['message']}", file=sys.stderr)
+            print(f"{payload['file']}: {report['error']}"
+                  f"{_code_suffix(report)}: {report['message']}",
+                  file=sys.stderr)
             continue
         for decl in report["decls"]:
             if decl["status"] == "ok":
                 continue
             print(
                 f"{payload['file']}:{decl['line']}:{decl['column']}: "
-                f"{decl['decl']}: {decl['error']}: {decl['message']}",
+                f"{decl['decl']}: {decl['error']}{_code_suffix(decl)}: "
+                f"{decl['message']}",
                 file=sys.stderr,
             )
+            _print_payload_diagnostics(decl)
     if args.json:
         print(json.dumps([p["report"] for p in payloads],
                          indent=2, sort_keys=True))

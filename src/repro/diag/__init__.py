@@ -1,0 +1,40 @@
+"""Structured diagnostics for flow-inference rejections.
+
+The diagnostics subsystem turns *minimal unsat cores* of the flow
+formula β (:meth:`repro.boolfn.engine.SatEngine.unsat_core`) into
+:class:`Diagnostic` values — stable ``RP####`` code, severity, source
+positions and a rendered witness path ("record created empty at 3:5 ->
+flows through `g` at 7:2 -> field `foo` selected at 9:10") — consumed
+identically by the CLI, the ``--json`` reports, the serving daemon and
+its metrics.
+
+Public surface:
+
+* :class:`Diagnostic`, :class:`WitnessStep`, :class:`Pos` — the values,
+* :mod:`repro.diag.codes` — the append-only code registry,
+* :func:`diagnose_unsat` — flow state -> diagnostics (never empty for
+  an unsatisfiable state),
+* :func:`diagnose_core` / :func:`fallback_diagnostic` — the pieces,
+  exposed for tests and alternative frontends.
+"""
+
+from . import codes
+from .diagnostic import Diagnostic, Pos, WitnessStep, diagnostics_as_dicts
+from .flow_unsat import (
+    diagnose_core,
+    diagnose_unsat,
+    fallback_diagnostic,
+    parse_flag_name,
+)
+
+__all__ = [
+    "codes",
+    "Diagnostic",
+    "Pos",
+    "WitnessStep",
+    "diagnostics_as_dicts",
+    "diagnose_core",
+    "diagnose_unsat",
+    "fallback_diagnostic",
+    "parse_flag_name",
+]

@@ -1,0 +1,65 @@
+"""Stable diagnostic codes for the rowpoly toolchain.
+
+Every user-facing rejection carries exactly one ``RP####`` code.  Codes
+are append-only: tooling built on ``rowpoly check --json`` or the serving
+daemon keys on them, so a code is never renumbered or reused — a retired
+code is kept in the registry with its historical meaning.
+
+Codes group by hundreds:
+
+* ``RP00xx`` — type errors from the inference proper,
+* ``RP09xx`` — fallback/internal diagnostics that should still never
+  reach the user without *some* source anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Field selection can fail: the flow formula forces a field flag both
+#: true (a selection) and false (an empty-record origin) — the paper's
+#: headline "f expects a field FOO but is called with {}" (Sect. 1).
+MISSING_FIELD = "RP0001"
+#: The type terms do not unify (constructor clash or occurs check).
+UNIFICATION = "RP0002"
+#: A variable is neither bound nor a known builtin.
+UNBOUND_VARIABLE = "RP0003"
+#: The (LETREC) polymorphic-recursion fixpoint did not stabilise.
+FIXPOINT_DIVERGENCE = "RP0004"
+#: No truth assignment makes the activated conditional unification
+#: constraints solvable (the Sect. 5 SMT check).
+CONDITIONAL_UNSAT = "RP0005"
+#: A module declaration depends on a declaration that failed to check.
+DEPENDENCY = "RP0006"
+#: The source does not parse.
+PARSE = "RP0007"
+#: The source does not lex.
+LEX = "RP0008"
+#: The flow formula is unsatisfiable but no structured witness could be
+#: recovered (e.g. provenance lost to aggressive projection).  Still a
+#: real type error; the message lists the asserted field selections.
+FLOW_UNSAT_FALLBACK = "RP0999"
+
+#: code -> short title (stable, machine-keyable; the human message on a
+#: Diagnostic is free to vary).
+REGISTRY: dict[str, str] = {
+    MISSING_FIELD: "field may be absent",
+    UNIFICATION: "type mismatch",
+    UNBOUND_VARIABLE: "unbound variable",
+    FIXPOINT_DIVERGENCE: "recursive definition has no finite type",
+    CONDITIONAL_UNSAT: "conditional constraints unsatisfiable",
+    DEPENDENCY: "dependency failed to check",
+    PARSE: "parse error",
+    LEX: "lexical error",
+    FLOW_UNSAT_FALLBACK: "record flow unsatisfiable",
+}
+
+
+def title_of(code: str) -> Optional[str]:
+    """The registry title for ``code`` (``None`` for unknown codes)."""
+    return REGISTRY.get(code)
+
+
+def is_known(code: str) -> bool:
+    """Whether ``code`` is in the published registry."""
+    return code in REGISTRY

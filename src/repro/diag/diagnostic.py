@@ -1,0 +1,136 @@
+"""The :class:`Diagnostic` value — one structured, renderable rejection.
+
+A diagnostic is the unit every reporting surface shares: ``rowpoly
+infer``/``check`` text output, ``--json`` reports, the serving daemon's
+``check_source`` responses and its per-code metrics counters all consume
+the same objects, so a rejection renders identically everywhere.
+
+The JSON encoding (:meth:`Diagnostic.as_dict`) deliberately contains no
+solver-level data — no flag ids, no clause indexes — only codes, labels,
+messages and source positions.  Flag numbering differs between a cold
+check and a warm daemon session; keeping it out of the payload is what
+lets offline, ``--jobs N`` and ``--server`` outputs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import Span
+from .codes import title_of
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A 1-based source position (line, column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.line, self.column)
+
+    @classmethod
+    def from_span(cls, span: Optional[Span]) -> "Optional[Pos]":
+        if span is None:
+            return None
+        return cls(span.line, span.column)
+
+    @classmethod
+    def parse(cls, text: str) -> "Optional[Pos]":
+        """Parse ``line:column`` (the rendering of ``Span.__str__``)."""
+        line, sep, column = text.partition(":")
+        if not sep or not line.isdigit() or not column.isdigit():
+            return None
+        return cls(int(line), int(column))
+
+    def as_dict(self) -> dict[str, int]:
+        return {"line": self.line, "column": self.column}
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One hop of a witness path (Observation 1's record-flow chain)."""
+
+    #: ``empty`` (record created empty), ``via`` (flows through a
+    #: variable), ``select`` (field selected), or ``note``.
+    kind: str
+    description: str
+    pos: Optional[Pos] = None
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "kind": self.kind,
+            "description": self.description,
+        }
+        out["pos"] = self.pos.as_dict() if self.pos is not None else None
+        return out
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured rejection with a stable code and source anchors."""
+
+    code: str
+    message: str
+    severity: str = "error"
+    #: Primary source position (where to put the squiggle).
+    pos: Optional[Pos] = None
+    #: The record label involved, for field errors.
+    label: Optional[str] = None
+    #: The rendered record-flow chain, origin first:
+    #: ``record created empty at 3:5 -> flows through `g` at 7:2 ->
+    #: field `foo` selected at 9:10``.
+    witness: tuple[WitnessStep, ...] = ()
+    #: Secondary positions worth highlighting (message, position).
+    related: tuple[tuple[str, Pos], ...] = ()
+
+    @property
+    def title(self) -> str:
+        """The registry title of the code (message as a last resort)."""
+        return title_of(self.code) or self.message
+
+    def witness_text(self) -> Optional[str]:
+        """The witness path as one ``->``-joined line, or ``None``."""
+        if not self.witness:
+            return None
+        return " -> ".join(step.description for step in self.witness)
+
+    def render(self) -> str:
+        """The canonical single-diagnostic text rendering.
+
+        ``error[RP0001]: <message>`` followed by an indented witness
+        line when one exists — identical in CLI text output and daemon
+        traces.
+        """
+        head = f"{self.severity}[{self.code}]: {self.message}"
+        witness = self.witness_text()
+        if witness is None:
+            return head
+        return f"{head}\n  witness: {witness}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready encoding (see module docstring for guarantees)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "label": self.label,
+            "pos": self.pos.as_dict() if self.pos is not None else None,
+            "witness": [step.as_dict() for step in self.witness],
+            "related": [
+                {"message": message, "pos": pos.as_dict()}
+                for message, pos in self.related
+            ],
+        }
+
+
+def diagnostics_as_dicts(
+    diagnostics: "tuple[Diagnostic, ...] | list[Diagnostic]",
+) -> list[dict[str, object]]:
+    """Encode a diagnostic list for a JSON report."""
+    return [diagnostic.as_dict() for diagnostic in diagnostics]

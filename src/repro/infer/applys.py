@@ -204,6 +204,7 @@ def apply_subst(state: FlowState, subst: Subst) -> None:
                     )
                 merged.setdefault(key, []).extend(records)
         dead_flags: set[int] = set()
+        cursor = state.beta.cursor()
         for records in merged.values():
             widths = {len(literals) for _, literals in records}
             if len(widths) != 1:
@@ -230,6 +231,22 @@ def apply_subst(state: FlowState, subst: Subst) -> None:
                         [literals[column] for _, literals in bucket],
                     )
             dead_flags.update(flag for flag, _ in records)
+            # Provenance: the replacement columns inherit the occurrence
+            # flag's debug name (select:/empty-record@/via:) so that the
+            # diagnostics' witness endpoints survive the elimination below.
+            for flag, literals in records:
+                name = state.flags.name_of(flag)
+                if name == f"f{flag}":
+                    continue
+                for literal in literals:
+                    target = abs(literal)
+                    if state.flags.name_of(target) == f"f{target}":
+                        state.flags.set_name(target, name)
+        # The expanded duplicates are original constraints on the fresh
+        # columns — record them for the diagnostics log before the
+        # occurrence flags are resolved away.
+        duplicated, _ = state.beta.clauses_from(cursor)
+        state.log_clauses(duplicated)
         # The trailing ∃_{f1..fn}(β) of Fig. 4: the occurrence flags are no
         # longer attached to any live position.
         for flag in dead_flags:

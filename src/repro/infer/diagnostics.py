@@ -1,4 +1,11 @@
-"""Human-readable explanations of flow-unsatisfiability errors.
+"""Deprecated: human-readable explanations of flow-unsatisfiability errors.
+
+.. deprecated::
+    This module predates the structured diagnostics engine.  Use
+    :func:`repro.diag.diagnose_unsat` (unsat-core driven, every solver
+    class, stable codes and witness paths) instead; ``explain_unsat`` is
+    kept as a shim with its historical best-effort behaviour and emits a
+    :class:`DeprecationWarning`.
 
 When β becomes unsatisfiable the user needs to know *which* field access can
 fail and *where the record came from*.  For the 2-CNF formulas of the core
@@ -63,7 +70,21 @@ def _shortest_path(
 
 
 def explain_unsat(state: FlowState) -> Optional[str]:
-    """Best-effort explanation of why β is unsatisfiable."""
+    """Best-effort explanation of why β is unsatisfiable.
+
+    .. deprecated:: use :func:`repro.diag.diagnose_unsat`, which returns
+       structured :class:`~repro.diag.Diagnostic` values instead of an
+       optional string.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.infer.diagnostics.explain_unsat is deprecated; use "
+        "repro.diag.diagnose_unsat for structured, unsat-core-driven "
+        "diagnostics",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     beta = state.beta
     if beta.known_unsat:
         return "contradictory flow constraints (empty clause derived)"

@@ -75,6 +75,9 @@ from ..types.terms import (
     type_vars,
 )
 from ..types.unify import UnifyError, _Unifier
+from ..diag import Diagnostic, diagnose_unsat, fallback_diagnostic
+from ..diag import codes as diag_codes
+from ..diag.diagnostic import Pos
 from .builtins import DEFAULT_BUILTINS, Builder
 from .env import Mono, Poly, TypeEnv
 from .errors import (
@@ -98,6 +101,10 @@ class FlowResult:
     formula_class: FormulaClass
     stats: "object"
     solver_stats: Optional[SolverStats] = None
+    #: Structured findings attached by the run; empty for a clean pass
+    #: (rejections raise :class:`FlowUnsatisfiable`, whose diagnostics
+    #: carry the same objects).
+    diagnostics: tuple[Diagnostic, ...] = ()
 
     def __repr__(self) -> str:
         return f"FlowResult({self.type!r} | {len(self.beta)} clauses)"
@@ -279,23 +286,24 @@ class FlowInference(ExtensionRules):
             for flag in sorted(dead):
                 eliminate_variable(state.beta, flag)
         if state.beta.known_unsat and state.options.check_each_let:
-            from .diagnostics import explain_unsat
-
-            explanation = None
+            diagnostics: list[Diagnostic] = []
             if snapshot is not None:
+                # Diagnose on the pre-elimination formula: the eliminated
+                # implication chains are what the witness is made of (the
+                # engine follows the temporary beta swap).
                 current = state.beta
                 state.beta = snapshot
                 try:
-                    explanation = explain_unsat(state)
+                    diagnostics = diagnose_unsat(state)
                 finally:
                     state.beta = current
+            if not diagnostics:
+                diagnostics = [fallback_diagnostic(state)]
             anchor = expr if expr is not None else self._current_expr
-            raise FlowUnsatisfiable(
-                "a record field may be accessed without having been set"
-                + (f": {explanation}" if explanation else ""),
+            self._raise_flow_unsat(
+                diagnostics,
                 anchor.span if anchor is not None else None,
                 anchor,
-                explanation=explanation,
             )
 
     def discard_slot(self, slot: Slot, keep: Optional[Type] = None) -> Type:
@@ -345,6 +353,17 @@ class FlowInference(ExtensionRules):
                 out.add(abs(other))
             return out
 
+        def renameable(flag: int, incoming: str) -> bool:
+            # Anonymous flags always take a name; ``via:`` hops yield to
+            # stronger provenance (a select/empty endpoint must survive
+            # elimination for the witness endpoints to stay named).
+            current_name = state.flags.name_of(flag)
+            if current_name == f"f{flag}":
+                return True
+            return current_name.startswith("via:") and not incoming.startswith(
+                "via:"
+            )
+
         for flag in sorted(dead):
             name = state.flags.name_of(flag)
             if name == f"f{flag}":
@@ -357,10 +376,43 @@ class FlowInference(ExtensionRules):
                     if partner in seen:
                         continue
                     seen.add(partner)
-                    if state.flags.name_of(partner) == f"f{partner}":
+                    if renameable(partner, name):
                         state.flags.set_name(partner, name)
                         if partner in dead:
                             queue.append(partner)
+
+    def _raise_flow_unsat(
+        self,
+        diagnostics: "list[Diagnostic]",
+        span,
+        expr: Optional[Expr],
+    ) -> None:
+        """Raise :class:`FlowUnsatisfiable` from diagnosed unsat cores.
+
+        The exception message stays in the established shape ("a record
+        field may be accessed without having been set: <explanation>") so
+        tooling and tests matching on ``str(exc)`` keep working; the
+        structured payload rides on ``exc.diagnostics``.
+        """
+        primary = diagnostics[0]
+        if primary.code == diag_codes.FLOW_UNSAT_FALLBACK:
+            # The fallback message already leads with the generic phrase.
+            message = primary.message
+            explanation: Optional[str] = None
+        else:
+            explanation = primary.message
+            message = (
+                "a record field may be accessed without having been set"
+                f": {explanation}"
+            )
+        raise FlowUnsatisfiable(
+            message,
+            span,
+            expr,
+            label=primary.label,
+            explanation=explanation,
+            diagnostics=tuple(diagnostics),
+        )
 
     def check_satisfiable(self, expr: Expr, force: bool = False) -> None:
         """Raise :class:`FlowUnsatisfiable` if β has become unsatisfiable.
@@ -380,11 +432,10 @@ class FlowInference(ExtensionRules):
                 and not state.conditional_constraints
                 and state.solve_beta() is None
             ):
-                raise FlowUnsatisfiable(
-                    "a record field may be accessed without having been set",
-                    expr.span,
-                    expr,
-                )
+                diagnostics = diagnose_unsat(state) or [
+                    fallback_diagnostic(state)
+                ]
+                self._raise_flow_unsat(diagnostics, expr.span, expr)
             return
         if state.conditional_constraints:
             from .conditional import solve_with_unification_theory
@@ -394,26 +445,30 @@ class FlowInference(ExtensionRules):
                     state.beta, state.conditional_constraints, state.vars
                 )
             if outcome is None:
-                raise FlowUnsatisfiable(
+                message = (
                     "no truth assignment makes the activated conditional "
-                    "unification constraints solvable (Sect. 5 SMT check)",
+                    "unification constraints solvable (Sect. 5 SMT check)"
+                )
+                raise FlowUnsatisfiable(
+                    message,
                     expr.span,
                     expr,
+                    diagnostics=(
+                        Diagnostic(
+                            code=diag_codes.CONDITIONAL_UNSAT,
+                            message=message,
+                            pos=Pos.from_span(expr.span),
+                        ),
+                    ),
                 )
             state.stats.theory_iterations += outcome.iterations
             return
         model = state.solve_beta()
         if model is None:
-            from .diagnostics import explain_unsat
-
-            explanation = explain_unsat(state)
-            raise FlowUnsatisfiable(
-                "a record field may be accessed without having been set"
-                + (f": {explanation}" if explanation else ""),
-                expr.span,
-                expr,
-                explanation=explanation,
-            )
+            diagnostics = diagnose_unsat(state) or [
+                fallback_diagnostic(state)
+            ]
+            self._raise_flow_unsat(diagnostics, expr.span, expr)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -499,8 +554,27 @@ class FlowInference(ExtensionRules):
             self.state.add_sequence_implication(
                 flag_literals(tx), flag_literals(entry.type)
             )
+            self._name_via(tx, expr)
             return tx
-        return self.instantiate(entry.scheme)
+        instance = self.instantiate(entry.scheme)
+        self._name_via(instance, expr)
+        return instance
+
+    def _name_via(self, t: Type, expr: Var) -> None:
+        """Name the copy's anonymous flags ``via:x@pos`` (provenance).
+
+        Flags that inherited a ``select:``/``empty-record@`` name keep it;
+        the anonymous rest record which variable occurrence the record
+        flowed through, giving the witness path its "flows through `g` at
+        7:2" hops.  Purely cosmetic — names never affect solving.
+        """
+        state = self.state
+        if not state.options.track_fields:
+            return
+        name = f"via:{expr.name}@{expr.span}"
+        for flag in all_flags(t):
+            if state.flags.name_of(flag) == f"f{flag}":
+                state.flags.set_name(flag, name)
 
     def instantiate(self, scheme: Scheme) -> Type:
         """(VAR-LET): fresh variables *and* fresh flags + flow expansion.
@@ -558,7 +632,12 @@ class FlowInference(ExtensionRules):
             state.stats.expansions += 1
             olds = list(flag_map)
             news = [flag_map[f] for f in olds]
+            cursor = state.beta.cursor()
             expand(state.beta, olds, news)
+            # The duplicated clauses are original constraints on the fresh
+            # instance flags — record them for the diagnostics log.
+            duplicated, _ = state.beta.clauses_from(cursor)
+            state.log_clauses(duplicated)
             state._note_clauses()
         if state.conditional_constraints and (flag_map or type_map or row_map):
             self._duplicate_constraints(type_map, row_map, flag_map, copy)

@@ -37,6 +37,8 @@ from typing import Optional
 
 from ..boolfn.cnf import Cnf
 from ..boolfn.engine import SatEngine, SolverStats
+from ..diag import Diagnostic, codes, diagnostics_as_dicts
+from ..diag.diagnostic import Pos
 from ..lang.module import Module
 from ..util import Deadline
 from .engines import DeclCheck, make_engine
@@ -64,6 +66,11 @@ class DeclReport:
     message: str = ""
     line: int = 0
     column: int = 0
+    #: Stable diagnostic code (``RP####``) of the primary diagnostic;
+    #: empty for ``"ok"`` declarations.
+    code: str = ""
+    #: Structured diagnostics attached to the failure, in severity order.
+    diagnostics: tuple[Diagnostic, ...] = ()
     cached: bool = False
     seconds: float = 0.0
     trace: dict[str, float] = field(default_factory=dict, compare=False)
@@ -85,6 +92,8 @@ class DeclReport:
             out["message"] = self.message
             out["line"] = self.line
             out["column"] = self.column
+            out["code"] = self.code
+            out["diagnostics"] = diagnostics_as_dicts(self.diagnostics)
         return out
 
 
@@ -290,15 +299,23 @@ class InferSession:
         deadline: Optional[Deadline] = None,
     ) -> tuple[Optional[DeclCheck], DeclReport]:
         if failed_dep is not None:
+            message = f"not checked: dependency {failed_dep!r} has errors"
             return None, DeclReport(
                 name=decl.name,
                 status="dependency-error",
                 error_class="DependencyError",
-                message=(
-                    f"not checked: dependency {failed_dep!r} has errors"
-                ),
+                message=message,
                 line=decl.span.line,
                 column=decl.span.column,
+                code=codes.DEPENDENCY,
+                diagnostics=(
+                    Diagnostic(
+                        code=codes.DEPENDENCY,
+                        message=message,
+                        pos=Pos.from_span(decl.span),
+                        label=failed_dep,
+                    ),
+                ),
             )
         started = time.perf_counter()
         try:
@@ -316,6 +333,8 @@ class InferSession:
                 message=str(error),
                 line=span.line,
                 column=span.column,
+                code=error.diagnostic.code,
+                diagnostics=error.diagnostics,
                 seconds=time.perf_counter() - started,
             )
         return check, DeclReport(

@@ -22,12 +22,22 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Union
 
-from ..boolfn.cnf import Cnf, Literal
+from ..boolfn.cnf import Clause, Cnf, Literal
 from ..boolfn.engine import SatEngine
 from ..boolfn.flags import FlagSupply
 from ..types.terms import Type, VarSupply
 from ..util import Deadline
 from .env import TypeEnv
+
+#: Cap on the clause-provenance log kept for diagnostics.  Variable
+#: elimination rewrites β destructively, so by the time unsatisfiability
+#: surfaces the witness chain (select -> ... -> empty-record) may have
+#: been resolved away; the log keeps every clause *as originally emitted*
+#: — equisatisfiable with β, since eliminated flags never occur in later
+#: clauses — and the unsat-core diagnosis prefers it.  Past the cap the
+#: log is dropped (large programs; diagnostics degrade gracefully to the
+#: post-elimination formula).
+_PROVENANCE_LOG_CAP = 4096
 
 #: Flag allocations / clause additions between two deadline polls.  The
 #: poll is one ``time.monotonic`` call; at the observed allocation rates a
@@ -138,6 +148,9 @@ class FlowState:
         # between emitted constraints reuse solver state instead of
         # re-solving β from scratch (see repro.boolfn.engine).
         self.engine = SatEngine(self.beta)
+        # Clause-provenance log for the diagnostics engine (see
+        # _PROVENANCE_LOG_CAP above); ``None`` once the cap is exceeded.
+        self.provenance_log: list[Clause] | None = []
         # Optional per-request wall-clock budget (the serving layer sets
         # this); polled on the hot allocation paths and at solver calls.
         self.deadline: Deadline | None = None
@@ -216,7 +229,22 @@ class FlowState:
         if len(clause) - positives > 1:
             self.stats.saw_non_dual_horn = True
         self.beta.add_clause(clause)
+        self._log_clause(clause)
         self._note_clauses()
+
+    def _log_clause(self, clause: Clause) -> None:
+        log = self.provenance_log
+        if log is None:
+            return
+        if len(log) >= _PROVENANCE_LOG_CAP:
+            self.provenance_log = None
+            return
+        log.append(tuple(clause))
+
+    def log_clauses(self, clauses: Iterable[Clause]) -> None:
+        """Record clauses added to β outside :meth:`add_clause` (expansion)."""
+        for clause in clauses:
+            self._log_clause(clause)
 
     def add_unit(self, literal: Literal) -> None:
         self.add_clause((literal,))

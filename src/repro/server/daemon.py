@@ -45,6 +45,7 @@ from .service import (
     EXIT_USAGE,
     CheckOutcome,
     check_source,
+    diagnostic_codes,
     fingerprint_source,
 )
 
@@ -289,6 +290,9 @@ class Daemon:
                     entry.fingerprint = fingerprint
                     entry.outcome = outcome
                     self.metrics.merge_solver_stats(outcome.solver_stats)
+                    self.metrics.record_diagnostics(
+                        diagnostic_codes(outcome.report)
+                    )
                     cached = False
         except _InvalidParams as error:
             finish("invalid")

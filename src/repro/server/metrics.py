@@ -105,6 +105,7 @@ class ServerMetrics:
         }
         self._solver = SolverStats()
         self._solver_merges = 0
+        self._diagnostics: dict[str, int] = {}
 
     # -- recording -----------------------------------------------------
     def record_request(
@@ -140,6 +141,17 @@ class ServerMetrics:
             self._solver.merge(stats)
             self._solver_merges += 1
 
+    def record_diagnostics(self, codes) -> None:
+        """Count emitted diagnostics per stable ``RP####`` code.
+
+        Fed from each freshly computed check outcome (cache replays do
+        not double-count); the per-code totals tell operators which
+        rejections their users actually hit.
+        """
+        with self._lock:
+            for code in codes:
+                self._diagnostics[code] = self._diagnostics.get(code, 0) + 1
+
     # -- reading -------------------------------------------------------
     def snapshot(self) -> dict[str, object]:
         """JSON-ready view; the ``stats`` RPC result."""
@@ -171,6 +183,7 @@ class ServerMetrics:
                     "rollup": self._solver.as_dict(),
                     "merged_runs": self._solver_merges,
                 },
+                "diagnostics": dict(sorted(self._diagnostics.items())),
             }
 
     def render_text(self) -> str:
@@ -212,4 +225,10 @@ class ServerMetrics:
             f"cache_hits={solver['cache_hits']} "
             f"wall={solver['wall_seconds']:.3f}s"
         )
+        if snap["diagnostics"]:
+            detail = ", ".join(
+                f"{code}={count}"
+                for code, count in snap["diagnostics"].items()
+            )
+            lines.append(f"  diagnostics: {detail}")
         return "\n".join(lines)

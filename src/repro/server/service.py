@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..boolfn.engine import SolverStats
+from ..diag import Diagnostic, codes, diagnostics_as_dicts
+from ..diag.diagnostic import Pos
 from ..infer import InferSession
 from ..infer.state import FlowOptions
 from ..lang import LexError, ParseError, parse_module
@@ -53,16 +55,47 @@ def fingerprint_source(source: str) -> str:
 def _failure_report(
     path: str, error: Exception, span=None
 ) -> dict[str, object]:
+    code = codes.LEX if isinstance(error, LexError) else codes.PARSE
     report: dict[str, object] = {
         "file": path,
         "ok": False,
         "error": type(error).__name__,
         "message": str(error),
+        "code": code,
     }
     if span is not None:
         report["line"] = span.line
         report["column"] = span.column
+    report["diagnostics"] = diagnostics_as_dicts(
+        (
+            Diagnostic(
+                code=code,
+                message=str(error),
+                pos=Pos.from_span(span),
+            ),
+        )
+    )
     return report
+
+
+def diagnostic_codes(report: dict[str, object]) -> list[str]:
+    """All ``RP####`` codes in a stable report, one per diagnostic.
+
+    Works on both shapes: file-level failures (parse/lex/IO) carry
+    ``code`` at the top, module reports carry one per failing
+    declaration.  The daemon's per-code metrics counters consume this.
+    """
+    found: list[str] = []
+    top = report.get("code")
+    if isinstance(top, str) and top:
+        found.append(top)
+    decls = report.get("decls")
+    if isinstance(decls, list):
+        for decl in decls:
+            code = decl.get("code") if isinstance(decl, dict) else None
+            if isinstance(code, str) and code:
+                found.append(code)
+    return found
 
 
 def check_source(

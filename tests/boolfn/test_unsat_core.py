@@ -1,0 +1,188 @@
+"""Minimal unsat-core extraction, per solver class and through the engine.
+
+Every extractor must return a core that is (a) itself unsatisfiable and
+(b) *deletion-minimal*: removing any single clause makes it satisfiable.
+The hypothesis property checks both over random CNFs of every fragment;
+the unit tests pin the per-class mechanics (implication-graph paths,
+Dowling–Gallier traces, assumption-based CDCL analysis).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolfn import Cnf, solve
+from repro.boolfn.cdcl import unsat_core_cdcl
+from repro.boolfn.engine import SatEngine
+from repro.boolfn.hornsat import IncrementalHorn, unsat_core_horn
+from repro.boolfn.twosat import unsat_core_2sat
+
+
+def assert_minimal_core(core):
+    """The two core invariants: unsat, and single-deletion minimal."""
+    assert core, "expected a non-empty core"
+    assert solve(Cnf(core)) is None, "core is satisfiable"
+    for index in range(len(core)):
+        reduced = core[:index] + core[index + 1:]
+        assert solve(Cnf(reduced)) is not None, (
+            f"core not minimal: clause {core[index]} is redundant"
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-class extractors
+# ---------------------------------------------------------------------------
+class TestTwoSatCore:
+    def test_sat_returns_none(self):
+        assert unsat_core_2sat([(1, 2), (-1, 2)]) is None
+
+    def test_contradictory_units(self):
+        core = unsat_core_2sat([(1,), (-1,), (2, 3)])
+        assert_minimal_core(core)
+        assert (2, 3) not in core
+
+    def test_implication_chain_core(self):
+        clauses = [(1,), (-1, 2), (-2, 3), (-3,), (4, 5)]
+        core = unsat_core_2sat(clauses)
+        assert_minimal_core(core)
+        assert (4, 5) not in core
+
+
+class TestHornCore:
+    def test_propagation_trace_core(self):
+        clauses = [(1,), (2,), (-1, -2, 3), (-3,), (4, -5)]
+        core = unsat_core_horn(clauses)
+        assert_minimal_core(core)
+        assert (4, -5) not in core
+
+    def test_incremental_backend_core(self):
+        backend = IncrementalHorn()
+        for clause in [(1,), (-1, 2), (-2,)]:
+            backend.add_clause(clause)
+        assert backend.solve() is None
+        core = backend.unsat_core()
+        assert_minimal_core(core)
+
+    def test_dual_horn_flip(self):
+        # The dual of the Horn test: flip every literal.
+        clauses = [(-1,), (-2,), (1, 2, -3), (3,), (-4, 5)]
+        core = unsat_core_horn(clauses, flip=True)
+        assert_minimal_core(core)
+        assert (-4, 5) not in core
+
+    def test_sat_returns_none(self):
+        assert unsat_core_horn([(1,), (-1, 2)]) is None
+
+
+class TestCdclCore:
+    def test_full_cover_formula(self):
+        # Every clause necessary: all sign patterns over 3 variables.
+        clauses = [
+            (a, b, c)
+            for a in (1, -1)
+            for b in (2, -2)
+            for c in (3, -3)
+        ]
+        core = unsat_core_cdcl(clauses)
+        assert_minimal_core(core)
+        assert len(core) == 8
+
+    def test_irrelevant_clauses_dropped(self):
+        clauses = [(1,), (-1,), (2, 3, 4), (-2, -3, -4)]
+        core = unsat_core_cdcl(clauses)
+        assert_minimal_core(core)
+        assert len(core) == 2
+
+    def test_sat_returns_none(self):
+        assert unsat_core_cdcl([(1, 2, 3), (-1, -2, -3)]) is None
+
+
+# ---------------------------------------------------------------------------
+# engine dispatch + telemetry
+# ---------------------------------------------------------------------------
+class TestEngineUnsatCore:
+    def test_satisfiable_returns_none(self):
+        engine = SatEngine(Cnf([(1, 2)]))
+        assert engine.unsat_core() is None
+
+    def test_two_sat_dispatch(self):
+        engine = SatEngine(Cnf([(1,), (-1, 2), (-2,), (3, 4)]))
+        core = engine.unsat_core()
+        assert_minimal_core(core)
+
+    def test_horn_dispatch(self):
+        engine = SatEngine(Cnf([(1,), (2,), (-1, -2, 3), (-3,)]))
+        core = engine.unsat_core()
+        assert_minimal_core(core)
+
+    def test_general_dispatch(self):
+        clauses = [
+            (a, b, c)
+            for a in (1, -1)
+            for b in (2, -2)
+            for c in (3, -3)
+        ]
+        engine = SatEngine(Cnf(clauses))
+        core = engine.unsat_core()
+        assert_minimal_core(core)
+
+    def test_stats_counters(self):
+        engine = SatEngine(Cnf([(1,), (-1,)]))
+        assert engine.unsat_core() is not None
+        stats = engine.stats()
+        assert stats.cores == 1
+        assert stats.core_clauses == 2
+
+    def test_known_unsat_empty_clause(self):
+        cnf = Cnf([(1, 2)])
+        cnf.mark_unsat()
+        engine = SatEngine(cnf)
+        # The contradiction is the empty clause itself, not any ingested
+        # clause: the core is empty but not None.
+        assert engine.unsat_core() == []
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: cores are unsat and deletion-minimal on random formulas
+# ---------------------------------------------------------------------------
+def literals(max_var):
+    return st.integers(min_value=1, max_value=max_var).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+
+
+def clauses_strategy(max_var=5, max_len=3):
+    return st.lists(
+        st.lists(literals(max_var), min_size=1, max_size=max_len,
+                 unique_by=abs).map(tuple),
+        min_size=1,
+        max_size=14,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(clauses=clauses_strategy())
+def test_engine_core_minimality_property(clauses):
+    engine = SatEngine(Cnf(clauses))
+    core = engine.unsat_core()
+    if core is None:
+        assert solve(Cnf(clauses)) is not None
+        return
+    # Cnf ingestion may normalise literal order; compare as sets.
+    originals = {frozenset(clause) for clause in clauses}
+    for clause in core:
+        assert frozenset(clause) in originals
+    assert_minimal_core(core)
+
+
+@settings(max_examples=60, deadline=None)
+@given(clauses=clauses_strategy(max_var=4, max_len=2))
+def test_two_sat_core_property(clauses):
+    # The raw extractor promises a small unsat subset, not a minimal
+    # one (minimization is the engine's job, covered above).
+    core = unsat_core_2sat(clauses)
+    if core is None:
+        assert solve(Cnf(clauses)) is not None
+        return
+    assert core, "expected a non-empty core"
+    assert solve(Cnf(core)) is None, "core is satisfiable"
+    assert set(core) <= set(clauses)

@@ -1,0 +1,215 @@
+"""Golden-output tests for the structured diagnostics engine.
+
+Pins the paper's Sect. 1 headline error ("f expects a field FOO but is
+called with {}") and one unsat program per solver class the flow formula
+can land in (2-SAT, Horn, dual-Horn, CDCL/general).  The exact witness
+strings are part of the user-facing contract: identical in CLI text,
+``--json`` and daemon responses, so a change here is a change to every
+surface at once.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diag import codes
+from repro.infer import FlowOptions, InferenceError, infer_flow
+from repro.infer.errors import FlowUnsatisfiable
+from repro.lang import parse
+
+
+def diagnose(source, **options):
+    with pytest.raises(InferenceError) as excinfo:
+        infer_flow(
+            parse(source),
+            FlowOptions(**options) if options else None,
+        )
+    return excinfo.value
+
+
+class TestSect1Example:
+    """`(\\s -> #speed s) {}` — the paper's opening error."""
+
+    SOURCE = "(\\s -> #speed s) {}"
+
+    def test_code_and_label(self):
+        error = diagnose(self.SOURCE)
+        diagnostic = error.diagnostic
+        assert diagnostic.code == codes.MISSING_FIELD
+        assert diagnostic.label == "speed"
+        assert diagnostic.pos is not None
+        assert diagnostic.pos.as_tuple() == (1, 8)  # the #speed select
+
+    def test_witness_path_golden(self):
+        error = diagnose(self.SOURCE)
+        assert error.diagnostic.witness_text() == (
+            "record created empty at 1:18 -> "
+            "flows through `s` at 1:15 -> "
+            "field `speed` selected at 1:8"
+        )
+
+    def test_related_span_is_the_empty_record(self):
+        error = diagnose(self.SOURCE)
+        (message, pos) = error.diagnostic.related[0]
+        assert "empty" in message
+        assert pos.as_tuple() == (1, 18)
+
+    def test_str_is_backward_compatible(self):
+        error = diagnose(self.SOURCE)
+        text = str(error)
+        assert "may be accessed" in text
+        assert "speed" in text
+
+
+# One unsat program per solver class.  The satisfiable variant of each
+# (asserted in test_complexity_classes.py style) pins the peak formula
+# class, so these exercise all four core extractors end to end.
+SOLVER_CLASS_PROGRAMS = {
+    # Core calculus only: 2-SAT, implication-graph core.
+    "2-sat": "#foo {}",
+    # One-sided `when` adds guarded Horn clauses; the failure is a plain
+    # select, extracted through the Dowling-Gallier trace.
+    "horn": (
+        "let g = \\r -> when a in r then #a r else 0 in "
+        "let x = g {a = 1} in #bar {}"
+    ),
+    # Asymmetric concatenation: f -> f1 \/ f2 clauses (dual-Horn).
+    "dual-horn": "#c ({a = 1} @ {b = 2})",
+    # Two-sided `when` guards make the formula general: CDCL core via
+    # assumption-based final-conflict analysis.
+    "general": (
+        "let g = \\s -> when foo in s then s else s in #bar (g {})"
+    ),
+}
+
+GOLDEN_WITNESSES = {
+    "2-sat": "record created empty at 1:6 -> field `foo` selected at 1:1",
+    "horn": (
+        "record created empty at 1:73 -> field `bar` selected at 1:68"
+    ),
+    "dual-horn": (
+        "record created empty at 1:5 -> field `c` selected at 1:1"
+    ),
+    "general": (
+        "record created empty at 1:54 -> field `bar` selected at 1:46"
+    ),
+}
+
+
+class TestPerSolverClass:
+    @pytest.mark.parametrize("solver_class", sorted(SOLVER_CLASS_PROGRAMS))
+    def test_missing_field_diagnostic(self, solver_class):
+        error = diagnose(SOLVER_CLASS_PROGRAMS[solver_class])
+        diagnostic = error.diagnostic
+        assert diagnostic.code == codes.MISSING_FIELD
+        assert diagnostic.pos is not None
+        assert diagnostic.witness, solver_class
+
+    @pytest.mark.parametrize("solver_class", sorted(GOLDEN_WITNESSES))
+    def test_witness_golden(self, solver_class):
+        error = diagnose(SOLVER_CLASS_PROGRAMS[solver_class])
+        assert (
+            error.diagnostic.witness_text()
+            == GOLDEN_WITNESSES[solver_class]
+        )
+
+
+class TestEveryUnsatHasADiagnostic:
+    """Regression for the pre-diagnostics gap: ``explain_unsat`` could
+    return ``None`` and leave the CLI with a bare flag-level message.
+    Now *every* unsat rejection carries at least one diagnostic with a
+    stable code — RP0999 with the asserted selections when no witness
+    survives."""
+
+    # Guarded selections are not unit clauses, so no structured witness
+    # can be recovered: the fallback path must fire.
+    FALLBACK_SOURCE = "(\\s -> when foo in s then #foo s else #bar s) {}"
+
+    def test_fallback_diagnostic_shape(self):
+        error = diagnose(self.FALLBACK_SOURCE)
+        assert len(error.diagnostics) >= 1
+        diagnostic = error.diagnostic
+        assert diagnostic.code == codes.FLOW_UNSAT_FALLBACK
+        assert diagnostic.pos is not None
+        assert "asserted selections" in diagnostic.message
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "#foo {}",
+            "(\\s -> #speed s) {}",
+            "let f = \\r -> #a r in f {}",
+            "#c ({a = 1} @ {b = 2})",
+            "(\\s -> when foo in s then #foo s else #bar s) {}",
+            "nope",
+            "@[a -> a] {}",
+        ],
+    )
+    def test_every_rejection_has_code_and_span(self, source):
+        try:
+            infer_flow(parse(source))
+        except InferenceError as error:
+            assert error.diagnostics
+            diagnostic = error.diagnostic
+            assert diagnostic.code.startswith("RP")
+            assert codes.is_known(diagnostic.code)
+            assert diagnostic.pos is not None
+        else:  # pragma: no cover - would be a soundness bug
+            pytest.fail(f"expected a rejection for {source!r}")
+
+    def test_flow_unsat_carries_diagnostics(self):
+        error = diagnose("#foo {}")
+        assert isinstance(error, FlowUnsatisfiable)
+        assert error.label == "foo"
+        assert error.diagnostics[0].label == "foo"
+
+    def test_unification_failure_has_code(self):
+        error = diagnose("plus 1 {}")
+        assert error.diagnostic.code in (
+            codes.UNIFICATION, codes.MISSING_FIELD,
+        )
+
+
+class TestDiagnosticsOffByOptions:
+    def test_no_fields_mode_accepts(self):
+        result = infer_flow(parse("#foo {}"), FlowOptions(track_fields=False))
+        assert result.diagnostics == ()
+
+    def test_success_has_no_diagnostics(self):
+        result = infer_flow(parse("#foo (@{foo = 1} {})"))
+        assert result.diagnostics == ()
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: cores extracted from gdsl-derived formulas stay minimal
+# ---------------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_gdsl_core_minimality(seed):
+    """Inject a contradiction into a real inferred flow formula and check
+    the engine's core is unsat and deletion-minimal over it.
+
+    The formula comes from inferring a gdsl-generated decoder — real
+    clause shapes and flag provenance, not synthetic CNF.
+    """
+    from repro.boolfn import Cnf, solve
+    from repro.boolfn.engine import SatEngine
+    from repro.gdsl import GeneratorConfig, generate_decoder
+    from repro.util import run_deep
+
+    program = generate_decoder(
+        GeneratorConfig(target_lines=100, seed=seed)
+    )
+    expr = run_deep(lambda: parse(program.source))
+    result = run_deep(lambda: infer_flow(expr))
+    clauses = list(result.beta.clauses())
+    if not clauses:
+        return
+    variable = max(abs(lit) for clause in clauses for lit in clause)
+    contradiction = clauses + [(variable,), (-variable,)]
+    engine = SatEngine(Cnf(contradiction))
+    core = engine.unsat_core()
+    assert core is not None
+    assert solve(Cnf(core)) is None
+    for index in range(len(core)):
+        reduced = core[:index] + core[index + 1:]
+        assert solve(Cnf(reduced)) is not None

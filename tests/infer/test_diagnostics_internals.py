@@ -1,5 +1,7 @@
 """Unit tests for the diagnostics plumbing (paths, names, fallbacks)."""
 
+import pytest
+
 from repro.boolfn import Cnf
 from repro.infer.diagnostics import (
     _find_conflict_variable,
@@ -7,6 +9,10 @@ from repro.infer.diagnostics import (
     explain_unsat,
 )
 from repro.infer.state import FlowState
+
+# ``explain_unsat`` is deprecated in favour of ``repro.diag``; these
+# tests pin its legacy behaviour on purpose.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestConflictDetection:

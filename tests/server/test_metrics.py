@@ -94,3 +94,45 @@ class TestServerMetrics:
         metrics.record_request("check", "ok", service_seconds=0.01)
         metrics.merge_solver_stats(SolverStats(queries=1))
         json.dumps(metrics.snapshot())  # must not raise
+
+    def test_per_code_diagnostic_counters(self):
+        metrics = ServerMetrics()
+        metrics.record_diagnostics(["RP0001", "RP0006", "RP0001"])
+        metrics.record_diagnostics([])
+        snap = metrics.snapshot()["diagnostics"]
+        assert snap == {"RP0001": 2, "RP0006": 1}
+        text = metrics.render_text()
+        assert "RP0001=2" in text
+
+    def test_no_diagnostics_line_when_empty(self):
+        assert "diagnostics:" not in ServerMetrics().render_text()
+
+
+class TestDaemonDiagnosticCounters:
+    def test_check_records_codes_once_per_fresh_outcome(self, tmp_path):
+        from repro.server.daemon import Daemon, DaemonConfig
+        from repro.server.scheduler import Job
+        from repro.util import Deadline
+
+        path = tmp_path / "bad.rp"
+        path.write_text("bad = #a {};\ndep = bad\n")
+        daemon = Daemon(DaemonConfig(workers=1))
+        try:
+            params = {"path": str(path)}
+            for _ in range(2):  # second run is a replay hit
+                job = Job(
+                    id=1,
+                    method="check",
+                    params=params,
+                    deadline=Deadline(None),
+                    respond=lambda message: None,
+                )
+                response = daemon._run_check_job(job, 0.0)
+                assert response["result"]["exit"] == 1
+            snap = daemon.metrics.snapshot()["diagnostics"]
+        finally:
+            daemon.request_shutdown()
+            daemon.wait_drained(timeout=30.0)
+        # bad fails (RP0001); dep is dependency-skipped (RP0006); the
+        # cached replay must not double-count.
+        assert snap == {"RP0001": 1, "RP0006": 1}

@@ -44,7 +44,9 @@ from .server.service import (
     CheckOutcome,
     check_source as _service_check_source,
     diagnostic_codes,
+    report_aborted,
 )
+from .util import Budget
 
 
 @dataclass(frozen=True)
@@ -62,7 +64,8 @@ class CheckReport:
     #: The stable JSON payload, exactly as the CLI/daemon emit it.
     report: dict[str, object]
     #: CLI exit-code convention: 0 well-typed, 1 ill-typed, 2 unusable
-    #: input (parse/lex/IO failure).
+    #: input (parse/lex/IO failure), 3 partial (a resource budget ran
+    #: out: at least one declaration aborted, none actually failed).
     exit_code: int
     #: Content hash of the source (daemon warm-session key).
     fingerprint: str = ""
@@ -76,6 +79,12 @@ class CheckReport:
     @property
     def ok(self) -> bool:
         return bool(self.report.get("ok"))
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the report is partial: some declaration hit a
+        resource budget (``RP0998``) and went unverified."""
+        return report_aborted(self.report)
 
     @property
     def decls(self) -> list[dict[str, object]]:
@@ -132,15 +141,19 @@ def check_source(
     *,
     engine: str = "flow",
     options: Optional[FlowOptions] = None,
+    budget: Optional[Budget] = None,
 ) -> CheckReport:
     """Check module source text; never raises for ill-typed input.
 
     Parse, lex and type failures are reported *in* the
     :class:`CheckReport` (with ``RP####`` diagnostics), exactly as the
-    CLI and daemon report them.
+    CLI and daemon report them.  A ``budget``
+    (:class:`repro.util.Budget`) caps the resources the check may spend;
+    exhaustion never raises either — it yields a partial report with
+    ``aborted`` declarations (``RP0998``).
     """
     outcome = _service_check_source(
-        path, source, engine=engine, options=options
+        path, source, engine=engine, options=options, budget=budget
     )
     return CheckReport.from_outcome(path, outcome)
 

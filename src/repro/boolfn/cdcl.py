@@ -289,12 +289,34 @@ class _Solver:
         return out
 
     def solve(
-        self, assumptions: Optional[list[int]] = None
+        self,
+        assumptions: Optional[list[int]] = None,
+        budget=None,
     ) -> Optional[dict[int, bool]]:
+        """Search for a model (``None`` = UNSAT).
+
+        ``budget`` is an optional :class:`repro.util.Budget`; the search
+        charges its ``solver_steps`` component with the conflicts,
+        propagations and decisions spent since the previous charge
+        (MiniSat/CaDiCaL-style conflict budgets).  Exhaustion raises
+        :class:`~repro.util.BudgetExceeded` mid-search; the solver state
+        stays reusable — the next :meth:`solve` call backjumps to the
+        root level and resumes with everything learnt so far.
+        """
         assumptions = list(assumptions or ())
         self.conflict_assumptions = set()
         if not self.ok:
             return None
+        charged = self.conflicts + self.propagations + self.decisions
+
+        def charge() -> None:
+            nonlocal charged
+            total = self.conflicts + self.propagations + self.decisions
+            if total > charged:
+                delta = total - charged
+                charged = total
+                budget.charge_solver_steps(delta)
+
         self.backjump(0)
         if not self._units_asserted:
             # Assert the initial unit clauses at level 0 (clauses added
@@ -315,6 +337,9 @@ class _Solver:
 
         while True:
             conflict = self.propagate()
+            if budget is not None:
+                charge()
+                budget.check_time()
             if conflict is not None:
                 conflicts += 1
                 self.conflicts += 1

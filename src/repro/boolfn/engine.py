@@ -45,6 +45,7 @@ from .cnf import Clause, Cnf, Literal
 from .hornsat import IncrementalHorn
 from .twosat import IncrementalTwoSat
 from .twosat import unsat_core_2sat
+from ..testing.faults import fault_point
 
 
 @dataclass
@@ -144,6 +145,10 @@ class SatEngine:
     def __init__(self, cnf: Optional[Cnf] = None) -> None:
         self.cnf = cnf if cnf is not None else Cnf()
         self._stats = SolverStats()
+        #: Optional per-request resource budget (``repro.util.Budget``).
+        #: Charged with CDCL search steps, one step per linear-fragment
+        #: query, and one ``core_queries`` unit per minimization re-query.
+        self.budget = None
         self._reset()
 
     # ------------------------------------------------------------------
@@ -204,9 +209,12 @@ class SatEngine:
             self._backend = self._build_backend(new_class)
             for clause in self._ingested:
                 self._feed(clause)
-        self._ingested.extend(added)
+        # Feed-then-record per clause so `_ingested` never claims a clause
+        # the backend has not absorbed — if a feed is interrupted by an
+        # exception, :meth:`reset` (or the next revision bump) recovers.
         for clause in added:
             self._feed(clause)
+            self._ingested.append(clause)
             for lit in clause:
                 self._seen_vars.add(abs(lit))
 
@@ -272,6 +280,22 @@ class SatEngine:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all derived solver state and re-ingest from scratch.
+
+        The recovery hook for exception safety: an exception thrown out of
+        a query (an injected fault, a :class:`~repro.util.BudgetExceeded`
+        mid-CDCL-search, a ``KeyboardInterrupt``) can leave the backend
+        and the ingestion cursor mid-update — as can an interval
+        retraction performed *while* such an exception unwinds.  ``reset``
+        discards every derived structure (backend, cursor, cached result,
+        fragment classification) while keeping the attached formula and
+        the cumulative telemetry, so the next query rebuilds from the
+        formula's ground truth.  Idempotent, and counted as a rebuild.
+        """
+        self._reset()
+        self._stats.rebuilds += 1
+
     def formula_class(self) -> FormulaClass:
         """The cheapest class the current formula fits (synchronises)."""
         self._sync()
@@ -286,6 +310,9 @@ class SatEngine:
         stats = self._stats
         start = time.perf_counter()
         try:
+            fault_point("engine.solve")
+            if self.budget is not None:
+                self.budget.check_time()
             self._sync()
             stats.queries += 1
             stats.dispatch_class = self._class.value
@@ -378,6 +405,8 @@ class SatEngine:
         while index < len(kept):
             candidate = kept[:index] + kept[index + 1 :]
             self._stats.core_minimize_queries += 1
+            if self.budget is not None:
+                self.budget.charge_core_query()
             if _solve_dispatch(Cnf(candidate)) is None:
                 kept = candidate
             else:
@@ -393,12 +422,19 @@ class SatEngine:
                 backend.restarts,
                 backend.decisions,
             )
-            model = backend.solve()
-            self._stats.conflicts += backend.conflicts - before[0]
-            self._stats.propagations += backend.propagations - before[1]
-            self._stats.restarts += backend.restarts - before[2]
-            self._stats.decisions += backend.decisions - before[3]
+            try:
+                model = backend.solve(budget=self.budget)
+            finally:
+                self._stats.conflicts += backend.conflicts - before[0]
+                self._stats.propagations += backend.propagations - before[1]
+                self._stats.restarts += backend.restarts - before[2]
+                self._stats.decisions += backend.decisions - before[3]
             return model
+        if self.budget is not None:
+            # The linear fragments solve in one bounded pass; a query is
+            # one budget step (formula growth is what the clause ceiling
+            # bounds).
+            self.budget.charge_solver_steps(1)
         model = backend.solve()  # type: ignore[attr-defined]
         if backend.last_query_cached:  # type: ignore[attr-defined]
             self._stats.cache_hits += 1

@@ -12,7 +12,8 @@ Subcommands:
 * ``generate``       — emit a synthetic decoder specification.
 
 Exit codes follow the usual compiler convention: 0 = well-typed, 1 =
-ill-typed, 2 = parse/usage error.  Diagnostics go to stderr; structured
+ill-typed, 2 = parse/usage error, 3 = partial (a ``--budget-*`` resource
+limit aborted some declarations).  Diagnostics go to stderr; structured
 output (``--json``) goes to stdout and never contains timings, so the
 output of ``check --jobs N`` is byte-identical for every N — and so is
 ``check --server`` against the offline run, which is the daemon's parity
@@ -38,7 +39,7 @@ from .lang import LexError, ParseError, parse, parse_module
 from .lang.ast import IntLit, Let
 from .semantics import Omega, evaluate
 from .types.project import strip
-from .util import run_deep
+from .util import Budget, run_deep
 
 ENGINES = {
     "flow": None,  # handled specially (options)
@@ -155,7 +156,28 @@ def _collect_check_files(paths: list[str]) -> list[str] | None:
     return files
 
 
-def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
+def _budget_params_from_args(args: argparse.Namespace) -> dict | None:
+    """The wire-shaped budget spec from ``--budget-*`` flags, or ``None``.
+
+    A *spec*, not a :class:`~repro.util.Budget`: budgets are stateful
+    (their wall clock starts at construction), so each check — possibly
+    in another process or on the daemon — builds its own fresh instance.
+    """
+    spec: dict[str, object] = {}
+    if getattr(args, "budget_ms", None) is not None:
+        spec["ms"] = args.budget_ms
+    if getattr(args, "budget_solver_steps", None) is not None:
+        spec["solver_steps"] = args.budget_solver_steps
+    if getattr(args, "budget_max_clauses", None) is not None:
+        spec["max_clauses"] = args.budget_max_clauses
+    if getattr(args, "budget_core_queries", None) is not None:
+        spec["core_queries"] = args.budget_core_queries
+    return spec or None
+
+
+def _check_one_file(
+    item: tuple[str, str, FlowOptions, dict | None]
+) -> dict[str, object]:
     """Check one module file; the unit of work for the ``--jobs`` pool.
 
     The returned payload is a plain dict (picklable, JSON-ready except for
@@ -165,7 +187,7 @@ def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
     :func:`repro.api.check_source` facade over the same routine the
     daemon serves, which is what makes ``--server`` parity structural.
     """
-    path, engine, options = item
+    path, engine, options, budget_spec = item
     try:
         source = _read_program(path)
     except OSError as error:
@@ -177,7 +199,12 @@ def _check_one_file(item: tuple[str, str, FlowOptions]) -> dict[str, object]:
             "trace": {},
             "solver_stats": None,
         }
-    outcome = check_source(source, path, engine=engine, options=options)
+    budget = (
+        Budget.from_params(budget_spec) if budget_spec is not None else None
+    )
+    outcome = check_source(
+        source, path, engine=engine, options=options, budget=budget
+    )
     return {
         "file": path,
         "report": outcome.report,
@@ -236,6 +263,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         track_fields=not args.no_fields,
         gc=not args.no_gc,
     )
+    budget_spec = _budget_params_from_args(args)
     if args.server:
         from .server.client import check_files_via_server
 
@@ -246,6 +274,9 @@ def cmd_check(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 options=options,
                 read_program=_read_program,
+                retries=args.retries,
+                retry_seed=args.retry_seed,
+                budget=budget_spec,
             )
         except (OSError, ValueError) as error:
             print(f"error: cannot reach server {args.server}: {error}",
@@ -254,14 +285,17 @@ def cmd_check(args: argparse.Namespace) -> int:
     elif args.jobs > 1 and len(files) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        items = [(path, args.engine, options) for path in files]
+        items = [
+            (path, args.engine, options, budget_spec) for path in files
+        ]
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             # ``map`` preserves input order, so every downstream artefact
             # (JSON, diagnostics, exit code) is independent of scheduling.
             payloads = list(pool.map(_check_one_file, items))
     else:
         payloads = [
-            _check_one_file((path, args.engine, options)) for path in files
+            _check_one_file((path, args.engine, options, budget_spec))
+            for path in files
         ]
     exit_code = EXIT_OK
     for payload in payloads:
@@ -335,6 +369,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .server import Daemon, DaemonConfig
+    from .testing.faults import install_from_env
+
+    # Chaos harnesses inject faults into subprocess daemons through the
+    # environment (ROWPOLY_FAULTS); a no-op without it.
+    install_from_env(os.environ)
 
     config = DaemonConfig(
         engine=args.engine,
@@ -344,6 +383,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         track_fields=not args.no_fields,
         gc=not args.no_gc,
+        budget_ms=args.budget_ms,
+        budget_solver_steps=args.budget_solver_steps,
+        budget_max_clauses=args.budget_max_clauses,
+        budget_core_queries=args.budget_core_queries,
+        quarantine_threshold=args.quarantine_threshold,
+        quarantine_ttl=args.quarantine_ttl,
+        hang_seconds=args.hang_seconds,
     )
     daemon = Daemon(config)
 
@@ -493,6 +539,37 @@ def cmd_bench_fig9(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_budget_arguments(
+    parser: argparse.ArgumentParser, server: bool = False
+) -> None:
+    """The shared ``--budget-*`` resource-ceiling flags.
+
+    On ``check`` they bound each file's inference (exceeding a ceiling
+    aborts the offending declarations with RP0998 and exit code 3); on
+    ``serve`` they set the daemon-wide default that per-request budgets
+    may override.
+    """
+    scope = "default per-request" if server else "per-file"
+    parser.add_argument(
+        "--budget-ms", type=float, default=None, metavar="MS",
+        help=f"{scope} wall-clock budget; declarations that exceed it "
+        "are aborted with RP0998 (partial report, not a failure)",
+    )
+    parser.add_argument(
+        "--budget-solver-steps", type=int, default=None, metavar="N",
+        help=f"{scope} ceiling on solver steps (CDCL conflicts and "
+        "linear-engine queries)",
+    )
+    parser.add_argument(
+        "--budget-max-clauses", type=int, default=None, metavar="N",
+        help=f"{scope} ceiling on the flow formula's clause count",
+    )
+    parser.add_argument(
+        "--budget-core-queries", type=int, default=None, metavar="N",
+        help=f"{scope} ceiling on unsat-core minimisation queries",
+    )
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rowpoly",
@@ -590,6 +667,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print the batch-wide SolverStats rollup as JSON (stdout; "
         "stderr under --json so the report array stays deterministic)",
     )
+    p_check.add_argument(
+        "--retries", type=int, default=4, metavar="N",
+        help="with --server: retry retryable-unavailable answers "
+        "(backpressure, quarantine, worker crash) and connection "
+        "failures up to N times per file (default: 4)",
+    )
+    p_check.add_argument(
+        "--retry-seed", type=int, default=0, metavar="SEED",
+        help="with --server: seed for the retry backoff jitter "
+        "(default: 0)",
+    )
+    _add_budget_arguments(p_check)
     p_check.set_defaults(handler=cmd_check)
 
     p_serve = sub.add_parser(
@@ -638,6 +727,22 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--metrics-dump", metavar="PATH", default=None,
         help="also write the final metrics snapshot as JSON to PATH "
         "at shutdown (the text dump always goes to stderr)",
+    )
+    _add_budget_arguments(p_serve, server=True)
+    p_serve.add_argument(
+        "--quarantine-threshold", type=int, default=3, metavar="N",
+        help="quarantine a session after N crash/budget strikes without "
+        "an intervening success; 0 disables quarantine (default: 3)",
+    )
+    p_serve.add_argument(
+        "--quarantine-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="how long a quarantined session refuses requests before its "
+        "strikes reset (default: 30)",
+    )
+    p_serve.add_argument(
+        "--hang-seconds", type=float, default=None, metavar="SECONDS",
+        help="watchdog: cancel any request served for longer than this "
+        "(default: no hang watchdog)",
     )
     p_serve.set_defaults(handler=cmd_serve)
 

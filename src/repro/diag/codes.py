@@ -35,6 +35,15 @@ DEPENDENCY = "RP0006"
 PARSE = "RP0007"
 #: The source does not lex.
 LEX = "RP0008"
+#: A serving-layer frame was rejected before dispatch: oversized or
+#: otherwise malformed JSON-RPC traffic.  Never a verdict about any
+#: program; carried in the ``data.rp`` field of protocol error responses.
+MALFORMED_FRAME = "RP0997"
+#: A declaration's check was aborted because a resource budget ran out
+#: (wall clock, solver steps, clause ceiling or core-minimization
+#: queries).  Not a type error: the declaration is *unverified*, the
+#: report is partial, and re-checking with a larger budget may succeed.
+RESOURCE_LIMIT = "RP0998"
 #: The flow formula is unsatisfiable but no structured witness could be
 #: recovered (e.g. provenance lost to aggressive projection).  Still a
 #: real type error; the message lists the asserted field selections.
@@ -51,6 +60,8 @@ REGISTRY: dict[str, str] = {
     DEPENDENCY: "dependency failed to check",
     PARSE: "parse error",
     LEX: "lexical error",
+    MALFORMED_FRAME: "malformed or oversized frame",
+    RESOURCE_LIMIT: "resource limit exceeded",
     FLOW_UNSAT_FALLBACK: "record flow unsatisfiable",
 }
 

@@ -38,7 +38,7 @@ from ..boolfn.cnf import Clause, Cnf
 from ..boolfn.engine import SolverStats
 from ..boolfn.flags import FlagSupply
 from ..boolfn.projection import projected
-from ..util import Deadline
+from ..util import Budget, Deadline
 from ..lang.ast import Expr, Let, Var
 from ..lang.module import Decl
 from ..lang.pretty import pretty
@@ -100,13 +100,18 @@ class SessionEngine(Protocol):
         decl: Decl,
         deps: Sequence[tuple[str, DeclCheck]],
         deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> DeclCheck:
         """Check one declaration given its dependencies' exports.
 
         Raises :class:`~repro.infer.errors.InferenceError` when the
         declaration is ill-typed, and lets the ``deadline``'s
         :class:`~repro.util.DeadlineExceeded`/:class:`~repro.util.Cancelled`
-        propagate when the request budget runs out mid-check.
+        propagate when the request budget runs out mid-check.  A
+        ``budget`` (resource governor) is charged as the check works;
+        its :class:`~repro.util.BudgetExceeded` likewise propagates and
+        the *session* turns it into a per-declaration ``aborted`` report
+        rather than failing the whole request.
         """
         ...
 
@@ -247,9 +252,13 @@ class FlowSessionEngine:
         decl: Decl,
         deps: Sequence[tuple[str, DeclCheck]],
         deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> DeclCheck:
+        if budget is not None:
+            budget.check_time()
         state = FlowState(self.options, vars=self.vars, flags=self.flags)
         state.deadline = deadline
+        state.budget = budget
         inference = FlowInference(builtins=self.builtins, state=state)
         env = TypeEnv()
         for dep_name, dep in deps:
@@ -303,11 +312,14 @@ class PlainSessionEngine:
         decl: Decl,
         deps: Sequence[tuple[str, DeclCheck]],
         deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> DeclCheck:
         # The plain engines have no per-clause hot loop to instrument;
-        # declaration granularity is their deadline resolution.
+        # declaration granularity is their deadline/budget resolution.
         if deadline is not None:
             deadline.check()
+        if budget is not None:
+            budget.check_time()
         inference = PlainInference(
             polymorphic_recursion=self.polymorphic_recursion,
             supply=self.supply,
@@ -344,9 +356,12 @@ class PottierSessionEngine:
         decl: Decl,
         deps: Sequence[tuple[str, DeclCheck]],
         deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> DeclCheck:
         if deadline is not None:
             deadline.check()
+        if budget is not None:
+            budget.check_time()
         env = dict(DEFAULT_ABSTRACT_ENV)
         for dep_name, dep in deps:
             env[dep_name] = dep.export

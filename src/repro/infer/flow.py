@@ -78,6 +78,7 @@ from ..types.unify import UnifyError, _Unifier
 from ..diag import Diagnostic, diagnose_unsat, fallback_diagnostic
 from ..diag import codes as diag_codes
 from ..diag.diagnostic import Pos
+from ..util import BudgetExceeded
 from .builtins import DEFAULT_BUILTINS, Builder
 from .env import Mono, Poly, TypeEnv
 from .errors import (
@@ -89,6 +90,23 @@ from .errors import (
 from .extensions import ExtensionRules
 from .state import FlowOptions, FlowState, Slot
 from .applys import apply_subst
+
+
+def _diagnose_budgeted(state: FlowState) -> list[Diagnostic]:
+    """Unsat diagnostics, degraded (never failed) by a starved budget.
+
+    Witness recovery and core minimization cost extra solver queries
+    beyond the verdict.  When the resource budget runs out *during
+    diagnosis*, the verdict (unsatisfiable) is already final — so the
+    declaration is still reported as a type error, just with the
+    fallback diagnostic instead of a minimized witness, rather than
+    aborting a check whose answer is known.
+    """
+    try:
+        diagnostics = diagnose_unsat(state)
+    except BudgetExceeded:
+        diagnostics = None
+    return diagnostics or [fallback_diagnostic(state)]
 
 
 @dataclass
@@ -432,9 +450,7 @@ class FlowInference(ExtensionRules):
                 and not state.conditional_constraints
                 and state.solve_beta() is None
             ):
-                diagnostics = diagnose_unsat(state) or [
-                    fallback_diagnostic(state)
-                ]
+                diagnostics = _diagnose_budgeted(state)
                 self._raise_flow_unsat(diagnostics, expr.span, expr)
             return
         if state.conditional_constraints:
@@ -465,9 +481,7 @@ class FlowInference(ExtensionRules):
             return
         model = state.solve_beta()
         if model is None:
-            diagnostics = diagnose_unsat(state) or [
-                fallback_diagnostic(state)
-            ]
+            diagnostics = _diagnose_budgeted(state)
             self._raise_flow_unsat(diagnostics, expr.span, expr)
 
     # ------------------------------------------------------------------

@@ -40,7 +40,8 @@ from ..boolfn.engine import SatEngine, SolverStats
 from ..diag import Diagnostic, codes, diagnostics_as_dicts
 from ..diag.diagnostic import Pos
 from ..lang.module import Module
-from ..util import Deadline
+from ..testing.faults import fault_point
+from ..util import Budget, BudgetExceeded, Deadline
 from .engines import DeclCheck, make_engine
 from .errors import InferenceError
 from .state import FlowOptions
@@ -50,11 +51,16 @@ from .state import FlowOptions
 class DeclReport:
     """The user-facing outcome for one declaration.
 
-    ``status`` is ``"ok"``, ``"error"`` (the declaration itself failed) or
-    ``"dependency-error"`` (skipped because a dependency failed).  All
-    fields except ``cached``/``seconds``/``trace`` are deterministic for a
+    ``status`` is ``"ok"``, ``"error"`` (the declaration itself failed),
+    ``"dependency-error"`` (skipped because a dependency failed) or
+    ``"aborted"`` (a resource budget ran out mid-check — the declaration
+    is *unverified*, not ill-typed, and carries ``RP0998``).  All fields
+    except ``cached``/``seconds``/``trace`` are deterministic for a
     given module and engine, which is what the ``--jobs`` byte-parity and
-    the recheck≡fresh metamorphic tests rely on.
+    the recheck≡fresh metamorphic tests rely on (aborted reports are
+    deterministic for a given budget only when the budget is a
+    deterministic resource — solver steps or clause count, not wall
+    clock).
     """
 
     name: str
@@ -162,6 +168,7 @@ class SessionStats:
     rechecks: int = 0
     decls_checked: int = 0
     decls_reused: int = 0
+    decls_aborted: int = 0
     clauses_retracted: int = 0
 
     def as_dict(self) -> dict[str, int]:
@@ -195,7 +202,10 @@ class InferSession:
     # public API
     # ------------------------------------------------------------------
     def check(
-        self, module: Module, deadline: Optional[Deadline] = None
+        self,
+        module: Module,
+        deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> ModuleResult:
         """Check every declaration, reusing cached results where valid.
 
@@ -205,6 +215,14 @@ class InferSession:
         session is left consistent — every declaration checked so far
         keeps its valid entry, the interrupted declaration simply has
         none, and the next ``check`` resumes from that point.
+
+        ``budget`` is a resource governor with per-declaration failure
+        granularity: when it runs out mid-declaration, that declaration is
+        reported ``aborted`` (never cached), its dependents are skipped as
+        ``dependency-error``, and the check *completes* with a partial
+        report rather than raising.  The session stays healthy: aborted
+        declarations simply have no cache entry, so a later check with a
+        fresh (or absent) budget re-checks exactly them.
         """
         started = time.perf_counter()
         self.stats.checks += 1
@@ -214,34 +232,49 @@ class InferSession:
         checks: dict[str, DeclCheck] = {}
         reports: list[DeclReport] = []
         by_name: dict[str, DeclReport] = {}
-        checked = reused = 0
-        for decl in module:
-            if deadline is not None:
-                deadline.check()
-            dep_names = dependencies[decl.name]
-            key, failed_dep = self._cache_key(decl, dep_names, by_name, checks)
-            entry = self._cache.get(decl.name)
-            if entry is not None and entry.key == key:
-                report = replace(entry.report, cached=True, seconds=0.0,
-                                 trace={})
-                if entry.check is not None:
-                    checks[decl.name] = entry.check
-                reused += 1
-            else:
-                self._invalidate(decl.name)
-                check, report = self._check_decl(
-                    decl, dep_names, failed_dep, checks, deadline
+        checked = reused = aborted = 0
+        self.sat.budget = budget
+        try:
+            for decl in module:
+                if deadline is not None:
+                    deadline.check()
+                dep_names = dependencies[decl.name]
+                key, failed_dep = self._cache_key(
+                    decl, dep_names, by_name, checks
                 )
-                if check is not None:
-                    checks[decl.name] = check
-                    self._assert_clauses(decl.name, check)
-                self._cache[decl.name] = _CacheEntry(key, check, report)
-                checked += 1
-            by_name[decl.name] = report
-            reports.append(report)
-        satisfiable = self._module_verdict()
+                entry = self._cache.get(decl.name)
+                if entry is not None and entry.key == key:
+                    report = replace(entry.report, cached=True, seconds=0.0,
+                                     trace={})
+                    if entry.check is not None:
+                        checks[decl.name] = entry.check
+                    reused += 1
+                else:
+                    self._invalidate(decl.name)
+                    check, report = self._check_decl(
+                        decl, dep_names, failed_dep, checks, deadline, budget
+                    )
+                    if check is not None:
+                        checks[decl.name] = check
+                        self._assert_clauses(decl.name, check)
+                    if report.status == "aborted":
+                        # Never cache an aborted report: it is not a
+                        # verdict, and a budget-starved entry must not
+                        # satisfy (or poison) a later well-funded check.
+                        aborted += 1
+                    else:
+                        self._cache[decl.name] = _CacheEntry(
+                            key, check, report
+                        )
+                    checked += 1
+                by_name[decl.name] = report
+                reports.append(report)
+            satisfiable = self._module_verdict()
+        finally:
+            self.sat.budget = None
         self.stats.decls_checked += checked
         self.stats.decls_reused += reused
+        self.stats.decls_aborted += aborted
         return ModuleResult(
             engine=self.engine_name,
             decls=reports,
@@ -253,12 +286,15 @@ class InferSession:
         )
 
     def recheck(
-        self, module: Module, deadline: Optional[Deadline] = None
+        self,
+        module: Module,
+        deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> ModuleResult:
         """Re-check an edited module; synonym of :meth:`check` that counts
         separately (the incremental path is the cache, not the method)."""
         self.stats.rechecks += 1
-        return self.check(module, deadline)
+        return self.check(module, deadline, budget)
 
     # ------------------------------------------------------------------
     # internals
@@ -297,6 +333,7 @@ class InferSession:
         failed_dep: Optional[str],
         checks: dict[str, DeclCheck],
         deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
     ) -> tuple[Optional[DeclCheck], DeclReport]:
         if failed_dep is not None:
             message = f"not checked: dependency {failed_dep!r} has errors"
@@ -319,10 +356,32 @@ class InferSession:
             )
         started = time.perf_counter()
         try:
+            fault_point("session.check_decl")
             check = self.engine.check_decl(
                 decl,
                 [(dep, checks[dep]) for dep in dep_names],
                 deadline=deadline,
+                budget=budget,
+            )
+        except BudgetExceeded as error:
+            message = f"declaration aborted: {error}"
+            return None, DeclReport(
+                name=decl.name,
+                status="aborted",
+                error_class="BudgetExceeded",
+                message=message,
+                line=decl.span.line,
+                column=decl.span.column,
+                code=codes.RESOURCE_LIMIT,
+                diagnostics=(
+                    Diagnostic(
+                        code=codes.RESOURCE_LIMIT,
+                        message=message,
+                        pos=Pos.from_span(decl.span),
+                        label=error.resource,
+                    ),
+                ),
+                seconds=time.perf_counter() - started,
             )
         except InferenceError as error:
             span = error.span or decl.span
@@ -377,7 +436,15 @@ class InferSession:
         """
         if len(self.beta) == 0 and not self._intervals:
             return None
-        return self.sat.solve() is not None
+        try:
+            return self.sat.solve() is not None
+        except BudgetExceeded:
+            # The module-level sanity query is advisory; a starved budget
+            # degrades it to "unknown" without failing the check.  Reset
+            # the engine so a half-finished backend query cannot leak
+            # into the next request on this session.
+            self.sat.reset()
+            return None
 
 
 def check_module(

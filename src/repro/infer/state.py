@@ -26,7 +26,7 @@ from ..boolfn.cnf import Clause, Cnf, Literal
 from ..boolfn.engine import SatEngine
 from ..boolfn.flags import FlagSupply
 from ..types.terms import Type, VarSupply
-from ..util import Deadline
+from ..util import Budget, Deadline
 from .env import TypeEnv
 
 #: Cap on the clause-provenance log kept for diagnostics.  Variable
@@ -154,6 +154,11 @@ class FlowState:
         # Optional per-request wall-clock budget (the serving layer sets
         # this); polled on the hot allocation paths and at solver calls.
         self.deadline: Deadline | None = None
+        # Optional per-request resource budget (repro.util.Budget): its
+        # wall-clock component shares the deadline's poll stride, its
+        # clause ceiling is enforced at every β growth, and the solver
+        # step / core-query components ride on the attached SatEngine.
+        self.budget: Budget | None = None
         self._deadline_tick = 0
         self.live: list[Slot] = []
         self.stats = FlowStats()
@@ -202,12 +207,16 @@ class FlowState:
         budget without measurable steady-state overhead.
         """
         deadline = self.deadline
-        if deadline is None:
+        budget = self.budget
+        if deadline is None and budget is None:
             return
         self._deadline_tick += 1
         if self._deadline_tick >= _DEADLINE_STRIDE:
             self._deadline_tick = 0
-            deadline.check()
+            if deadline is not None:
+                deadline.check()
+            if budget is not None:
+                budget.check_time()
 
     def fresh_flag(self, name: str | None = None) -> int:
         self.stats.flags_allocated += 1
@@ -229,6 +238,11 @@ class FlowState:
         if len(clause) - positives > 1:
             self.stats.saw_non_dual_horn = True
         self.beta.add_clause(clause)
+        if self.budget is not None:
+            # The clause ceiling is the OOM guard: β is where a
+            # pathological program's state accumulates, so the budget is
+            # checked at every growth step, not on a stride.
+            self.budget.charge_clauses(len(self.beta))
         self._log_clause(clause)
         self._note_clauses()
 
@@ -308,12 +322,15 @@ class FlowState:
         """
         if self.engine.cnf is not self.beta:
             self.engine = SatEngine(self.beta)
+        self.engine.budget = self.budget
         return self.engine
 
     def solve_beta(self):
         """One timed incremental satisfiability query against β."""
         if self.deadline is not None:
             self.deadline.check()
+        if self.budget is not None:
+            self.budget.check_time()
         with self.timed_solver():
             return self.sat_engine().solve()
 

@@ -16,13 +16,18 @@ construction.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import socket
 import threading
-from typing import Any, Optional
+import time
+from random import Random
+from typing import Any, Callable, Optional
 
 from ..infer.state import FlowOptions
+from .protocol import RETRYABLE_CODES
 from .service import EXIT_USAGE
+from .supervisor import backoff_delay
 
 
 class ServeError(Exception):
@@ -126,6 +131,9 @@ class ServeClient:
         engine: Optional[str] = None,
         options: Optional[dict[str, Any]] = None,
         deadline_ms: Optional[float] = None,
+        budget: Optional[dict[str, Any]] = None,
+        retry: Optional[int] = None,
+        fingerprint: Optional[str] = None,
     ) -> dict[str, Any]:
         params: dict[str, Any] = {"path": path}
         if source is not None:
@@ -136,6 +144,12 @@ class ServeClient:
             params["options"] = options
         if deadline_ms is not None:
             params["deadline_ms"] = deadline_ms
+        if budget is not None:
+            params["budget"] = budget
+        if retry:
+            params["retry"] = retry
+        if fingerprint is not None:
+            params["fingerprint"] = fingerprint
         return self.request("check", params)
 
     def stats(self) -> dict[str, Any]:
@@ -153,6 +167,127 @@ class ServeClient:
         return self.request("shutdown")
 
 
+def request_fingerprint(path: str, source: str, engine: str) -> str:
+    """Stable identity of one check request, for idempotent retries.
+
+    A retried request carries the same fingerprint as the original, so
+    the daemon's replay cache recognises it — a response lost to a
+    connection reset is recomputed as a warm replay hit, not a second
+    full inference.
+    """
+    digest = hashlib.sha256(
+        f"{path}\x00{engine}\x00{source}".encode()
+    ).hexdigest()
+    return digest[:24]
+
+
+class RetryingClient:
+    """A :class:`ServeClient` wrapper with bounded, jittered retries.
+
+    Retries exactly the *retryable-unavailable* answers
+    (:data:`repro.server.protocol.RETRYABLE_CODES`: 423/429/502/503) and
+    transport failures (connection reset/refused), with exponential
+    backoff, seeded jitter, and the server's ``retry_after_ms`` hint as a
+    floor.  Requests are idempotent by fingerprint, so a retry after a
+    lost response is safe.  Everything else — type errors, timeouts,
+    invalid params — is the *answer* and is never retried.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        retries: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        seed: int = 0,
+        timeout: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.address = address
+        self.retries = retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.timeout = timeout
+        self._sleep = sleep
+        self._rng = Random(seed)
+        self._client: Optional[ServeClient] = None
+        #: Total retry round trips performed (soak-test accounting).
+        self.retries_performed = 0
+
+    # -- connection management -----------------------------------------
+    def connect(self) -> "RetryingClient":
+        """Connect eagerly (no retry): callers that want unreachable
+        servers reported up front, not retried per request."""
+        self._connected()
+        return self
+
+    def _connected(self) -> ServeClient:
+        if self._client is None:
+            self._client = ServeClient(self.address, timeout=self.timeout)
+        return self._client
+
+    def _disconnect(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        self._disconnect()
+
+    def __enter__(self) -> "RetryingClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the retry loop ------------------------------------------------
+    def check(
+        self,
+        path: str,
+        source: str,
+        engine: str = "flow",
+        options: Optional[dict[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
+        budget: Optional[dict[str, Any]] = None,
+    ) -> dict[str, Any]:
+        """One check with retries; raises the last error when exhausted."""
+        fingerprint = request_fingerprint(path, source, engine)
+        attempt = 0
+        while True:
+            retry_after: Optional[float] = None
+            try:
+                return self._connected().check(
+                    path,
+                    source,
+                    engine=engine,
+                    options=options,
+                    deadline_ms=deadline_ms,
+                    budget=budget,
+                    retry=attempt,
+                    fingerprint=fingerprint,
+                )
+            except ServeError as error:
+                if error.code not in RETRYABLE_CODES or (
+                    attempt >= self.retries
+                ):
+                    raise
+                hint = error.data.get("retry_after_ms")
+                if isinstance(hint, (int, float)) and hint > 0:
+                    retry_after = hint / 1000.0
+            except (ConnectionError, OSError):
+                self._disconnect()
+                if attempt >= self.retries:
+                    raise
+            attempt += 1
+            self.retries_performed += 1
+            delay = backoff_delay(
+                attempt, self.base_delay, self.max_delay, self._rng
+            )
+            if retry_after is not None:
+                delay = max(delay, retry_after)
+            self._sleep(delay)
+
+
 def check_files_via_server(
     address: str,
     files: list[str],
@@ -160,6 +295,9 @@ def check_files_via_server(
     options: Optional[FlowOptions] = None,
     deadline_ms: Optional[float] = None,
     read_program=None,
+    retries: int = 4,
+    retry_seed: int = 0,
+    budget: Optional[dict[str, Any]] = None,
 ) -> list[dict[str, Any]]:
     """Drive a file list through a daemon; payloads match the offline path.
 
@@ -169,6 +307,12 @@ def check_files_via_server(
     so a daemon on another mount checks what the caller sees; local read
     failures produce the offline checker's IOError report without a round
     trip.
+
+    Retryable-unavailable answers (backpressure, quarantine, worker
+    crash) and connection failures are retried up to ``retries`` times
+    per file with jittered exponential backoff (seeded by
+    ``retry_seed``); requests are idempotent by fingerprint so a retry
+    never double-checks.
     """
     if read_program is None:
         def read_program(path: str) -> str:
@@ -179,7 +323,9 @@ def check_files_via_server(
         options = FlowOptions()
     wire_options = {"track_fields": options.track_fields, "gc": options.gc}
     payloads: list[dict[str, Any]] = []
-    with ServeClient(address) as client:
+    with RetryingClient(
+        address, retries=retries, seed=retry_seed
+    ).connect() as client:
         for path in files:
             try:
                 source = read_program(path)
@@ -206,6 +352,7 @@ def check_files_via_server(
                     engine=engine,
                     options=wire_options,
                     deadline_ms=deadline_ms,
+                    budget=budget,
                 )
             except ServeError as error:
                 payloads.append(
@@ -215,6 +362,22 @@ def check_files_via_server(
                             "file": path,
                             "ok": False,
                             "error": f"Server{error.name}",
+                            "message": str(error),
+                        },
+                        "exit": EXIT_USAGE,
+                        "trace": {},
+                        "solver_stats": None,
+                    }
+                )
+                continue
+            except (ConnectionError, OSError) as error:
+                payloads.append(
+                    {
+                        "file": path,
+                        "report": {
+                            "file": path,
+                            "ok": False,
+                            "error": "ServerConnectionError",
                             "message": str(error),
                         },
                         "exit": EXIT_USAGE,

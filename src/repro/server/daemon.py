@@ -21,6 +21,16 @@ Request lifecycle for ``check``:
    :meth:`repro.infer.session.InferSession.check`), so the next request
    on that module simply resumes.
 
+Resource governance rides the same lifecycle: each request gets a
+:class:`~repro.util.Budget` (from ``--budget-*`` defaults or its own
+``budget`` params); exhaustion yields a *partial* report with ``aborted``
+declarations (RP0998) served as a normal response, never stored as a
+replay outcome.  A :class:`~repro.server.supervisor.WorkerSupervisor`
+respawns crashed workers, and a
+:class:`~repro.server.supervisor.SessionQuarantine` benches session keys
+that repeatedly crash workers or trip budgets (423 with
+``retry_after_ms``); a single trip never quarantines.
+
 Shutdown (EOF, ``shutdown`` RPC, or SIGTERM via ``rowpoly serve``) drains:
 intake stops, accepted jobs finish and are answered, workers join, and
 the metrics subsystem dumps its final report.
@@ -34,12 +44,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..diag import codes as diag_codes
 from ..infer.engines import SESSION_ENGINES
 from ..infer.state import FlowOptions
-from ..util import Cancelled, DeadlineExceeded, Deadline
+from ..util import Budget, BudgetExceeded, Cancelled, DeadlineExceeded, Deadline
 from . import protocol
 from .metrics import ServerMetrics
-from .registry import SessionRegistry
+from .registry import SessionRegistry, options_key
 from .scheduler import Job, Scheduler
 from .service import (
     EXIT_USAGE,
@@ -47,7 +58,9 @@ from .service import (
     check_source,
     diagnostic_codes,
     fingerprint_source,
+    report_aborted,
 )
+from .supervisor import SessionQuarantine, WorkerSupervisor
 
 
 @dataclass
@@ -64,6 +77,38 @@ class DaemonConfig:
     gc: bool = True
     #: Drain budget at shutdown before giving up on stuck workers.
     drain_timeout: float = 30.0
+    #: Default per-request resource budget components (``--budget-*``
+    #: flags); all ``None`` = ungoverned.  A request's ``budget`` params
+    #: override these wholesale.
+    budget_ms: Optional[float] = None
+    budget_solver_steps: Optional[int] = None
+    budget_max_clauses: Optional[int] = None
+    budget_core_queries: Optional[int] = None
+    #: Session quarantine: strikes before a key is benched, and for how
+    #: long.  ``quarantine_threshold=0`` disables quarantining.
+    quarantine_threshold: int = 3
+    quarantine_ttl: float = 30.0
+    #: Hang watchdog: cancel a job served longer than this (``None`` =
+    #: trust deadlines alone).
+    hang_seconds: Optional[float] = None
+
+    def default_budget(self) -> Optional[Budget]:
+        """A fresh :class:`Budget` from the config defaults, or ``None``."""
+        if (
+            self.budget_ms is None
+            and self.budget_solver_steps is None
+            and self.budget_max_clauses is None
+            and self.budget_core_queries is None
+        ):
+            return None
+        return Budget(
+            seconds=(
+                None if self.budget_ms is None else self.budget_ms / 1000.0
+            ),
+            solver_steps=self.budget_solver_steps,
+            max_clauses=self.budget_max_clauses,
+            core_queries=self.budget_core_queries,
+        )
 
 
 class _InvalidParams(Exception):
@@ -88,6 +133,21 @@ class Daemon:
             workers=self.config.workers,
             queue_limit=self.config.queue_limit,
             metrics=self.metrics,
+            on_crash=self._record_crash_strike,
+        )
+        self.quarantine = (
+            SessionQuarantine(
+                threshold=self.config.quarantine_threshold,
+                ttl=self.config.quarantine_ttl,
+                metrics=self.metrics,
+            )
+            if self.config.quarantine_threshold > 0
+            else None
+        )
+        self.supervisor = WorkerSupervisor(
+            self.scheduler,
+            metrics=self.metrics,
+            hang_seconds=self.config.hang_seconds,
         )
         self.shutdown_requested = threading.Event()
         self.drained = threading.Event()
@@ -111,13 +171,34 @@ class Daemon:
             request = protocol.parse_request(line)
         except protocol.ProtocolError as error:
             self.metrics.record_request("?", "invalid")
+            self.metrics.record_robustness("frames_rejected")
             respond(
                 protocol.error_response(
-                    error.request_id, error.code, str(error)
+                    error.request_id,
+                    error.code,
+                    str(error),
+                    {"rp": diag_codes.MALFORMED_FRAME},
                 )
             )
             return
         self._dispatch(request, respond, client)
+
+    def reject_frame(
+        self,
+        error: protocol.ProtocolError,
+        respond: Callable[[dict[str, Any]], None],
+    ) -> None:
+        """Answer an unparseable/oversized frame without dispatching it."""
+        self.metrics.record_request("?", "invalid")
+        self.metrics.record_robustness("frames_rejected")
+        respond(
+            protocol.error_response(
+                error.request_id,
+                error.code,
+                str(error),
+                {"rp": diag_codes.MALFORMED_FRAME},
+            )
+        )
 
     def _dispatch(
         self,
@@ -175,6 +256,35 @@ class Daemon:
                 )
             )
             return
+        raw_budget = request.params.get("budget")
+        if raw_budget is not None and not isinstance(raw_budget, dict):
+            self.metrics.record_request(request.method, "invalid")
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.INVALID_PARAMS,
+                    "'budget' must be a JSON object",
+                )
+            )
+            return
+        if raw_budget is not None:
+            try:
+                budget = Budget.from_params(raw_budget)
+            except ValueError as error:
+                self.metrics.record_request(request.method, "invalid")
+                respond(
+                    protocol.error_response(
+                        request.id,
+                        protocol.INVALID_PARAMS,
+                        f"bad 'budget': {error}",
+                    )
+                )
+                return
+        else:
+            budget = self.config.default_budget()
+        retry = request.params.get("retry")
+        if isinstance(retry, int) and retry > 0:
+            self.metrics.record_robustness("client_retries")
         job = Job(
             id=request.id,
             method=request.method,
@@ -184,6 +294,7 @@ class Daemon:
             ),
             respond=respond,
             client=client,
+            budget=budget,
         )
         verdict = self.scheduler.submit(job)
         if verdict == "overloaded":
@@ -232,6 +343,35 @@ class Daemon:
         )
         return path, source, engine, options
 
+    def _session_key(self, params: dict[str, Any]) -> Optional[tuple]:
+        """The registry key a request resolves to, or ``None`` on junk.
+
+        Deliberately tolerant: quarantine bookkeeping must work even for
+        requests that die before (or during) validation.
+        """
+        path = params.get("path")
+        if not isinstance(path, str) or not path:
+            return None
+        engine = params.get("engine", self.config.engine)
+        raw_options = params.get("options", {})
+        if not isinstance(raw_options, dict):
+            raw_options = {}
+        options = FlowOptions(
+            track_fields=bool(
+                raw_options.get("track_fields", self.config.track_fields)
+            ),
+            gc=bool(raw_options.get("gc", self.config.gc)),
+        )
+        return (path, engine, options_key(options))
+
+    def _record_crash_strike(self, job: Job) -> None:
+        """Scheduler callback: a worker died serving ``job``."""
+        if self.quarantine is None:
+            return
+        key = self._session_key(job.params)
+        if key is not None:
+            self.quarantine.record_failure(key)
+
     def _run_check_job(
         self, job: Job, queue_seconds: float
     ) -> dict[str, Any]:
@@ -245,6 +385,22 @@ class Daemon:
                 time.monotonic() - started,
             )
 
+        quarantine_key = self._session_key(job.params)
+        if self.quarantine is not None and quarantine_key is not None:
+            remaining = self.quarantine.blocked(quarantine_key)
+            if remaining is not None:
+                finish("quarantined")
+                return protocol.error_response(
+                    job.id,
+                    protocol.QUARANTINED,
+                    "session is quarantined after repeated failures; "
+                    "retry later",
+                    {
+                        "reason": "quarantined",
+                        "retry_after_ms": int(remaining * 1000) + 1,
+                        "path": job.params.get("path"),
+                    },
+                )
         try:
             # A job whose budget died in the queue never touches a session.
             job.deadline.check()
@@ -275,6 +431,7 @@ class Daemon:
                 self.registry.record(label)
                 if label == "hit":
                     outcome, cached = entry.outcome, True
+                    aborted = False
                 else:
                     outcome = check_source(
                         path,
@@ -284,11 +441,17 @@ class Daemon:
                         session=entry.session,
                         recheck=entry.checks > 0,
                         deadline=job.deadline,
+                        budget=job.budget,
                         deep=False,
                     )
                     entry.checks += 1
-                    entry.fingerprint = fingerprint
-                    entry.outcome = outcome
+                    aborted = report_aborted(outcome.report)
+                    if not aborted:
+                        # A partial (budget-starved) report is never a
+                        # replay outcome: the next request must re-run
+                        # the aborted declarations, not replay the gap.
+                        entry.fingerprint = fingerprint
+                        entry.outcome = outcome
                     self.metrics.merge_solver_stats(outcome.solver_stats)
                     self.metrics.record_diagnostics(
                         diagnostic_codes(outcome.report)
@@ -320,29 +483,61 @@ class Daemon:
                     ),
                 },
             )
+        except BudgetExceeded as error:
+            # Backstop: the session normally converts budget trips into
+            # per-declaration aborts; one escaping to here (e.g. injected
+            # directly into serving code) is still answered structurally.
+            finish("aborted")
+            self.metrics.record_robustness("budget_exceeded")
+            if self.quarantine is not None and quarantine_key is not None:
+                self.quarantine.record_failure(quarantine_key)
+            return protocol.error_response(
+                job.id,
+                protocol.RESOURCE_LIMIT,
+                f"resource budget exhausted: {error}",
+                {
+                    "rp": diag_codes.RESOURCE_LIMIT,
+                    "path": job.params.get("path"),
+                },
+            )
         except Exception as error:  # noqa: BLE001 — answered, not fatal
             finish("error")
+            if self.quarantine is not None and quarantine_key is not None:
+                # Internal errors (not type errors!) count as strikes: a
+                # module that keeps blowing up the engine gets benched.
+                self.quarantine.record_failure(quarantine_key)
             return protocol.error_response(
                 job.id,
                 protocol.INTERNAL_ERROR,
                 f"{type(error).__name__}: {error}",
             )
-        finish("ok")
-        return self._check_response(job, outcome, cached)
+        if aborted:
+            finish("aborted")
+            self.metrics.record_robustness("budget_exceeded")
+            if self.quarantine is not None and quarantine_key is not None:
+                self.quarantine.record_failure(quarantine_key)
+        else:
+            finish("ok")
+            if self.quarantine is not None and quarantine_key is not None:
+                self.quarantine.record_success(quarantine_key)
+        return self._check_response(job, outcome, cached, aborted)
 
     @staticmethod
     def _check_response(
-        job: Job, outcome: CheckOutcome, cached: bool
+        job: Job,
+        outcome: CheckOutcome,
+        cached: bool,
+        aborted: bool = False,
     ) -> dict[str, Any]:
-        return protocol.ok_response(
-            job.id,
-            {
-                "report": outcome.report,
-                "exit": outcome.exit,
-                "trace": outcome.trace,
-                "cached": cached,
-            },
-        )
+        result: dict[str, Any] = {
+            "report": outcome.report,
+            "exit": outcome.exit,
+            "trace": outcome.trace,
+            "cached": cached,
+        }
+        if aborted:
+            result["aborted"] = True
+        return protocol.ok_response(job.id, result)
 
     # ------------------------------------------------------------------
     # transports
@@ -354,6 +549,7 @@ class Daemon:
         stdin = stdin if stdin is not None else sys.stdin
         stdout = stdout if stdout is not None else sys.stdout
         self.scheduler.start()
+        self.supervisor.start()
         write_lock = threading.Lock()
 
         def respond(message: dict[str, Any]) -> None:
@@ -362,8 +558,11 @@ class Daemon:
                 stdout.write(data)
                 stdout.flush()
 
-        for line in stdin:
-            self.handle_line(line, respond, client="stdio")
+        for line, frame_error in protocol.iter_frames(stdin):
+            if frame_error is not None:
+                self.reject_frame(frame_error, respond)
+            else:
+                self.handle_line(line, respond, client="stdio")
             if self.shutdown_requested.is_set():
                 break
         self._drain()
@@ -389,10 +588,11 @@ class Daemon:
                         self.wfile.write(data)
                         self.wfile.flush()
 
-                for raw in self.rfile:
-                    daemon.handle_line(
-                        raw.decode("utf-8", "replace"), respond, client_tag
-                    )
+                for line, frame_error in protocol.iter_frames(self.rfile):
+                    if frame_error is not None:
+                        daemon.reject_frame(frame_error, respond)
+                    else:
+                        daemon.handle_line(line, respond, client_tag)
                     if daemon.shutdown_requested.is_set():
                         break
 
@@ -401,6 +601,7 @@ class Daemon:
             daemon_threads = True
 
         self.scheduler.start()
+        self.supervisor.start()
         server = _Server((host, port), _Handler)
         self._tcp_server = server
         bound = server.server_address[:2]
@@ -440,6 +641,7 @@ class Daemon:
             if self.drained.is_set():
                 return
             self.shutdown_requested.set()
+            self.supervisor.stop(timeout=1.0)
             clean = self.scheduler.drain(timeout=self.config.drain_timeout)
             server, self._tcp_server = self._tcp_server, None
             if server is not None:

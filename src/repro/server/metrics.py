@@ -89,9 +89,23 @@ class Histogram:
 class ServerMetrics:
     """All of the daemon's observable state, thread-safe."""
 
-    #: Request outcome statuses the counters are keyed by.
+    #: Request outcome statuses the counters are keyed by.  ``aborted``
+    #: is a resource-budget trip (partial report served), ``crashed`` a
+    #: worker death mid-request, ``quarantined`` a refusal without
+    #: touching the session.
     STATUSES = (
         "ok", "error", "timeout", "cancelled", "rejected", "invalid",
+        "aborted", "crashed", "quarantined",
+    )
+
+    #: Robustness event counters (the fault-tolerance subsystem's pulse).
+    ROBUSTNESS_COUNTERS = (
+        "budget_exceeded",
+        "worker_restarts",
+        "quarantined_sessions",
+        "client_retries",
+        "hung_jobs_cancelled",
+        "frames_rejected",
     )
 
     def __init__(self) -> None:
@@ -106,6 +120,7 @@ class ServerMetrics:
         self._solver = SolverStats()
         self._solver_merges = 0
         self._diagnostics: dict[str, int] = {}
+        self._robustness = {name: 0 for name in self.ROBUSTNESS_COUNTERS}
 
     # -- recording -----------------------------------------------------
     def record_request(
@@ -140,6 +155,13 @@ class ServerMetrics:
         with self._lock:
             self._solver.merge(stats)
             self._solver_merges += 1
+
+    def record_robustness(self, counter: str, count: int = 1) -> None:
+        """Bump one of :data:`ROBUSTNESS_COUNTERS`."""
+        with self._lock:
+            self._robustness[counter] = (
+                self._robustness.get(counter, 0) + count
+            )
 
     def record_diagnostics(self, codes) -> None:
         """Count emitted diagnostics per stable ``RP####`` code.
@@ -184,6 +206,7 @@ class ServerMetrics:
                     "merged_runs": self._solver_merges,
                 },
                 "diagnostics": dict(sorted(self._diagnostics.items())),
+                "robustness": dict(sorted(self._robustness.items())),
             }
 
     def render_text(self) -> str:
@@ -231,4 +254,12 @@ class ServerMetrics:
                 for code, count in snap["diagnostics"].items()
             )
             lines.append(f"  diagnostics: {detail}")
+        robustness = snap["robustness"]
+        if any(robustness.values()):
+            detail = ", ".join(
+                f"{name}={count}"
+                for name, count in robustness.items()
+                if count
+            )
+            lines.append(f"  robustness: {detail}")
         return "\n".join(lines)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 # -- JSON-RPC framing errors ------------------------------------------------
 PARSE_ERROR = -32700
@@ -29,9 +29,20 @@ INTERNAL_ERROR = -32603
 
 # -- application errors (HTTP-flavoured) ------------------------------------
 DEADLINE_EXCEEDED = 408
+FRAME_TOO_LARGE = 413
+QUARANTINED = 423
 OVERLOADED = 429
 CANCELLED = 499
+WORKER_CRASHED = 502
 SHUTTING_DOWN = 503
+RESOURCE_LIMIT = 507
+
+#: Codes a client may retry on (after the backoff the ``data`` suggests).
+#: Everything here says "the daemon could not serve you *right now*" —
+#: nothing about the request itself being wrong.
+RETRYABLE_CODES = frozenset(
+    {QUARANTINED, OVERLOADED, WORKER_CRASHED, SHUTTING_DOWN}
+)
 
 #: Human labels for the error codes (carried in responses for greppability).
 ERROR_NAMES = {
@@ -41,10 +52,19 @@ ERROR_NAMES = {
     INVALID_PARAMS: "invalid-params",
     INTERNAL_ERROR: "internal-error",
     DEADLINE_EXCEEDED: "deadline-exceeded",
+    FRAME_TOO_LARGE: "frame-too-large",
+    QUARANTINED: "quarantined",
     OVERLOADED: "overloaded",
     CANCELLED: "cancelled",
+    WORKER_CRASHED: "worker-crashed",
     SHUTTING_DOWN: "shutting-down",
+    RESOURCE_LIMIT: "resource-limit",
 }
+
+#: Hard ceiling on one frame (request line), terminator included.  A
+#: frame over the limit is rejected with :data:`FRAME_TOO_LARGE` and
+#: drained — the connection survives, the oversized request does not.
+MAX_FRAME_BYTES = 1 << 20
 
 
 class ProtocolError(Exception):
@@ -86,6 +106,48 @@ def parse_request(line: str) -> Request:
             INVALID_PARAMS, "'params' must be a JSON object", request_id
         )
     return Request(id=request_id, method=method, params=params)
+
+
+def iter_frames(
+    stream, max_bytes: int = MAX_FRAME_BYTES
+) -> Iterator[tuple[Optional[str], Optional[ProtocolError]]]:
+    """Newline-delimited frames from a text or binary stream, bounded.
+
+    Yields ``(line, None)`` for each in-limit frame and ``(None, error)``
+    for an oversized one — the offending bytes are drained up to the next
+    newline, so one abusive frame costs one error response, not the
+    connection.  Garbage *content* is not judged here; that is
+    :func:`parse_request`'s job.
+    """
+    while True:
+        chunk = stream.readline(max_bytes + 1)
+        if not chunk:
+            return
+        if isinstance(chunk, bytes):
+            line = chunk.decode("utf-8", "replace")
+        else:
+            line = chunk
+        if len(chunk) > max_bytes and not line.endswith("\n"):
+            drained = len(chunk)
+            while True:
+                rest = stream.readline(max_bytes + 1)
+                if not rest:
+                    break
+                drained += len(rest)
+                tail = (
+                    rest.decode("utf-8", "replace")
+                    if isinstance(rest, bytes)
+                    else rest
+                )
+                if tail.endswith("\n"):
+                    break
+            yield None, ProtocolError(
+                FRAME_TOO_LARGE,
+                f"frame exceeds {max_bytes} bytes "
+                f"({drained}+ bytes dropped)",
+            )
+            continue
+        yield line, None
 
 
 def ok_response(request_id: object, result: Any) -> dict[str, Any]:

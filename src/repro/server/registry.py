@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..infer import InferSession
 from ..infer.state import FlowOptions
+from ..testing.faults import fault_point
 from .metrics import ServerMetrics
 from .service import CheckOutcome
 
@@ -79,6 +80,7 @@ class SessionRegistry:
         The caller must take ``entry.lock`` around its use of the session;
         the registry lock only guards the map itself.
         """
+        fault_point("registry.acquire")
         key = (path, engine, options_key(options))
         with self._lock:
             entry = self._entries.get(key)

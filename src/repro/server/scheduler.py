@@ -14,7 +14,13 @@ this one file:
   queued job is dropped at pickup, a running one stops at its next poll;
 * **graceful drain** — :meth:`drain` stops intake (submits are refused as
   ``shutting-down``), lets the workers finish every job already accepted,
-  and joins them, so an in-flight request is never dropped by shutdown.
+  and joins them, so an in-flight request is never dropped by shutdown;
+* **crash containment** — a :class:`~repro.server.supervisor.WorkerCrash`
+  escaping the handler answers the job with a retryable ``worker-crashed``
+  error and retires the thread; the
+  :class:`~repro.server.supervisor.WorkerSupervisor` respawns it through
+  :meth:`dead_workers`/:meth:`respawn`, and reads :meth:`active_jobs` for
+  its hang watchdog.
 
 Workers are created with a large thread stack and a high recursion limit
 (the right-nested Fig. 9 modules need both), which is why the service
@@ -31,8 +37,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..testing.faults import fault_point
 from ..util import Deadline
 from .metrics import ServerMetrics
+from .supervisor import WorkerCrash
 
 #: Worker thread stack size (bytes) — matches repro.util.run_deep.
 _WORKER_STACK_BYTES = 512 * 1024 * 1024
@@ -50,6 +58,8 @@ class Job:
     respond: Callable[[dict[str, Any]], None]
     #: Opaque client tag namespacing ``id`` (one per connection).
     client: object = None
+    #: Optional per-request resource budget (``repro.util.Budget``).
+    budget: Any = None
     enqueued_at: float = field(default_factory=time.monotonic)
 
     @property
@@ -72,18 +82,26 @@ class Scheduler:
         workers: int = 2,
         queue_limit: int = 16,
         metrics: Optional[ServerMetrics] = None,
+        on_crash: Optional[Callable[[Job], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self.handler = handler
         self.metrics = metrics
+        #: Called (off the dying thread, before it unwinds) with the job
+        #: whose handling crashed a worker; the daemon uses it to feed
+        #: the session quarantine.
+        self.on_crash = on_crash
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
             maxsize=max(queue_limit, 1)
         )
         self._jobs: dict[tuple, Job] = {}
         self._jobs_lock = threading.Lock()
         self._draining = threading.Event()
-        self._workers: list[threading.Thread] = []
+        self._workers: dict[int, threading.Thread] = {}
+        #: worker index -> (job, service start time); the supervisor's
+        #: hang watchdog reads this.
+        self._active: dict[int, tuple[Job, float]] = {}
         self._worker_count = workers
         self._started = False
 
@@ -94,25 +112,58 @@ class Scheduler:
         if self._started:
             return
         self._started = True
-        # stack_size is process-global state: set it once here, before any
-        # concurrent thread creation, and restore afterwards.
+        for index in range(self._worker_count):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        """(Re)create worker ``index`` with the deep-stack settings.
+
+        stack_size is process-global state: set around each creation and
+        restored, so respawns mid-flight do not leak the big stack onto
+        unrelated threads.
+        """
         old_stack = threading.stack_size()
         try:
             threading.stack_size(_WORKER_STACK_BYTES)
         except (ValueError, RuntimeError):  # platform refuses: run shallow
             old_stack = None
         try:
-            for index in range(self._worker_count):
-                worker = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"rowpoly-worker-{index}",
-                    daemon=True,
-                )
-                worker.start()
-                self._workers.append(worker)
+            worker = threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"rowpoly-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers[index] = worker
         finally:
             if old_stack is not None:
                 threading.stack_size(old_stack)
+
+    # -- supervisor hooks ----------------------------------------------
+    def dead_workers(self) -> list[int]:
+        """Indices whose thread died (crash) and was not yet respawned."""
+        if not self._started or self._draining.is_set():
+            return []
+        return [
+            index
+            for index, worker in self._workers.items()
+            if not worker.is_alive()
+        ]
+
+    def respawn(self, index: int) -> None:
+        """Replace a dead worker (no-op while draining)."""
+        if self._draining.is_set():
+            return
+        worker = self._workers.get(index)
+        if worker is not None and worker.is_alive():
+            return
+        self._spawn(index)
+
+    def active_jobs(self) -> list[tuple[Job, float]]:
+        """Snapshot of (job, service start) pairs currently being served."""
+        with self._jobs_lock:
+            return list(self._active.values())
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop intake, finish accepted jobs, join the workers.
@@ -128,7 +179,7 @@ class Scheduler:
             None if timeout is None else time.monotonic() + timeout
         )
         clean = True
-        for worker in self._workers:
+        for worker in self._workers.values():
             remaining = (
                 None if deadline is None else max(0.0, deadline - time.monotonic())
             )
@@ -185,15 +236,39 @@ class Scheduler:
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int) -> None:
         sys.setrecursionlimit(_WORKER_RECURSION_LIMIT)
         while True:
             job = self._queue.get()
             if job is None:
                 return
+            with self._jobs_lock:
+                self._active[index] = (job, time.monotonic())
             queue_seconds = time.monotonic() - job.enqueued_at
+            crash: Optional[WorkerCrash] = None
             try:
+                fault_point("scheduler.pickup")
                 response = self.handler(job, queue_seconds)
+            except WorkerCrash as error:
+                # The worker is compromised: answer this job as
+                # retryable, let the daemon count the strike, then die —
+                # the supervisor respawns a clean replacement.
+                from . import protocol
+
+                crash = error
+                response = protocol.error_response(
+                    job.id,
+                    protocol.WORKER_CRASHED,
+                    f"worker crashed serving this request: {error}",
+                    {"reason": "worker-crash", "retry_after_ms": 50},
+                )
+                if self.metrics is not None:
+                    self.metrics.record_request(job.method, "crashed")
+                if self.on_crash is not None:
+                    try:
+                        self.on_crash(job)
+                    except Exception:
+                        pass
             except BaseException as error:  # handler bug: answer, keep going
                 from . import protocol
 
@@ -205,7 +280,10 @@ class Scheduler:
             finally:
                 with self._jobs_lock:
                     self._jobs.pop(job.key, None)
+                    self._active.pop(index, None)
             try:
                 job.respond(response)
             except (OSError, ValueError):
                 pass  # client went away (ValueError: closed file object)
+            if crash is not None:
+                return  # thread dies (quietly); the supervisor respawns

@@ -25,11 +25,14 @@ from ..diag.diagnostic import Pos
 from ..infer import InferSession
 from ..infer.state import FlowOptions
 from ..lang import LexError, ParseError, parse_module
-from ..util import Deadline, run_deep
+from ..util import Budget, Deadline, run_deep
 
 EXIT_OK = 0
 EXIT_ILL_TYPED = 1
 EXIT_USAGE = 2
+#: At least one declaration was aborted by a resource budget (RP0998) and
+#: none actually failed: the report is partial, not a verdict.
+EXIT_ABORTED = 3
 
 
 @dataclass
@@ -98,6 +101,17 @@ def diagnostic_codes(report: dict[str, object]) -> list[str]:
     return found
 
 
+def report_aborted(report: dict[str, object]) -> bool:
+    """Whether a stable report is *partial*: any declaration aborted."""
+    decls = report.get("decls")
+    if not isinstance(decls, list):
+        return False
+    return any(
+        isinstance(decl, dict) and decl.get("status") == "aborted"
+        for decl in decls
+    )
+
+
 def check_source(
     path: str,
     source: str,
@@ -107,6 +121,7 @@ def check_source(
     session: Optional[InferSession] = None,
     recheck: bool = False,
     deadline: Optional[Deadline] = None,
+    budget: Optional[Budget] = None,
     deep: bool = True,
 ) -> CheckOutcome:
     """Check one module source and package the outcome.
@@ -124,6 +139,10 @@ def check_source(
     :class:`~repro.util.DeadlineExceeded`/:class:`~repro.util.Cancelled`
     propagate to the caller: a timeout is not a verdict about the module
     and must never be folded into the report.
+
+    ``budget`` is the graceful resource governor: exhaustion mid-check
+    yields a *partial* report (aborted declarations carry ``RP0998``)
+    and, when nothing genuinely failed, exit :data:`EXIT_ABORTED`.
     """
     run = run_deep if deep else (lambda fn: fn())
     started = time.perf_counter()
@@ -140,16 +159,27 @@ def check_source(
     if session is None:
         session = InferSession(engine, options)
     if recheck:
-        result = run(lambda: session.recheck(module, deadline))
+        result = run(lambda: session.recheck(module, deadline, budget))
     else:
-        result = run(lambda: session.check(module, deadline))
+        result = run(lambda: session.check(module, deadline, budget))
     report: dict[str, object] = {"file": path}
     report.update(result.as_dict())
     trace = {"parse": parse_seconds, "total": time.perf_counter() - started}
     trace.update(result.trace_spans())
+    statuses = {decl.status for decl in result.decls}
+    if result.ok:
+        exit_code = EXIT_OK
+    elif statuses <= {"ok", "aborted", "dependency-error"} and (
+        "aborted" in statuses
+    ):
+        # Only aborts (and their dependency shadows): nothing is known to
+        # be ill-typed, the report is merely partial.
+        exit_code = EXIT_ABORTED
+    else:
+        exit_code = EXIT_ILL_TYPED
     return CheckOutcome(
         report=report,
-        exit=EXIT_OK if result.ok else EXIT_ILL_TYPED,
+        exit=exit_code,
         trace=trace,
         solver_stats=result.solver_rollup(),
         fingerprint=fingerprint_source(source),

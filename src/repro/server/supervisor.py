@@ -1,0 +1,223 @@
+"""Worker supervision, crash recovery and session quarantine.
+
+The scheduler's workers are ordinary threads; a bug (or an injected
+fault) can kill one.  Three mechanisms keep the daemon serving through
+that:
+
+* :class:`WorkerCrash` — the "this worker is compromised" signal.  A
+  worker that catches it answers the in-flight request with a retryable
+  503-class error and then *lets itself die* rather than reusing a
+  possibly-corrupt thread state; deriving from :class:`BaseException`
+  keeps blanket ``except Exception`` recovery code from swallowing it.
+
+* :class:`WorkerSupervisor` — a monitor thread that respawns dead
+  workers with exponential backoff (so a crash-looping fault cannot
+  busy-spin the process) and runs a hang watchdog: a job running longer
+  than ``hang_seconds`` has its deadline cooperatively cancelled, which
+  the inference notices at its next poll.  Restarts are counted in the
+  metrics' ``worker_restarts``.
+
+* :class:`SessionQuarantine` — per-session-key failure counters.  A
+  session whose requests repeatedly crash workers or trip budgets is
+  quarantined for a TTL: requests for it are answered immediately with a
+  retryable error carrying ``retry_after_ms`` instead of burning another
+  worker.  One trip is never enough (``threshold`` defaults to 3), so a
+  single expensive-but-honest module is not a false positive; a success
+  clears the strikes, and the TTL expiring resets the key to a clean
+  slate.
+
+Everything here is cooperative and in-process: no signals, no subprocess
+churn — the same trade the rest of the serving stack makes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from random import Random
+from typing import Optional
+
+from .metrics import ServerMetrics
+
+
+class WorkerCrash(BaseException):
+    """A worker thread is compromised and must be replaced.
+
+    Raised by fault injection (and available to genuinely unrecoverable
+    paths).  Derives from :class:`BaseException` so the scheduler's
+    ``except Exception`` answer-and-continue arm does not catch it: the
+    worker answers the request as retryable, then dies, and the
+    supervisor respawns a replacement.
+    """
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+    rng: Optional[Random] = None,
+) -> float:
+    """Exponential backoff with optional jitter: ``base * 2^(attempt-1)``.
+
+    ``attempt`` is 1-based.  With ``rng`` the delay is scaled by a factor
+    in [0.5, 1.5) — seeded by callers that need reproducible schedules.
+    """
+    delay = min(cap, base * (2.0 ** max(0, attempt - 1)))
+    if rng is not None:
+        delay *= 0.5 + rng.random()
+    return delay
+
+
+class SessionQuarantine:
+    """Strike-based quarantine of misbehaving session keys.
+
+    A *strike* is a request that crashed a worker, tripped a resource
+    budget, or died of an internal error — never a genuine type error
+    (an ill-typed module is a correct, cheap answer, not misbehaviour).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        ttl: float = 30.0,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("quarantine threshold must be >= 1")
+        self.threshold = threshold
+        self.ttl = ttl
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._strikes: dict[tuple, int] = {}
+        self._until: dict[tuple, float] = {}
+
+    def record_failure(self, key: tuple) -> bool:
+        """Count one strike; returns ``True`` when this one quarantines."""
+        with self._lock:
+            strikes = self._strikes.get(key, 0) + 1
+            self._strikes[key] = strikes
+            if strikes < self.threshold or key in self._until:
+                return False
+            self._until[key] = time.monotonic() + self.ttl
+        if self.metrics is not None:
+            self.metrics.record_robustness("quarantined_sessions")
+        return True
+
+    def record_success(self, key: tuple) -> None:
+        """A served request wipes the key's strikes (and any quarantine)."""
+        with self._lock:
+            self._strikes.pop(key, None)
+            self._until.pop(key, None)
+
+    def blocked(self, key: tuple) -> Optional[float]:
+        """Seconds of quarantine remaining, or ``None`` when serveable.
+
+        An expired quarantine unblocks *and* resets the key's strikes:
+        the session gets a full fresh allowance, not an instant re-trip.
+        """
+        with self._lock:
+            until = self._until.get(key)
+            if until is None:
+                return None
+            remaining = until - time.monotonic()
+            if remaining <= 0:
+                self._until.pop(key, None)
+                self._strikes.pop(key, None)
+                return None
+            return remaining
+
+    def quarantined(self) -> int:
+        """Currently quarantined key count (expired keys excluded)."""
+        now = time.monotonic()
+        with self._lock:
+            return sum(1 for until in self._until.values() if until > now)
+
+
+class WorkerSupervisor:
+    """Monitor thread: respawn dead workers, cancel hung jobs.
+
+    Talks to the scheduler through three methods — ``dead_workers()``,
+    ``respawn(index)`` and ``active_jobs()`` — so it needs no knowledge
+    of queues or transports.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        metrics: Optional[ServerMetrics] = None,
+        poll_interval: float = 0.05,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        hang_seconds: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.poll_interval = poll_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.hang_seconds = hang_seconds
+        self._rng = Random(seed)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: worker index -> consecutive restarts (cleared implicitly when
+        #: the replacement outlives the next poll with work to do).
+        self._restarts: dict[int, int] = {}
+        #: worker index -> monotonic time before which not to respawn.
+        self._hold_until: dict[int, float] = {}
+        self.restarts_total = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="rowpoly-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+
+    # -- the monitor loop ----------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self._respawn_dead()
+                self._watch_hangs()
+            except Exception:  # pragma: no cover - monitor must survive
+                continue
+
+    def _respawn_dead(self) -> None:
+        if self.scheduler.draining:
+            return
+        now = time.monotonic()
+        for index in self.scheduler.dead_workers():
+            if now < self._hold_until.get(index, 0.0):
+                continue
+            attempt = self._restarts.get(index, 0) + 1
+            self._restarts[index] = attempt
+            self.scheduler.respawn(index)
+            self.restarts_total += 1
+            if self.metrics is not None:
+                self.metrics.record_robustness("worker_restarts")
+            self._hold_until[index] = now + backoff_delay(
+                attempt, self.backoff_base, self.backoff_cap, self._rng
+            )
+
+    def _watch_hangs(self) -> None:
+        if self.hang_seconds is None:
+            return
+        now = time.monotonic()
+        for job, started_at in self.scheduler.active_jobs():
+            if now - started_at > self.hang_seconds:
+                # Cooperative: the inference notices at its next poll and
+                # the request is answered as cancelled — the worker
+                # survives (unlike a crash) because its state is fine,
+                # it was merely stuck in a long solver call.
+                job.deadline.cancel()
+                if self.metrics is not None:
+                    self.metrics.record_robustness("hung_jobs_cancelled")

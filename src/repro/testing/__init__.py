@@ -1,0 +1,19 @@
+"""Test-support machinery shipped with the package.
+
+Only the fault-injection registry lives here: it must be importable from
+production modules (the serving layer calls
+:func:`repro.testing.faults.fault_point` at its crash sites), so it
+cannot live under ``tests/``.  With no faults installed every hook is a
+single attribute load and truthiness check.
+"""
+
+from .faults import (  # noqa: F401
+    FaultError,
+    FaultInjector,
+    FaultRule,
+    fault_point,
+    install,
+    install_from_env,
+    injected,
+    uninstall,
+)

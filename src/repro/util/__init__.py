@@ -1,4 +1,4 @@
-"""Small shared utilities."""
+"""Small shared utilities (deadlines, budgets, deep-stack execution)."""
 
 from __future__ import annotations
 
@@ -6,6 +6,17 @@ import sys
 import threading
 import time
 from typing import Callable, Optional, TypeVar
+
+from .budget import Budget, BudgetExceeded
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "Cancelled",
+    "Deadline",
+    "DeadlineExceeded",
+    "run_deep",
+]
 
 T = TypeVar("T")
 

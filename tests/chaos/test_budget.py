@@ -1,0 +1,217 @@
+"""Budget exhaustion: deterministic partial reports, never poison.
+
+The acceptance story for the resource governor, bottom-up:
+
+* a CDCL-class program (symmetric concat forces the general solver) under
+  a solver-step budget aborts **deterministically** with ``RP0998`` and a
+  *partial* report — the declarations checked before exhaustion stay
+  ``ok``;
+* the same warm session answers the next, unbudgeted request correctly
+  and byte-identically to a fresh offline check (no poisoned caches);
+* the daemon answers a budget-tripped request as a partial *result* (not
+  an error), and a single trip never quarantines the session.
+"""
+
+import json
+
+import pytest
+
+from repro.api import check_source as api_check_source
+from repro.diag import codes
+from repro.infer import InferSession
+from repro.lang import parse_module
+from repro.server.client import ServeClient
+from repro.server.daemon import Daemon, DaemonConfig
+from repro.server.service import EXIT_ABORTED, check_source
+from repro.util import Budget, BudgetExceeded
+
+#: Symmetric concat (`@@`) puts the flow formula in the general CDCL
+#: class — the one engine whose work a step budget meaningfully bounds.
+CDCL_MODULE = """
+let
+  pair = {x = 1, y = 2};
+  use = \\r -> #x (r @@ {z = 3});
+  plain = \\r -> plus (#x r) (#y r);
+  sel = use pair;
+  it = plus sel (plain pair)
+in it
+"""
+
+
+def _statuses(report):
+    return {d["decl"]: d["status"] for d in report["decls"]}
+
+
+def _frozen(report):
+    return json.dumps(report, sort_keys=True)
+
+
+class TestBudgetPrimitives:
+    def test_from_params_round_trip(self):
+        budget = Budget.from_params(
+            {"ms": 1000, "solver_steps": 5, "max_clauses": 7,
+             "core_queries": 2}
+        )
+        assert budget.bounded
+        budget.charge_solver_steps(5)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.charge_solver_steps(1)
+        assert info.value.resource == "solver_steps"
+
+    def test_from_params_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            Budget.from_params({"fuel": 3})
+
+    def test_from_params_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Budget.from_params({"solver_steps": 0})
+
+    def test_unlimited_budget_never_trips(self):
+        budget = Budget.unlimited()
+        assert not budget.bounded
+        budget.charge_solver_steps(10**9)
+        budget.charge_clauses(10**9)
+        budget.check_time()
+
+
+class TestDeterministicAbort:
+    def test_cdcl_step_budget_aborts_with_rp0998(self):
+        session = InferSession("flow")
+        module = parse_module(CDCL_MODULE)
+        result = session.check(module, budget=Budget(solver_steps=1))
+        report = result.as_dict()
+        statuses = _statuses(report)
+        # The first declaration fit inside the budget; the trip point is
+        # deterministic, so later ones abort or shadow, never flake.
+        assert statuses["pair"] == "ok"
+        assert "aborted" in statuses.values()
+        aborted = [d for d in report["decls"] if d["status"] == "aborted"]
+        for decl in aborted:
+            assert decl["code"] == codes.RESOURCE_LIMIT
+            assert decl["error"] == "BudgetExceeded"
+            assert any(
+                diag["code"] == codes.RESOURCE_LIMIT
+                for diag in decl["diagnostics"]
+            )
+
+    def test_abort_is_deterministic_across_runs(self):
+        outcomes = [
+            check_source(
+                "m.rp", CDCL_MODULE, budget=Budget(solver_steps=1)
+            )
+            for _ in range(2)
+        ]
+        assert outcomes[0].exit == outcomes[1].exit == EXIT_ABORTED
+        assert _frozen(outcomes[0].report) == _frozen(outcomes[1].report)
+
+    def test_clause_budget_also_aborts(self):
+        outcome = check_source(
+            "m.rp", CDCL_MODULE, budget=Budget(max_clauses=1)
+        )
+        assert outcome.exit == EXIT_ABORTED
+        assert "RP0998" in set(
+            code
+            for decl in outcome.report["decls"]
+            for code in [decl.get("code")]
+            if code
+        )
+
+    def test_time_budget_aborts(self):
+        outcome = check_source(
+            "m.rp", CDCL_MODULE, budget=Budget(seconds=1e-9)
+        )
+        assert outcome.exit == EXIT_ABORTED
+
+    def test_api_facade_reports_partial(self):
+        report = api_check_source(
+            CDCL_MODULE, "m.rp", budget=Budget(solver_steps=1)
+        )
+        assert report.aborted
+        assert not report.ok
+        assert report.exit_code == EXIT_ABORTED
+        assert codes.RESOURCE_LIMIT in report.codes()
+
+
+class TestNoPoisoning:
+    def test_warm_session_recovers_byte_identically(self):
+        """Abort, then retry unbudgeted on the SAME session ≡ fresh."""
+        session = InferSession("flow")
+        module = parse_module(CDCL_MODULE)
+        tripped = session.check(module, budget=Budget(solver_steps=1))
+        assert not tripped.ok
+
+        retried = session.check(module)
+        fresh = InferSession("flow").check(parse_module(CDCL_MODULE))
+        assert retried.ok
+        assert _frozen(retried.as_dict()) == _frozen(fresh.as_dict())
+
+    def test_aborted_decls_are_never_cached(self):
+        session = InferSession("flow")
+        module = parse_module(CDCL_MODULE)
+        session.check(module, budget=Budget(solver_steps=1))
+        # A cached abort would replay status "aborted" here.
+        result = session.check(module)
+        assert {d.status for d in result.decls} == {"ok"}
+
+    def test_session_stats_count_aborts(self):
+        session = InferSession("flow")
+        module = parse_module(CDCL_MODULE)
+        session.check(module, budget=Budget(solver_steps=1))
+        assert session.stats.decls_aborted > 0
+
+
+class TestDaemonBudgets:
+    @pytest.fixture()
+    def daemon(self):
+        daemons = []
+
+        def start(**config):
+            instance = Daemon(DaemonConfig(**config))
+            host, port = instance.serve_tcp(port=0, background=True)
+            daemons.append(instance)
+            return instance, f"{host}:{port}"
+
+        yield start
+        for instance in daemons:
+            instance.request_shutdown()
+            assert instance.wait_drained(timeout=30.0)
+
+    def test_single_trip_is_partial_not_quarantine(self, daemon):
+        """One budget trip = partial answer; the next request succeeds."""
+        instance, address = daemon(quarantine_threshold=3)
+        with ServeClient(address) as client:
+            tripped = client.check(
+                "m.rp", CDCL_MODULE, budget={"solver_steps": 1}
+            )
+            assert tripped["exit"] == EXIT_ABORTED
+            assert tripped["aborted"] is True
+            assert "aborted" in _statuses(tripped["report"]).values()
+
+            # Same session, no budget: full answer, no quarantine 423.
+            clean = client.check("m.rp", CDCL_MODULE)
+            offline = check_source("m.rp", CDCL_MODULE)
+            assert clean["exit"] == 0
+            assert _frozen(clean["report"]) == _frozen(offline.report)
+        snapshot = instance.metrics.snapshot()
+        assert snapshot["robustness"]["budget_exceeded"] == 1
+        assert snapshot["robustness"].get("quarantined_sessions", 0) == 0
+
+    def test_daemon_default_budget_applies(self, daemon):
+        instance, address = daemon(budget_solver_steps=1)
+        with ServeClient(address) as client:
+            served = client.check("m.rp", CDCL_MODULE)
+            assert served["exit"] == EXIT_ABORTED
+            # A per-request budget overrides the daemon default.
+            generous = client.check(
+                "m.rp", CDCL_MODULE, budget={"solver_steps": 100000}
+            )
+            assert generous["exit"] == 0
+
+    def test_invalid_budget_params_rejected(self, daemon):
+        from repro.server.client import ServeError
+
+        _, address = daemon()
+        with ServeClient(address) as client:
+            with pytest.raises(ServeError) as info:
+                client.check("m.rp", CDCL_MODULE, budget={"fuel": 2})
+        assert info.value.name == "invalid-params"

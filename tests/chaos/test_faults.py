@@ -1,0 +1,137 @@
+"""Unit tests for the fault-injection registry itself.
+
+The chaos suite leans entirely on :mod:`repro.testing.faults` being
+deterministic and cheap; these tests pin that contract down before the
+end-to-end tests build on it.
+"""
+
+import pytest
+
+from repro.testing.faults import (
+    FaultError,
+    FaultInjector,
+    FaultRule,
+    active,
+    fault_point,
+    injected,
+    install_from_env,
+    parse_spec,
+)
+from repro.util import BudgetExceeded
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("site", 0.5, "explode")
+
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule("site", 1.5, "error")
+
+
+class TestFaultInjector:
+    def test_uninstalled_fault_point_is_a_no_op(self):
+        assert active() is None
+        fault_point("engine.solve")  # must not raise
+
+    def test_error_kind_raises_fault_error(self):
+        with injected([FaultRule("s", 1.0, "error")]):
+            with pytest.raises(FaultError, match="injected fault at s"):
+                fault_point("s")
+
+    def test_budget_kind_raises_budget_exceeded(self):
+        with injected([FaultRule("s", 1.0, "budget")]):
+            with pytest.raises(BudgetExceeded):
+                fault_point("s")
+
+    def test_crash_kind_raises_worker_crash(self):
+        from repro.server.supervisor import WorkerCrash
+
+        with injected([FaultRule("s", 1.0, "crash")]):
+            with pytest.raises(WorkerCrash):
+                fault_point("s")
+        # WorkerCrash must not be catchable as Exception: the arms that
+        # swallow engine errors would otherwise mask a dying worker.
+        assert not issubclass(WorkerCrash, Exception)
+
+    def test_sites_are_independent(self):
+        with injected([FaultRule("a", 1.0, "error")]) as injector:
+            fault_point("b")  # no rule for b: silent
+            with pytest.raises(FaultError):
+                fault_point("a")
+        assert injector.summary() == {"a": 1}
+
+    def test_limit_caps_trips(self):
+        with injected([FaultRule("s", 1.0, "error", limit=2)]) as injector:
+            for _ in range(2):
+                with pytest.raises(FaultError):
+                    fault_point("s")
+            fault_point("s")  # limit reached: passes through
+            fault_point("s")
+        assert injector.summary() == {"s": 2}
+
+    def test_same_seed_same_trip_sequence(self):
+        def run(seed):
+            trips = []
+            with injected([FaultRule("s", 0.3, "error")], seed=seed):
+                for i in range(50):
+                    try:
+                        fault_point("s")
+                    except FaultError:
+                        trips.append(i)
+            return trips
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_rate_zero_never_trips(self):
+        with injected([FaultRule("s", 0.0, "error")]) as injector:
+            for _ in range(100):
+                fault_point("s")
+        assert injector.summary() == {}
+
+    def test_injected_uninstalls_on_exit(self):
+        with injected([FaultRule("s", 1.0, "error")]):
+            assert active() is not None
+        assert active() is None
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        injector = parse_spec(
+            "seed=42;engine.solve:0.1:error;"
+            "session.check_decl:0.05:slow:delay=40;"
+            "scheduler.pickup:0.02:crash:limit=3"
+        )
+        assert injector.seed == 42
+        sites = {rule.site: rule for rule in injector.rules}
+        assert sites["engine.solve"].rate == 0.1
+        assert sites["session.check_decl"].delay_ms == 40
+        assert sites["scheduler.pickup"].limit == 3
+
+    def test_bad_segment_rejected(self):
+        with pytest.raises(ValueError, match="site:rate:kind"):
+            parse_spec("engine.solve:0.1")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            parse_spec("s:0.1:error:boost=2")
+
+    def test_install_from_env(self):
+        try:
+            injector = install_from_env(
+                {"ROWPOLY_FAULTS": "seed=3;s:1.0:error"}
+            )
+            assert injector is not None
+            assert active() is injector
+            with pytest.raises(FaultError):
+                fault_point("s")
+        finally:
+            from repro.testing.faults import uninstall
+
+            uninstall()
+
+    def test_install_from_env_absent_is_none(self):
+        assert install_from_env({}) is None
+        assert active() is None

@@ -1,0 +1,227 @@
+"""Worker supervision, quarantine and the hang watchdog.
+
+Unit tests drive :class:`SessionQuarantine`/:func:`backoff_delay`
+directly; the end-to-end tests crash real daemon workers with injected
+faults and assert the daemon keeps serving.
+"""
+
+import time
+from random import Random
+
+import pytest
+
+from repro.server.client import ServeClient, ServeError
+from repro.server.daemon import Daemon, DaemonConfig
+from repro.server.supervisor import (
+    SessionQuarantine,
+    backoff_delay,
+)
+from repro.server import protocol
+from repro.testing.faults import FaultRule, injected
+
+WELL_TYPED = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+CDCL_MODULE = """
+let
+  pair = {x = 1, y = 2};
+  use = \\r -> #x (r @@ {z = 3});
+  it = use pair
+in it
+"""
+
+
+class TestBackoffDelay:
+    def test_exponential_growth(self):
+        delays = [backoff_delay(a, base=0.05, cap=10.0) for a in (1, 2, 3, 4)]
+        assert delays == [0.05, 0.1, 0.2, 0.4]
+
+    def test_cap(self):
+        assert backoff_delay(50, base=0.05, cap=2.0) == 2.0
+
+    def test_jitter_bounds_and_determinism(self):
+        nominal = backoff_delay(3, base=0.05, cap=2.0)
+        jittered = [
+            backoff_delay(3, base=0.05, cap=2.0, rng=Random(9))
+            for _ in range(20)
+        ]
+        for delay in jittered:
+            assert 0.5 * nominal <= delay < 1.5 * nominal
+        assert jittered == [
+            backoff_delay(3, base=0.05, cap=2.0, rng=Random(9))
+            for _ in range(20)
+        ]
+
+
+class TestSessionQuarantine:
+    KEY = ("m.rp", "flow", (True, True))
+
+    def test_below_threshold_never_blocks(self):
+        quarantine = SessionQuarantine(threshold=3, ttl=10.0)
+        assert quarantine.record_failure(self.KEY) is False
+        assert quarantine.record_failure(self.KEY) is False
+        assert quarantine.blocked(self.KEY) is None
+
+    def test_threshold_quarantines_with_remaining_time(self):
+        quarantine = SessionQuarantine(threshold=2, ttl=10.0)
+        quarantine.record_failure(self.KEY)
+        assert quarantine.record_failure(self.KEY) is True
+        remaining = quarantine.blocked(self.KEY)
+        assert remaining is not None and 0 < remaining <= 10.0
+        assert quarantine.quarantined() == 1
+
+    def test_success_wipes_strikes(self):
+        quarantine = SessionQuarantine(threshold=2, ttl=10.0)
+        quarantine.record_failure(self.KEY)
+        quarantine.record_success(self.KEY)
+        assert quarantine.record_failure(self.KEY) is False
+
+    def test_ttl_expiry_resets_strikes(self):
+        quarantine = SessionQuarantine(threshold=2, ttl=0.05)
+        quarantine.record_failure(self.KEY)
+        quarantine.record_failure(self.KEY)
+        assert quarantine.blocked(self.KEY) is not None
+        time.sleep(0.08)
+        # Expired: unblocked AND back to a clean slate — the next single
+        # failure must not instantly re-quarantine.
+        assert quarantine.blocked(self.KEY) is None
+        assert quarantine.record_failure(self.KEY) is False
+
+    def test_keys_are_independent(self):
+        quarantine = SessionQuarantine(threshold=1, ttl=10.0)
+        quarantine.record_failure(("a.rp", "flow", ()))
+        assert quarantine.blocked(("b.rp", "flow", ())) is None
+
+    def test_rejects_silly_threshold(self):
+        with pytest.raises(ValueError):
+            SessionQuarantine(threshold=0)
+
+
+@pytest.fixture()
+def daemon():
+    daemons = []
+
+    def start(**config):
+        instance = Daemon(DaemonConfig(**config))
+        host, port = instance.serve_tcp(port=0, background=True)
+        daemons.append(instance)
+        return instance, f"{host}:{port}"
+
+    yield start
+    for instance in daemons:
+        instance.request_shutdown()
+        assert instance.wait_drained(timeout=30.0)
+
+
+class TestCrashRecovery:
+    def test_crash_is_answered_retryable_and_worker_respawned(self, daemon):
+        instance, address = daemon(workers=2)
+        with injected(
+            [FaultRule("scheduler.pickup", 1.0, "crash", limit=2)], seed=3
+        ):
+            with ServeClient(address) as client:
+                crashed = 0
+                for _ in range(8):
+                    try:
+                        served = client.check("m.rp", WELL_TYPED)
+                    except ServeError as error:
+                        assert error.code == protocol.WORKER_CRASHED
+                        assert error.code in protocol.RETRYABLE_CODES
+                        assert error.data["retry_after_ms"] > 0
+                        crashed += 1
+                        time.sleep(0.2)  # let the supervisor respawn
+                        continue
+                    break
+                else:  # pragma: no cover - diagnostic only
+                    pytest.fail("daemon never recovered from crashes")
+        assert crashed == 2
+        assert served["exit"] == 0
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            robustness = instance.metrics.snapshot()["robustness"]
+            if robustness.get("worker_restarts", 0) >= 2:
+                break
+            time.sleep(0.05)
+        assert robustness["worker_restarts"] >= 2
+
+    def test_crash_does_not_lose_other_requests(self, daemon):
+        """With 2 workers, one crashing leaves the daemon serving."""
+        _, address = daemon(workers=2)
+        with injected(
+            [FaultRule("scheduler.pickup", 1.0, "crash", limit=1)], seed=0
+        ):
+            with ServeClient(address) as client:
+                outcomes = []
+                for _ in range(4):
+                    try:
+                        outcomes.append(client.check("m.rp", WELL_TYPED))
+                    except ServeError:
+                        time.sleep(0.2)
+                assert any(o["exit"] == 0 for o in outcomes)
+
+
+class TestQuarantineEndToEnd:
+    def test_repeat_budget_trips_quarantine_then_ttl_recovers(self, daemon):
+        instance, address = daemon(
+            quarantine_threshold=2, quarantine_ttl=0.4
+        )
+        with ServeClient(address) as client:
+            for _ in range(2):
+                served = client.check(
+                    "m.rp", CDCL_MODULE, budget={"solver_steps": 1}
+                )
+                assert served["aborted"] is True
+            with pytest.raises(ServeError) as info:
+                client.check("m.rp", CDCL_MODULE)
+            assert info.value.code == protocol.QUARANTINED
+            assert info.value.code in protocol.RETRYABLE_CODES
+            assert info.value.data["retry_after_ms"] > 0
+
+            time.sleep(0.5)  # TTL expires; strikes reset
+            served = client.check("m.rp", CDCL_MODULE)
+            assert served["exit"] == 0
+        robustness = instance.metrics.snapshot()["robustness"]
+        assert robustness["quarantined_sessions"] == 1
+        assert robustness["budget_exceeded"] == 2
+
+    def test_other_sessions_unaffected_by_quarantine(self, daemon):
+        _, address = daemon(quarantine_threshold=1, quarantine_ttl=30.0)
+        with ServeClient(address) as client:
+            client.check("bad.rp", CDCL_MODULE, budget={"solver_steps": 1})
+            with pytest.raises(ServeError):
+                client.check("bad.rp", CDCL_MODULE)
+            served = client.check("good.rp", WELL_TYPED)
+            assert served["exit"] == 0
+
+    def test_threshold_zero_disables_quarantine(self, daemon):
+        _, address = daemon(quarantine_threshold=0)
+        with ServeClient(address) as client:
+            for _ in range(4):
+                client.check(
+                    "m.rp", CDCL_MODULE, budget={"solver_steps": 1}
+                )
+            served = client.check("m.rp", CDCL_MODULE)
+            assert served["exit"] == 0
+
+
+class TestHangWatchdog:
+    def test_stuck_request_is_cancelled_not_fatal(self, daemon):
+        instance, address = daemon(workers=1, hang_seconds=0.05)
+        with injected(
+            [FaultRule("session.check_decl", 1.0, "slow",
+                       delay_ms=400, limit=1)]
+        ):
+            with ServeClient(address) as client:
+                with pytest.raises(ServeError) as info:
+                    client.check("m.rp", WELL_TYPED)
+                assert info.value.name == "cancelled"
+                # The worker survived the cancellation: same daemon,
+                # next request is served normally.
+                served = client.check("m.rp", WELL_TYPED)
+                assert served["exit"] == 0
+        robustness = instance.metrics.snapshot()["robustness"]
+        assert robustness["hung_jobs_cancelled"] >= 1

@@ -35,6 +35,16 @@ in out
 
 ILL_TYPED = "let bad = #a {}; dep = bad in dep"
 
+#: Symmetric concat forces the CDCL solver class — the program a
+#: solver-step budget can starve into an `aborted` partial report.
+CDCL_MODULE = """
+let
+  pair = {x = 1, y = 2};
+  use = \\r -> #x (r @@ {z = 3});
+  it = use pair
+in it
+"""
+
 
 @pytest.fixture(scope="module")
 def schema():
@@ -148,6 +158,17 @@ class TestSchemaValidation:
     def test_facade_report_validates(self, schema):
         for source in (WELL_TYPED, ILL_TYPED, "let = ="):
             validate([check_source(source).as_dict()], schema)
+
+    def test_aborted_partial_report_validates(self, schema):
+        from repro.util import Budget
+
+        report = check_source(
+            CDCL_MODULE, budget=Budget(solver_steps=1)
+        )
+        assert report.aborted
+        assert report.exit_code == 3
+        assert codes.RESOURCE_LIMIT in report.codes()
+        validate([report.as_dict()], schema)
 
 
 class TestDeprecatedExplainUnsat:

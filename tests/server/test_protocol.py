@@ -1,5 +1,6 @@
 """Wire-level tests for the newline-delimited JSON-RPC protocol."""
 
+import io
 import json
 
 import pytest
@@ -75,8 +76,24 @@ class TestResponses:
             protocol.OVERLOADED,
             protocol.CANCELLED,
             protocol.SHUTTING_DOWN,
+            protocol.FRAME_TOO_LARGE,
+            protocol.QUARANTINED,
+            protocol.WORKER_CRASHED,
+            protocol.RESOURCE_LIMIT,
         ):
             assert code in protocol.ERROR_NAMES
+
+    def test_retryable_codes_are_the_unavailable_class(self):
+        # Retry only what a healthy daemon could answer differently a
+        # moment later; a type error or bad request never becomes right.
+        assert protocol.RETRYABLE_CODES == {
+            protocol.QUARANTINED,
+            protocol.OVERLOADED,
+            protocol.WORKER_CRASHED,
+            protocol.SHUTTING_DOWN,
+        }
+        assert protocol.INVALID_PARAMS not in protocol.RETRYABLE_CODES
+        assert protocol.DEADLINE_EXCEEDED not in protocol.RETRYABLE_CODES
 
     def test_encode_is_one_compact_sorted_line(self):
         line = protocol.encode({"b": 1, "a": {"z": 0, "y": 1}})
@@ -85,3 +102,100 @@ class TestResponses:
         assert line.index('"a"') < line.index('"b"')
         assert " " not in line
         assert json.loads(line) == {"a": {"y": 1, "z": 0}, "b": 1}
+
+
+class TestFraming:
+    def test_in_limit_frames_pass_through(self):
+        stream = io.StringIO('{"id": 1}\n{"id": 2}\n')
+        frames = list(protocol.iter_frames(stream, max_bytes=64))
+        assert frames == [('{"id": 1}\n', None), ('{"id": 2}\n', None)]
+
+    def test_oversized_frame_is_rejected_not_fatal(self):
+        big = "x" * 100
+        stream = io.StringIO(f'{big}\n{{"id": 1}}\n')
+        frames = list(protocol.iter_frames(stream, max_bytes=16))
+        line, error = frames[0]
+        assert line is None
+        assert error.code == protocol.FRAME_TOO_LARGE
+        assert "exceeds 16 bytes" in str(error)
+        # The stream survives: the next frame is served normally.
+        assert frames[1] == ('{"id": 1}\n', None)
+
+    def test_oversized_frame_without_newline_at_eof(self):
+        stream = io.StringIO("y" * 50)
+        frames = list(protocol.iter_frames(stream, max_bytes=16))
+        assert len(frames) == 1
+        assert frames[0][1].code == protocol.FRAME_TOO_LARGE
+
+    def test_binary_stream_with_invalid_utf8(self):
+        stream = io.BytesIO(b'\xff\xfe{"id": 1}\n')
+        frames = list(protocol.iter_frames(stream, max_bytes=64))
+        assert len(frames) == 1
+        line, error = frames[0]
+        assert error is None
+        assert "�" in line  # replacement chars, not a decode crash
+
+    def test_exactly_max_bytes_is_accepted(self):
+        payload = "a" * 15 + "\n"  # 16 bytes including the newline
+        stream = io.StringIO(payload)
+        frames = list(protocol.iter_frames(stream, max_bytes=16))
+        assert frames == [(payload, None)]
+
+    def test_garbage_content_is_not_framings_problem(self):
+        stream = io.StringIO("this is not json\n")
+        (line, error), = protocol.iter_frames(stream, max_bytes=64)
+        assert error is None
+        with pytest.raises(protocol.ProtocolError) as excinfo:
+            protocol.parse_request(line)
+        assert excinfo.value.code == protocol.PARSE_ERROR
+
+
+class TestDaemonFrameRejection:
+    """Garbage/oversized frames answered over a real socket: RP0997."""
+
+    def _send_raw(self, address, payload: bytes) -> dict:
+        import socket
+
+        host, _, port = address.rpartition(":")
+        with socket.create_connection((host, int(port)), timeout=10.0) as s:
+            s.sendall(payload)
+            s.shutdown(socket.SHUT_WR)
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        return json.loads(data.decode("utf-8", "replace").splitlines()[0])
+
+    @pytest.fixture()
+    def daemon(self):
+        from repro.server.daemon import Daemon, DaemonConfig
+
+        instance = Daemon(DaemonConfig())
+        host, port = instance.serve_tcp(port=0, background=True)
+        yield instance, f"{host}:{port}"
+        instance.request_shutdown()
+        assert instance.wait_drained(timeout=30.0)
+
+    def test_garbage_line_gets_structured_rp0997(self, daemon):
+        instance, address = daemon
+        response = self._send_raw(address, b"definitely not json\n")
+        assert response["error"]["code"] == protocol.PARSE_ERROR
+        assert response["error"]["data"]["rp"] == "RP0997"
+        robustness = instance.metrics.snapshot()["robustness"]
+        assert robustness["frames_rejected"] == 1
+
+    def test_oversized_line_gets_frame_too_large(self, daemon):
+        instance, address = daemon
+        huge = b"x" * (protocol.MAX_FRAME_BYTES + 100)
+        response = self._send_raw(address, huge + b"\n")
+        assert response["error"]["code"] == protocol.FRAME_TOO_LARGE
+        assert response["error"]["name"] == "frame-too-large"
+        assert response["error"]["data"]["rp"] == "RP0997"
+        # The connection survives a rejected frame: a well-formed ping
+        # on a fresh request line is answered normally.
+        follow_up = self._send_raw(
+            address, b'{"id": 1, "method": "ping"}\n'
+        )
+        assert follow_up["result"] == {"pong": True}

@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Chaos soak: hammer a real ``rowpoly serve`` subprocess through faults.
+
+Launches the daemon as a subprocess with ``ROWPOLY_FAULTS`` injecting
+worker crashes, engine errors and slowness, then drives a seeded request
+mix against it — warm replays, edits, ill-typed modules, tight budgets,
+garbage and oversized frames — through the retrying client.  At the end
+it asserts the robustness invariants the fault-injection harness exists
+to protect:
+
+* **no hangs** — every request reaches a terminal outcome under a socket
+  timeout, and the whole soak finishes under its own deadline;
+* **no poisoned sessions** — after the storm, every corpus module checks
+  byte-identically to an offline (in-process, fault-free) run;
+* **full accounting** — requests sent = terminal outcomes observed, and
+  the daemon's ``stats`` RPC agrees about rejected frames and budget
+  trips;
+* **clean drain** — SIGTERM stops the daemon with exit code 0.
+
+Prints a JSON summary; exits 0 when every invariant held, 1 otherwise.
+
+    PYTHONPATH=src python tools/chaos_run.py --requests 500 --seed 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from random import Random
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.api import check_source as offline_check  # noqa: E402
+from repro.server.client import RetryingClient, ServeClient, ServeError  # noqa: E402
+
+WELL_TYPED = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+CDCL = """
+let
+  pair = {x = 1, y = 2};
+  use = \\r -> #x (r @@ {z = 3});
+  plain = \\r -> plus (#x r) (#y r);
+  sel = use pair;
+  it = plus sel (plain pair)
+in it
+"""
+
+ILL_TYPED = "let bad = #a {}; dep = bad in dep"
+
+PARSE_ERROR = "let = = nonsense"
+
+CORPUS = [
+    ("well.rp", WELL_TYPED),
+    ("cdcl.rp", CDCL),
+    ("ill.rp", ILL_TYPED),
+    ("parse.rp", PARSE_ERROR),
+    # A second well-typed path so quarantine of one key cannot starve
+    # the whole soak.
+    ("well2.rp", WELL_TYPED.replace("y = 2", "y = 3")),
+]
+
+DEFAULT_FAULTS = (
+    "scheduler.pickup:0.03:crash;"
+    "engine.solve:0.05:error;"
+    "session.check_decl:0.02:slow:delay=10"
+)
+
+
+def frozen(report) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+def start_daemon(seed: int, fault_spec: str) -> tuple[subprocess.Popen, str, list[str]]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["ROWPOLY_FAULTS"] = f"seed={seed};{fault_spec}" if fault_spec else ""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--tcp", "127.0.0.1:0",
+            "--workers", "4",
+            "--queue-limit", "64",
+            "--quarantine-threshold", "3",
+            "--quarantine-ttl", "0.5",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stderr.readline()
+    match = re.search(r"listening on (\S+:\d+)", banner)
+    if not match:
+        proc.kill()
+        raise SystemExit(f"daemon failed to start: {banner!r}")
+    # Keep draining stderr so the final metrics dump cannot fill the
+    # pipe and deadlock the shutdown.
+    captured: list[str] = []
+
+    def drain() -> None:
+        for line in proc.stderr:
+            captured.append(line)
+
+    threading.Thread(target=drain, daemon=True).start()
+    return proc, match.group(1), captured
+
+
+def send_garbage(address: str, payload: bytes) -> str:
+    """One raw frame, returns the daemon's error name (or 'closed')."""
+    host, _, port = address.rpartition(":")
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                return "closed"
+            data += chunk
+    response = json.loads(data.decode("utf-8", "replace").splitlines()[0])
+    return response.get("error", {}).get("name", "ok")
+
+
+def run_soak(args: argparse.Namespace) -> dict:
+    rng = Random(args.seed)
+    proc, address, daemon_stderr = start_daemon(args.seed, args.faults)
+    summary: dict = {
+        "seed": args.seed,
+        "address": address,
+        "requests": 0,
+        "terminal": {},
+        "garbage_frames": 0,
+        "oversized_frames": 0,
+        "failures": [],
+    }
+    failures = summary["failures"]
+    # Budgeted requests get their own session key: replay hits on a
+    # warm, fully-checked session never touch the engine, so a shared
+    # key would let the cache absorb every would-be budget trip.
+    parity_corpus = CORPUS + [("cdcl-budget.rp", CDCL)]
+    offline = {
+        path: offline_check(source, path) for path, source in parity_corpus
+    }
+    deadline = time.monotonic() + args.max_seconds
+
+    def account(outcome: str) -> None:
+        summary["terminal"][outcome] = (
+            summary["terminal"].get(outcome, 0) + 1
+        )
+
+    try:
+        client = RetryingClient(
+            address, retries=6, seed=args.seed, timeout=15.0
+        )
+        with client:
+            for _ in range(args.requests):
+                if time.monotonic() > deadline:
+                    failures.append(
+                        "soak deadline exceeded: possible hang/livelock"
+                    )
+                    break
+                summary["requests"] += 1
+                roll = rng.random()
+                if roll < 0.04:
+                    name = send_garbage(address, b"this is not json\n")
+                    summary["garbage_frames"] += 1
+                    if name != "parse-error":
+                        failures.append(f"garbage frame answered {name!r}")
+                    account("garbage-rejected")
+                    continue
+                if roll < 0.06:
+                    big = b"x" * (2 << 20)
+                    name = send_garbage(address, big + b"\n")
+                    summary["oversized_frames"] += 1
+                    if name != "frame-too-large":
+                        failures.append(f"oversized frame answered {name!r}")
+                    account("frame-rejected")
+                    continue
+                path, source = CORPUS[rng.randrange(len(CORPUS))]
+                budget = None
+                if path == "cdcl.rp" and rng.random() < 0.25:
+                    path, budget = "cdcl-budget.rp", {"solver_steps": 1}
+                try:
+                    served = client.check(path, source, budget=budget)
+                except ServeError as error:
+                    # Terminal error answer (retries exhausted, or a
+                    # non-retryable internal fault) — accounted, and the
+                    # parity pass below proves the session survived it.
+                    account(f"gave-up:{error.name}")
+                    continue
+                except (ConnectionError, OSError) as error:
+                    failures.append(f"transport gave up: {error}")
+                    account("transport-error")
+                    continue
+                if served.get("aborted"):
+                    account("aborted")
+                elif served["exit"] == 0:
+                    account("ok")
+                else:
+                    account(f"exit-{served['exit']}")
+            summary["client_retries"] = client.retries_performed
+
+            # ---- post-storm parity: no session is poisoned ------------
+            for path, source in parity_corpus:
+                expected = offline[path]
+                report = None
+                for _ in range(20):
+                    try:
+                        served = client.check(path, source)
+                    except ServeError:
+                        time.sleep(0.1)  # quarantine TTL / injected error
+                        continue
+                    report = served["report"]
+                    break
+                if report is None:
+                    failures.append(f"{path}: never recovered post-storm")
+                elif frozen(report) != frozen(expected.report):
+                    failures.append(f"{path}: post-recovery report differs")
+
+            # ---- daemon-side accounting ------------------------------
+            with ServeClient(address, timeout=10.0) as raw:
+                stats = raw.stats()
+        robustness = stats.get("robustness", {})
+        summary["robustness"] = robustness
+        summary["daemon_requests"] = stats.get("requests", {})
+        rejected = robustness.get("frames_rejected", 0)
+        expected_rejected = (
+            summary["garbage_frames"] + summary["oversized_frames"]
+        )
+        if rejected < expected_rejected:
+            failures.append(
+                f"frames_rejected={rejected} < frames sent "
+                f"{expected_rejected}"
+            )
+        aborted_seen = summary["terminal"].get("aborted", 0)
+        if aborted_seen and not robustness.get("budget_exceeded", 0):
+            failures.append("aborted answers but budget_exceeded == 0")
+        accounted = sum(summary["terminal"].values())
+        if accounted != summary["requests"]:
+            failures.append(
+                f"accounting gap: {summary['requests']} sent, "
+                f"{accounted} terminal"
+            )
+    finally:
+        # ---- clean drain on SIGTERM ---------------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            exit_code = None
+            failures.append("daemon did not drain within 30s of SIGTERM")
+        summary["daemon_exit"] = exit_code
+        if exit_code not in (0, None):
+            failures.append(f"daemon exited {exit_code} on SIGTERM")
+    summary["daemon_stderr_lines"] = len(daemon_stderr)
+    summary["ok"] = not failures
+    return summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=500,
+                        help="request mix size (default: 500)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="seed for faults, mix and retry jitter")
+    parser.add_argument("--faults", default=DEFAULT_FAULTS,
+                        help="ROWPOLY_FAULTS rule segments for the daemon")
+    parser.add_argument("--max-seconds", type=float, default=240.0,
+                        help="hard soak deadline; exceeding it is a "
+                        "hang verdict (default: 240)")
+    args = parser.parse_args(argv)
+    summary = run_soak(args)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -285,10 +285,17 @@ def cmd_check(args: argparse.Namespace) -> int:
     elif args.jobs > 1 and len(files) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        from .server.shard import spawn_context
+
         items = [
             (path, args.engine, options, budget_spec) for path in files
         ]
-        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+        # Pinned "spawn" start method (same as the sharded daemon): the
+        # platform default ``fork`` would clone any importing process's
+        # threads and locks, and differs across OSes and Python versions.
+        with ProcessPoolExecutor(
+            max_workers=args.jobs, mp_context=spawn_context()
+        ) as pool:
             # ``map`` preserves input order, so every downstream artefact
             # (JSON, diagnostics, exit code) is independent of scheduling.
             payloads = list(pool.map(_check_one_file, items))
@@ -368,34 +375,68 @@ def _print_check_solver_stats(
 def cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from .server import Daemon, DaemonConfig
-    from .testing.faults import install_from_env
+    if args.shards > 0:
+        from .server.router import Router, RouterConfig
 
-    # Chaos harnesses inject faults into subprocess daemons through the
-    # environment (ROWPOLY_FAULTS); a no-op without it.
-    install_from_env(os.environ)
+        # The router stays fault-free on purpose: ROWPOLY_FAULTS reaches
+        # the *shards* through their spawned environment, so chaos
+        # harnesses break workers, never the routing plane.
+        server = Router(
+            RouterConfig(
+                shards=args.shards,
+                engine=args.engine,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                sessions=args.sessions,
+                deadline_ms=args.deadline_ms,
+                track_fields=not args.no_fields,
+                gc=not args.no_gc,
+                budget_ms=args.budget_ms,
+                budget_solver_steps=args.budget_solver_steps,
+                budget_max_clauses=args.budget_max_clauses,
+                budget_core_queries=args.budget_core_queries,
+                quarantine_threshold=args.quarantine_threshold,
+                quarantine_ttl=args.quarantine_ttl,
+                hang_seconds=args.hang_seconds,
+                shard_hang_seconds=args.shard_hang_seconds,
+            )
+        )
+        drain_timeout = server.config.drain_timeout
+        render_text = server.render_text
+        snapshot = server.stats_snapshot
+    else:
+        from .server import Daemon, DaemonConfig
+        from .testing.faults import install_from_env
 
-    config = DaemonConfig(
-        engine=args.engine,
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        sessions=args.sessions,
-        deadline_ms=args.deadline_ms,
-        track_fields=not args.no_fields,
-        gc=not args.no_gc,
-        budget_ms=args.budget_ms,
-        budget_solver_steps=args.budget_solver_steps,
-        budget_max_clauses=args.budget_max_clauses,
-        budget_core_queries=args.budget_core_queries,
-        quarantine_threshold=args.quarantine_threshold,
-        quarantine_ttl=args.quarantine_ttl,
-        hang_seconds=args.hang_seconds,
-    )
-    daemon = Daemon(config)
+        # Chaos harnesses inject faults into subprocess daemons through
+        # the environment (ROWPOLY_FAULTS); a no-op without it.
+        install_from_env(os.environ)
+
+        server = Daemon(
+            DaemonConfig(
+                engine=args.engine,
+                workers=args.workers,
+                queue_limit=args.queue_limit,
+                sessions=args.sessions,
+                deadline_ms=args.deadline_ms,
+                track_fields=not args.no_fields,
+                gc=not args.no_gc,
+                budget_ms=args.budget_ms,
+                budget_solver_steps=args.budget_solver_steps,
+                budget_max_clauses=args.budget_max_clauses,
+                budget_core_queries=args.budget_core_queries,
+                quarantine_threshold=args.quarantine_threshold,
+                quarantine_ttl=args.quarantine_ttl,
+                hang_seconds=args.hang_seconds,
+            )
+        )
+        drain_timeout = server.config.drain_timeout
+        render_text = server.metrics.render_text
+        snapshot = server.metrics.snapshot
 
     def on_signal(signum, frame):  # SIGTERM/SIGINT: graceful drain
-        daemon.request_shutdown()
-        daemon.wait_drained(config.drain_timeout + 5.0)
+        server.request_shutdown()
+        server.wait_drained(drain_timeout + 5.0)
         raise SystemExit(0)
 
     signal.signal(signal.SIGTERM, on_signal)
@@ -411,24 +452,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       f"(expected HOST:PORT)", file=sys.stderr)
                 return EXIT_USAGE
             # Bind before announcing so `--tcp HOST:0` prints the real port.
-            bound = daemon.serve_tcp(host, port, background=True)
+            bound = server.serve_tcp(host, port, background=True)
             print(f"rowpoly serve: listening on {bound[0]}:{bound[1]}",
                   file=sys.stderr, flush=True)
             # Poll so SIGTERM/SIGINT are serviced promptly on every
             # platform while the acceptor thread does the work.
-            while not daemon.drained.wait(1.0):
+            while not server.drained.wait(1.0):
                 pass
         else:
-            daemon.serve_stdio()
+            server.serve_stdio()
     finally:
-        daemon.request_shutdown()
-        daemon.wait_drained(config.drain_timeout + 5.0)
-        dump = daemon.metrics.render_text()
-        print(dump, file=sys.stderr)
+        server.request_shutdown()
+        server.wait_drained(drain_timeout + 5.0)
+        print(render_text(), file=sys.stderr)
         if args.metrics_dump:
             with open(args.metrics_dump, "w") as handle:
-                json.dump(daemon.metrics.snapshot(), handle,
-                          indent=2, sort_keys=True)
+                json.dump(snapshot(), handle, indent=2, sort_keys=True)
                 handle.write("\n")
     return EXIT_OK
 
@@ -698,8 +737,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="default inference engine (requests may override)",
     )
     p_serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run N shard worker processes behind a session-affinity "
+        "router (shared-nothing; each shard is a full daemon with "
+        "--workers threads); 0 = single-process daemon (default: 0)",
+    )
+    p_serve.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="worker threads serving check requests (default: 2)",
+        help="worker threads serving check requests — per shard when "
+        "--shards is set (default: 2)",
     )
     p_serve.add_argument(
         "--queue-limit", type=int, default=16, metavar="N",
@@ -743,6 +789,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--hang-seconds", type=float, default=None, metavar="SECONDS",
         help="watchdog: cancel any request served for longer than this "
         "(default: no hang watchdog)",
+    )
+    p_serve.add_argument(
+        "--shard-hang-seconds", type=float, default=None,
+        metavar="SECONDS",
+        help="with --shards: kill and respawn a shard process whose "
+        "forwarded request goes unanswered this long (default: no "
+        "process watchdog)",
     )
     p_serve.set_defaults(handler=cmd_serve)
 

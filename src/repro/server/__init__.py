@@ -21,14 +21,23 @@ a type checker.  This package keeps it warm:
   ``stats`` RPC and dumped on shutdown,
 * :mod:`daemon`    — the long-lived process tying it together (stdio and
   TCP transports),
+* :mod:`routing`   — deterministic rendezvous hashing of warm-session
+  keys onto shards (the affinity contract, as a pure function),
+* :mod:`shard`     — one daemon running as a spawned worker process,
+* :mod:`router`    — the front process of ``rowpoly serve --shards N``:
+  consistent-hash session affinity over N shard processes, raw-line
+  passthrough (byte parity by construction), fleet-aggregated ``stats``,
+  shard respawn via the same :class:`WorkerSupervisor`,
 * :mod:`client`    — the thin client behind ``rowpoly client`` and
   ``rowpoly check --server ADDR``.
 """
 
 from .client import ServeClient, check_files_via_server
 from .daemon import Daemon, DaemonConfig
-from .metrics import ServerMetrics
+from .metrics import ServerMetrics, aggregate_snapshots
 from .registry import SessionRegistry
+from .router import Router, RouterConfig
+from .routing import routing_key, shard_for
 from .scheduler import Scheduler
 from .service import CheckOutcome, check_source, fingerprint_source
 
@@ -36,11 +45,16 @@ __all__ = [
     "CheckOutcome",
     "Daemon",
     "DaemonConfig",
+    "Router",
+    "RouterConfig",
     "Scheduler",
     "ServeClient",
     "ServerMetrics",
     "SessionRegistry",
+    "aggregate_snapshots",
     "check_files_via_server",
     "check_source",
     "fingerprint_source",
+    "routing_key",
+    "shard_for",
 ]

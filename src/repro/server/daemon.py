@@ -47,6 +47,7 @@ from typing import Any, Callable, Optional
 from ..diag import codes as diag_codes
 from ..infer.engines import SESSION_ENGINES
 from ..infer.state import FlowOptions
+from ..testing.faults import fault_point
 from ..util import Budget, BudgetExceeded, Cancelled, DeadlineExceeded, Deadline
 from . import protocol
 from .metrics import ServerMetrics
@@ -167,6 +168,10 @@ class Daemon:
         line = line.strip()
         if not line:
             return
+        # Chaos hook: an "exit" rule here kills the whole process mid
+        # request — the shard-death site the sharded router's chaos
+        # suite drives (a thread-level "crash" only costs one worker).
+        fault_point("daemon.handle")
         try:
             request = protocol.parse_request(line)
         except protocol.ProtocolError as error:

@@ -17,6 +17,9 @@ next to an inference request):
 
 :meth:`ServerMetrics.snapshot` is the payload of the ``stats`` RPC;
 :meth:`ServerMetrics.render_text` is what the daemon dumps on SIGTERM.
+:func:`aggregate_snapshots` folds several snapshots into one fleet view —
+the sharded router's ``stats`` RPC serves the aggregate of its shards
+(plus its own local counters) alongside the per-shard snapshots.
 """
 
 from __future__ import annotations
@@ -31,6 +34,84 @@ from ..boolfn.engine import SolverStats
 _BUCKET_BOUNDS: tuple[float, ...] = tuple(
     0.0001 * (2.0 ** i) for i in range(21)
 )
+
+
+def _sum_trees(trees: list) -> object:
+    """Fold JSON trees: numbers sum, dicts merge recursively.
+
+    Non-numeric leaves (e.g. ``dispatch_class``) keep the first non-empty
+    value — an aggregate cares about the counters.
+    """
+    numbers = [t for t in trees if isinstance(t, (int, float))
+               and not isinstance(t, bool)]
+    if numbers and len(numbers) == len(trees):
+        total = sum(numbers)
+        return total
+    dicts = [t for t in trees if isinstance(t, dict)]
+    if dicts:
+        keys: list[str] = []
+        for tree in dicts:
+            for key in tree:
+                if key not in keys:
+                    keys.append(key)
+        return {
+            key: _sum_trees([t[key] for t in dicts if key in t])
+            for key in keys
+        }
+    for tree in trees:
+        if tree not in (None, ""):
+            return tree
+    return trees[0] if trees else None
+
+
+def aggregate_snapshots(snapshots: list[dict]) -> dict:
+    """One fleet-wide view of several :meth:`ServerMetrics.snapshot` dicts.
+
+    Counters (``requests``, ``sessions``, ``diagnostics``,
+    ``robustness``, the solver rollup) are summed; the session
+    ``hit_rate`` is recomputed from the summed hits/misses;
+    ``uptime_seconds`` is the maximum.  Latency *percentiles* cannot be
+    merged from snapshots, so the aggregate keeps only the mergeable
+    fields per method (``count`` summed, ``mean`` count-weighted,
+    ``max`` of maxima) — per-shard percentiles stay available in the
+    router's per-shard listing.
+    """
+    snapshots = [s for s in snapshots if isinstance(s, dict)]
+    if not snapshots:
+        return {}
+    aggregate: dict[str, object] = {}
+    aggregate["uptime_seconds"] = max(
+        s.get("uptime_seconds", 0.0) for s in snapshots
+    )
+    for section in ("requests", "diagnostics", "robustness", "solver"):
+        aggregate[section] = _sum_trees(
+            [s.get(section, {}) for s in snapshots]
+        )
+    sessions = _sum_trees([s.get("sessions", {}) for s in snapshots])
+    if isinstance(sessions, dict):
+        hits = sessions.get("hits", 0)
+        lookups = hits + sessions.get("misses", 0)
+        sessions["hit_rate"] = hits / lookups if lookups else 0.0
+    aggregate["sessions"] = sessions
+    latency: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for method, split in (snapshot.get("latency") or {}).items():
+            slot = latency.setdefault(
+                method,
+                {"service": {"count": 0, "mean": 0.0, "max": 0.0}},
+            )["service"]
+            service = (split or {}).get("service") or {}
+            count = service.get("count", 0)
+            if count:
+                merged = slot["count"] + count
+                slot["mean"] = (
+                    slot["mean"] * slot["count"]
+                    + service.get("mean", 0.0) * count
+                ) / merged
+                slot["count"] = merged
+                slot["max"] = max(slot["max"], service.get("max", 0.0))
+    aggregate["latency"] = latency
+    return aggregate
 
 
 class Histogram:

@@ -1,0 +1,70 @@
+"""Deterministic session-affinity routing for the sharded daemon.
+
+The router must send every request for one warm-session key to the same
+shard — that is what keeps the shard's :class:`~repro.infer.InferSession`
+warm — and it must do so *deterministically*: the same key maps to the
+same shard across router restarts, across independent processes, and
+regardless of ``PYTHONHASHSEED``.  Python's builtin ``hash`` satisfies
+none of that, so the weights here come from SHA-256.
+
+The scheme is rendezvous (highest-random-weight) hashing: each
+``(key, shard)`` pair gets a pseudo-random 64-bit weight and the key is
+routed to the live shard with the highest weight.  Rendezvous hashing has
+the *minimal-disruption* property the failure path needs: when shard *s*
+dies, only the keys that were mapped to *s* move (each to its
+second-highest shard); every other key keeps its warm session.  When *s*
+respawns, exactly those keys return to it.
+
+Nothing in this module knows about processes or sockets; it is a pure
+function from (key, live shard ids) to a shard id, which is what makes
+the property tests in ``tests/server/test_routing.py`` an executable
+specification of the affinity contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence
+
+
+def routing_key(
+    path: object, engine: object, options: object = None
+) -> str:
+    """The canonical routing key of one check request.
+
+    Mirrors the warm-session registry key (path, engine, options): two
+    requests that would share a warm session route to the same shard.
+    Deliberately tolerant of junk params — invalid requests still route
+    (to wherever their junk hashes), so the shard's validation answers
+    them with byte-identical errors to the single-process daemon.
+    """
+    return f"{path!r}\x00{engine!r}\x00{options!r}"
+
+
+def shard_weight(key: str, shard: int) -> int:
+    """The 64-bit rendezvous weight of ``key`` on ``shard``."""
+    digest = hashlib.sha256(f"{key}\x1f{shard}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_for(key: str, shards: Sequence[int]) -> int:
+    """The shard id ``key`` routes to among the live ``shards``.
+
+    Pure and stable: depends only on the arguments.  Raises
+    :class:`ValueError` when no shard is live (the router answers that
+    case with a retryable error instead of calling here).
+    """
+    if not shards:
+        raise ValueError("no live shards to route to")
+    best: Optional[int] = None
+    best_weight = -1
+    for shard in shards:
+        weight = shard_weight(key, shard)
+        # Ties (astronomically unlikely) break toward the lower id so the
+        # choice stays total-order deterministic.
+        if weight > best_weight or (
+            weight == best_weight and (best is None or shard < best)
+        ):
+            best, best_weight = shard, weight
+    assert best is not None
+    return best

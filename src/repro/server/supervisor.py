@@ -17,6 +17,16 @@ that:
   the inference notices at its next poll.  Restarts are counted in the
   metrics' ``worker_restarts``.
 
+  The supervisor is deliberately generic over *what a worker is*: it
+  talks to a **pool** through four members — ``draining``,
+  ``dead_workers()``, ``respawn(index)`` and ``active_jobs()`` — plus an
+  optional ``on_hang(job)`` hook.  The thread :class:`Scheduler` is one
+  such pool (workers are threads; a hang is answered by cancelling the
+  job's deadline); the sharded router's process pool is another (workers
+  are whole shard processes; a hang is answered by killing the wedged
+  process so a clean replacement can be spawned).  Same monitor, same
+  jittered backoff, two blast radii.
+
 * :class:`SessionQuarantine` — per-session-key failure counters.  A
   session whose requests repeatedly crash workers or trip budgets is
   quarantined for a TTL: requests for it are answered immediately with a
@@ -134,25 +144,32 @@ class SessionQuarantine:
 
 
 class WorkerSupervisor:
-    """Monitor thread: respawn dead workers, cancel hung jobs.
+    """Monitor thread: respawn dead workers, handle hung jobs.
 
-    Talks to the scheduler through three methods — ``dead_workers()``,
-    ``respawn(index)`` and ``active_jobs()`` — so it needs no knowledge
-    of queues or transports.
+    Talks to its pool through ``dead_workers()``, ``respawn(index)`` and
+    ``active_jobs()`` — so it needs no knowledge of queues, transports,
+    or whether a "worker" is a thread or a whole shard process.  A pool
+    that defines ``on_hang(job)`` owns its hang response (and its
+    accounting); otherwise the default cooperative response cancels the
+    job's deadline.  ``restart_counter`` names the robustness metric a
+    respawn bumps (``worker_restarts`` for threads, ``shard_restarts``
+    for the router's process pool).
     """
 
     def __init__(
         self,
-        scheduler,
+        pool,
         metrics: Optional[ServerMetrics] = None,
         poll_interval: float = 0.05,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         hang_seconds: Optional[float] = None,
         seed: int = 0,
+        restart_counter: str = "worker_restarts",
     ) -> None:
-        self.scheduler = scheduler
+        self.pool = pool
         self.metrics = metrics
+        self.restart_counter = restart_counter
         self.poll_interval = poll_interval
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -166,6 +183,11 @@ class WorkerSupervisor:
         #: worker index -> monotonic time before which not to respawn.
         self._hold_until: dict[int, float] = {}
         self.restarts_total = 0
+
+    @property
+    def scheduler(self):
+        """Backwards-compatible alias: the pool of a thread supervisor."""
+        return self.pool
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -192,18 +214,18 @@ class WorkerSupervisor:
                 continue
 
     def _respawn_dead(self) -> None:
-        if self.scheduler.draining:
+        if self.pool.draining:
             return
         now = time.monotonic()
-        for index in self.scheduler.dead_workers():
+        for index in self.pool.dead_workers():
             if now < self._hold_until.get(index, 0.0):
                 continue
             attempt = self._restarts.get(index, 0) + 1
             self._restarts[index] = attempt
-            self.scheduler.respawn(index)
+            self.pool.respawn(index)
             self.restarts_total += 1
             if self.metrics is not None:
-                self.metrics.record_robustness("worker_restarts")
+                self.metrics.record_robustness(self.restart_counter)
             self._hold_until[index] = now + backoff_delay(
                 attempt, self.backoff_base, self.backoff_cap, self._rng
             )
@@ -212,8 +234,14 @@ class WorkerSupervisor:
         if self.hang_seconds is None:
             return
         now = time.monotonic()
-        for job, started_at in self.scheduler.active_jobs():
+        on_hang = getattr(self.pool, "on_hang", None)
+        for job, started_at in self.pool.active_jobs():
             if now - started_at > self.hang_seconds:
+                if on_hang is not None:
+                    # The pool owns the response (and the accounting) —
+                    # the router kills the wedged shard process here.
+                    on_hang(job)
+                    continue
                 # Cooperative: the inference notices at its next poll and
                 # the request is answered as cancelled — the worker
                 # survives (unlike a crash) because its state is fine,

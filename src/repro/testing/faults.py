@@ -20,6 +20,8 @@ wired in today:
 ``engine.solve``        entry of every :meth:`SatEngine.solve` query
 ``scheduler.pickup``    a daemon worker picking a job off the queue
 ``registry.acquire``    the daemon resolving a request to a session
+``daemon.handle``       the daemon decoding one request line (the site an
+                        ``exit`` rule uses to kill a whole shard process)
 ====================== ====================================================
 
 Rules pick a *kind* of failure:
@@ -29,6 +31,10 @@ Rules pick a *kind* of failure:
             worker thread; the supervisor must respawn it)
 ``slow``    sleep ``delay_ms`` (drives deadline/watchdog paths)
 ``budget``  raise :class:`repro.util.BudgetExceeded` (a resource trip)
+``exit``    ``os._exit(86)`` — instant process death, no cleanup, no
+            drain.  Pointless against the in-process daemon (it kills the
+            test too); against a *shard* of the process-sharded router it
+            models kill -9 / OOM, driving the respawn + re-route path
 
 Activation is either in-process (:func:`install` / :func:`injected`) or —
 for subprocess daemons — via the ``ROWPOLY_FAULTS`` environment variable,
@@ -79,7 +85,7 @@ class FaultRule:
 
     site: str
     rate: float
-    kind: str  # "error" | "crash" | "slow" | "budget"
+    kind: str  # "error" | "crash" | "slow" | "budget" | "exit"
     delay_ms: int = 25
     #: Maximum number of trips (``None`` = unlimited).  A capped rule lets
     #: a soak assert "this request eventually succeeds on retry".
@@ -87,7 +93,7 @@ class FaultRule:
     trips: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "crash", "slow", "budget"):
+        if self.kind not in ("error", "crash", "slow", "budget", "exit"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1]: {self.rate!r}")
@@ -134,6 +140,13 @@ class FaultInjector:
             raise FaultError(f"injected fault at {site}")
         if action.kind == "budget":
             raise BudgetExceeded(f"injected@{site}", 0, 0)
+        if action.kind == "exit":
+            import os
+
+            # No flush, no atexit, no drain: the closest a test can get
+            # to kill -9 from inside.  86 keeps it distinguishable from
+            # a clean exit in process tables.
+            os._exit(86)
         # "crash": imported lazily — the supervisor module itself calls
         # into scheduling code that carries fault points.
         from ..server.supervisor import WorkerCrash

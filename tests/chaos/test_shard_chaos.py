@@ -1,0 +1,164 @@
+"""Chaos: kill a shard mid-burst; the fleet absorbs it.
+
+The sharded router's failure story, end to end through the real CLI
+(``rowpoly serve --shards 2``) with the real fault registry: a seeded
+``exit`` fault at ``daemon.handle`` makes a shard process die *while
+decoding a request* — the closest injectable analogue of kill -9 /
+OOM-killer.  The acceptance claims:
+
+* no request hangs and none is silently dropped: every in-flight request
+  on the dead shard is answered with a retryable ``worker-crashed``
+  (502), and :class:`RetryingClient` converges on a real answer;
+* the supervisor respawns the shard (``shard_restarts`` in the
+  aggregated stats), and after the storm the fleet serves byte-identical
+  reports to an offline check;
+* SIGTERM still drains cleanly (exit 0) after all of it.
+
+ROWPOLY_FAULTS only reaches the *shards*: the router skips fault
+installation on purpose, so the routing plane itself never dies.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.server.client import RetryingClient, ServeClient
+from repro.server.service import check_source
+
+WELL_TYPED = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+#: Each request line rolls a 35% chance of killing its shard, at most
+#: once per shard *generation* (a respawned shard re-arms the rule).
+#: The seeded RNG makes a given generation's kill schedule reproducible;
+#: with two shards and retries the burst still always converges.
+FAULTS = "seed=11;daemon.handle:0.35:exit:limit=1"
+
+BURST = 24
+
+
+def _spawn_fleet(tmp_path, faults):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [
+            os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+            env.get("PYTHONPATH", ""),
+        ])
+    )
+    env["ROWPOLY_FAULTS"] = faults
+    dump_path = tmp_path / "metrics.json"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--shards", "2", "--workers", "1",
+         "--tcp", "127.0.0.1:0", "--metrics-dump", str(dump_path)],
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    announce = process.stderr.readline()
+    assert "listening on" in announce, announce
+    address = announce.rsplit(" ", 1)[-1].strip()
+    return process, address, dump_path
+
+
+def test_shard_kill_storm_converges(tmp_path):
+    modules = []
+    for index in range(6):
+        path = tmp_path / f"chaos_{index}.rp"
+        path.write_text(WELL_TYPED)
+        modules.append(str(path))
+
+    process, address, dump_path = _spawn_fleet(tmp_path, FAULTS)
+    try:
+        # -- the storm: every request risks killing its shard ----------
+        with RetryingClient(
+            address, retries=8, timeout=60.0, seed=5
+        ) as client:
+            outcomes = []
+            for lap in range(BURST // len(modules)):
+                for path in modules:
+                    served = client.check(path, WELL_TYPED)
+                    outcomes.append(served)
+            # Terminal accounting: every single request was answered
+            # with a real result — zero hangs, zero losses.
+            assert len(outcomes) == BURST
+            assert all(o["exit"] == 0 for o in outcomes)
+            storm_retries = client.retries_performed
+
+        # -- the fleet healed: restarts happened and were absorbed ------
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            with ServeClient(address, timeout=30.0) as client:
+                stats = client.stats()
+            if (
+                stats["router"]["live_shards"] == 2
+                and stats["robustness"].get("shard_restarts", 0) >= 1
+            ):
+                break
+            time.sleep(0.25)
+        assert stats["robustness"].get("shard_restarts", 0) >= 1, (
+            f"no shard died in {BURST} requests at 35% "
+            f"(retries={storm_retries}); stats={stats['robustness']}"
+        )
+        assert stats["router"]["live_shards"] == 2
+
+        # -- post-storm byte parity ------------------------------------
+        offline = check_source(modules[0], WELL_TYPED)
+        with RetryingClient(
+            address, retries=8, timeout=60.0, seed=6
+        ) as client:
+            served = client.check(modules[0], WELL_TYPED)
+        assert json.dumps(served["report"], sort_keys=True) == json.dumps(
+            offline.report, sort_keys=True
+        )
+
+        # -- graceful exit after all of it ------------------------------
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+    stderr_tail = process.stderr.read()
+    assert "rowpoly serve metrics" in stderr_tail
+    snapshot = json.loads(dump_path.read_text())
+    assert snapshot["robustness"]["shard_restarts"] >= 1
+    assert snapshot["router"]["shards"] == 2
+
+
+def test_faults_do_not_reach_the_router(tmp_path):
+    """A 100% shard-kill rule never kills the *router* process: control
+    methods answered locally keep working with the whole fleet down."""
+    process, address, _ = _spawn_fleet(
+        tmp_path, "daemon.handle:1.0:exit"
+    )
+    try:
+        module = tmp_path / "m.rp"
+        module.write_text(WELL_TYPED)
+        with ServeClient(address, timeout=30.0) as client:
+            # Forwarded work dies with its shard → retryable 502 ...
+            from repro.server.client import ServeError
+
+            with pytest.raises((ServeError, ConnectionError, OSError)):
+                client.check(str(module), WELL_TYPED)
+        # ... but the router is still there and says so.
+        with ServeClient(address, timeout=30.0) as client:
+            assert client.ping() is True
+            stats = client.stats()
+            assert stats["router"]["shards"] == 2
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)

@@ -1,0 +1,164 @@
+"""Property tests of the session-affinity routing contract.
+
+``repro.server.routing`` is a pure function, so its contract is stated
+as executable properties:
+
+* **deterministic** — the same key and live-shard set always yield the
+  same shard, within a process, across processes, and regardless of
+  ``PYTHONHASHSEED`` (Python's builtin ``hash`` would fail this);
+* **stable across restarts** — a router that comes back with the same
+  shard count routes every key exactly as before (warm caches refill in
+  the same places);
+* **minimal disruption** — removing a shard only moves the keys that
+  lived on it; adding it back returns exactly those keys;
+* **roughly uniform** — session fingerprints spread over the shards
+  without pathological skew.
+"""
+
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.routing import routing_key, shard_for, shard_weight
+
+#: A frozen sample of (key, 4-shard assignment) pairs.  These pin the
+#: concrete hash function: any change to the weight derivation breaks
+#: affinity for every deployed warm cache, so it must be deliberate and
+#: show up here, not as silent cache churn.
+PINNED_4WAY = {
+    routing_key("mod/alpha.rp", "flow", (True, True)): 2,
+    routing_key("mod/beta.rp", "flow", (True, True)): 1,
+    routing_key("mod/gamma.rp", "flow", (False, True)): 2,
+    routing_key("mod/delta.rp", "cdcl", (True, False)): 1,
+    routing_key(None, "flow", None): 2,
+}
+
+keys = st.text(min_size=0, max_size=64)
+shard_sets = st.lists(
+    st.integers(min_value=0, max_value=63),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@given(keys, shard_sets)
+def test_routing_is_deterministic(key, shards):
+    first = shard_for(key, shards)
+    assert first in shards
+    # Same inputs, same answer — including under permutation of the
+    # live set (the router learns liveness in arbitrary order).
+    assert shard_for(key, list(reversed(shards))) == first
+    assert shard_for(key, sorted(shards)) == first
+
+
+@given(keys, shard_sets)
+def test_minimal_disruption(key, shards):
+    """Removing a shard the key does not live on never moves the key."""
+    chosen = shard_for(key, shards)
+    for removed in shards:
+        if removed == chosen:
+            continue
+        survivors = [s for s in shards if s != removed]
+        assert shard_for(key, survivors) == chosen
+
+
+@given(keys, shard_sets)
+def test_failover_returns_home(key, shards):
+    """A dead shard's keys spill over, then come back on respawn."""
+    chosen = shard_for(key, shards)
+    survivors = [s for s in shards if s != chosen]
+    if not survivors:
+        return
+    refuge = shard_for(key, survivors)
+    assert refuge != chosen
+    # The refuge is the second-highest weight: putting the dead shard
+    # back restores the original assignment exactly.
+    assert shard_for(key, survivors + [chosen]) == chosen
+
+
+@settings(max_examples=25)
+@given(st.data())
+def test_weights_are_64_bit(data):
+    key = data.draw(keys)
+    shard = data.draw(st.integers(min_value=0, max_value=1 << 20))
+    weight = shard_weight(key, shard)
+    assert 0 <= weight < (1 << 64)
+
+
+def test_pinned_assignments():
+    for key, expected in PINNED_4WAY.items():
+        assert shard_for(key, [0, 1, 2, 3]) == expected
+
+
+def test_stable_across_processes():
+    """A subprocess (fresh interpreter, different hash seed) agrees.
+
+    This is the property that makes affinity survive router restarts:
+    no per-process state feeds the routing decision.
+    """
+    import json
+    import os
+
+    import repro
+
+    sample = sorted(PINNED_4WAY)
+    script = (
+        "import sys, json\n"
+        "from repro.server.routing import shard_for\n"
+        "keys = json.loads(sys.stdin.read())\n"
+        "print(json.dumps([shard_for(k, [0, 1, 2, 3]) for k in keys]))\n"
+    )
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "12345"
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src_dir, env.get("PYTHONPATH", "")])
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps(sample),
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr
+    remote = json.loads(completed.stdout)
+    local = [shard_for(key, [0, 1, 2, 3]) for key in sample]
+    assert remote == local
+
+
+def test_roughly_uniform_spread():
+    """2000 synthetic session keys spread over 4 shards without skew.
+
+    The binomial standard deviation at p=1/4, n=2000 is ~19; the
+    [350, 650] window is > 7σ on each side — loose enough to never
+    flake, tight enough to catch an accidental constant or modulo-bias
+    regression.
+    """
+    counts = {shard: 0 for shard in range(4)}
+    for index in range(2000):
+        key = routing_key(f"src/module_{index}.rp", "flow", (True, True))
+        counts[shard_for(key, [0, 1, 2, 3])] += 1
+    assert sum(counts.values()) == 2000
+    for shard, count in counts.items():
+        assert 350 <= count <= 650, (shard, counts)
+
+
+def test_routing_key_separates_components():
+    """Path/engine/options are delimited, not concatenated ambiguously."""
+    assert routing_key("a", "bc") != routing_key("ab", "c")
+    assert routing_key("a", "flow", (True, False)) != routing_key(
+        "a", "flow", (False, True)
+    )
+
+
+def test_empty_shard_set_raises():
+    try:
+        shard_for("anything", [])
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError on empty shard set")

@@ -1,0 +1,152 @@
+"""Shard-parity suite: output is invariant under the shard count.
+
+The sharded router's one inviolable promise: ``rowpoly check --server
+--json`` is **byte-identical** whether the daemon runs unsharded,
+``--shards 1``, ``--shards 2`` or ``--shards 4`` — and all of them equal
+the offline ``rowpoly check --json``.  Sharding is a deployment choice,
+never an observable one.
+
+The corpus deliberately mixes every answer class so the parity claim
+covers the full wire surface: well-typed, ill-typed with a structured
+witness, ill-typed through the RP0999 unsat fallback, a parse failure,
+and (separately) a budget-starved CDCL module whose *partial* report
+carries RP0998 aborts.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.server.router import Router, RouterConfig
+
+WELL_TYPED = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+ILL_TYPED = "let bad = #a {}; dep = bad in dep"
+
+#: Guarded selections defeat witness recovery: the RP0999 fallback fires.
+UNSAT_FALLBACK = "(\\s -> when foo in s then #foo s else #bar s) {}"
+
+PARSE_ERROR = "let = = nonsense"
+
+#: Symmetric concat forces the CDCL solver class, whose work a one-step
+#: budget deterministically starves (RP0998 aborted declarations).
+CDCL_MODULE = """
+let
+  pair = {x = 1, y = 2};
+  use = \\r -> #x (r @@ {z = 3});
+  plain = \\r -> plus (#x r) (#y r);
+  sel = use pair;
+  it = plus sel (plain pair)
+in it
+"""
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("parity")
+    (path / "a_good.rp").write_text(WELL_TYPED)
+    (path / "b_bad.rp").write_text(ILL_TYPED)
+    (path / "c_fallback.rp").write_text(UNSAT_FALLBACK)
+    (path / "d_parse.rp").write_text(PARSE_ERROR)
+    (path / "e_cdcl.rp").write_text(CDCL_MODULE)
+    return path
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """One live router per shard count, torn down together."""
+    routers = {}
+    for shards in SHARD_COUNTS:
+        router = Router(RouterConfig(shards=shards, workers=1))
+        host, port = router.serve_tcp("127.0.0.1", 0, background=True)
+        routers[shards] = (router, f"{host}:{port}")
+    yield {shards: address for shards, (router, address) in routers.items()}
+    for router, _ in routers.values():
+        router.request_shutdown()
+    for router, _ in routers.values():
+        assert router.wait_drained(60.0)
+
+
+def _check_json(capsys, *argv) -> tuple[int, str]:
+    exit_code = main(["check", *argv, "--json"])
+    return exit_code, capsys.readouterr().out
+
+
+def test_output_is_invariant_under_shard_count(corpus_dir, fleet, capsys):
+    offline_exit, offline = _check_json(capsys, str(corpus_dir))
+    assert offline_exit == 2  # the parse failure dominates the batch
+    reports = json.loads(offline)
+    codes = {
+        diag.get("code")
+        for report in reports
+        for decl in report.get("decls", [])
+        for diag in decl.get("diagnostics", [])
+    }
+    # The corpus really exercises the interesting wire shapes...
+    assert "RP0999" in codes
+    assert any(not report["ok"] for report in reports)
+    assert any(report["ok"] for report in reports)
+    # ...and every shard count serves the same bytes, twice (the second
+    # pass replays warm sessions — parity must survive the cache too).
+    for shards, address in fleet.items():
+        for attempt in ("cold", "warm"):
+            served_exit, served = _check_json(
+                capsys, str(corpus_dir), "--server", address
+            )
+            assert served_exit == offline_exit, (shards, attempt)
+            assert served == offline, (shards, attempt)
+
+
+def test_budget_starved_partial_report_parity(tmp_path, fleet, capsys):
+    """RP0998 aborts cross the wire unchanged at every shard count.
+
+    Uses a path the fleet has never seen: a warm session whose stored
+    outcome is *complete* replays it regardless of a later request's
+    budget (partial reports are never cached — the asymmetry is
+    deliberate), so the starved path must start cold to be comparable
+    with offline.
+    """
+    cdcl_path = tmp_path / "starved_cdcl.rp"
+    cdcl_path.write_text(CDCL_MODULE)
+    cdcl = str(cdcl_path)
+    offline_exit, offline = _check_json(
+        capsys, cdcl, "--budget-solver-steps", "1"
+    )
+    assert offline_exit == 3  # EXIT_ABORTED: a partial, not an error
+    assert "RP0998" in offline
+    for shards, address in fleet.items():
+        served_exit, served = _check_json(
+            capsys, cdcl, "--budget-solver-steps", "1",
+            "--server", address,
+        )
+        assert served_exit == offline_exit, shards
+        assert served == offline, shards
+
+
+def test_matches_unsharded_daemon(corpus_dir, fleet, capsys):
+    """The sharded fleet equals the PR 3 single-process daemon, byte
+    for byte — sharding changed the process layout, not the service."""
+    from repro.server.daemon import Daemon, DaemonConfig
+
+    daemon = Daemon(DaemonConfig(workers=1))
+    host, port = daemon.serve_tcp(port=0, background=True)
+    try:
+        _, unsharded = _check_json(
+            capsys, str(corpus_dir), "--server", f"{host}:{port}"
+        )
+    finally:
+        daemon.request_shutdown()
+        assert daemon.wait_drained(30.0)
+    for shards, address in fleet.items():
+        _, served = _check_json(
+            capsys, str(corpus_dir), "--server", address
+        )
+        assert served == unsharded, shards

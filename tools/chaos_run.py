@@ -20,6 +20,14 @@ to protect:
 Prints a JSON summary; exits 0 when every invariant held, 1 otherwise.
 
     PYTHONPATH=src python tools/chaos_run.py --requests 500 --seed 42
+
+With ``--shards N`` the soak targets a process-sharded fleet instead,
+and the default fault mix gains a shard-kill arm (``daemon.handle``
+``exit`` faults): whole shard processes die mid-request, the supervisor
+respawns them, and the summary additionally asserts the fleet healed
+(``live_shards == N``) with ``shard_restarts`` accounted.
+
+    PYTHONPATH=src python tools/chaos_run.py --shards 2 --requests 300
 """
 
 from __future__ import annotations
@@ -80,24 +88,35 @@ DEFAULT_FAULTS = (
     "session.check_decl:0.02:slow:delay=10"
 )
 
+#: Extra arm mixed in for sharded soaks (``--shards N``): occasionally
+#: kill a whole shard process mid-request (``os._exit``), at most once
+#: per shard generation — the supervisor must respawn it and the router
+#: must answer the casualties as retryable.
+SHARD_KILL_FAULT = "daemon.handle:0.04:exit:limit=1"
+
 
 def frozen(report) -> str:
     return json.dumps(report, sort_keys=True)
 
 
-def start_daemon(seed: int, fault_spec: str) -> tuple[subprocess.Popen, str, list[str]]:
+def start_daemon(
+    seed: int, fault_spec: str, shards: int = 0
+) -> tuple[subprocess.Popen, str, list[str]]:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     env["ROWPOLY_FAULTS"] = f"seed={seed};{fault_spec}" if fault_spec else ""
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--tcp", "127.0.0.1:0",
+        "--workers", "4",
+        "--queue-limit", "64",
+        "--quarantine-threshold", "3",
+        "--quarantine-ttl", "0.5",
+    ]
+    if shards > 0:
+        command += ["--shards", str(shards)]
     proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "serve",
-            "--tcp", "127.0.0.1:0",
-            "--workers", "4",
-            "--queue-limit", "64",
-            "--quarantine-threshold", "3",
-            "--quarantine-ttl", "0.5",
-        ],
+        command,
         stderr=subprocess.PIPE,
         text=True,
         env=env,
@@ -137,9 +156,12 @@ def send_garbage(address: str, payload: bytes) -> str:
 
 def run_soak(args: argparse.Namespace) -> dict:
     rng = Random(args.seed)
-    proc, address, daemon_stderr = start_daemon(args.seed, args.faults)
+    proc, address, daemon_stderr = start_daemon(
+        args.seed, args.faults, shards=args.shards
+    )
     summary: dict = {
         "seed": args.seed,
+        "shards": args.shards,
         "address": address,
         "requests": 0,
         "terminal": {},
@@ -237,6 +259,20 @@ def run_soak(args: argparse.Namespace) -> dict:
         robustness = stats.get("robustness", {})
         summary["robustness"] = robustness
         summary["daemon_requests"] = stats.get("requests", {})
+        if args.shards > 0:
+            router = stats.get("router", {})
+            summary["router"] = router
+            if router.get("live_shards") != args.shards:
+                failures.append(
+                    f"fleet not healed: {router.get('live_shards')}/"
+                    f"{args.shards} shards live post-storm"
+                )
+            if "exit" in args.faults and not robustness.get(
+                "shard_restarts", 0
+            ):
+                failures.append(
+                    "shard-kill faults injected but shard_restarts == 0"
+                )
         rejected = robustness.get("frames_rejected", 0)
         expected_rejected = (
             summary["garbage_frames"] + summary["oversized_frames"]
@@ -279,12 +315,21 @@ def main(argv=None) -> int:
                         help="request mix size (default: 500)")
     parser.add_argument("--seed", type=int, default=42,
                         help="seed for faults, mix and retry jitter")
-    parser.add_argument("--faults", default=DEFAULT_FAULTS,
-                        help="ROWPOLY_FAULTS rule segments for the daemon")
+    parser.add_argument("--faults", default=None,
+                        help="ROWPOLY_FAULTS rule segments for the daemon "
+                        "(default: the standard mix, plus a shard-kill "
+                        "arm when --shards is set)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="soak a sharded fleet (serve --shards N); "
+                        "0 = single-process daemon (default: 0)")
     parser.add_argument("--max-seconds", type=float, default=240.0,
                         help="hard soak deadline; exceeding it is a "
                         "hang verdict (default: 240)")
     args = parser.parse_args(argv)
+    if args.faults is None:
+        args.faults = DEFAULT_FAULTS
+        if args.shards > 0:
+            args.faults += ";" + SHARD_KILL_FAULT
     summary = run_soak(args)
     print(json.dumps(summary, indent=2, sort_keys=True))
     return 0 if summary["ok"] else 1

@@ -1,0 +1,185 @@
+"""Restart cold-start latency with a warm persistent store.
+
+The store exists so that *restarts* are cheap: a daemon bounced by a
+deploy, or a CI fleet starting from nothing on a corpus some earlier
+fleet already solved, should serve results instead of re-solving them.
+This harness quantifies that on the Fig. 9 decoder corpus:
+
+1. time ``laps`` no-store checks — every lap pays full inference (the
+   baseline any storeless restart pays),
+2. populate a store directory once, then time ``laps`` *cold-start*
+   checks: each lap opens the directory fresh (new process-worth of
+   state, empty memory layer — exactly what a restarted daemon sees)
+   and serves from disk,
+3. time ``laps`` *warm replay* checks over one long-lived store handle
+   (the memory layer answers — the within-process steady state),
+4. assert the warm-store cold start beats no-store by at least
+   ``MIN_SPEEDUP``×, stays within ``MAX_COLD_VS_WARM``× of the warm
+   replay, performs **zero** solver queries, and returns byte-identical
+   reports.
+
+``python benchmarks/bench_store_warmstart.py --quick`` writes the
+numbers to ``BENCH_store_warmstart.json`` (the CI smoke artefact) and
+stdout.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.gdsl import FIG9_CORPORA, build_corpus
+from repro.server.service import check_source
+from repro.store import open_store
+
+#: A warm-store cold start must beat the storeless run by this factor
+#: (it replaces the whole solve pipeline with one verified disk read;
+#: the measured margin is orders of magnitude — 5 is the safe floor).
+MIN_SPEEDUP = 5.0
+
+#: ...and must stay within this factor of the in-process warm replay:
+#: the restart penalty is one directory open and one disk read, not a
+#: re-solve.
+MAX_COLD_VS_WARM = 2.0
+
+OUTPUT_FILE = "BENCH_store_warmstart.json"
+
+
+def _p50(seconds: list) -> float:
+    ordered = sorted(seconds)
+    return ordered[len(ordered) // 2]
+
+
+def measure(scale: float = 0.05, seed: int = 0, laps: int = 9,
+            engine: str = "flow") -> dict:
+    """Run the comparison; returns the JSON-ready measurement table."""
+    spec = FIG9_CORPORA[0]  # Atmel AVR, the paper's smallest corpus
+    program = build_corpus(spec, scale=scale, seed=seed)
+    path = "corpus.rp"
+
+    def run(store):
+        started = time.perf_counter()
+        outcome = check_source(path, program.source, engine=engine,
+                               store=store)
+        return time.perf_counter() - started, outcome
+
+    with tempfile.TemporaryDirectory() as workdir:
+        store_dir = os.path.join(workdir, "store")
+
+        # -- no store: every lap is a full solve ------------------------
+        nostore_seconds = []
+        for _ in range(laps):
+            seconds, baseline = run(None)
+            nostore_seconds.append(seconds)
+            assert baseline.exit == 0
+
+        # -- populate, then cold-start laps -----------------------------
+        _, populate = run(open_store(store_dir))
+        assert populate.exit == 0
+
+        coldstart_seconds = []
+        for _ in range(laps):
+            # A fresh handle per lap: empty memory layer, disk warm —
+            # the state a restarted daemon (or new CI worker) is in.
+            seconds, outcome = run(open_store(store_dir))
+            coldstart_seconds.append(seconds)
+            assert outcome.solver_stats is None or (
+                outcome.solver_stats.queries == 0
+            ), "a store-served cold start re-solved"
+
+        # -- warm replay: one handle, memory layer answers --------------
+        warm_store = open_store(store_dir)
+        run(warm_store)  # promote into the memory layer
+        warm_seconds = []
+        for _ in range(laps):
+            seconds, warm_outcome = run(warm_store)
+            warm_seconds.append(seconds)
+
+    # Parity: served-from-store reports equal the storeless one, byte
+    # for byte.
+    baseline_text = json.dumps(baseline.report, sort_keys=True)
+    for served in (populate, outcome, warm_outcome):
+        assert json.dumps(served.report, sort_keys=True) == \
+            baseline_text, "store/no-store parity violated"
+
+    nostore_p50 = _p50(nostore_seconds)
+    coldstart_p50 = _p50(coldstart_seconds)
+    warm_p50 = _p50(warm_seconds)
+    return {
+        "corpus": spec.name,
+        "engine": engine,
+        "scale": scale,
+        "lines": program.lines,
+        "laps": laps,
+        "nostore_seconds": nostore_seconds,
+        "nostore_p50_seconds": nostore_p50,
+        "coldstart_seconds": coldstart_seconds,
+        "coldstart_p50_seconds": coldstart_p50,
+        "warm_replay_seconds": warm_seconds,
+        "warm_replay_p50_seconds": warm_p50,
+        "coldstart_speedup": nostore_p50 / max(coldstart_p50, 1e-9),
+        "cold_vs_warm": coldstart_p50 / max(warm_p50, 1e-9),
+    }
+
+
+def _assert_floors(table: dict) -> None:
+    assert table["coldstart_speedup"] >= MIN_SPEEDUP, (
+        f"warm-store cold start is only "
+        f"{table['coldstart_speedup']:.1f}x faster than no store "
+        f"(floor: {MIN_SPEEDUP}x)"
+    )
+    # Absolute slack absorbs timer noise on sub-millisecond laps.
+    budget = max(
+        MAX_COLD_VS_WARM * table["warm_replay_p50_seconds"], 0.005
+    )
+    assert table["coldstart_p50_seconds"] <= budget, (
+        f"cold start p50 {table['coldstart_p50_seconds'] * 1e3:.2f}ms "
+        f"exceeds {MAX_COLD_VS_WARM}x the warm replay p50 "
+        f"({table['warm_replay_p50_seconds'] * 1e3:.2f}ms)"
+    )
+
+
+def test_store_warmstart(benchmark):
+    table = benchmark.pedantic(
+        lambda: measure(scale=0.05, laps=5),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_floors(table)
+    benchmark.extra_info.update(
+        {
+            key: table[key]
+            for key in ("corpus", "lines", "coldstart_speedup",
+                        "cold_vs_warm")
+        }
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small corpus; write BENCH_store_warmstart.json",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--laps", type=int, default=None)
+    parser.add_argument("--engine", default="flow")
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (
+        0.05 if args.quick else 0.15
+    )
+    laps = args.laps if args.laps is not None else (5 if args.quick else 9)
+    table = measure(scale=scale, laps=laps, engine=args.engine)
+    _assert_floors(table)
+    text = json.dumps(table, indent=2, sort_keys=True)
+    json.loads(text)  # the table must stay JSON-serialisable
+    with open(OUTPUT_FILE, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

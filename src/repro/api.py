@@ -142,6 +142,7 @@ def check_source(
     engine: str = "flow",
     options: Optional[FlowOptions] = None,
     budget: Optional[Budget] = None,
+    store=None,
 ) -> CheckReport:
     """Check module source text; never raises for ill-typed input.
 
@@ -151,9 +152,16 @@ def check_source(
     (:class:`repro.util.Budget`) caps the resources the check may spend;
     exhaustion never raises either — it yields a partial report with
     ``aborted`` declarations (``RP0998``).
+
+    ``store`` (a :class:`repro.store.CacheBackend`, e.g. from
+    :func:`repro.store.open_store`) serves and persists results through
+    the content-addressed cache hierarchy; cached results are
+    byte-identical to fresh ones, and a damaged store degrades to
+    misses, never to wrong answers.
     """
     outcome = _service_check_source(
-        path, source, engine=engine, options=options, budget=budget
+        path, source, engine=engine, options=options, budget=budget,
+        store=store,
     )
     return CheckReport.from_outcome(path, outcome)
 

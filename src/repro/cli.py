@@ -7,6 +7,8 @@ Subcommands:
   ``--server ADDR`` routes through a running daemon),
 * ``serve``          — run the persistent inference daemon (stdio or TCP),
 * ``client``         — one raw JSON-RPC call against a running daemon,
+* ``cache``          — administer the persistent result store
+  (``stats``/``gc``/``verify``/``clear``),
 * ``eval FILE``      — run a program under the concrete semantics,
 * ``bench fig9``     — regenerate the Fig. 9 table,
 * ``generate``       — emit a synthetic decoder specification.
@@ -175,8 +177,31 @@ def _budget_params_from_args(args: argparse.Namespace) -> dict | None:
     return spec or None
 
 
+def _resolve_store_dir(args: argparse.Namespace) -> str | None:
+    """The store directory from ``--store`` or ``ROWPOLY_STORE``."""
+    explicit = getattr(args, "store", None)
+    return explicit or os.environ.get("ROWPOLY_STORE") or None
+
+
+#: Per-process persistent-store handles, keyed by directory.  ``check
+#: --jobs N`` workers are spawned processes; each opens the shared
+#: directory once and keeps its own memory layer in front of it.
+_WORKER_STORES: dict[str, object] = {}
+
+
+def _open_worker_store(store_dir: str | None):
+    if store_dir is None:
+        return None
+    store = _WORKER_STORES.get(store_dir)
+    if store is None:
+        from .store import open_store
+
+        store = _WORKER_STORES[store_dir] = open_store(store_dir)
+    return store
+
+
 def _check_one_file(
-    item: tuple[str, str, FlowOptions, dict | None]
+    item: tuple[str, str, FlowOptions, dict | None, str | None]
 ) -> dict[str, object]:
     """Check one module file; the unit of work for the ``--jobs`` pool.
 
@@ -187,7 +212,7 @@ def _check_one_file(
     :func:`repro.api.check_source` facade over the same routine the
     daemon serves, which is what makes ``--server`` parity structural.
     """
-    path, engine, options, budget_spec = item
+    path, engine, options, budget_spec, store_dir = item
     try:
         source = _read_program(path)
     except OSError as error:
@@ -203,7 +228,8 @@ def _check_one_file(
         Budget.from_params(budget_spec) if budget_spec is not None else None
     )
     outcome = check_source(
-        source, path, engine=engine, options=options, budget=budget
+        source, path, engine=engine, options=options, budget=budget,
+        store=_open_worker_store(store_dir),
     )
     return {
         "file": path,
@@ -264,8 +290,15 @@ def cmd_check(args: argparse.Namespace) -> int:
         gc=not args.no_gc,
     )
     budget_spec = _budget_params_from_args(args)
+    store_dir = _resolve_store_dir(args)
     if args.server:
         from .server.client import check_files_via_server
+
+        if store_dir:
+            # The daemon owns its store (``serve --store``); a client-side
+            # directory would be consulted in the wrong process.
+            print("note: --server ignores --store; pass it to "
+                  "`rowpoly serve` instead", file=sys.stderr)
 
         try:
             payloads = check_files_via_server(
@@ -288,7 +321,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         from .server.shard import spawn_context
 
         items = [
-            (path, args.engine, options, budget_spec) for path in files
+            (path, args.engine, options, budget_spec, store_dir)
+            for path in files
         ]
         # Pinned "spawn" start method (same as the sharded daemon): the
         # platform default ``fork`` would clone any importing process's
@@ -301,7 +335,9 @@ def cmd_check(args: argparse.Namespace) -> int:
             payloads = list(pool.map(_check_one_file, items))
     else:
         payloads = [
-            _check_one_file((path, args.engine, options, budget_spec))
+            _check_one_file(
+                (path, args.engine, options, budget_spec, store_dir)
+            )
             for path in files
         ]
     exit_code = EXIT_OK
@@ -399,6 +435,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 quarantine_ttl=args.quarantine_ttl,
                 hang_seconds=args.hang_seconds,
                 shard_hang_seconds=args.shard_hang_seconds,
+                store_dir=_resolve_store_dir(args),
             )
         )
         drain_timeout = server.config.drain_timeout
@@ -428,6 +465,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 quarantine_threshold=args.quarantine_threshold,
                 quarantine_ttl=args.quarantine_ttl,
                 hang_seconds=args.hang_seconds,
+                store_dir=_resolve_store_dir(args),
             )
         )
         drain_timeout = server.config.drain_timeout
@@ -492,6 +530,42 @@ def cmd_client(args: argparse.Namespace) -> int:
         return EXIT_USAGE
     print(json.dumps(response, indent=2, sort_keys=True))
     return EXIT_OK if "result" in response else EXIT_ILL_TYPED
+
+
+# ---------------------------------------------------------------------------
+# cache: administer the persistent result store
+# ---------------------------------------------------------------------------
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``rowpoly cache {stats,gc,verify,clear}`` on a store directory.
+
+    Operates on the disk layer directly (no memory cache in front): the
+    point is to observe and mutate what other processes will see.  Every
+    action prints its result as key-sorted JSON on stdout.
+    """
+    from .store import DiskStore
+
+    root = _resolve_store_dir(args)
+    if not root:
+        print("error: no store directory (use --store DIR or set "
+              "ROWPOLY_STORE)", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        store = DiskStore(root)
+        if args.cache_command == "stats":
+            result = store.stats()
+        elif args.cache_command == "gc":
+            result = store.gc(args.max_bytes)
+        elif args.cache_command == "verify":
+            result = store.verify()
+        else:  # clear
+            result = store.clear()
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.cache_command == "verify" and result.get("corrupt"):
+        return EXIT_ILL_TYPED
+    return EXIT_OK
 
 
 def cmd_eval(args: argparse.Namespace) -> int:
@@ -717,6 +791,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="with --server: seed for the retry backoff jitter "
         "(default: 0)",
     )
+    p_check.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent content-addressed result store: serve cached "
+        "reports from DIR and persist new ones (default: $ROWPOLY_STORE "
+        "if set; cached output is byte-identical to a fresh run)",
+    )
     _add_budget_arguments(p_check)
     p_check.set_defaults(handler=cmd_check)
 
@@ -797,7 +877,52 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "forwarded request goes unanswered this long (default: no "
         "process watchdog)",
     )
+    p_serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent content-addressed result store shared by the "
+        "daemon — and by every shard under --shards (default: "
+        "$ROWPOLY_STORE if set)",
+    )
     p_serve.set_defaults(handler=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="administer a persistent result store directory",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_help = (
+        "store directory (default: $ROWPOLY_STORE if set)"
+    )
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="print entry/byte/counter statistics as JSON"
+    )
+    p_cache_stats.add_argument("--store", metavar="DIR", default=None,
+                               help=cache_help)
+    p_cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict oldest entries until the store fits under a byte "
+        "budget (advisory-locked against concurrent gc)",
+    )
+    p_cache_gc.add_argument("--store", metavar="DIR", default=None,
+                            help=cache_help)
+    p_cache_gc.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="target size: evict least-recently-written entries until "
+        "the object payloads total at most N bytes",
+    )
+    p_cache_verify = cache_sub.add_parser(
+        "verify",
+        help="re-validate every entry's self-check; quarantine corrupt "
+        "ones (exit 1 if any were found)",
+    )
+    p_cache_verify.add_argument("--store", metavar="DIR", default=None,
+                                help=cache_help)
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="remove all entries (and quarantined files)"
+    )
+    p_cache_clear.add_argument("--store", metavar="DIR", default=None,
+                               help=cache_help)
+    p_cache.set_defaults(handler=cmd_cache)
 
     p_client = sub.add_parser(
         "client",

@@ -51,6 +51,13 @@ class Pos:
     def as_dict(self) -> dict[str, int]:
         return {"line": self.line, "column": self.column}
 
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "Optional[Pos]":
+        """Exact inverse of :meth:`as_dict` (``None`` passes through)."""
+        if data is None:
+            return None
+        return cls(int(data["line"]), int(data["column"]))
+
 
 @dataclass(frozen=True)
 class WitnessStep:
@@ -69,6 +76,14 @@ class WitnessStep:
         }
         out["pos"] = self.pos.as_dict() if self.pos is not None else None
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WitnessStep":
+        return cls(
+            kind=str(data["kind"]),
+            description=str(data["description"]),
+            pos=Pos.from_dict(data.get("pos")),
+        )
 
 
 @dataclass(frozen=True)
@@ -127,6 +142,31 @@ class Diagnostic:
                 for message, pos in self.related
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """Exact inverse of :meth:`as_dict`.
+
+        The persistent result store round-trips diagnostics through
+        JSON; ``Diagnostic.from_dict(d.as_dict()) == d`` is what makes a
+        disk-served failing report byte-identical to a freshly solved
+        one.
+        """
+        return cls(
+            code=str(data["code"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+            pos=Pos.from_dict(data.get("pos")),
+            label=data.get("label"),
+            witness=tuple(
+                WitnessStep.from_dict(step)
+                for step in data.get("witness", ())
+            ),
+            related=tuple(
+                (str(item["message"]), Pos.from_dict(item["pos"]))
+                for item in data.get("related", ())
+            ),
+        )
 
 
 def diagnostics_as_dicts(

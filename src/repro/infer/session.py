@@ -20,6 +20,18 @@ cheaply:
   the attached :class:`~repro.boolfn.engine.SatEngine` survives untouched
   re-checks incrementally and rebuilds once per retraction.
 
+A session may also sit on a :class:`~repro.store.backend.CacheBackend`
+(the persistent result store): a per-declaration cache miss then consults
+the store — keyed on the same ``(fingerprint, dependency signatures)``
+content plus the engine/options/schema digest — before solving, and
+completed non-aborted reports are written back.  Disk entries carry
+*reports only*, never engine exports: schemes reference session-local
+variable/flag ids that cannot soundly cross a process boundary.  When a
+dependent of a store-served declaration actually needs solving, the
+missing exports are *rehydrated* (the dependency is re-checked by the
+engine, dependency-first) — determinism guarantees the rehydrated
+signature matches the stored one.
+
 Checking a declaration wraps it as ``let x = e in x`` so recursion works
 exactly as in the expression language, binds every dependency to its
 exported scheme, and seeds β with the dependencies' signature clauses.
@@ -40,6 +52,8 @@ from ..boolfn.engine import SatEngine, SolverStats
 from ..diag import Diagnostic, codes, diagnostics_as_dicts
 from ..diag.diagnostic import Pos
 from ..lang.module import Module
+from ..store.backend import CacheBackend
+from ..store.keys import config_digest, decl_key
 from ..testing.faults import fault_point
 from ..util import Budget, BudgetExceeded, Deadline
 from .engines import DeclCheck, make_engine
@@ -101,6 +115,59 @@ class DeclReport:
             out["code"] = self.code
             out["diagnostics"] = diagnostics_as_dicts(self.diagnostics)
         return out
+
+
+def report_payload(report: DeclReport) -> dict[str, object]:
+    """The JSON-ready store payload for one declaration report.
+
+    Wider than :meth:`DeclReport.as_dict` (the stable CLI shape): the
+    store must restore *every* deterministic field — ``type_text`` and
+    ``flow_text`` feed the human-readable CLI renderings — while still
+    excluding timings, cache provenance and solver telemetry.
+    """
+    return {
+        "name": report.name,
+        "status": report.status,
+        "signature": report.signature,
+        "type_text": report.type_text,
+        "flow_text": report.flow_text,
+        "error_class": report.error_class,
+        "message": report.message,
+        "line": report.line,
+        "column": report.column,
+        "code": report.code,
+        "diagnostics": diagnostics_as_dicts(report.diagnostics),
+    }
+
+
+def report_from_payload(payload: dict) -> Optional[DeclReport]:
+    """Exact inverse of :func:`report_payload`; ``None`` if malformed.
+
+    The store layer already rejects torn and bit-flipped entries via its
+    envelope hash, so a malformed payload here means a schema mismatch
+    that slipped past the version digest — treated, like every other
+    store defect, as a miss.
+    """
+    try:
+        return DeclReport(
+            name=str(payload["name"]),
+            status=str(payload["status"]),
+            signature=str(payload["signature"]),
+            type_text=str(payload["type_text"]),
+            flow_text=str(payload["flow_text"]),
+            error_class=str(payload["error_class"]),
+            message=str(payload["message"]),
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            code=str(payload["code"]),
+            diagnostics=tuple(
+                Diagnostic.from_dict(item)
+                for item in payload["diagnostics"]
+            ),
+            cached=True,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 @dataclass
@@ -170,6 +237,11 @@ class SessionStats:
     decls_reused: int = 0
     decls_aborted: int = 0
     clauses_retracted: int = 0
+    #: Persistent-store traffic (zero when no store is attached).
+    store_hits: int = 0
+    store_misses: int = 0
+    #: Store-served declarations re-checked to regain engine exports.
+    decls_rehydrated: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(vars(self))
@@ -189,14 +261,19 @@ class InferSession:
         self,
         engine: str = "flow",
         options: Optional[FlowOptions] = None,
+        store: Optional[CacheBackend] = None,
     ) -> None:
         self.engine_name = engine
         self.engine = make_engine(engine, options)
+        #: The persistent layer below the in-memory per-decl cache
+        #: (``None`` = memory only, the pre-store behaviour).
+        self.store = store
         self.stats = SessionStats()
         self.beta = Cnf()
         self.sat = SatEngine(self.beta)
         self._cache: dict[str, _CacheEntry] = {}
         self._intervals: dict[str, tuple[int, int]] = {}
+        self._config_digest = config_digest(engine, options)
 
     # ------------------------------------------------------------------
     # public API
@@ -229,6 +306,7 @@ class InferSession:
         for name in set(self._cache) - set(module.names()):
             self._invalidate(name)
         dependencies = module.dependencies()
+        decl_map = {decl.name: decl for decl in module}
         checks: dict[str, DeclCheck] = {}
         reports: list[DeclReport] = []
         by_name: dict[str, DeclReport] = {}
@@ -251,22 +329,41 @@ class InferSession:
                     reused += 1
                 else:
                     self._invalidate(decl.name)
-                    check, report = self._check_decl(
-                        decl, dep_names, failed_dep, checks, deadline, budget
-                    )
-                    if check is not None:
-                        checks[decl.name] = check
-                        self._assert_clauses(decl.name, check)
-                    if report.status == "aborted":
-                        # Never cache an aborted report: it is not a
-                        # verdict, and a budget-starved entry must not
-                        # satisfy (or poison) a later well-funded check.
-                        aborted += 1
-                    else:
+                    report = None
+                    if self.store is not None and failed_dep is None:
+                        report = self._store_lookup(decl, key)
+                    if report is not None:
+                        # A store hit is a reuse: no solving happened,
+                        # no export exists (dependents rehydrate).
                         self._cache[decl.name] = _CacheEntry(
-                            key, check, report
+                            key, None, report
                         )
-                    checked += 1
+                        reused += 1
+                    else:
+                        check, report = self._check_decl(
+                            decl, dep_names, failed_dep, checks,
+                            decl_map, dependencies, deadline, budget
+                        )
+                        if check is not None:
+                            checks[decl.name] = check
+                            self._assert_clauses(decl.name, check)
+                        if report.status == "aborted":
+                            # Never cache an aborted report: it is not a
+                            # verdict, and a budget-starved entry must
+                            # not satisfy (or poison) a later
+                            # well-funded check.  The same rule keeps it
+                            # out of the persistent store.
+                            aborted += 1
+                        else:
+                            self._cache[decl.name] = _CacheEntry(
+                                key, check, report
+                            )
+                            if (
+                                self.store is not None
+                                and failed_dep is None
+                            ):
+                                self._store_persist(key, report)
+                        checked += 1
                 by_name[decl.name] = report
                 reports.append(report)
             satisfiable = self._module_verdict()
@@ -319,7 +416,10 @@ class InferSession:
         for dep in dep_names:
             dep_report = by_name[dep]
             if dep_report.ok:
-                parts.append(f"{dep}={checks[dep].signature}")
+                # The report's signature, not the export's: store-served
+                # dependencies have a report but (until rehydrated) no
+                # DeclCheck, and the two are identical when both exist.
+                parts.append(f"{dep}={dep_report.signature}")
             else:
                 parts.append(f"{dep}!{dep_report.status}")
                 if failed is None:
@@ -332,6 +432,8 @@ class InferSession:
         dep_names: list[str],
         failed_dep: Optional[str],
         checks: dict[str, DeclCheck],
+        decl_map: Optional[dict] = None,
+        dependencies: Optional[dict[str, list[str]]] = None,
         deadline: Optional[Deadline] = None,
         budget: Optional[Budget] = None,
     ) -> tuple[Optional[DeclCheck], DeclReport]:
@@ -357,6 +459,14 @@ class InferSession:
         started = time.perf_counter()
         try:
             fault_point("session.check_decl")
+            if decl_map is not None and dependencies is not None:
+                # Inside the try: a budget that runs out while
+                # rehydrating a dependency aborts *this* declaration,
+                # exactly as if the budget tripped during its own check.
+                self._rehydrate(
+                    dep_names, decl_map, dependencies, checks,
+                    deadline, budget,
+                )
             check = self.engine.check_decl(
                 decl,
                 [(dep, checks[dep]) for dep in dep_names],
@@ -407,6 +517,65 @@ class InferSession:
             solver_stats=check.solver_stats,
         )
 
+    def _rehydrate(
+        self,
+        names: list[str],
+        decl_map: dict,
+        dependencies: dict[str, list[str]],
+        checks: dict[str, DeclCheck],
+        deadline: Optional[Deadline],
+        budget: Optional[Budget],
+    ) -> None:
+        """Recompute engine exports for store-served dependencies.
+
+        A persistent-store entry carries a *report*, never the engine's
+        export: schemes and clauses reference session-local variable and
+        flag ids, which would collide with this session's supplies.
+        When a dependent actually needs solving, each store-served
+        dependency is re-checked here, dependency-first, so every
+        rehydration only ever sees dependencies that already have
+        exports.  Inference is deterministic, so the recomputed
+        signature equals the stored one and the cache key stays valid.
+        """
+        for name in names:
+            if name in checks:
+                continue
+            entry = self._cache.get(name)
+            if entry is None or not entry.report.ok:
+                continue
+            deps = dependencies[name]
+            self._rehydrate(
+                deps, decl_map, dependencies, checks, deadline, budget
+            )
+            check = self.engine.check_decl(
+                decl_map[name],
+                [(dep, checks[dep]) for dep in deps],
+                deadline=deadline,
+                budget=budget,
+            )
+            checks[name] = check
+            self._assert_clauses(name, check)
+            self._cache[name] = _CacheEntry(entry.key, check, entry.report)
+            self.stats.decls_rehydrated += 1
+
+    def _store_key(self, key: tuple[str, ...]) -> str:
+        return decl_key(key[0], key[1:], self._config_digest)
+
+    def _store_lookup(
+        self, decl, key: tuple[str, ...]
+    ) -> Optional[DeclReport]:
+        """A usable report from the persistent store, or ``None``."""
+        payload = self.store.get(self._store_key(key))
+        report = None if payload is None else report_from_payload(payload)
+        if report is None or report.name != decl.name:
+            self.stats.store_misses += 1
+            return None
+        self.stats.store_hits += 1
+        return report
+
+    def _store_persist(self, key: tuple[str, ...], report: DeclReport) -> None:
+        self.store.put(self._store_key(key), report_payload(report))
+
     def _assert_clauses(self, name: str, check: DeclCheck) -> None:
         """Append the declaration's signature clauses as its interval."""
         if not check.clauses:
@@ -451,6 +620,7 @@ def check_module(
     module: Module,
     engine: str = "flow",
     options: Optional[FlowOptions] = None,
+    store: Optional[CacheBackend] = None,
 ) -> ModuleResult:
     """One-shot module check (fresh session each call)."""
-    return InferSession(engine, options).check(module)
+    return InferSession(engine, options, store=store).check(module)

@@ -92,6 +92,12 @@ class DaemonConfig:
     #: Hang watchdog: cancel a job served longer than this (``None`` =
     #: trust deadlines alone).
     hang_seconds: Optional[float] = None
+    #: Directory of the persistent result store (``--store``); ``None``
+    #: = memory-only caching, the pre-store behaviour.  Safe to share
+    #: between processes: every shard of ``serve --shards N`` (and any
+    #: number of unrelated daemons or CI runs) may point at one
+    #: directory.
+    store_dir: Optional[str] = None
 
     def default_budget(self) -> Optional[Budget]:
         """A fresh :class:`Budget` from the config defaults, or ``None``."""
@@ -128,7 +134,17 @@ class Daemon:
         if self.config.engine not in SESSION_ENGINES:
             raise ValueError(f"unknown engine {self.config.engine!r}")
         self.metrics = metrics or ServerMetrics()
-        self.registry = SessionRegistry(self.config.sessions, self.metrics)
+        self.store = None
+        if self.config.store_dir:
+            from ..store import open_store
+
+            self.store = open_store(
+                self.config.store_dir,
+                metrics_hook=self.metrics.record_store_event,
+            )
+        self.registry = SessionRegistry(
+            self.config.sessions, self.metrics, store=self.store
+        )
         self.scheduler = Scheduler(
             self._run_check_job,
             workers=self.config.workers,
@@ -448,6 +464,7 @@ class Daemon:
                         deadline=job.deadline,
                         budget=job.budget,
                         deep=False,
+                        store=self.store,
                     )
                     entry.checks += 1
                     aborted = report_aborted(outcome.report)

@@ -37,16 +37,16 @@ _BUCKET_BOUNDS: tuple[float, ...] = tuple(
 
 
 def _sum_trees(trees: list) -> object:
-    """Fold JSON trees: numbers sum, dicts merge recursively.
+    """Fold JSON trees: dicts merge over the *union* of keys, numbers sum.
 
-    Non-numeric leaves (e.g. ``dispatch_class``) keep the first non-empty
-    value — an aggregate cares about the counters.
+    Deliberately tolerant of skew: a mixed-version fleet may have shards
+    that report counters their peers do not (new ``store_*`` counters
+    during a rolling restart, retired ones after an upgrade).  A key is
+    summed across the shards that have it and never raises; a counter
+    present on one shard and missing (or ``None``) on another sums the
+    values that exist.  Non-numeric leaves (e.g. ``dispatch_class``)
+    keep the first non-empty value — an aggregate cares about counters.
     """
-    numbers = [t for t in trees if isinstance(t, (int, float))
-               and not isinstance(t, bool)]
-    if numbers and len(numbers) == len(trees):
-        total = sum(numbers)
-        return total
     dicts = [t for t in trees if isinstance(t, dict)]
     if dicts:
         keys: list[str] = []
@@ -58,6 +58,10 @@ def _sum_trees(trees: list) -> object:
             key: _sum_trees([t[key] for t in dicts if key in t])
             for key in keys
         }
+    numbers = [t for t in trees if isinstance(t, (int, float))
+               and not isinstance(t, bool)]
+    if numbers:
+        return sum(numbers)
     for tree in trees:
         if tree not in (None, ""):
             return tree
@@ -67,9 +71,9 @@ def _sum_trees(trees: list) -> object:
 def aggregate_snapshots(snapshots: list[dict]) -> dict:
     """One fleet-wide view of several :meth:`ServerMetrics.snapshot` dicts.
 
-    Counters (``requests``, ``sessions``, ``diagnostics``,
-    ``robustness``, the solver rollup) are summed; the session
-    ``hit_rate`` is recomputed from the summed hits/misses;
+    Counters (``requests``, ``sessions``, ``store``, ``diagnostics``,
+    ``robustness``, the solver rollup) are summed; the session and store
+    ``hit_rate``\\ s are recomputed from the summed hits/misses;
     ``uptime_seconds`` is the maximum.  Latency *percentiles* cannot be
     merged from snapshots, so the aggregate keeps only the mergeable
     fields per method (``count`` summed, ``mean`` count-weighted,
@@ -87,12 +91,21 @@ def aggregate_snapshots(snapshots: list[dict]) -> dict:
         aggregate[section] = _sum_trees(
             [s.get(section, {}) for s in snapshots]
         )
+    # Ratios are recomputed from the summed counters, never averaged —
+    # an average of per-shard hit rates weights an idle shard the same
+    # as a busy one.
     sessions = _sum_trees([s.get("sessions", {}) for s in snapshots])
     if isinstance(sessions, dict):
         hits = sessions.get("hits", 0)
         lookups = hits + sessions.get("misses", 0)
         sessions["hit_rate"] = hits / lookups if lookups else 0.0
     aggregate["sessions"] = sessions
+    store = _sum_trees([s.get("store", {}) for s in snapshots])
+    if isinstance(store, dict):
+        hits = store.get("hits", 0)
+        lookups = hits + store.get("misses", 0)
+        store["hit_rate"] = hits / lookups if lookups else 0.0
+    aggregate["store"] = store
     latency: dict[str, dict] = {}
     for snapshot in snapshots:
         for method, split in (snapshot.get("latency") or {}).items():
@@ -189,6 +202,12 @@ class ServerMetrics:
         "frames_rejected",
     )
 
+    #: Persistent-store counters.  ``hits``/``misses`` are hierarchy-
+    #: level lookup outcomes, ``evictions`` are disk entries removed by
+    #: gc/clear, ``corrupt_entries`` are envelopes that failed their
+    #: self-verification and were quarantined.
+    STORE_COUNTERS = ("hits", "misses", "evictions", "corrupt_entries")
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
@@ -202,6 +221,7 @@ class ServerMetrics:
         self._solver_merges = 0
         self._diagnostics: dict[str, int] = {}
         self._robustness = {name: 0 for name in self.ROBUSTNESS_COUNTERS}
+        self._store = {name: 0 for name in self.STORE_COUNTERS}
 
     # -- recording -----------------------------------------------------
     def record_request(
@@ -237,6 +257,16 @@ class ServerMetrics:
             self._solver.merge(stats)
             self._solver_merges += 1
 
+    def record_store_event(self, event: str, count: int = 1) -> None:
+        """Bump one of :data:`STORE_COUNTERS`.
+
+        The signature matches :data:`repro.store.backend.MetricsHook`,
+        so a bound ``metrics.record_store_event`` plugs straight into
+        :func:`repro.store.open_store`.
+        """
+        with self._lock:
+            self._store[event] = self._store.get(event, 0) + count
+
     def record_robustness(self, counter: str, count: int = 1) -> None:
         """Bump one of :data:`ROBUSTNESS_COUNTERS`."""
         with self._lock:
@@ -261,6 +291,8 @@ class ServerMetrics:
         with self._lock:
             hits, misses = self._sessions["hits"], self._sessions["misses"]
             lookups = hits + misses
+            store_hits = self._store.get("hits", 0)
+            store_lookups = store_hits + self._store.get("misses", 0)
             return {
                 "uptime_seconds": time.monotonic() - self._started,
                 "requests": {
@@ -281,6 +313,12 @@ class ServerMetrics:
                 "sessions": {
                     **self._sessions,
                     "hit_rate": hits / lookups if lookups else 0.0,
+                },
+                "store": {
+                    **self._store,
+                    "hit_rate": (
+                        store_hits / store_lookups if store_lookups else 0.0
+                    ),
                 },
                 "solver": {
                     "rollup": self._solver.as_dict(),
@@ -321,6 +359,14 @@ class ServerMetrics:
             f"evictions={sessions['evictions']}, "
             f"invalidations={sessions['invalidations']})"
         )
+        store = snap["store"]
+        if any(v for k, v in store.items() if k != "hit_rate"):
+            lines.append(
+                f"  store: hit_rate={store['hit_rate']:.2f} "
+                f"(hits={store['hits']}, misses={store['misses']}, "
+                f"evictions={store['evictions']}, "
+                f"corrupt_entries={store['corrupt_entries']})"
+            )
         solver = snap["solver"]["rollup"]
         lines.append(
             f"  solver: queries={solver['queries']} "

@@ -26,9 +26,13 @@ from typing import Optional
 
 from ..infer import InferSession
 from ..infer.state import FlowOptions
+from ..store.backend import CacheBackend
+from ..store.keys import options_key
 from ..testing.faults import fault_point
 from .metrics import ServerMetrics
 from .service import CheckOutcome
+
+__all__ = ["SessionEntry", "SessionRegistry", "options_key"]
 
 
 @dataclass
@@ -43,25 +47,27 @@ class SessionEntry:
     checks: int = 0
 
 
-def options_key(options: Optional[FlowOptions]) -> tuple:
-    """The session-relevant option fields (the batch checker's knobs)."""
-    if options is None:
-        options = FlowOptions()
-    return (options.track_fields, options.gc)
-
-
 class SessionRegistry:
-    """Thread-safe LRU map: (path, engine, options) → warm session."""
+    """Thread-safe LRU map: (path, engine, options) → warm session.
+
+    ``options_key`` — the tuple of session-relevant option fields that
+    co-keys entries — now lives in :mod:`repro.store.keys` (the cache
+    hierarchy's one source of key truth) and is re-exported here.
+    """
 
     def __init__(
         self,
         capacity: int = 32,
         metrics: Optional[ServerMetrics] = None,
+        store: Optional[CacheBackend] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("session registry capacity must be >= 1")
         self.capacity = capacity
         self.metrics = metrics
+        #: Persistent store handed to every session this registry
+        #: creates; an evicted-and-recreated session warms from it.
+        self.store = store
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, SessionEntry]" = OrderedDict()
 
@@ -87,7 +93,10 @@ class SessionRegistry:
             if entry is not None:
                 self._entries.move_to_end(key)
                 return entry
-            entry = SessionEntry(key=key, session=InferSession(engine, options))
+            entry = SessionEntry(
+                key=key,
+                session=InferSession(engine, options, store=self.store),
+            )
             self._entries[key] = entry
             evicted = 0
             while len(self._entries) > self.capacity:

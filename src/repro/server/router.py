@@ -85,6 +85,10 @@ class RouterConfig:
     quarantine_ttl: float = 30.0
     #: Shard-local cooperative hang watchdog (forwarded to each shard).
     hang_seconds: Optional[float] = None
+    #: Persistent result store directory, shared by *all* shards (the
+    #: store is multi-process safe: atomic-rename writes, advisory
+    #: locking on gc only).  ``None`` = memory-only.
+    store_dir: Optional[str] = None
     #: Router-level process watchdog: kill a shard whose forwarded
     #: request has been unanswered this long (``None`` = trust the
     #: shard-local mechanisms).  This is the last line of defence — it
@@ -114,6 +118,7 @@ class RouterConfig:
             quarantine_threshold=self.quarantine_threshold,
             quarantine_ttl=self.quarantine_ttl,
             hang_seconds=self.hang_seconds,
+            store_dir=self.store_dir,
         )
 
 
@@ -805,6 +810,15 @@ class Router:
                 f"misses={sessions.get('misses', 0)}, "
                 f"evictions={sessions.get('evictions', 0)}, "
                 f"invalidations={sessions.get('invalidations', 0)})"
+            )
+        store = snap.get("store") or {}
+        if any(v for k, v in store.items() if k != "hit_rate"):
+            lines.append(
+                f"  store: hit_rate={store.get('hit_rate', 0.0):.2f} "
+                f"(hits={store.get('hits', 0)}, "
+                f"misses={store.get('misses', 0)}, "
+                f"evictions={store.get('evictions', 0)}, "
+                f"corrupt_entries={store.get('corrupt_entries', 0)})"
             )
         robustness = snap.get("robustness") or {}
         if any(robustness.values()):

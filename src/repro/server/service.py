@@ -25,6 +25,8 @@ from ..diag.diagnostic import Pos
 from ..infer import InferSession
 from ..infer.state import FlowOptions
 from ..lang import LexError, ParseError, parse_module
+from ..store.backend import CacheBackend
+from ..store.keys import config_digest, module_key
 from ..util import Budget, Deadline, run_deep
 
 EXIT_OK = 0
@@ -112,6 +114,33 @@ def report_aborted(report: dict[str, object]) -> bool:
     )
 
 
+def _outcome_from_module_payload(
+    path: str, payload: Optional[dict], fingerprint: str
+) -> Optional[CheckOutcome]:
+    """A served outcome from a module-level store payload, or ``None``.
+
+    The payload stores the report *without* its ``file`` field (paths
+    are not part of store keys); reattaching it first keeps the stable
+    JSON key order — and therefore the bytes — identical to a freshly
+    computed report.
+    """
+    if not isinstance(payload, dict):
+        return None
+    body = payload.get("report")
+    exit_code = payload.get("exit")
+    if (
+        not isinstance(body, dict)
+        or not isinstance(exit_code, int)
+        or not isinstance(body.get("decls"), list)
+    ):
+        return None
+    report: dict[str, object] = {"file": path}
+    report.update(body)
+    return CheckOutcome(
+        report=report, exit=exit_code, fingerprint=fingerprint
+    )
+
+
 def check_source(
     path: str,
     source: str,
@@ -123,6 +152,7 @@ def check_source(
     deadline: Optional[Deadline] = None,
     budget: Optional[Budget] = None,
     deep: bool = True,
+    store: Optional[CacheBackend] = None,
 ) -> CheckOutcome:
     """Check one module source and package the outcome.
 
@@ -143,8 +173,24 @@ def check_source(
     ``budget`` is the graceful resource governor: exhaustion mid-check
     yields a *partial* report (aborted declarations carry ``RP0998``)
     and, when nothing genuinely failed, exit :data:`EXIT_ABORTED`.
+
+    ``store`` is the persistent result store.  It is consulted at
+    *module* granularity before even parsing — a content hit serves the
+    stored report with zero solver (or parser) work, the restart-parity
+    fast path — and complete, non-aborted reports are written back.
+    When a fresh throwaway session is created it also gets the store,
+    so partially changed modules reuse per-declaration entries.
     """
     run = run_deep if deep else (lambda fn: fn())
+    fingerprint = fingerprint_source(source)
+    store_key = ""
+    if store is not None:
+        store_key = module_key(fingerprint, config_digest(engine, options))
+        cached = _outcome_from_module_payload(
+            path, store.get(store_key), fingerprint
+        )
+        if cached is not None:
+            return cached
     started = time.perf_counter()
     parse_started = time.perf_counter()
     try:
@@ -153,11 +199,11 @@ def check_source(
         return CheckOutcome(
             report=_failure_report(path, error, getattr(error, "span", None)),
             exit=EXIT_USAGE,
-            fingerprint=fingerprint_source(source),
+            fingerprint=fingerprint,
         )
     parse_seconds = time.perf_counter() - parse_started
     if session is None:
-        session = InferSession(engine, options)
+        session = InferSession(engine, options, store=store)
     if recheck:
         result = run(lambda: session.recheck(module, deadline, budget))
     else:
@@ -177,10 +223,26 @@ def check_source(
         exit_code = EXIT_ABORTED
     else:
         exit_code = EXIT_ILL_TYPED
+    if (
+        store is not None
+        and "aborted" not in statuses
+        and exit_code in (EXIT_OK, EXIT_ILL_TYPED)
+    ):
+        # Complete verdicts only: partial (aborted) reports are not
+        # cacheable, and parse failures never reach this point.
+        store.put(
+            store_key,
+            {
+                "report": {
+                    k: v for k, v in report.items() if k != "file"
+                },
+                "exit": exit_code,
+            },
+        )
     return CheckOutcome(
         report=report,
         exit=exit_code,
         trace=trace,
         solver_stats=result.solver_rollup(),
-        fingerprint=fingerprint_source(source),
+        fingerprint=fingerprint,
     )

@@ -3,7 +3,11 @@
 A shard is simply the PR 3–5 :class:`~repro.server.daemon.Daemon` —
 warm-session registry, bounded worker pool, budgets, quarantine, thread
 supervisor and all — running in its own process on a loopback TCP port,
-so N shards use N cores with no GIL in common.  The router
+so N shards use N cores with no GIL in common.  When the fleet has a
+persistent result store (``--store``), every shard opens the *same*
+directory through its :class:`DaemonConfig` — safe because the store's
+writes are atomic renames of self-verifying entries and only gc takes a
+lock — so one shard's solve warms all its peers (and their respawns).  The router
 (:mod:`repro.server.router`) speaks the ordinary newline-delimited
 JSON-RPC to it; nothing in the daemon knows it is a shard.
 

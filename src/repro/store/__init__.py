@@ -1,0 +1,42 @@
+"""The unified cache hierarchy and persistent result store.
+
+``repro.store`` is the one home for every cache the checker has:
+key derivation (:mod:`repro.store.keys`), the :class:`CacheBackend`
+protocol with its in-memory and tiered layers
+(:mod:`repro.store.backend`), and the crash-safe disk layer
+(:mod:`repro.store.disk`).  ``open_store(dir)`` is the everything
+entry point the CLI, the daemon, and every shard use.
+"""
+
+from .backend import (
+    CacheBackend,
+    MemoryCache,
+    MetricsHook,
+    TieredCache,
+    open_store,
+)
+from .disk import DiskStore, payload_digest
+from .keys import (
+    SCHEMA_VERSION,
+    STORE_FORMAT,
+    config_digest,
+    decl_key,
+    module_key,
+    options_key,
+)
+
+__all__ = [
+    "CacheBackend",
+    "DiskStore",
+    "MemoryCache",
+    "MetricsHook",
+    "SCHEMA_VERSION",
+    "STORE_FORMAT",
+    "TieredCache",
+    "config_digest",
+    "decl_key",
+    "module_key",
+    "open_store",
+    "options_key",
+    "payload_digest",
+]

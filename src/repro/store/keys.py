@@ -1,0 +1,98 @@
+"""Cache-key derivation for the persistent result store.
+
+Every layer of the cache hierarchy — the session's in-memory
+per-declaration dict, the optional shared :class:`~repro.store.backend.
+MemoryCache`, and the disk-backed :class:`~repro.store.disk.DiskStore` —
+addresses entries by **content**, never by path or mtime.  A key is the
+sha-256 of everything that could change the stored bytes:
+
+* the *kind* of entry (``decl`` for one declaration's report, ``module``
+  for one whole module's stable report),
+* the content fingerprint(s): a declaration's sha-256 fingerprint plus
+  the canonical *signatures* of its dependencies (the same early-cutoff
+  inputs the session's memory cache uses), or a module source's sha-256
+  fingerprint,
+* the **configuration digest** — engine name, the session-relevant
+  :class:`~repro.infer.state.FlowOptions` fields, the stable report
+  schema version and the on-disk entry format version.
+
+Two deliberate exclusions, both load-bearing:
+
+* **budgets** are *not* part of the key.  Inference is deterministic, so
+  a budgeted run that completes produces byte-identical reports to an
+  unbudgeted one; runs that do *not* complete produce ``aborted``
+  (RP0998) reports, which are never persisted.  Keying on the budget
+  would only fragment the cache across equivalent entries;
+* **paths** are not part of the key.  The stable report's ``file`` field
+  is attached by the caller; the cached payload is derived from content
+  alone, so the same declaration in two files shares one entry.
+
+Bumping :data:`SCHEMA_VERSION` (the stable-report shape) or
+:data:`STORE_FORMAT` (the envelope layout) orphans old entries rather
+than misreading them — a version skew reads as a miss, never as a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+#: Version of the stable check-report JSON shape the payloads carry
+#: (schema v2 introduced the ``aborted`` status and RP0998/RP0997 —
+#: see ``docs/schema/check-report.schema.json``).
+SCHEMA_VERSION = 2
+
+#: Version of the on-disk entry envelope written by
+#: :class:`repro.store.disk.DiskStore`.
+STORE_FORMAT = 1
+
+_SEP = "\x00"
+
+
+def options_key(options) -> tuple:
+    """The session-relevant option fields (the batch checker's knobs).
+
+    Accepts a :class:`~repro.infer.state.FlowOptions` or ``None``
+    (defaults).  Duck-typed on purpose: this module sits below both the
+    inference and serving layers and must not import either.
+    """
+    if options is None:
+        return (True, True)
+    return (bool(options.track_fields), bool(options.gc))
+
+
+def config_digest(engine: str, options=None) -> str:
+    """Digest of everything configuration-shaped that affects reports."""
+    payload = _SEP.join(
+        (
+            "config",
+            str(SCHEMA_VERSION),
+            str(STORE_FORMAT),
+            engine,
+            repr(options_key(options)),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def decl_key(
+    fingerprint: str,
+    dep_parts: Iterable[str],
+    digest: str,
+) -> str:
+    """The store key of one declaration's report.
+
+    ``dep_parts`` is the session's cache-key contribution per dependency
+    — ``name=<canonical signature>`` for checked dependencies — so an
+    edit that preserves a dependency's signature keeps the key (the same
+    early cutoff the in-memory layer has always had).
+    """
+    payload = _SEP.join(("decl", digest, fingerprint, *dep_parts))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def module_key(source_fingerprint: str, digest: str) -> str:
+    """The store key of one whole module source's stable report."""
+    payload = _SEP.join(("module", digest, source_fingerprint))
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -22,6 +22,8 @@ wired in today:
 ``registry.acquire``    the daemon resolving a request to a session
 ``daemon.handle``       the daemon decoding one request line (the site an
                         ``exit`` rule uses to kill a whole shard process)
+``store.get``           the persistent result store reading one entry
+``store.put``           the persistent result store writing one entry
 ====================== ====================================================
 
 Rules pick a *kind* of failure:
@@ -35,6 +37,11 @@ Rules pick a *kind* of failure:
             drain.  Pointless against the in-process daemon (it kills the
             test too); against a *shard* of the process-sharded router it
             models kill -9 / OOM, driving the respawn + re-route path
+``io``      raise :class:`OSError` (disk full, yanked mount, EIO).  Only
+            meaningful at the ``store.*`` sites, which sit *inside* the
+            store's own try blocks: an injected ``io`` fault degrades the
+            lookup to a miss and the write to a no-op, so reports stay
+            byte-identical — the property the store chaos arm asserts
 
 Activation is either in-process (:func:`install` / :func:`injected`) or —
 for subprocess daemons — via the ``ROWPOLY_FAULTS`` environment variable,
@@ -85,7 +92,7 @@ class FaultRule:
 
     site: str
     rate: float
-    kind: str  # "error" | "crash" | "slow" | "budget" | "exit"
+    kind: str  # "error" | "crash" | "slow" | "budget" | "exit" | "io"
     delay_ms: int = 25
     #: Maximum number of trips (``None`` = unlimited).  A capped rule lets
     #: a soak assert "this request eventually succeeds on retry".
@@ -93,7 +100,9 @@ class FaultRule:
     trips: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "crash", "slow", "budget", "exit"):
+        if self.kind not in (
+            "error", "crash", "slow", "budget", "exit", "io"
+        ):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1]: {self.rate!r}")
@@ -140,6 +149,8 @@ class FaultInjector:
             raise FaultError(f"injected fault at {site}")
         if action.kind == "budget":
             raise BudgetExceeded(f"injected@{site}", 0, 0)
+        if action.kind == "io":
+            raise OSError(f"injected I/O fault at {site}")
         if action.kind == "exit":
             import os
 

@@ -1,0 +1,95 @@
+"""Chaos: seeded I/O faults at the store sites never change answers.
+
+The store's degradation contract under fire: with ``io`` faults tripping
+probabilistically at ``store.get``/``store.put`` — every failure mode a
+flaky disk or yanked network mount produces — checks still return
+reports byte-identical to a storeless offline run.  A fault can cost a
+re-solve (a lost read) or a lost persist (a failed write), never a wrong
+or missing answer.
+"""
+
+import json
+
+from repro.infer import InferSession, check_module
+from repro.lang import parse_module
+from repro.store import DiskStore, open_store
+from repro.testing.faults import FaultRule, injected
+
+WELL_TYPED = r"""
+let id = \x -> x;
+    mk = \v -> {a = v, b = 1};
+    get = \r -> #a r;
+    use = get (mk true)
+in use
+"""
+
+ILL_TYPED = "bad = #a (plus 1 true); dep = bad; independent = 1"
+
+#: Half of all store reads and writes fail, reproducibly.
+RULES = [
+    FaultRule("store.get", 0.5, "io"),
+    FaultRule("store.put", 0.5, "io"),
+]
+
+
+def _stable(result):
+    payloads = []
+    for report in result.decls:
+        payload = report.as_dict()
+        payload.pop("cached", None)
+        payloads.append(payload)
+    return json.dumps(payloads, sort_keys=True)
+
+
+def _baseline(source):
+    return _stable(check_module(parse_module(source), "flow"))
+
+
+class TestByteParityUnderIoFaults:
+    def test_seeded_io_storm_keeps_parity(self, tmp_path):
+        """Many sessions over one flaky store all match the baseline."""
+        expected = _baseline(WELL_TYPED)
+        store_dir = str(tmp_path / "store")
+        with injected(RULES, seed=23) as injector:
+            for _ in range(6):
+                result = InferSession(
+                    "flow", store=open_store(store_dir)
+                ).check(parse_module(WELL_TYPED))
+                assert _stable(result) == expected
+        # The storm must actually have tripped to mean anything.
+        assert sum(injector.summary().values()) > 0
+
+    def test_parity_for_error_reports(self, tmp_path):
+        expected = _baseline(ILL_TYPED)
+        store_dir = str(tmp_path / "store")
+        with injected(RULES, seed=5):
+            for _ in range(6):
+                result = InferSession(
+                    "flow", store=open_store(store_dir)
+                ).check(parse_module(ILL_TYPED))
+                assert _stable(result) == expected
+
+    def test_surviving_entries_are_all_valid(self, tmp_path):
+        """Writes that beat the fault schedule left only whole entries."""
+        store_dir = str(tmp_path / "store")
+        with injected(RULES, seed=23):
+            for _ in range(4):
+                InferSession(
+                    "flow", store=open_store(store_dir)
+                ).check(parse_module(WELL_TYPED))
+        disk = DiskStore(store_dir)
+        verdict = disk.verify()
+        assert verdict["corrupt"] == 0
+
+    def test_same_seed_same_fault_schedule(self, tmp_path):
+        """The io kind rides the registry's determinism guarantee."""
+
+        def run(seed):
+            trips = []
+            store = DiskStore(str(tmp_path / f"s{seed}-{len(trips)}"))
+            with injected(RULES, seed=seed) as injector:
+                for i in range(40):
+                    store.get(f"{i:02d}" + "0" * 62)
+                return injector.summary().get("store.get", 0)
+
+        assert run(7) == run(7)

@@ -1,0 +1,126 @@
+"""Tests for ``rowpoly check --store`` and the ``rowpoly cache`` admin.
+
+Everything runs through :func:`repro.cli.main` in-process, the same way
+the other CLI suites do; the store directory lives under ``tmp_path``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+WELL_TYPED = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+
+@pytest.fixture()
+def module_file(tmp_path):
+    def write(source, name="module.rp"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+def _check_json(capsys, *argv):
+    assert main(["check", "--json", *argv]) == 0
+    return capsys.readouterr().out
+
+
+class TestCheckWithStore:
+    def test_store_run_is_byte_identical_to_plain_run(
+        self, module_file, tmp_path, capsys
+    ):
+        path = module_file(WELL_TYPED)
+        store = str(tmp_path / "store")
+        plain = _check_json(capsys, path)
+        cold = _check_json(capsys, path, "--store", store)
+        warm = _check_json(capsys, path, "--store", store)
+        assert cold == plain
+        assert warm == plain
+
+    def test_warm_run_does_not_solve(self, module_file, tmp_path, capsys):
+        path = module_file(WELL_TYPED)
+        store = str(tmp_path / "store")
+        _check_json(capsys, path, "--store", store)
+        assert main(["check", "--json", "--solver-stats", path,
+                     "--store", store]) == 0
+        captured = capsys.readouterr()
+        rollup = json.loads(captured.err)
+        assert rollup["queries"] == 0
+
+    def test_env_var_is_the_default_store(
+        self, module_file, tmp_path, capsys, monkeypatch
+    ):
+        path = module_file(WELL_TYPED)
+        store = tmp_path / "envstore"
+        monkeypatch.setenv("ROWPOLY_STORE", str(store))
+        _check_json(capsys, path)
+        assert (store / "objects").is_dir()
+
+    def test_jobs_pool_shares_the_store(
+        self, module_file, tmp_path, capsys
+    ):
+        files = [module_file(WELL_TYPED, f"m{i}.rp") for i in range(2)]
+        store = str(tmp_path / "store")
+        first = _check_json(capsys, *files, "--jobs", "2",
+                            "--store", store)
+        second = _check_json(capsys, *files, "--jobs", "2",
+                             "--store", store)
+        plain = _check_json(capsys, *files)
+        assert first == second == plain
+
+
+class TestCacheCommand:
+    def _populate(self, module_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        _check_json(capsys, module_file(WELL_TYPED), "--store", store)
+        return store
+
+    def test_stats(self, module_file, tmp_path, capsys):
+        store = self._populate(module_file, tmp_path, capsys)
+        assert main(["cache", "stats", "--store", store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert stats["bytes"] > 0
+
+    def test_verify_clean_store_exits_zero(
+        self, module_file, tmp_path, capsys
+    ):
+        store = self._populate(module_file, tmp_path, capsys)
+        assert main(["cache", "verify", "--store", store]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["corrupt"] == 0
+
+    def test_verify_flags_corruption_with_exit_one(
+        self, module_file, tmp_path, capsys
+    ):
+        store = self._populate(module_file, tmp_path, capsys)
+        objects = os.path.join(store, "objects")
+        shard = sorted(os.listdir(objects))[0]
+        name = sorted(os.listdir(os.path.join(objects, shard)))[0]
+        with open(os.path.join(objects, shard, name), "wb") as handle:
+            handle.write(b"zapped")
+        assert main(["cache", "verify", "--store", store]) == 1
+        assert json.loads(capsys.readouterr().out)["corrupt"] == 1
+
+    def test_gc_to_zero_then_clear(self, module_file, tmp_path, capsys):
+        store = self._populate(module_file, tmp_path, capsys)
+        assert main(["cache", "gc", "--store", store,
+                     "--max-bytes", "0"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] > 0
+        assert main(["cache", "clear", "--store", store]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 0
+
+    def test_no_store_directory_is_a_usage_error(self, capsys,
+                                                 monkeypatch):
+        monkeypatch.delenv("ROWPOLY_STORE", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no store directory" in capsys.readouterr().err

@@ -136,3 +136,99 @@ class TestDaemonDiagnosticCounters:
         # bad fails (RP0001); dep is dependency-skipped (RP0006); the
         # cached replay must not double-count.
         assert snap == {"RP0001": 1, "RP0006": 1}
+
+
+class TestStoreCounters:
+    def test_record_store_event_shows_in_snapshot(self):
+        metrics = ServerMetrics()
+        metrics.record_store_event("hits", 3)
+        metrics.record_store_event("misses")
+        metrics.record_store_event("corrupt_entries")
+        store = metrics.snapshot()["store"]
+        assert store["hits"] == 3
+        assert store["misses"] == 1
+        assert store["corrupt_entries"] == 1
+        assert abs(store["hit_rate"] - 0.75) < 1e-9
+
+    def test_unknown_event_is_tolerated(self):
+        # A newer store layer may emit counters this daemon predates;
+        # they are carried through (and summed by aggregation), never
+        # a KeyError.
+        metrics = ServerMetrics()
+        metrics.record_store_event("warp_factor", 9)  # must not raise
+        assert metrics.snapshot()["store"]["warp_factor"] == 9
+
+    def test_idle_store_stays_out_of_render_text(self):
+        metrics = ServerMetrics()
+        assert "store:" not in metrics.render_text()
+        metrics.record_store_event("hits")
+        assert "store: hit_rate=" in metrics.render_text()
+
+    def test_hook_signature_matches_open_store(self, tmp_path):
+        from repro.store import open_store
+
+        metrics = ServerMetrics()
+        store = open_store(str(tmp_path),
+                           metrics_hook=metrics.record_store_event)
+        store.put("k", {"v": 1})
+        store.get("k")
+        store.get("absent")
+        snap = metrics.snapshot()["store"]
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+
+
+class TestAggregateTolerance:
+    """Fleet aggregation across shards of *different* versions."""
+
+    def _snapshot(self, **overrides):
+        metrics = ServerMetrics()
+        snap = metrics.snapshot()
+        snap.update(overrides)
+        return snap
+
+    def test_store_section_sums_and_recomputes_hit_rate(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        a = self._snapshot()
+        a["store"] = {"hits": 9, "misses": 1, "hit_rate": 0.9,
+                      "evictions": 0, "corrupt_entries": 0}
+        b = self._snapshot()
+        b["store"] = {"hits": 0, "misses": 10, "hit_rate": 0.0,
+                      "evictions": 2, "corrupt_entries": 1}
+        merged = aggregate_snapshots([a, b])["store"]
+        assert merged["hits"] == 9
+        assert merged["misses"] == 11
+        assert merged["evictions"] == 2
+        assert merged["corrupt_entries"] == 1
+        # Recomputed from the sums: 9/20 — NOT the 0.45 != (0.9+0)/2
+        # average that would weight an idle shard like a busy one.
+        assert abs(merged["hit_rate"] - 0.45) < 1e-9
+
+    def test_unknown_counter_keys_are_summed_not_fatal(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        a = self._snapshot()
+        a["requests"]["frobnications"] = 3  # a newer shard's counter
+        b = self._snapshot()  # an older shard without it
+        merged = aggregate_snapshots([a, b])
+        assert merged["requests"]["frobnications"] == 3
+
+    def test_missing_section_on_one_shard_is_tolerated(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        a = self._snapshot()
+        a["store"]["hits"] = 4
+        b = self._snapshot()
+        del b["store"]  # pre-store shard
+        merged = aggregate_snapshots([a, b])
+        assert merged["store"]["hits"] == 4
+
+    def test_mixed_type_values_keep_first_nonempty(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        a = self._snapshot()
+        a["robustness"]["last_crash"] = "worker-3"
+        b = self._snapshot()
+        merged = aggregate_snapshots([a, b])
+        assert merged["robustness"]["last_crash"] == "worker-3"

@@ -1,0 +1,115 @@
+"""Restart-parity tests for the daemon-owned persistent store.
+
+The tentpole contract of the store PR: a *restarted* daemon (or a whole
+restarted shard fleet) pointed at the same ``--store`` directory serves
+byte-identical reports with **zero** re-solves — ``store`` hits in the
+metrics, nothing in the solver rollup.
+"""
+
+import json
+
+from repro.server.client import ServeClient
+from repro.server.daemon import Daemon, DaemonConfig
+from repro.server.router import Router, RouterConfig
+
+SOURCE = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+ILL = "let bad = #a {}; dep = bad in dep"
+
+
+def _report(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def _run_daemon_once(store_dir, source, path="m.rp"):
+    daemon = Daemon(DaemonConfig(store_dir=store_dir))
+    host, port = daemon.serve_tcp(port=0, background=True)
+    try:
+        with ServeClient(f"{host}:{port}") as client:
+            served = client.check(path, source)
+        snapshot = daemon.metrics.snapshot()
+    finally:
+        daemon.request_shutdown()
+        assert daemon.wait_drained(timeout=30.0)
+    return served, snapshot
+
+
+def _run_router_once(store_dir, source, path="m.rp"):
+    router = Router(
+        RouterConfig(shards=2, workers=1, store_dir=store_dir)
+    )
+    host, port = router.serve_tcp("127.0.0.1", 0, background=True)
+    try:
+        with ServeClient(f"{host}:{port}") as client:
+            served = client.check(path, source)
+        snapshot = router.stats_snapshot()
+    finally:
+        router.request_shutdown()
+        assert router.wait_drained(60.0), "router drain hung"
+    return served, snapshot
+
+
+class TestDaemonRestartParity:
+    def test_restart_serves_identically_with_zero_solves(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold, cold_stats = _run_daemon_once(store_dir, SOURCE)
+        warm, warm_stats = _run_daemon_once(store_dir, SOURCE)
+
+        assert _report(warm["report"]) == _report(cold["report"])
+        assert warm["exit"] == cold["exit"] == 0
+        assert cold_stats["solver"]["rollup"]["queries"] > 0
+        assert warm_stats["solver"]["rollup"]["queries"] == 0
+        assert warm_stats["store"]["hits"] > 0
+        assert warm_stats["store"]["corrupt_entries"] == 0
+
+    def test_restart_parity_for_ill_typed_module(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold, _ = _run_daemon_once(store_dir, ILL)
+        warm, warm_stats = _run_daemon_once(store_dir, ILL)
+        assert _report(warm["report"]) == _report(cold["report"])
+        assert warm["exit"] == cold["exit"] == 1
+        assert warm_stats["solver"]["rollup"]["queries"] == 0
+
+    def test_store_output_matches_storeless_daemon(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        _run_daemon_once(store_dir, SOURCE)
+        stored, _ = _run_daemon_once(store_dir, SOURCE)
+        plain, _ = _run_daemon_once(None, SOURCE)
+        assert _report(stored["report"]) == _report(plain["report"])
+
+    def test_corrupted_store_rechecks_instead_of_serving_junk(
+        self, tmp_path
+    ):
+        import os
+
+        store_dir = str(tmp_path / "store")
+        cold, _ = _run_daemon_once(store_dir, SOURCE)
+        objects = os.path.join(store_dir, "objects")
+        for shard in os.listdir(objects):
+            for name in os.listdir(os.path.join(objects, shard)):
+                with open(os.path.join(objects, shard, name), "wb") as f:
+                    f.write(b"\x00 corrupted \xff")
+        warm, warm_stats = _run_daemon_once(store_dir, SOURCE)
+        assert _report(warm["report"]) == _report(cold["report"])
+        assert warm_stats["solver"]["rollup"]["queries"] > 0
+        assert warm_stats["store"]["corrupt_entries"] > 0
+
+
+class TestShardedRestartParity:
+    def test_fresh_fleet_serves_from_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        cold, _ = _run_router_once(store_dir, SOURCE)
+        warm, warm_stats = _run_router_once(store_dir, SOURCE)
+        assert _report(warm["report"]) == _report(cold["report"])
+        assert warm_stats["solver"]["rollup"]["queries"] == 0
+        assert warm_stats["store"]["hits"] > 0
+
+    def test_sharded_matches_unsharded_store_run(self, tmp_path):
+        sharded, _ = _run_router_once(str(tmp_path / "a"), SOURCE)
+        single, _ = _run_daemon_once(str(tmp_path / "b"), SOURCE)
+        assert _report(sharded["report"]) == _report(single["report"])

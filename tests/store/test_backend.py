@@ -1,0 +1,109 @@
+"""Unit tests for the cache-hierarchy layers above the disk.
+
+MemoryCache (L1) and TieredCache are pure in-process structures; what
+matters is LRU behaviour, hit promotion, write-through, and that the
+metrics hook sees exactly one hierarchy-level event per logical lookup.
+"""
+
+import pytest
+
+from repro.store import (
+    CacheBackend,
+    DiskStore,
+    MemoryCache,
+    TieredCache,
+    open_store,
+)
+
+
+class TestMemoryCache:
+    def test_roundtrip(self):
+        cache = MemoryCache()
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.get("absent") is None
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = MemoryCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryCache(capacity=0)
+
+    def test_stats_and_clear(self):
+        cache = MemoryCache(capacity=1)
+        cache.put("a", {})
+        cache.put("b", {})  # evicts a
+        cache.get("b")
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_satisfies_the_protocol(self):
+        assert isinstance(MemoryCache(), CacheBackend)
+
+
+class TestTieredCache:
+    def test_lower_layer_hit_promotes_upward(self, tmp_path):
+        memory = MemoryCache()
+        disk = DiskStore(str(tmp_path))
+        tiered = TieredCache([memory, disk])
+        disk.put("k", {"v": 1})  # only on disk
+        assert tiered.get("k") == {"v": 1}
+        # Promoted: the memory layer now answers without the disk.
+        assert memory.get("k") == {"v": 1}
+
+    def test_put_writes_through_all_layers(self, tmp_path):
+        memory = MemoryCache()
+        disk = DiskStore(str(tmp_path))
+        TieredCache([memory, disk]).put("k", {"v": 2})
+        assert memory.get("k") == {"v": 2}
+        assert disk.get("k") == {"v": 2}
+
+    def test_hook_sees_one_event_per_logical_lookup(self, tmp_path):
+        events = []
+        tiered = open_store(str(tmp_path),
+                            metrics_hook=lambda e, n: events.append(e))
+        tiered.put("k", {"v": 1})
+        tiered.get("k")        # memory hit
+        tiered.get("absent")   # full miss
+        assert events.count("hits") == 1
+        assert events.count("misses") == 1
+
+    def test_rejects_empty_layer_list(self):
+        with pytest.raises(ValueError):
+            TieredCache([])
+
+    def test_stats_nests_layers(self, tmp_path):
+        stats = open_store(str(tmp_path)).stats()
+        assert stats["layer"] == "tiered"
+        assert [layer["layer"] for layer in stats["layers"]] == [
+            "memory", "disk",
+        ]
+
+
+class TestOpenStore:
+    def test_default_is_memory_over_disk(self, tmp_path):
+        store = open_store(str(tmp_path))
+        assert isinstance(store, TieredCache)
+
+    def test_zero_memory_entries_is_bare_disk(self, tmp_path):
+        assert isinstance(open_store(str(tmp_path), memory_entries=0),
+                          DiskStore)
+
+    def test_two_processes_worth_of_stores_share_entries(self, tmp_path):
+        a = open_store(str(tmp_path))
+        b = open_store(str(tmp_path))
+        a.put("k", {"v": 3})
+        assert b.get("k") == {"v": 3}

@@ -1,0 +1,219 @@
+"""Unit tests for the crash-safe disk store.
+
+The invariants under test are the ones the rest of the PR leans on:
+torn/flipped entries read as misses (and are quarantined), writes are
+atomic, concurrent same-key writers converge, and maintenance
+(``gc``/``verify``/``clear``) never breaks a concurrent reader.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.store import STORE_FORMAT, DiskStore, payload_digest
+
+PAYLOAD = {"name": "f", "status": "ok", "signature": "s0", "n": 7}
+KEY = "ab" + "0" * 62
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DiskStore(str(tmp_path / "store"))
+
+
+def _entry_path(store, key):
+    return os.path.join(store.root, "objects", key[:2], key + ".json")
+
+
+def _quarantine_count(store):
+    quarantine = os.path.join(store.root, "quarantine")
+    return len(os.listdir(quarantine))
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_equal_payload(self, store):
+        store.put(KEY, PAYLOAD)
+        assert store.get(KEY) == PAYLOAD
+
+    def test_missing_key_is_a_miss(self, store):
+        assert store.get(KEY) is None
+        assert store.stats()["misses"] == 1
+
+    def test_envelope_is_self_verifying(self, store):
+        store.put(KEY, PAYLOAD)
+        with open(_entry_path(store, KEY)) as handle:
+            envelope = json.load(handle)
+        assert envelope["format"] == STORE_FORMAT
+        assert envelope["key"] == KEY
+        assert envelope["sha256"] == payload_digest(envelope["payload"])
+
+    def test_survives_reopen(self, store):
+        store.put(KEY, PAYLOAD)
+        reopened = DiskStore(store.root)
+        assert reopened.get(KEY) == PAYLOAD
+
+    def test_no_temp_files_left_behind(self, store):
+        for i in range(8):
+            store.put(f"{i:02d}" + "0" * 62, PAYLOAD)
+        assert os.listdir(os.path.join(store.root, "tmp")) == []
+
+
+class TestCorruption:
+    """Every flavour of damage must read as a miss and be quarantined."""
+
+    def _damage(self, store, data):
+        store.put(KEY, PAYLOAD)
+        path = _entry_path(store, KEY)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return path
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",  # torn at zero bytes
+            b'{"format": 1, "key": "',  # torn mid-envelope
+            b"\x00\xff garbage \xfe",  # not JSON at all
+            b"[1, 2, 3]\n",  # JSON, wrong shape
+        ],
+        ids=["empty", "truncated", "garbage", "wrong-shape"],
+    )
+    def test_damaged_entry_is_miss_and_quarantined(self, store, data):
+        path = self._damage(store, data)
+        assert store.get(KEY) is None
+        assert not os.path.exists(path)
+        assert _quarantine_count(store) == 1
+        assert store.stats()["corrupt_entries"] == 1
+
+    def test_flipped_payload_bit_fails_the_hash(self, store):
+        store.put(KEY, PAYLOAD)
+        path = _entry_path(store, KEY)
+        envelope = json.load(open(path))
+        envelope["payload"]["n"] = 8  # flip without re-hashing
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert store.get(KEY) is None
+        assert _quarantine_count(store) == 1
+
+    def test_entry_filed_under_wrong_key_is_rejected(self, store):
+        store.put(KEY, PAYLOAD)
+        other = "ab" + "1" * 62
+        os.makedirs(os.path.dirname(_entry_path(store, other)),
+                    exist_ok=True)
+        os.rename(_entry_path(store, KEY), _entry_path(store, other))
+        assert store.get(other) is None
+
+    def test_future_format_reads_as_miss(self, store):
+        store.put(KEY, PAYLOAD)
+        path = _entry_path(store, KEY)
+        envelope = json.load(open(path))
+        envelope["format"] = STORE_FORMAT + 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert store.get(KEY) is None
+
+    def test_corruption_reported_through_metrics_hook(self, tmp_path):
+        events = []
+        store = DiskStore(str(tmp_path), metrics_hook=lambda e, n:
+                          events.append((e, n)))
+        store.put(KEY, PAYLOAD)
+        with open(_entry_path(store, KEY), "wb") as handle:
+            handle.write(b"junk")
+        store.get(KEY)
+        assert ("corrupt_entries", 1) in events
+        # Hierarchy-level hits/misses belong to the TieredCache, not
+        # the disk layer — the hook must not see them from here.
+        assert all(e in ("corrupt_entries", "evictions")
+                   for e, _ in events)
+
+
+class TestConcurrency:
+    def test_concurrent_same_key_writers_converge(self, store):
+        barrier = threading.Barrier(8)
+
+        def writer():
+            barrier.wait()
+            for _ in range(25):
+                store.put(KEY, PAYLOAD)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get(KEY) == PAYLOAD
+        assert store.stats()["entries"] == 1
+        assert os.listdir(os.path.join(store.root, "tmp")) == []
+
+    def test_two_stores_one_directory(self, tmp_path):
+        a = DiskStore(str(tmp_path))
+        b = DiskStore(str(tmp_path))
+        a.put(KEY, PAYLOAD)
+        assert b.get(KEY) == PAYLOAD
+
+    def test_reader_racing_clear_sees_a_miss(self, store):
+        store.put(KEY, PAYLOAD)
+        store.clear()
+        assert store.get(KEY) is None
+
+
+class TestMaintenance:
+    def _fill(self, store, count):
+        for i in range(count):
+            store.put(f"{i:02d}" + "e" * 62, dict(PAYLOAD, n=i))
+
+    def test_stats_counts_entries_and_bytes(self, store):
+        self._fill(store, 3)
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["puts"] == 3
+
+    def test_verify_clean_store(self, store):
+        self._fill(store, 3)
+        assert store.verify() == {"checked": 3, "corrupt": 0}
+
+    def test_verify_quarantines_bad_entries(self, store):
+        self._fill(store, 3)
+        path = _entry_path(store, "01" + "e" * 62)
+        with open(path, "wb") as handle:
+            handle.write(b"broken")
+        assert store.verify() == {"checked": 3, "corrupt": 1}
+        assert store.stats()["entries"] == 2
+        assert _quarantine_count(store) == 1
+
+    def test_gc_evicts_oldest_first(self, store):
+        self._fill(store, 4)
+        # Make entry 0 clearly the oldest regardless of timer precision.
+        oldest = _entry_path(store, "00" + "e" * 62)
+        os.utime(oldest, (1, 1))
+        result = store.gc(max_bytes=store.stats()["bytes"] - 1)
+        assert result["removed"] >= 1
+        assert not os.path.exists(oldest)
+
+    def test_gc_to_zero_empties_the_store(self, store):
+        self._fill(store, 4)
+        result = store.gc(max_bytes=0)
+        assert result["removed"] == 4
+        assert result["kept_bytes"] == 0
+        assert store.stats()["entries"] == 0
+
+    def test_gc_noop_under_budget(self, store):
+        self._fill(store, 2)
+        assert store.gc(max_bytes=10**9)["removed"] == 0
+        assert store.stats()["entries"] == 2
+
+    def test_gc_rejects_negative_budget(self, store):
+        with pytest.raises(ValueError):
+            store.gc(max_bytes=-1)
+
+    def test_clear_drops_entries_and_quarantine(self, store):
+        self._fill(store, 2)
+        with open(_entry_path(store, "00" + "e" * 62), "wb") as handle:
+            handle.write(b"junk")
+        store.get("00" + "e" * 62)  # quarantines it
+        assert store.clear() == {"removed": 1}
+        assert store.stats()["entries"] == 0
+        assert _quarantine_count(store) == 0

@@ -1,0 +1,152 @@
+"""Corpus-scale audit throughput: cold vs store-warm re-audit.
+
+The audit pipeline's promise is that a re-audit of an already-solved
+corpus is an evidence refresh, not a re-solve: the Execute stage serves
+every unchanged module from the persistent result store.  This harness
+quantifies that on a generated multi-module corpus
+(:mod:`repro.gdsl.corpus` — ≥1000 modules, a few percent with injected
+type errors):
+
+1. generate the corpus and audit it **cold** (empty store directory:
+   every module pays full inference and populates the store),
+2. audit it again **store-warm** through a *fresh* store handle (empty
+   memory layer — the state a new CI worker or a restarted fleet is
+   in), recording the run's metrics,
+3. assert the two findings documents are **byte-identical**, the warm
+   run's store traffic shows *hits > 0 and misses == 0*, and the warm
+   wall clock beats the cold one by at least ``MIN_SPEEDUP``×.
+
+``python benchmarks/bench_audit_corpus.py --quick`` writes the numbers
+to ``BENCH_audit_corpus.json`` (the CI artefact) and stdout.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.audit import run_audit
+from repro.gdsl import CorpusConfig, generate_corpus, write_corpus
+from repro.server.metrics import ServerMetrics
+
+#: A store-warm re-audit must beat the cold audit by this factor (it
+#: replaces every solve with one verified disk read per module; the
+#: measured margin is two orders of magnitude — 5 is the safe floor).
+MIN_SPEEDUP = 5.0
+
+#: The acceptance floor for corpus size: the pipeline must demonstrate
+#: its economics at four-digit module counts, quick mode included.
+MIN_MODULES = 1000
+
+OUTPUT_FILE = "BENCH_audit_corpus.json"
+
+
+def measure(modules: int = MIN_MODULES, seed: int = 0,
+            error_rate: float = 0.02, engine: str = "flow") -> dict:
+    """Run the cold/warm comparison; returns the JSON measurement table."""
+    assert modules >= MIN_MODULES, (
+        f"audit benchmark must cover >= {MIN_MODULES} modules"
+    )
+    corpus = generate_corpus(
+        CorpusConfig(modules=modules, seed=seed, error_rate=error_rate)
+    )
+    with tempfile.TemporaryDirectory() as workdir:
+        corpus_dir = os.path.join(workdir, "corpus")
+        store_dir = os.path.join(workdir, "store")
+        write_corpus(corpus, corpus_dir)
+
+        started = time.perf_counter()
+        cold = run_audit(
+            [corpus_dir], engine=engine, store_dir=store_dir
+        )
+        cold_seconds = time.perf_counter() - started
+
+        # The warm pass opens the store fresh (run_audit constructs its
+        # own handle): empty memory layer, disk warm — a new worker.
+        warm_metrics = ServerMetrics()
+        started = time.perf_counter()
+        warm = run_audit(
+            [corpus_dir], engine=engine, store_dir=store_dir,
+            metrics=warm_metrics,
+        )
+        warm_seconds = time.perf_counter() - started
+
+    cold_text = json.dumps(cold.document, sort_keys=True)
+    warm_text = json.dumps(warm.document, sort_keys=True)
+    assert cold_text == warm_text, (
+        "cold and store-warm audits produced different findings"
+    )
+    store_traffic = warm_metrics.snapshot()["store"]
+    assert store_traffic["hits"] > 0, "warm audit never hit the store"
+    assert store_traffic["misses"] == 0, (
+        f"warm audit re-solved {store_traffic['misses']} modules"
+    )
+    return {
+        "engine": engine,
+        "modules": modules,
+        "injected_modules": len(corpus.injected_modules),
+        "findings": cold.document["summary"]["findings"],
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / max(warm_seconds, 1e-9),
+        "warm_store_hits": store_traffic["hits"],
+        "warm_store_misses": store_traffic["misses"],
+        "findings_bytes_identical": True,
+    }
+
+
+def _assert_floors(table: dict) -> None:
+    assert table["warm_speedup"] >= MIN_SPEEDUP, (
+        f"store-warm re-audit is only {table['warm_speedup']:.1f}x "
+        f"faster than cold (floor: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_audit_corpus(benchmark):
+    table = benchmark.pedantic(
+        lambda: measure(modules=MIN_MODULES),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_floors(table)
+    benchmark.extra_info.update(
+        {
+            key: table[key]
+            for key in ("modules", "findings", "warm_speedup",
+                        "warm_store_hits")
+        }
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"the floor corpus ({MIN_MODULES} modules); write "
+        f"{OUTPUT_FILE}",
+    )
+    parser.add_argument("--modules", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--error-rate", type=float, default=0.02)
+    parser.add_argument("--engine", default="flow")
+    args = parser.parse_args(argv)
+    modules = args.modules if args.modules is not None else (
+        MIN_MODULES if args.quick else 2 * MIN_MODULES
+    )
+    table = measure(
+        modules=modules, seed=args.seed, error_rate=args.error_rate,
+        engine=args.engine,
+    )
+    _assert_floors(table)
+    text = json.dumps(table, indent=2, sort_keys=True)
+    json.loads(text)  # the table must stay JSON-serialisable
+    with open(OUTPUT_FILE, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

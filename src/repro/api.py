@@ -69,6 +69,12 @@ class CheckReport:
     exit_code: int
     #: Content hash of the source (daemon warm-session key).
     fingerprint: str = ""
+    #: Digest of the producing configuration (engine + options) — the
+    #: same digest persistent-store keys fold in
+    #: (:func:`repro.store.keys.config_digest`), surfaced so consumers
+    #: (e.g. audit findings) can record *which* configuration produced
+    #: a result.  Not part of the stable ``report`` payload.
+    config_digest: str = ""
     #: Per-phase wall times; informational only.
     trace: dict[str, float] = field(default_factory=dict, compare=False)
     #: Solver telemetry of the run; informational only.
@@ -130,6 +136,7 @@ class CheckReport:
             report=outcome.report,
             exit_code=outcome.exit,
             fingerprint=outcome.fingerprint,
+            config_digest=outcome.config_digest,
             trace=outcome.trace,
             solver_stats=outcome.solver_stats,
         )
@@ -192,3 +199,38 @@ def check_path(
             exit_code=2,
         )
     return check_source(source, path, engine=engine, options=options)
+
+
+def audit_paths(
+    paths: list[str],
+    *,
+    engine: str = "flow",
+    options: Optional[FlowOptions] = None,
+    store_dir: Optional[str] = None,
+    jobs: int = 1,
+    shards: int = 1,
+):
+    """Audit corpus roots; returns the deterministic findings document.
+
+    The library entry to the ``rowpoly audit`` pipeline
+    (:mod:`repro.audit`): Discover the roots into a sharded plan,
+    Execute every module through the canonical check routine (with the
+    persistent store at ``store_dir``, so warm re-audits are
+    near-zero-solve), and Judge the payloads into a findings document —
+    deduplicated findings with content-addressed IDs, witness-path
+    citations and exact repro commands.  Auditing the same corpus twice
+    yields byte-identical JSON.
+
+    Raises :class:`repro.audit.DiscoveryError` for nonexistent roots;
+    every other failure mode is data in the document.
+    """
+    from .audit import run_audit
+
+    return run_audit(
+        paths,
+        engine=engine,
+        options=options,
+        store_dir=store_dir,
+        jobs=jobs,
+        shards=shards,
+    ).document

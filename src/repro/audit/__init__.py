@@ -1,0 +1,158 @@
+"""`rowpoly audit`: corpus-scale auditing with a deterministic evidence store.
+
+The pipeline has three stages, each a pure artifact-to-artifact step:
+
+* **Discover** (:mod:`repro.audit.discover`) — corpus roots -> a
+  deterministic, content-sharded :class:`AuditPlan`;
+* **Execute** (:mod:`repro.audit.execute`) — plan -> stable check
+  payloads, in-process, via a local worker pool, or fanned across a
+  sharded daemon fleet; the persistent result store makes warm
+  re-audits near-zero-solve;
+* **Judge** (:mod:`repro.audit.judge`) — payloads -> the findings
+  document: deduplicated findings with content-addressed IDs
+  (:func:`repro.diag.finding_id`), witness-path citations and exact
+  repro commands, plus aborted/unreadable side-lists.
+
+:func:`run_audit` chains the three and reports tallies into the
+metrics subsystem; :mod:`repro.audit.store` persists documents under
+self-verifying envelopes; :mod:`repro.audit.report` and
+:mod:`repro.audit.diff` are the triage surfaces over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..infer.state import FlowOptions
+from ..server.metrics import ServerMetrics
+from ..store.keys import config_digest
+from .diff import DiffResult, diff_documents, render_diff
+from .discover import (
+    AuditPlan,
+    AuditUnit,
+    DiscoveryError,
+    discover,
+    shard_of,
+)
+from .execute import ExecuteConfig, execute
+from .findings import FINDINGS_SCHEMA, Finding, Occurrence
+from .judge import JudgeResult, judge
+from .report import render_report, report_summary
+from .store import FindingsError, load_findings, save_findings
+
+__all__ = [
+    "AuditPlan",
+    "AuditResult",
+    "AuditUnit",
+    "DiffResult",
+    "DiscoveryError",
+    "ExecuteConfig",
+    "FINDINGS_SCHEMA",
+    "Finding",
+    "FindingsError",
+    "JudgeResult",
+    "Occurrence",
+    "diff_documents",
+    "discover",
+    "execute",
+    "judge",
+    "load_findings",
+    "render_diff",
+    "render_report",
+    "report_summary",
+    "run_audit",
+    "save_findings",
+    "shard_of",
+]
+
+
+@dataclass
+class AuditResult:
+    """Everything one audit run produced."""
+
+    plan: AuditPlan
+    document: dict[str, object]
+    #: Worst per-module exit folded with usage errors — the process exit
+    #: for ``rowpoly audit run``.
+    exit: int
+    judged: JudgeResult
+
+
+def run_audit(
+    paths: list[str],
+    *,
+    engine: str = "flow",
+    options: Optional[FlowOptions] = None,
+    budget_spec: Optional[dict] = None,
+    store_dir: Optional[str] = None,
+    jobs: int = 1,
+    server: Optional[str] = None,
+    shards: int = 1,
+    retries: int = 4,
+    retry_seed: int = 0,
+    metrics: Optional[ServerMetrics] = None,
+) -> AuditResult:
+    """Discover, execute and judge one audit over ``paths``.
+
+    Raises :class:`DiscoveryError` for nonexistent roots (a usage
+    error); everything else — ill-typed modules, unreadable files,
+    budget-aborted declarations — lands *in* the findings document.
+
+    When ``metrics`` is provided the run's tallies (and, for the
+    in-process path, the persistent store's hit/miss traffic) are
+    recorded on it; the CLI dumps that snapshot via ``--metrics-dump``.
+    """
+    plan = discover(paths, shards=shards)
+    store = None
+    if store_dir is not None and server is None and jobs <= 1:
+        from ..store import open_store
+
+        store = open_store(
+            store_dir,
+            metrics_hook=(
+                metrics.record_store_event if metrics is not None else None
+            ),
+        )
+    payloads = execute(
+        plan,
+        ExecuteConfig(
+            engine=engine,
+            options=options,
+            budget_spec=budget_spec,
+            store_dir=store_dir,
+            jobs=jobs,
+            server=server,
+            retries=retries,
+            retry_seed=retry_seed,
+        ),
+        store=store,
+    )
+    judged = judge(
+        plan,
+        payloads,
+        engine=engine,
+        config_digest=config_digest(engine, options),
+    )
+    if metrics is not None:
+        metrics.record_audit_event("modules_audited", judged.modules)
+        metrics.record_audit_event("modules_ok", judged.modules_ok)
+        metrics.record_audit_event(
+            "modules_with_findings", judged.modules_with_findings
+        )
+        metrics.record_audit_event(
+            "modules_aborted", judged.modules_aborted
+        )
+        metrics.record_audit_event(
+            "findings_total", len(judged.findings)
+        )
+        for payload in payloads:
+            stats = payload.get("solver_stats")
+            if stats is not None:
+                metrics.merge_solver_stats(stats)
+    return AuditResult(
+        plan=plan,
+        document=judged.document,
+        exit=judged.exit,
+        judged=judged,
+    )

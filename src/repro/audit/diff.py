@@ -1,0 +1,133 @@
+"""`rowpoly audit diff`: compare findings documents by identity.
+
+The CI gate: given a *baseline* findings document and a *current* one,
+classify every finding ID as **new** (current only), **resolved**
+(baseline only) or **persisting** (both).  Because IDs are content-
+addressed (:mod:`repro.diag.fingerprint`), renaming or moving modules
+produces an empty delta — only a genuinely new defect (or a change in
+how an old one fails) is "new".
+
+Exit-code semantics (``exit_code``): ``0`` when nothing is new —
+resolved findings are progress, not regressions — and ``1`` when any
+new finding appears; the CLI maps corrupt/missing documents to the
+usage exit before ever reaching this module.  A config-digest mismatch
+between the two documents does not fail the diff but is surfaced on the
+result, since findings produced by different engine configurations are
+comparable only advisedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DiffResult:
+    """The identity-level delta between two findings documents."""
+
+    new: list[dict[str, object]]
+    resolved: list[dict[str, object]]
+    persisting: list[str]
+    #: ``(baseline_digest, current_digest)`` when they disagree.
+    config_mismatch: tuple[str, str] | None = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "new": self.new,
+            "resolved": self.resolved,
+            "persisting": self.persisting,
+            "summary": {
+                "new": len(self.new),
+                "resolved": len(self.resolved),
+                "persisting": len(self.persisting),
+            },
+        }
+        if self.config_mismatch is not None:
+            out["config_mismatch"] = {
+                "baseline": self.config_mismatch[0],
+                "current": self.config_mismatch[1],
+            }
+        return out
+
+
+def _by_id(document: dict[str, object]) -> dict[str, dict[str, object]]:
+    return {
+        str(finding.get("id") or ""): finding
+        for finding in document.get("findings") or ()
+    }
+
+
+def _brief(finding: dict[str, object]) -> dict[str, object]:
+    """The per-finding slice a diff consumer needs to act: identity,
+    classification, and the citation/repro to chase it down."""
+    occurrences = finding.get("occurrences") or ()
+    return {
+        "id": finding.get("id"),
+        "code": finding.get("code"),
+        "message": finding.get("message"),
+        "decl": finding.get("decl"),
+        "occurrences": list(occurrences),
+        "repro": finding.get("repro"),
+    }
+
+
+def diff_documents(
+    baseline: dict[str, object], current: dict[str, object]
+) -> DiffResult:
+    """Classify finding IDs across a baseline and a current document."""
+    old = _by_id(baseline)
+    new = _by_id(current)
+    mismatch = None
+    old_digest = str(baseline.get("config_digest") or "")
+    new_digest = str(current.get("config_digest") or "")
+    if old_digest != new_digest:
+        mismatch = (old_digest, new_digest)
+    return DiffResult(
+        new=[
+            _brief(new[fid])
+            for fid in sorted(set(new) - set(old))
+        ],
+        resolved=[
+            _brief(old[fid])
+            for fid in sorted(set(old) - set(new))
+        ],
+        persisting=sorted(set(old) & set(new)),
+        config_mismatch=mismatch,
+    )
+
+
+def render_diff(result: DiffResult) -> str:
+    """Human-readable delta (the non-``--json`` rendering)."""
+    lines = [
+        "rowpoly audit diff",
+        f"  new        {len(result.new)}",
+        f"  resolved   {len(result.resolved)}",
+        f"  persisting {len(result.persisting)}",
+    ]
+    if result.config_mismatch is not None:
+        lines.append(
+            "  warning: config digest changed"
+            f" ({result.config_mismatch[0]} ->"
+            f" {result.config_mismatch[1]});"
+            " findings may not be comparable"
+        )
+    for finding in result.new:
+        occurrence = (finding.get("occurrences") or [{}])[0]
+        lines.append(
+            f"new: {finding.get('id')}  {finding.get('code')}"
+            f"  {occurrence.get('file', '')}"
+            f"  {finding.get('message')}"
+        )
+        repro = finding.get("repro") or {}
+        if repro.get("command"):
+            lines.append(f"     repro: {repro['command']}")
+    for finding in result.resolved:
+        lines.append(
+            f"resolved: {finding.get('id')}  {finding.get('code')}"
+            f"  {finding.get('message')}"
+        )
+    return "\n".join(lines)

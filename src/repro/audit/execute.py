@@ -1,0 +1,156 @@
+"""Execute: fan the audit plan out and collect stable check payloads.
+
+The middle stage of the pipeline runs every :class:`~repro.audit.
+discover.AuditUnit` through the *same* canonical check routine every
+other surface uses (:func:`repro.server.service.check_source`), in one
+of three modes:
+
+* **in-process** — one throwaway session per module, sharing a single
+  persistent-store handle (so the audit's ``store_hits`` are observable
+  through the attached metrics hook);
+* **local pool** (``jobs > 1``) — a spawned :class:`ProcessPoolExecutor`
+  with one store handle per worker process, exactly the ``rowpoly check
+  --jobs`` discipline (``map`` preserves input order, so downstream
+  artifacts are independent of scheduling);
+* **daemon fleet** (``server``) — batch submission through
+  :func:`repro.server.client.check_files_batch`, which drives a
+  ``rowpoly serve`` daemon (or ``--shards N`` router) with one retrying
+  connection per plan shard.
+
+All three produce payloads of the same shape as ``rowpoly check``
+(``{"file", "report", "exit", "trace", "solver_stats"}``), in plan
+order, with byte-identical stable reports — the existing parity
+contract the audit pipeline inherits rather than re-proves.  Results
+are keyed by plan position, so the Judge stage can zip units and
+payloads without trusting any transport's ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..infer.state import FlowOptions
+from ..server.service import check_source
+from ..util import Budget
+from .discover import AuditPlan
+
+
+@dataclass(frozen=True)
+class ExecuteConfig:
+    """Everything the Execute stage needs to know about *how* to run."""
+
+    engine: str = "flow"
+    options: Optional[FlowOptions] = None
+    #: Wire-shaped budget spec (``Budget.from_params`` input) or None.
+    budget_spec: Optional[dict] = None
+    #: Persistent result-store directory (``None`` = no store).
+    store_dir: Optional[str] = None
+    #: Local worker processes (ignored when ``server`` is set).
+    jobs: int = 1
+    #: ``HOST:PORT`` of a running daemon/router; routes the batch there.
+    server: Optional[str] = None
+    retries: int = 4
+    retry_seed: int = 0
+
+
+#: Per-process persistent-store handles for the worker pool, keyed by
+#: directory (one open per spawned worker, the ``check --jobs`` rule).
+_WORKER_STORES: dict[str, object] = {}
+
+
+def _open_worker_store(store_dir: Optional[str]):
+    if store_dir is None:
+        return None
+    store = _WORKER_STORES.get(store_dir)
+    if store is None:
+        from ..store import open_store
+
+        store = _WORKER_STORES[store_dir] = open_store(store_dir)
+    return store
+
+
+def _execute_one(
+    item: tuple[str, str, str, Optional[FlowOptions], Optional[dict],
+                Optional[str]],
+) -> dict[str, object]:
+    """Check one unit; the picklable unit of work for the pool."""
+    path, source, engine, options, budget_spec, store_dir = item
+    budget = (
+        Budget.from_params(budget_spec) if budget_spec is not None else None
+    )
+    outcome = check_source(
+        path, source, engine=engine, options=options, budget=budget,
+        store=_open_worker_store(store_dir),
+    )
+    return {
+        "file": path,
+        "report": outcome.report,
+        "exit": outcome.exit,
+        "trace": outcome.trace,
+        "solver_stats": outcome.solver_stats,
+    }
+
+
+def execute(
+    plan: AuditPlan,
+    config: ExecuteConfig,
+    store=None,
+) -> list[dict[str, object]]:
+    """Run the plan; payloads come back in plan order.
+
+    ``store`` is an already-open cache backend for the in-process path
+    (the caller owns it so its metrics hook — and therefore the audit's
+    ``store_hits`` — survive the run); the pool and fleet paths manage
+    their own handles from ``config.store_dir``.
+    """
+    if config.server:
+        from ..server.client import check_files_batch
+
+        return check_files_batch(
+            config.server,
+            [(unit.path, unit.source) for unit in plan.units],
+            engine=config.engine,
+            options=config.options,
+            budget=config.budget_spec,
+            retries=config.retries,
+            retry_seed=config.retry_seed,
+            concurrency=max(plan.shards, 1),
+        )
+    items = [
+        (unit.path, unit.source, config.engine, config.options,
+         config.budget_spec, config.store_dir)
+        for unit in plan.units
+    ]
+    if config.jobs > 1 and len(items) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..server.shard import spawn_context
+
+        with ProcessPoolExecutor(
+            max_workers=config.jobs, mp_context=spawn_context()
+        ) as pool:
+            return list(pool.map(_execute_one, items, chunksize=8))
+    if store is None:
+        store = _open_worker_store(config.store_dir)
+    payloads = []
+    for path, source, engine, options, budget_spec, _ in items:
+        budget = (
+            Budget.from_params(budget_spec)
+            if budget_spec is not None
+            else None
+        )
+        outcome = check_source(
+            path, source, engine=engine, options=options, budget=budget,
+            store=store,
+        )
+        payloads.append(
+            {
+                "file": path,
+                "report": outcome.report,
+                "exit": outcome.exit,
+                "trace": outcome.trace,
+                "solver_stats": outcome.solver_stats,
+            }
+        )
+    return payloads

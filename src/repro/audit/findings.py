@@ -1,0 +1,183 @@
+"""Finding values and the machine-readable findings document.
+
+A **finding** is one diagnostic promoted to a durable artifact: a
+content-addressed identity (:func:`repro.diag.finding_id`), the witness
+path as its citation, the exact ``rowpoly`` command that reproduces it,
+and the list of *occurrences* — (file, declaration, position) citations
+— where the identical defect was observed.  Two byte-identical
+declarations failing identically in two files are one finding with two
+occurrences; renaming a file changes an occurrence's path but never the
+finding's identity.
+
+The **findings document** is the Judge stage's output and the unit every
+triage surface consumes (``audit report``, ``audit diff``, the CI gate).
+It is deterministic by construction: findings are sorted by ``(code,
+id)``, occurrences by ``(file, line, column, decl)``, every list the
+document carries is sorted, and nothing time- or host-dependent is ever
+included — so auditing the same corpus twice (or through a daemon, or
+through a 4-shard fleet) yields byte-identical JSON, which is what lets
+``cmp`` be the regression oracle.
+
+Aborted declarations (``RP0998`` budget trips) are *not* findings: an
+abort is not a verdict, so it is listed separately under ``aborted`` —
+the same "partial results are never persisted as answers" rule the
+result store follows.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+
+from ..diag import codes, finding_id, witness_shape
+
+#: Version of the findings-document JSON shape
+#: (``docs/schema/audit-findings.schema.json``).
+FINDINGS_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One observed instance of a finding: a (file, decl, pos) citation."""
+
+    file: str
+    decl: str
+    line: int
+    column: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "decl": self.decl,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.column, self.decl)
+
+
+@dataclass
+class Finding:
+    """One deduplicated finding with its occurrence citations."""
+
+    id: str
+    code: str
+    message: str
+    severity: str
+    decl: str
+    decl_fingerprint: str
+    label: str
+    witness: list[dict]
+    related: list[dict]
+    occurrences: list[Occurrence] = field(default_factory=list)
+
+    @property
+    def title(self) -> str:
+        return codes.title_of(self.code) or ""
+
+    def repro_argv(self, engine: str) -> list[str]:
+        """The exact re-run command: one file, same engine, JSON out.
+
+        Re-checking the first (sorted) occurrence's file reproduces the
+        diagnostic this finding was minted from — the pipeline's
+        "reproducible from artifacts alone" contract.
+        """
+        first = min(self.occurrences, key=Occurrence.sort_key)
+        return [
+            "rowpoly", "check", first.file, "--engine", engine, "--json",
+        ]
+
+    def as_dict(self, engine: str) -> dict[str, object]:
+        argv = self.repro_argv(engine)
+        return {
+            "id": self.id,
+            "code": self.code,
+            "title": self.title,
+            "severity": self.severity,
+            "message": self.message,
+            "decl": self.decl,
+            "decl_fingerprint": self.decl_fingerprint,
+            "label": self.label,
+            "witness": self.witness,
+            "related": self.related,
+            "occurrences": [
+                occurrence.as_dict()
+                for occurrence in sorted(
+                    self.occurrences, key=Occurrence.sort_key
+                )
+            ],
+            "repro": {
+                "argv": argv,
+                "command": shlex.join(argv),
+            },
+        }
+
+
+def finding_from_diagnostic(
+    diagnostic: dict,
+    *,
+    decl: str,
+    decl_fingerprint: str,
+    occurrence: Occurrence,
+) -> Finding:
+    """Mint (or extend, by identity) a finding from one diagnostic dict.
+
+    The identity folds the diagnostic's code, the failing declaration's
+    content fingerprint and the witness shape — see
+    :mod:`repro.diag.fingerprint` for why paths and structured positions
+    stay out.
+    """
+    code = str(diagnostic.get("code") or "")
+    return Finding(
+        id=finding_id(code, decl_fingerprint, witness_shape(diagnostic)),
+        code=code,
+        message=str(diagnostic.get("message") or ""),
+        severity=str(diagnostic.get("severity") or "error"),
+        decl=decl,
+        decl_fingerprint=decl_fingerprint,
+        label=str(diagnostic.get("label") or ""),
+        witness=list(diagnostic.get("witness") or ()),
+        related=list(diagnostic.get("related") or ()),
+        occurrences=[occurrence],
+    )
+
+
+def findings_document(
+    *,
+    engine: str,
+    config_digest: str,
+    modules: int,
+    modules_with_findings: int,
+    findings: list[Finding],
+    aborted: list[Occurrence],
+    unreadable: list[tuple[str, str]],
+) -> dict[str, object]:
+    """Assemble the deterministic findings document."""
+    ordered = sorted(findings, key=lambda f: (f.code, f.id))
+    by_code: dict[str, int] = {}
+    occurrences = 0
+    for finding in ordered:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        occurrences += len(finding.occurrences)
+    return {
+        "findings_schema": FINDINGS_SCHEMA,
+        "engine": engine,
+        "config_digest": config_digest,
+        "modules": modules,
+        "modules_with_findings": modules_with_findings,
+        "findings": [finding.as_dict(engine) for finding in ordered],
+        "aborted": [
+            occurrence.as_dict()
+            for occurrence in sorted(aborted, key=Occurrence.sort_key)
+        ],
+        "unreadable": [
+            {"file": path, "message": message}
+            for path, message in sorted(unreadable)
+        ],
+        "summary": {
+            "findings": len(ordered),
+            "occurrences": occurrences,
+            "by_code": dict(sorted(by_code.items())),
+        },
+    }

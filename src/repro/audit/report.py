@@ -1,0 +1,86 @@
+"""`rowpoly audit report`: triage views over a findings document.
+
+Pure functions from a (verified) findings document to the two render
+targets: a per-code / per-module summary dict (``--json``) and a plain
+text rendering for terminals.  No I/O, no state — the document is the
+single source of truth, so anything this module shows is reproducible
+from the findings file alone.
+"""
+
+from __future__ import annotations
+
+from ..diag import codes
+
+
+def report_summary(document: dict[str, object]) -> dict[str, object]:
+    """The machine-readable triage summary for one findings document."""
+    by_code: dict[str, dict[str, int]] = {}
+    by_module: dict[str, dict[str, int]] = {}
+    for finding in document.get("findings") or ():
+        code = str(finding.get("code") or "")
+        entry = by_code.setdefault(
+            code, {"findings": 0, "occurrences": 0}
+        )
+        entry["findings"] += 1
+        occurrences = finding.get("occurrences") or ()
+        entry["occurrences"] += len(occurrences)
+        for occurrence in occurrences:
+            module = str(occurrence.get("file") or "")
+            per = by_module.setdefault(
+                module, {"findings": 0, "occurrences": 0}
+            )
+            per["occurrences"] += 1
+        # A finding counts once per module it occurs in.
+        for module in {
+            str(o.get("file") or "") for o in occurrences
+        }:
+            by_module[module]["findings"] += 1
+    return {
+        "engine": document.get("engine"),
+        "config_digest": document.get("config_digest"),
+        "modules": document.get("modules"),
+        "modules_with_findings": document.get("modules_with_findings"),
+        "findings": len(document.get("findings") or ()),
+        "aborted": len(document.get("aborted") or ()),
+        "unreadable": len(document.get("unreadable") or ()),
+        "by_code": {
+            code: by_code[code] for code in sorted(by_code)
+        },
+        "by_module": {
+            module: by_module[module] for module in sorted(by_module)
+        },
+    }
+
+
+def render_report(document: dict[str, object]) -> str:
+    """Human-readable triage summary (the non-``--json`` rendering)."""
+    summary = report_summary(document)
+    lines = [
+        "rowpoly audit report",
+        f"  engine           {summary['engine']}"
+        f"  (config {summary['config_digest']})",
+        f"  modules          {summary['modules']}"
+        f"  ({summary['modules_with_findings']} with findings)",
+        f"  findings         {summary['findings']}",
+    ]
+    if summary["aborted"]:
+        lines.append(f"  aborted decls    {summary['aborted']}")
+    if summary["unreadable"]:
+        lines.append(f"  unreadable files {summary['unreadable']}")
+    if summary["by_code"]:
+        lines.append("by code:")
+        for code, entry in summary["by_code"].items():
+            title = codes.title_of(code) or ""
+            lines.append(
+                f"  {code}  {entry['findings']:5d} finding(s)"
+                f"  {entry['occurrences']:5d} occurrence(s)"
+                f"  {title}"
+            )
+    if summary["by_module"]:
+        lines.append("by module:")
+        for module, entry in summary["by_module"].items():
+            lines.append(
+                f"  {module}: {entry['findings']} finding(s),"
+                f" {entry['occurrences']} occurrence(s)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Crash-safe persistence for findings documents.
+
+A findings file is the evidence an ``audit diff`` gate trusts, so it
+gets the same self-verifying envelope discipline as the result store
+(:mod:`repro.store.disk`): the document is wrapped in ``{"format",
+"kind", "sha256", "payload"}`` with the hash covering the canonical
+payload encoding, and written atomically (same-directory temp file,
+``fsync``, ``os.replace``) so a crash mid-write leaves either the old
+file or the new one — never a torn hybrid.
+
+Reading **fails loudly**: a missing, unparseable, mis-kinded or
+hash-mismatched file is quarantined (renamed aside with a ``.corrupt``
+suffix, preserving the bytes for forensics) and :class:`FindingsError`
+is raised.  The caller's remedy is always to re-audit — the store
+produces correct findings or no findings, never silently wrong ones,
+which is what lets a CI gate treat "load succeeded" as "evidence is
+exactly what the audit wrote".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from ..store.disk import payload_digest
+
+#: Envelope format for findings files on disk.
+FINDINGS_FORMAT = 1
+_KIND = "rowpoly-audit-findings"
+
+
+class FindingsError(Exception):
+    """A findings file is missing or failed verification; re-audit."""
+
+
+def save_findings(path: str, document: dict[str, object]) -> None:
+    """Atomically write a findings document under its envelope."""
+    envelope = {
+        "format": FINDINGS_FORMAT,
+        "kind": _KIND,
+        "sha256": payload_digest(document),
+        "payload": document,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".findings-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(envelope, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _quarantine(path: str) -> str:
+    """Move a bad findings file aside; returns the new path ('' if the
+    rename itself failed — the error message still stands either way)."""
+    target = path + ".corrupt"
+    try:
+        os.replace(path, target)
+    except OSError:
+        return ""
+    return target
+
+
+def load_findings(path: str) -> dict[str, object]:
+    """Load and verify a findings document.
+
+    Raises :class:`FindingsError` on any defect — after quarantining the
+    file so a retry cannot trip over the same corrupt bytes.
+    """
+    try:
+        with open(path) as handle:
+            envelope = json.load(handle)
+    except FileNotFoundError:
+        raise FindingsError(f"no findings file at {path}") from None
+    except (OSError, json.JSONDecodeError) as error:
+        quarantined = _quarantine(path)
+        raise FindingsError(
+            f"unreadable findings file {path}: {error}"
+            + (f" (quarantined to {quarantined})" if quarantined else "")
+        ) from None
+    reason = _verify(envelope)
+    if reason is not None:
+        quarantined = _quarantine(path)
+        raise FindingsError(
+            f"corrupt findings file {path}: {reason}"
+            + (f" (quarantined to {quarantined})" if quarantined else "")
+            + "; re-run `rowpoly audit run` to regenerate it"
+        )
+    return envelope["payload"]
+
+
+def _verify(envelope: object) -> str | None:
+    """Why an envelope is bad, or ``None`` when it verifies."""
+    if not isinstance(envelope, dict):
+        return "envelope is not an object"
+    if envelope.get("format") != FINDINGS_FORMAT:
+        return f"unsupported format {envelope.get('format')!r}"
+    if envelope.get("kind") != _KIND:
+        return f"wrong kind {envelope.get('kind')!r}"
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        return "payload is not an object"
+    if envelope.get("sha256") != payload_digest(payload):
+        return "sha256 mismatch"
+    return None

@@ -9,6 +9,9 @@ Subcommands:
 * ``client``         — one raw JSON-RPC call against a running daemon,
 * ``cache``          — administer the persistent result store
   (``stats``/``gc``/``verify``/``clear``),
+* ``audit``          — corpus-scale audit pipeline: ``run`` a corpus
+  into a deterministic findings document, ``report`` triage summaries,
+  ``diff`` against a baseline (the CI gate),
 * ``eval FILE``      — run a program under the concrete semantics,
 * ``bench fig9``     — regenerate the Fig. 9 table,
 * ``generate``       — emit a synthetic decoder specification.
@@ -568,6 +571,118 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+# ---------------------------------------------------------------------------
+# audit: corpus-scale auditing with a deterministic evidence store
+# ---------------------------------------------------------------------------
+def cmd_audit_run(args: argparse.Namespace) -> int:
+    from .audit import DiscoveryError, run_audit, render_report, save_findings
+    from .server.metrics import ServerMetrics
+
+    options = FlowOptions(
+        track_fields=not args.no_fields,
+        gc=not args.no_gc,
+    )
+    store_dir = _resolve_store_dir(args)
+    if args.server and store_dir:
+        print("note: --server ignores --store; pass it to "
+              "`rowpoly serve` instead", file=sys.stderr)
+        store_dir = None
+    metrics = ServerMetrics()
+    try:
+        result = run_audit(
+            args.paths,
+            engine=args.engine,
+            options=options,
+            budget_spec=_budget_params_from_args(args),
+            store_dir=store_dir,
+            jobs=args.jobs,
+            server=args.server,
+            shards=args.shards,
+            retries=args.retries,
+            retry_seed=args.retry_seed,
+            metrics=metrics,
+        )
+    except DiscoveryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.out:
+        save_findings(args.out, result.document)
+        print(f"audit: wrote findings to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.document, indent=2, sort_keys=True))
+    else:
+        print(render_report(result.document))
+    if args.metrics_dump:
+        snapshot = metrics.snapshot()
+        # Shard utilization is a property of this run's plan, not a
+        # counter; it rides along in the audit section of the dump.
+        snapshot["audit"]["shard_sizes"] = result.plan.shard_sizes()
+        with open(args.metrics_dump, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result.exit
+
+
+def cmd_audit_report(args: argparse.Namespace) -> int:
+    from .audit import (
+        FindingsError,
+        load_findings,
+        render_report,
+        report_summary,
+    )
+
+    try:
+        document = load_findings(args.findings)
+    except FindingsError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(report_summary(document), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_report(document))
+    return EXIT_OK
+
+
+def cmd_audit_diff(args: argparse.Namespace) -> int:
+    from .audit import (
+        FindingsError,
+        diff_documents,
+        load_findings,
+        render_diff,
+    )
+
+    try:
+        baseline = load_findings(args.baseline)
+        current = load_findings(args.current)
+    except FindingsError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    result = diff_documents(baseline, current)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff(result))
+    if args.metrics_dump:
+        from .server.metrics import ServerMetrics
+
+        metrics = ServerMetrics()
+        metrics.record_audit_event("findings_new", len(result.new))
+        metrics.record_audit_event(
+            "findings_resolved", len(result.resolved)
+        )
+        metrics.record_audit_event(
+            "findings_persisting", len(result.persisting)
+        )
+        with open(args.metrics_dump, "w") as handle:
+            json.dump(metrics.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result.exit_code
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
     try:
         source = _read_program(args.file)
@@ -588,6 +703,24 @@ def cmd_eval(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.corpus_dir:
+        from .gdsl import CorpusConfig, generate_corpus, write_corpus
+
+        corpus = generate_corpus(
+            CorpusConfig(
+                modules=args.modules,
+                seed=args.seed,
+                error_rate=args.error_rate,
+            )
+        )
+        paths = write_corpus(corpus, args.corpus_dir)
+        print(
+            f"generate: wrote {len(paths)} modules "
+            f"({len(corpus.injected_modules)} with injected errors) "
+            f"to {args.corpus_dir}",
+            file=sys.stderr,
+        )
+        return 0
     program = generate_decoder(
         GeneratorConfig(
             target_lines=args.lines,
@@ -924,6 +1057,125 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                help=cache_help)
     p_cache.set_defaults(handler=cmd_cache)
 
+    p_audit = sub.add_parser(
+        "audit",
+        help="corpus-scale audit pipeline with a deterministic evidence "
+        "store (run / report / diff)",
+    )
+    audit_sub = p_audit.add_subparsers(dest="audit_command", required=True)
+
+    p_audit_run = audit_sub.add_parser(
+        "run",
+        help="discover, check and judge a corpus into a findings "
+        "document (deterministic: byte-identical across re-runs, "
+        "--jobs counts and --server fleets)",
+    )
+    p_audit_run.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help=f"corpus roots: module files, or directories searched for "
+        f"*{MODULE_SUFFIX}",
+    )
+    p_audit_run.add_argument(
+        "--engine",
+        choices=sorted(SESSION_ENGINES),
+        default="flow",
+        help="inference engine (default: the paper's flow inference)",
+    )
+    p_audit_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="audit modules on N worker processes (output is "
+        "independent of N)",
+    )
+    p_audit_run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="content-derived shard count for the plan; with --server "
+        "also the number of concurrent daemon connections (default: 1)",
+    )
+    p_audit_run.add_argument(
+        "--server", metavar="ADDR", default=None,
+        help="fan the corpus across a running `rowpoly serve` daemon or "
+        "sharded router at HOST:PORT (findings are byte-identical to "
+        "the offline run)",
+    )
+    p_audit_run.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the findings document to PATH under a self-"
+        "verifying envelope (the `audit report`/`audit diff` input)",
+    )
+    p_audit_run.add_argument(
+        "--json", action="store_true",
+        help="print the findings document as JSON on stdout",
+    )
+    p_audit_run.add_argument(
+        "--no-fields", action="store_true",
+        help="disable field tracking (Fig. 9 'w/o fields' mode)",
+    )
+    p_audit_run.add_argument(
+        "--no-gc", action="store_true",
+        help="disable stale-flag garbage collection",
+    )
+    p_audit_run.add_argument(
+        "--retries", type=int, default=4, metavar="N",
+        help="with --server: retry retryable-unavailable answers up to "
+        "N times per module (default: 4)",
+    )
+    p_audit_run.add_argument(
+        "--retry-seed", type=int, default=0, metavar="SEED",
+        help="with --server: seed for the retry backoff jitter "
+        "(default: 0)",
+    )
+    p_audit_run.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent content-addressed result store: a store-warm "
+        "re-audit re-solves nothing (default: $ROWPOLY_STORE if set)",
+    )
+    p_audit_run.add_argument(
+        "--metrics-dump", metavar="PATH", default=None,
+        help="write the run's metrics snapshot (modules audited, "
+        "findings, store traffic, shard utilization) as JSON to PATH",
+    )
+    _add_budget_arguments(p_audit_run)
+    p_audit_run.set_defaults(handler=cmd_audit_run)
+
+    p_audit_report = audit_sub.add_parser(
+        "report",
+        help="per-code / per-module triage summary of a findings "
+        "document",
+    )
+    p_audit_report.add_argument(
+        "--findings", metavar="PATH", required=True,
+        help="findings document written by `audit run --out`",
+    )
+    p_audit_report.add_argument(
+        "--json", action="store_true",
+        help="print the summary as JSON on stdout",
+    )
+    p_audit_report.set_defaults(handler=cmd_audit_report)
+
+    p_audit_diff = audit_sub.add_parser(
+        "diff",
+        help="compare findings documents by stable finding ID "
+        "(exit 1 when anything is new — the CI gate)",
+    )
+    p_audit_diff.add_argument(
+        "--baseline", metavar="PATH", required=True,
+        help="the baseline findings document",
+    )
+    p_audit_diff.add_argument(
+        "current", metavar="PATH",
+        help="the current findings document",
+    )
+    p_audit_diff.add_argument(
+        "--json", action="store_true",
+        help="print the delta (new/resolved/persisting) as JSON",
+    )
+    p_audit_diff.add_argument(
+        "--metrics-dump", metavar="PATH", default=None,
+        help="write the delta's audit counters as a metrics snapshot "
+        "to PATH",
+    )
+    p_audit_diff.set_defaults(handler=cmd_audit_diff)
+
     p_client = sub.add_parser(
         "client",
         help="one raw JSON-RPC call against a running daemon",
@@ -948,10 +1200,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--max-steps", type=int, default=1_000_000)
     p_eval.set_defaults(handler=cmd_eval)
 
-    p_gen = sub.add_parser("generate", help="emit a synthetic decoder spec")
+    p_gen = sub.add_parser(
+        "generate",
+        help="emit a synthetic decoder spec, or a multi-module corpus "
+        "with --corpus-dir",
+    )
     p_gen.add_argument("--lines", type=int, default=1468)
     p_gen.add_argument("--semantics", action="store_true")
     p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
+        "--corpus-dir", metavar="DIR", default=None,
+        help="instead of one decoder on stdout, write a seeded multi-"
+        "module corpus (*.rp files) into DIR — the audit pipeline's "
+        "test workload",
+    )
+    p_gen.add_argument(
+        "--modules", type=int, default=100, metavar="N",
+        help="with --corpus-dir: number of modules (default: 100)",
+    )
+    p_gen.add_argument(
+        "--error-rate", type=float, default=0.0, metavar="R",
+        help="with --corpus-dir: probability of an injected type error "
+        "per module (default: 0)",
+    )
     p_gen.set_defaults(handler=cmd_generate)
 
     p_bench = sub.add_parser("bench", help="run a benchmark")

@@ -15,11 +15,15 @@ Public surface:
 * :func:`diagnose_unsat` — flow state -> diagnostics (never empty for
   an unsatisfiable state),
 * :func:`diagnose_core` / :func:`fallback_diagnostic` — the pieces,
-  exposed for tests and alternative frontends.
+  exposed for tests and alternative frontends,
+* :func:`finding_id` / :func:`witness_shape` — the content-addressed
+  identity of a diagnostic as an audit *finding* (stable across file
+  moves; see :mod:`repro.diag.fingerprint`).
 """
 
 from . import codes
 from .diagnostic import Diagnostic, Pos, WitnessStep, diagnostics_as_dicts
+from .fingerprint import FINDING_ID_VERSION, finding_id, witness_shape
 from .flow_unsat import (
     diagnose_core,
     diagnose_unsat,
@@ -30,11 +34,14 @@ from .flow_unsat import (
 __all__ = [
     "codes",
     "Diagnostic",
+    "FINDING_ID_VERSION",
     "Pos",
     "WitnessStep",
     "diagnostics_as_dicts",
     "diagnose_core",
     "diagnose_unsat",
     "fallback_diagnostic",
+    "finding_id",
     "parse_flag_name",
+    "witness_shape",
 ]

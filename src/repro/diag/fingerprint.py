@@ -1,0 +1,71 @@
+"""Stable finding identities for the corpus-audit pipeline.
+
+A *finding* is one diagnostic treated as a durable, re-checkable
+judgment rather than a log line: the audit pipeline stores it, diffs it
+against baselines, and gates CI on the delta.  That only works if the
+same defect keeps the same identity across audits — including audits of
+a reorganised tree — so a finding ID is a sha-256 over **content**, never
+over location:
+
+* the stable ``RP####`` code,
+* the *declaration fingerprint* — the content hash of the failing
+  declaration's pretty-printed expression
+  (:attr:`repro.lang.module.Decl.fingerprint`; spans excluded), or the
+  module source's content fingerprint for file-level findings (parse and
+  lex failures have no declaration),
+* the *witness shape* — the diagnostic's label plus every witness step's
+  ``(kind, description)`` pair.  Descriptions embed in-file positions
+  (``record created empty at 3:5``), which survive file renames; file
+  paths never enter the hash.
+
+Renaming or moving a module therefore preserves every finding ID, while
+any edit to the failing declaration (or a change in *how* it fails)
+mints a new one.  Two byte-identical declarations failing identically in
+two different files share one ID — the audit layer models that as one
+finding with two occurrence citations, which is the deduplication a
+corpus-scale triage view wants.
+
+IDs are the full 64-hex-character sha-256: findings stores are long-
+lived artifacts diffed across years of baselines, so no truncation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+_SEP = "\x00"
+
+#: Version prefix folded into every finding ID.  Bump to orphan all
+#: previous IDs when the identity recipe itself changes — a recipe skew
+#: must read as "everything new/resolved", never as silent ID collisions.
+FINDING_ID_VERSION = 1
+
+
+def witness_shape(diagnostic: dict) -> tuple[str, ...]:
+    """The identity-bearing parts of one diagnostic's JSON encoding.
+
+    The label and the witness steps' ``kind``/``description`` pairs —
+    exactly the parts that describe *what* went wrong, not where the
+    file lives.  Structured ``pos`` fields are excluded: descriptions
+    already carry the in-file anchors, and keeping the shape small makes
+    the recipe easy to restate in the findings schema.
+    """
+    parts: list[str] = [str(diagnostic.get("label") or "")]
+    for step in diagnostic.get("witness") or ():
+        parts.append(str(step.get("kind", "")))
+        parts.append(str(step.get("description", "")))
+    return tuple(parts)
+
+
+def finding_id(
+    code: str,
+    decl_fingerprint: str,
+    shape: Iterable[str] = (),
+) -> str:
+    """The stable identity of one finding (full sha-256 hex digest)."""
+    payload = _SEP.join(
+        ("finding", str(FINDING_ID_VERSION), code, decl_fingerprint,
+         *shape)
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,13 +1,28 @@
-"""Synthetic GDSL-style decoder workloads (the Fig. 9 corpora)."""
+"""Synthetic GDSL-style decoder workloads (the Fig. 9 corpora) and
+seeded multi-module corpora for the audit pipeline."""
 
 from .corpora import FIG9_CORPORA, CorpusSpec, build_corpus
+from .corpus import (
+    INJECTED_CODES,
+    CorpusConfig,
+    CorpusModule,
+    GeneratedCorpus,
+    generate_corpus,
+    write_corpus,
+)
 from .generator import GeneratedProgram, GeneratorConfig, generate_decoder
 
 __all__ = [
+    "CorpusConfig",
+    "CorpusModule",
     "CorpusSpec",
     "FIG9_CORPORA",
+    "GeneratedCorpus",
     "GeneratedProgram",
     "GeneratorConfig",
+    "INJECTED_CODES",
     "build_corpus",
+    "generate_corpus",
     "generate_decoder",
+    "write_corpus",
 ]

@@ -1,0 +1,144 @@
+"""Seeded multi-module corpora for the audit pipeline.
+
+The audit subsystem (:mod:`repro.audit`) needs corpora that look like a
+real module tree rather than one monolithic program: many small module
+files, shared declarations that recur across modules, and — for testing
+the Judge stage — a *configurable* rate of injected, recognisable type
+errors.
+
+Cross-module sharing is textual: the object language has no import
+syntax, so a "library" declaration appears verbatim in every module
+that uses it.  That is exactly what makes the corpora interesting for
+the content-addressed store — byte-identical declarations across
+modules hash to the same decl key, so one module's check warms every
+other module that shares the declaration — and for finding identity,
+where the same defect in two modules must merge into one finding.
+
+Generation is deterministic per seed, and *prefix-stable*: module ``i``
+of an N-module corpus is byte-identical to module ``i`` of a larger
+corpus with the same seed (each module derives its own rng from
+``(seed, i)``), so scaling a benchmark corpus up never invalidates a
+warm store for the shared prefix.
+
+Injected errors are designed to exercise specific stable codes:
+
+* a select of a field that provably may be absent (``RP0001``), on a
+  field name unique to the module so every injection is a *distinct*
+  finding;
+* a declaration depending on the broken one (``RP0006``), so dependency
+  shadowing shows up in findings too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from random import Random
+
+#: Stable codes an injected-error module is expected to produce.
+INJECTED_CODES = ("RP0001", "RP0006")
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape parameters of a generated multi-module corpus."""
+
+    modules: int
+    seed: int = 0
+    #: Probability that a module gets an injected type error.
+    error_rate: float = 0.0
+    #: Shared "library" declarations included verbatim in every module.
+    library_decls: int = 3
+    #: Module-specific (unique-text) declarations per module.
+    decls_per_module: int = 3
+
+
+@dataclass(frozen=True)
+class CorpusModule:
+    """One generated module file."""
+
+    name: str
+    source: str
+    #: Stable codes of injected errors (empty for a clean module).
+    injected: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GeneratedCorpus:
+    """A generated corpus plus its metadata."""
+
+    modules: tuple[CorpusModule, ...]
+    config: CorpusConfig
+
+    @property
+    def injected_modules(self) -> list[str]:
+        """Names of the modules that carry an injected error."""
+        return [m.name for m in self.modules if m.injected]
+
+
+def _library_lines(count: int) -> list[str]:
+    """The shared declaration pool, identical text in every module."""
+    lines = ["mk_state = @{f0 = 0} (@{f1 = 1} ({}))"]
+    for index in range(count):
+        lines.append(
+            f"lib{index} = \\s -> "
+            f"@{{lf{index} = plus (#f0 s) {index + 1}}} s"
+        )
+    return lines
+
+
+def generate_corpus(config: CorpusConfig) -> GeneratedCorpus:
+    """Generate a deterministic multi-module corpus."""
+    if config.modules < 1:
+        raise ValueError("modules must be >= 1")
+    if not 0.0 <= config.error_rate <= 1.0:
+        raise ValueError("error_rate must be within [0, 1]")
+    library = _library_lines(config.library_decls)
+    modules: list[CorpusModule] = []
+    for index in range(config.modules):
+        # One rng per module, derived from (seed, index): module i's
+        # bytes do not depend on how many modules follow it.
+        rng = Random(f"{config.seed}:{index}")
+        lines = list(library)
+        state = "mk_state"
+        for step in range(config.decls_per_module):
+            library_fn = rng.randrange(max(config.library_decls, 1))
+            value = rng.randrange(100)
+            name = f"m{index}_d{step}"
+            if config.library_decls:
+                lines.append(
+                    f"{name} = @{{g{step} = {value}}} "
+                    f"(lib{library_fn} {state})"
+                )
+            else:
+                lines.append(f"{name} = @{{g{step} = {value}}} {state}")
+            state = name
+        injected: tuple[str, ...] = ()
+        if rng.random() < config.error_rate:
+            # A module-unique absent field: each injection is its own
+            # finding; the dependent decl adds the RP0006 shadow.
+            lines.append(f"m{index}_bug = #missing_{index} {state}")
+            lines.append(f"m{index}_use = plus m{index}_bug 1")
+            injected = INJECTED_CODES
+        else:
+            lines.append(f"m{index}_use = #f1 {state}")
+        modules.append(
+            CorpusModule(
+                name=f"mod_{index:05d}.rp",
+                source=";\n".join(lines) + "\n",
+                injected=injected,
+            )
+        )
+    return GeneratedCorpus(modules=tuple(modules), config=config)
+
+
+def write_corpus(corpus: GeneratedCorpus, directory: str) -> list[str]:
+    """Write every module under ``directory``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: list[str] = []
+    for module in corpus.modules:
+        path = os.path.join(directory, module.name)
+        with open(path, "w") as handle:
+            handle.write(module.source)
+        paths.append(path)
+    return paths

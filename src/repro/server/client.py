@@ -288,6 +288,116 @@ class RetryingClient:
             self._sleep(delay)
 
 
+def _error_payload(path: str, kind: str, message: str) -> dict[str, Any]:
+    """The offline-shaped payload for a request that never got a report."""
+    return {
+        "file": path,
+        "report": {
+            "file": path,
+            "ok": False,
+            "error": kind,
+            "message": message,
+        },
+        "exit": EXIT_USAGE,
+        "trace": {},
+        "solver_stats": None,
+    }
+
+
+def check_files_batch(
+    address: str,
+    items: list[tuple[str, str]],
+    *,
+    engine: str = "flow",
+    options: Optional[FlowOptions] = None,
+    budget: Optional[dict[str, Any]] = None,
+    deadline_ms: Optional[float] = None,
+    retries: int = 4,
+    retry_seed: int = 0,
+    concurrency: int = 1,
+) -> list[dict[str, Any]]:
+    """Fan ``(path, source)`` pairs across a daemon with N connections.
+
+    The batch driver behind ``rowpoly audit run --server``: sources are
+    already in hand (the Discover stage read them), so this only ships
+    and reassembles.  ``concurrency`` worker threads each own one
+    :class:`RetryingClient` (seeded ``retry_seed + worker``, so retry
+    jitter stays deterministic per worker) and take the statically
+    interleaved slice ``items[worker::concurrency]`` — a deterministic
+    partition, with results placed by original index so the payload list
+    is in input order no matter how the threads are scheduled.  Against
+    a sharded router every connection can land on a different shard,
+    which is what keeps a fleet busy from one audit process.
+
+    Per-item failures degrade exactly like
+    :func:`check_files_via_server`: a structured error payload with the
+    usage exit, never an exception that loses the rest of the batch.
+    """
+    if options is None:
+        options = FlowOptions()
+    wire_options = {"track_fields": options.track_fields, "gc": options.gc}
+    workers = max(1, min(concurrency, len(items) or 1))
+    payloads: list[Optional[dict[str, Any]]] = [None] * len(items)
+
+    def run_worker(worker: int) -> None:
+        with RetryingClient(
+            address, retries=retries, seed=retry_seed + worker
+        ) as client:
+            for index in range(worker, len(items), workers):
+                path, source = items[index]
+                try:
+                    result = client.check(
+                        path,
+                        source,
+                        engine=engine,
+                        options=wire_options,
+                        deadline_ms=deadline_ms,
+                        budget=budget,
+                    )
+                except ServeError as error:
+                    payloads[index] = _error_payload(
+                        path, f"Server{error.name}", str(error)
+                    )
+                    continue
+                except (ConnectionError, OSError) as error:
+                    payloads[index] = _error_payload(
+                        path, "ServerConnectionError", str(error)
+                    )
+                    continue
+                payloads[index] = {
+                    "file": path,
+                    "report": result["report"],
+                    "exit": result["exit"],
+                    "trace": result.get("trace", {}),
+                    "solver_stats": None,
+                }
+
+    if workers == 1:
+        run_worker(0)
+    else:
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(worker,), daemon=True
+            )
+            for worker in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    # Positional integrity over convenience: a payload must exist for
+    # every input (the Judge stage zips them against the plan), so a
+    # slot a dying worker never filled degrades to an error payload.
+    return [
+        payload
+        if payload is not None
+        else _error_payload(
+            items[index][0], "ServerError", "no response (worker died)"
+        )
+        for index, payload in enumerate(payloads)
+    ]
+
+
 def check_files_via_server(
     address: str,
     files: list[str],

@@ -557,6 +557,10 @@ class Daemon:
             "trace": outcome.trace,
             "cached": cached,
         }
+        if outcome.config_digest:
+            # The producing configuration (store-key digest); response
+            # metadata like trace/cached, not part of the stable report.
+            result["config_digest"] = outcome.config_digest
         if aborted:
             result["aborted"] = True
         return protocol.ok_response(job.id, result)

@@ -87,7 +87,8 @@ def aggregate_snapshots(snapshots: list[dict]) -> dict:
     aggregate["uptime_seconds"] = max(
         s.get("uptime_seconds", 0.0) for s in snapshots
     )
-    for section in ("requests", "diagnostics", "robustness", "solver"):
+    for section in ("requests", "diagnostics", "robustness", "solver",
+                    "audit"):
         aggregate[section] = _sum_trees(
             [s.get(section, {}) for s in snapshots]
         )
@@ -208,6 +209,21 @@ class ServerMetrics:
     #: self-verification and were quarantined.
     STORE_COUNTERS = ("hits", "misses", "evictions", "corrupt_entries")
 
+    #: Audit-pipeline counters (``rowpoly audit``).  The ``modules_*``
+    #: family partitions audited modules by verdict; ``findings_total``
+    #: counts deduplicated findings, and the new/resolved/persisting
+    #: trio is fed by ``audit diff`` runs against a baseline.
+    AUDIT_COUNTERS = (
+        "modules_audited",
+        "modules_ok",
+        "modules_with_findings",
+        "modules_aborted",
+        "findings_total",
+        "findings_new",
+        "findings_resolved",
+        "findings_persisting",
+    )
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
@@ -222,6 +238,7 @@ class ServerMetrics:
         self._diagnostics: dict[str, int] = {}
         self._robustness = {name: 0 for name in self.ROBUSTNESS_COUNTERS}
         self._store = {name: 0 for name in self.STORE_COUNTERS}
+        self._audit = {name: 0 for name in self.AUDIT_COUNTERS}
 
     # -- recording -----------------------------------------------------
     def record_request(
@@ -266,6 +283,11 @@ class ServerMetrics:
         """
         with self._lock:
             self._store[event] = self._store.get(event, 0) + count
+
+    def record_audit_event(self, event: str, count: int = 1) -> None:
+        """Bump one of :data:`AUDIT_COUNTERS`."""
+        with self._lock:
+            self._audit[event] = self._audit.get(event, 0) + count
 
     def record_robustness(self, counter: str, count: int = 1) -> None:
         """Bump one of :data:`ROBUSTNESS_COUNTERS`."""
@@ -326,6 +348,7 @@ class ServerMetrics:
                 },
                 "diagnostics": dict(sorted(self._diagnostics.items())),
                 "robustness": dict(sorted(self._robustness.items())),
+                "audit": dict(self._audit),
             }
 
     def render_text(self) -> str:
@@ -389,4 +412,12 @@ class ServerMetrics:
                 if count
             )
             lines.append(f"  robustness: {detail}")
+        audit = snap.get("audit") or {}
+        if any(audit.values()):
+            detail = ", ".join(
+                f"{name}={count}"
+                for name, count in audit.items()
+                if count
+            )
+            lines.append(f"  audit: {detail}")
         return "\n".join(lines)

@@ -50,6 +50,12 @@ class CheckOutcome:
     trace: dict[str, float] = field(default_factory=dict)
     solver_stats: Optional[SolverStats] = None
     fingerprint: str = ""
+    #: The engine+options digest store keys use
+    #: (:func:`repro.store.keys.config_digest`) — the producing
+    #: configuration, recorded on audit findings.  Deliberately *not*
+    #: part of the stable report: reports predate the store and their
+    #: bytes are pinned by golden tests and cross-mode parity checks.
+    config_digest: str = ""
 
 
 def fingerprint_source(source: str) -> str:
@@ -115,7 +121,7 @@ def report_aborted(report: dict[str, object]) -> bool:
 
 
 def _outcome_from_module_payload(
-    path: str, payload: Optional[dict], fingerprint: str
+    path: str, payload: Optional[dict], fingerprint: str, digest: str
 ) -> Optional[CheckOutcome]:
     """A served outcome from a module-level store payload, or ``None``.
 
@@ -137,7 +143,10 @@ def _outcome_from_module_payload(
     report: dict[str, object] = {"file": path}
     report.update(body)
     return CheckOutcome(
-        report=report, exit=exit_code, fingerprint=fingerprint
+        report=report,
+        exit=exit_code,
+        fingerprint=fingerprint,
+        config_digest=digest,
     )
 
 
@@ -183,11 +192,12 @@ def check_source(
     """
     run = run_deep if deep else (lambda fn: fn())
     fingerprint = fingerprint_source(source)
+    digest = config_digest(engine, options)
     store_key = ""
     if store is not None:
-        store_key = module_key(fingerprint, config_digest(engine, options))
+        store_key = module_key(fingerprint, digest)
         cached = _outcome_from_module_payload(
-            path, store.get(store_key), fingerprint
+            path, store.get(store_key), fingerprint, digest
         )
         if cached is not None:
             return cached
@@ -200,6 +210,7 @@ def check_source(
             report=_failure_report(path, error, getattr(error, "span", None)),
             exit=EXIT_USAGE,
             fingerprint=fingerprint,
+            config_digest=digest,
         )
     parse_seconds = time.perf_counter() - parse_started
     if session is None:
@@ -245,4 +256,5 @@ def check_source(
         trace=trace,
         solver_stats=result.solver_rollup(),
         fingerprint=fingerprint,
+        config_digest=digest,
     )

@@ -1,0 +1,1 @@
+"""Audit pipeline unit tests."""

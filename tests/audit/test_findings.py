@@ -1,0 +1,122 @@
+"""Finding identity and the deterministic findings document."""
+
+import json
+
+from repro.audit.findings import (
+    Finding,
+    Occurrence,
+    finding_from_diagnostic,
+    findings_document,
+)
+from repro.diag import finding_id, witness_shape
+
+DIAGNOSTIC = {
+    "code": "RP0001",
+    "severity": "error",
+    "message": "field 'foo' is selected but may be absent",
+    "label": "foo",
+    "pos": {"line": 3, "column": 5},
+    "witness": [
+        {"kind": "empty", "description": "record created empty at 1:9",
+         "pos": {"line": 1, "column": 9}},
+        {"kind": "select", "description": "field 'foo' selected at 3:5",
+         "pos": {"line": 3, "column": 5}},
+    ],
+    "related": [],
+}
+
+
+class TestFindingId:
+    def test_deterministic(self):
+        shape = witness_shape(DIAGNOSTIC)
+        assert finding_id("RP0001", "ab" * 8, shape) == finding_id(
+            "RP0001", "ab" * 8, shape
+        )
+
+    def test_full_sha256_hex(self):
+        assert len(finding_id("RP0001", "ab" * 8)) == 64
+
+    def test_varies_by_code_fingerprint_and_shape(self):
+        shape = witness_shape(DIAGNOSTIC)
+        base = finding_id("RP0001", "ab" * 8, shape)
+        assert finding_id("RP0002", "ab" * 8, shape) != base
+        assert finding_id("RP0001", "cd" * 8, shape) != base
+        assert finding_id("RP0001", "ab" * 8, ()) != base
+
+    def test_shape_excludes_structured_positions(self):
+        # Moving the diagnostic's structured pos (but not the rendered
+        # descriptions) must not change the identity.
+        moved = dict(DIAGNOSTIC, pos={"line": 9, "column": 1})
+        assert witness_shape(moved) == witness_shape(DIAGNOSTIC)
+
+
+class TestFindingFromDiagnostic:
+    def _finding(self, file="mod.rp"):
+        return finding_from_diagnostic(
+            DIAGNOSTIC,
+            decl="f",
+            decl_fingerprint="ab" * 8,
+            occurrence=Occurrence(file=file, decl="f", line=3, column=5),
+        )
+
+    def test_identity_is_path_independent(self):
+        assert self._finding("a.rp").id == self._finding("b/r.rp").id
+
+    def test_title_resolved_from_code_registry(self):
+        assert self._finding().title == "field may be absent"
+
+    def test_repro_command_targets_first_occurrence(self):
+        finding = self._finding("z.rp")
+        finding.occurrences.append(
+            Occurrence(file="a.rp", decl="f", line=3, column=5)
+        )
+        payload = finding.as_dict("flow")
+        assert payload["repro"]["argv"][:3] == ["rowpoly", "check", "a.rp"]
+        assert "a.rp" in payload["repro"]["command"]
+
+
+class TestFindingsDocument:
+    def _document(self, findings):
+        return findings_document(
+            engine="flow",
+            config_digest="0" * 16,
+            modules=3,
+            modules_with_findings=len(findings),
+            findings=findings,
+            aborted=[],
+            unreadable=[],
+        )
+
+    def test_insertion_order_does_not_matter(self):
+        a = finding_from_diagnostic(
+            DIAGNOSTIC, decl="f", decl_fingerprint="aa" * 8,
+            occurrence=Occurrence("m1.rp", "f", 3, 5),
+        )
+        b = finding_from_diagnostic(
+            dict(DIAGNOSTIC, code="RP0002"), decl="g",
+            decl_fingerprint="bb" * 8,
+            occurrence=Occurrence("m2.rp", "g", 1, 1),
+        )
+        assert json.dumps(self._document([a, b]), sort_keys=True) == \
+            json.dumps(self._document([b, a]), sort_keys=True)
+
+    def test_occurrences_sorted_and_counted(self):
+        finding = finding_from_diagnostic(
+            DIAGNOSTIC, decl="f", decl_fingerprint="aa" * 8,
+            occurrence=Occurrence("z.rp", "f", 3, 5),
+        )
+        finding.occurrences.append(Occurrence("a.rp", "f", 3, 5))
+        document = self._document([finding])
+        files = [
+            o["file"] for o in document["findings"][0]["occurrences"]
+        ]
+        assert files == ["a.rp", "z.rp"]
+        assert document["summary"] == {
+            "findings": 1,
+            "occurrences": 2,
+            "by_code": {"RP0001": 1},
+        }
+
+    def test_document_is_json_clean(self):
+        document = self._document([])
+        assert json.loads(json.dumps(document)) == document

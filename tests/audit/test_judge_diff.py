@@ -1,0 +1,197 @@
+"""Judge aggregation semantics and the identity-level diff."""
+
+import copy
+import json
+
+import pytest
+
+from repro.audit import (
+    diff_documents,
+    discover,
+    render_diff,
+    run_audit,
+)
+from repro.audit.judge import judge
+from repro.store.keys import config_digest
+
+BROKEN = "bad = #absent (@{x = 1} ({}));\nuse = plus bad 1\n"
+CLEAN = "mk = @{x = 1} ({});\nit = #x mk\n"
+
+
+def _audit(tmp_path, **kwargs):
+    return run_audit([str(tmp_path)], **kwargs)
+
+
+class TestJudge:
+    def test_identical_defect_in_two_files_is_one_finding(self, tmp_path):
+        (tmp_path / "one.rp").write_text(BROKEN)
+        (tmp_path / "two.rp").write_text(BROKEN)
+        document = _audit(tmp_path).document
+        assert document["modules_with_findings"] == 2
+        # Each code dedups to one finding with two occurrence citations.
+        assert document["summary"]["by_code"] == {
+            "RP0001": 1, "RP0006": 1,
+        }
+        for finding in document["findings"]:
+            assert [o["file"] for o in finding["occurrences"]] == [
+                str(tmp_path / "one.rp"), str(tmp_path / "two.rp"),
+            ]
+
+    def test_clean_corpus_has_no_findings_and_exit_zero(self, tmp_path):
+        (tmp_path / "ok.rp").write_text(CLEAN)
+        result = _audit(tmp_path)
+        assert result.document["findings"] == []
+        assert result.exit == 0
+
+    def test_parse_failure_is_a_file_level_finding(self, tmp_path):
+        (tmp_path / "junk.rp").write_text("let = =\n")
+        document = _audit(tmp_path).document
+        (finding,) = document["findings"]
+        assert finding["code"] == "RP0007"
+        assert finding["decl"] == ""
+
+    def test_aborted_decls_are_cited_not_findings(self, tmp_path):
+        plan = discover([str(tmp_path)])
+        # A synthetic payload: the judge consumes stable reports, so an
+        # aborted declaration can be modelled without a real budget trip.
+        (tmp_path / "mod.rp").write_text(CLEAN)
+        plan = discover([str(tmp_path)])
+        payload = {
+            "file": plan.units[0].path,
+            "report": {
+                "file": plan.units[0].path,
+                "engine": "flow",
+                "ok": False,
+                "decls": [
+                    {"decl": "mk", "status": "aborted", "error": "Aborted",
+                     "message": "budget", "line": 1, "column": 1,
+                     "code": "RP0998", "diagnostics": []},
+                ],
+            },
+            "exit": 3,
+            "trace": {},
+            "solver_stats": None,
+        }
+        result = judge(
+            plan, [payload], engine="flow",
+            config_digest=config_digest("flow", None),
+        )
+        assert result.document["findings"] == []
+        assert [o["decl"] for o in result.document["aborted"]] == ["mk"]
+        assert result.modules_aborted == 1
+        assert result.exit == 3
+
+    def test_verdictless_payload_is_unjudged_not_ok(self, tmp_path):
+        # A batch slot whose server connection died delivers an
+        # error-shaped report with no decls: it must surface as
+        # unreadable-shaped data with a usage exit, never count as ok.
+        (tmp_path / "mod.rp").write_text(CLEAN)
+        plan = discover([str(tmp_path)])
+        payload = {
+            "file": plan.units[0].path,
+            "report": {
+                "file": plan.units[0].path,
+                "ok": False,
+                "error": "ServerConnectionError",
+                "message": "connection reset",
+            },
+            "exit": 2,
+            "trace": {},
+            "solver_stats": None,
+        }
+        result = judge(
+            plan, [payload], engine="flow",
+            config_digest=config_digest("flow", None),
+        )
+        assert result.modules_ok == 0
+        assert result.document["findings"] == []
+        assert [e["file"] for e in result.document["unreadable"]] == [
+            plan.units[0].path
+        ]
+        assert result.exit == 2
+
+    def test_unreadable_files_reach_the_document(self, tmp_path):
+        import os
+
+        (tmp_path / "ok.rp").write_text(CLEAN)
+        os.symlink(str(tmp_path / "gone"), str(tmp_path / "broken.rp"))
+        result = _audit(tmp_path)
+        assert [e["file"] for e in result.document["unreadable"]] == [
+            str(tmp_path / "broken.rp")
+        ]
+        assert result.exit == 2
+
+
+class TestDiff:
+    def test_no_change_is_empty_delta_exit_zero(self, tmp_path):
+        (tmp_path / "bad.rp").write_text(BROKEN)
+        document = _audit(tmp_path).document
+        delta = diff_documents(document, copy.deepcopy(document))
+        assert delta.exit_code == 0
+        assert delta.new == [] and delta.resolved == []
+        assert len(delta.persisting) == 2
+
+    def test_rename_yields_empty_delta(self, tmp_path):
+        import os
+
+        (tmp_path / "bad.rp").write_text(BROKEN)
+        baseline = _audit(tmp_path).document
+        os.replace(tmp_path / "bad.rp", tmp_path / "relocated.rp")
+        current = _audit(tmp_path).document
+        delta = diff_documents(baseline, current)
+        assert delta.exit_code == 0
+        assert delta.new == [] and delta.resolved == []
+
+    def test_new_finding_gates_with_its_id(self, tmp_path):
+        (tmp_path / "bad.rp").write_text(BROKEN)
+        baseline = _audit(tmp_path).document
+        (tmp_path / "worse.rp").write_text(
+            "oops = #gone (@{y = 2} ({}))\n"
+        )
+        current = _audit(tmp_path).document
+        delta = diff_documents(baseline, current)
+        assert delta.exit_code == 1
+        new_ids = {f["id"] for f in delta.new}
+        baseline_ids = {f["id"] for f in baseline["findings"]}
+        assert new_ids.isdisjoint(baseline_ids)
+        assert len(delta.new) == 1
+        assert delta.new[0]["repro"]["command"].startswith("rowpoly check")
+        # The rendering names the new id.
+        assert delta.new[0]["id"] in render_diff(delta)
+
+    def test_resolved_findings_do_not_gate(self, tmp_path):
+        (tmp_path / "bad.rp").write_text(BROKEN)
+        baseline = _audit(tmp_path).document
+        (tmp_path / "bad.rp").write_text(CLEAN)
+        current = _audit(tmp_path).document
+        delta = diff_documents(baseline, current)
+        assert delta.exit_code == 0
+        assert len(delta.resolved) == 2
+
+    def test_config_digest_mismatch_is_surfaced(self, tmp_path):
+        (tmp_path / "bad.rp").write_text(BROKEN)
+        document = _audit(tmp_path).document
+        other = copy.deepcopy(document)
+        other["config_digest"] = "f" * 16
+        delta = diff_documents(document, other)
+        assert delta.config_mismatch == (
+            document["config_digest"], "f" * 16
+        )
+        assert "config digest changed" in render_diff(delta)
+        assert "config_mismatch" in delta.as_dict()
+
+    def test_delta_is_json_clean(self, tmp_path):
+        (tmp_path / "bad.rp").write_text(BROKEN)
+        document = _audit(tmp_path).document
+        payload = diff_documents(document, document).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_jobs_do_not_change_the_document(tmp_path, jobs):
+    (tmp_path / "bad.rp").write_text(BROKEN)
+    (tmp_path / "ok.rp").write_text(CLEAN)
+    serial = run_audit([str(tmp_path)]).document
+    pooled = run_audit([str(tmp_path)], jobs=jobs).document
+    assert json.dumps(serial, sort_keys=True) == \
+        json.dumps(pooled, sort_keys=True)

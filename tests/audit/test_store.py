@@ -1,0 +1,109 @@
+"""Findings persistence: round-trips, corruption, quarantine ⇒ re-audit.
+
+The invariant under test is the store's contract: ``load_findings``
+returns exactly what ``save_findings`` wrote, or raises after moving
+the bad file aside — never silently wrong findings.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.audit import FindingsError, load_findings, run_audit, save_findings
+
+DOCUMENT = {
+    "findings_schema": 1,
+    "engine": "flow",
+    "config_digest": "0" * 16,
+    "modules": 1,
+    "modules_with_findings": 0,
+    "findings": [],
+    "aborted": [],
+    "unreadable": [],
+    "summary": {"findings": 0, "occurrences": 0, "by_code": {}},
+}
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = str(tmp_path / "findings.json")
+        save_findings(path, DOCUMENT)
+        assert load_findings(path) == DOCUMENT
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "findings.json")
+        save_findings(path, DOCUMENT)
+        assert load_findings(path) == DOCUMENT
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "findings.json")
+        save_findings(path, DOCUMENT)
+        updated = dict(DOCUMENT, modules=2)
+        save_findings(path, updated)
+        assert load_findings(path)["modules"] == 2
+        assert [n for n in os.listdir(tmp_path) if n.startswith(".")] == []
+
+
+class TestCorruption:
+    def _saved(self, tmp_path):
+        path = str(tmp_path / "findings.json")
+        save_findings(path, DOCUMENT)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FindingsError, match="no findings file"):
+            load_findings(str(tmp_path / "absent.json"))
+
+    def test_truncated_file_quarantined(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(FindingsError, match="unreadable"):
+            load_findings(path)
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_payload_tamper_fails_the_hash(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["payload"]["modules"] = 999  # wrong findings, valid JSON
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(FindingsError, match="sha256 mismatch"):
+            load_findings(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["kind"] = "rowpoly-store-entry"
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(FindingsError, match="wrong kind"):
+            load_findings(path)
+
+    def test_message_tells_the_user_to_reaudit(self, tmp_path):
+        path = self._saved(tmp_path)
+        with open(path, "a") as handle:
+            handle.write("garbage")
+        with pytest.raises(FindingsError):
+            load_findings(path)
+
+    def test_corrupt_then_reaudit_recovers(self, tmp_path):
+        """The remedy for corruption is a re-audit, and it works."""
+        (tmp_path / "mod.rp").write_text("bad = #absent {}\n")
+        path = str(tmp_path / "findings.json")
+        result = run_audit([str(tmp_path / "mod.rp")])
+        save_findings(path, result.document)
+        with open(path, "a") as handle:
+            handle.write("}}}")  # torn write / disk fault
+        with pytest.raises(FindingsError):
+            load_findings(path)
+        again = run_audit([str(tmp_path / "mod.rp")])
+        save_findings(path, again.document)
+        assert load_findings(path) == result.document

@@ -1,0 +1,1 @@
+"""Workload generator unit tests."""

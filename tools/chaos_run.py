@@ -259,6 +259,12 @@ def run_soak(args: argparse.Namespace) -> dict:
         robustness = stats.get("robustness", {})
         summary["robustness"] = robustness
         summary["daemon_requests"] = stats.get("requests", {})
+        # Persistent-store traffic (PR 7): zero unless the soak ran the
+        # daemon with a store, but always present so harnesses can
+        # assert on warm-restart behaviour without key errors.
+        store = stats.get("store", {})
+        summary["store_hits"] = store.get("hits", 0)
+        summary["store_misses"] = store.get("misses", 0)
         if args.shards > 0:
             router = stats.get("router", {})
             summary["router"] = router

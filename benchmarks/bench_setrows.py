@@ -1,0 +1,162 @@
+"""Setrows engine throughput and differential agreement.
+
+Two questions a fifth engine must answer before it rides the serving
+stack:
+
+1. **Is it fast enough?**  Time ``rowpoly check``-equivalent runs of
+   the setrows engine over (a) the dynamic-record corpus only it can
+   type and (b) the shared-fragment corpus, against the flow engine on
+   the same fragment.  Setrows keeps per-declaration directional
+   solvers instead of a module-level CNF, so it must stay within
+   ``MAX_VS_FLOW``× of flow on the fragment.
+
+2. **Does it still agree?**  Re-assert the differential contract on
+   every fragment module checked: identical verdicts and, for ``ok``
+   declarations, identical normalised signatures.
+
+``python benchmarks/bench_setrows.py --quick`` writes the numbers to
+``BENCH_setrows.json`` (the CI smoke artefact) and stdout.
+"""
+
+import json
+import time
+
+from repro.gdsl import (
+    DynRecConfig,
+    fragment_source,
+    generate_dynrec_corpus,
+)
+from repro.server.service import check_source
+from repro.infer.setrows import normalize_signature
+
+#: Setrows must stay within this factor of the flow engine on the
+#: shared fragment (generous: it replaces a SAT backend with unit
+#: propagation, and the measured ratio is near parity).
+MAX_VS_FLOW = 5.0
+
+OUTPUT_FILE = "BENCH_setrows.json"
+
+
+def _p50(seconds: list) -> float:
+    ordered = sorted(seconds)
+    return ordered[len(ordered) // 2]
+
+
+def _check(name: str, source: str, engine: str):
+    started = time.perf_counter()
+    outcome = check_source(name, source, engine=engine)
+    return time.perf_counter() - started, outcome
+
+
+def measure(modules: int = 40, seed: int = 0, laps: int = 3) -> dict:
+    """Run the comparison; returns the JSON-ready measurement table."""
+    fragment = [
+        (f"frag_{i:04d}.rp", fragment_source(seed, i))
+        for i in range(modules)
+    ]
+    dynrec = generate_dynrec_corpus(
+        DynRecConfig(modules=modules, seed=seed))
+
+    # -- throughput -------------------------------------------------------
+    flow_seconds, setrows_seconds, dynrec_seconds = [], [], []
+    agreements = 0
+    for _ in range(laps):
+        lap_flow = lap_set = lap_dyn = 0.0
+        for name, source in fragment:
+            seconds, flow_outcome = _check(name, source, "flow")
+            lap_flow += seconds
+            seconds, set_outcome = _check(name, source, "setrows")
+            lap_set += seconds
+            # -- agreement, on every module of every lap ----------------
+            flow_report = flow_outcome.report
+            set_report = set_outcome.report
+            assert flow_report["ok"] == set_report["ok"], name
+            for flow_decl, set_decl in zip(flow_report["decls"],
+                                           set_report["decls"]):
+                assert flow_decl["status"] == set_decl["status"], name
+                if flow_decl["status"] == "ok":
+                    assert (
+                        normalize_signature(flow_decl["signature"])
+                        == normalize_signature(set_decl["signature"])
+                    ), (name, flow_decl["decl"])
+            agreements += 1
+        for module in dynrec.modules:
+            seconds, outcome = _check(module.name, module.source,
+                                      "setrows")
+            lap_dyn += seconds
+            assert outcome.report["ok"], module.name
+        flow_seconds.append(lap_flow)
+        setrows_seconds.append(lap_set)
+        dynrec_seconds.append(lap_dyn)
+
+    flow_p50 = _p50(flow_seconds)
+    setrows_p50 = _p50(setrows_seconds)
+    return {
+        "modules": modules,
+        "seed": seed,
+        "laps": laps,
+        "fragment_flow_seconds": flow_seconds,
+        "fragment_flow_p50_seconds": flow_p50,
+        "fragment_setrows_seconds": setrows_seconds,
+        "fragment_setrows_p50_seconds": setrows_p50,
+        "dynrec_setrows_seconds": dynrec_seconds,
+        "dynrec_setrows_p50_seconds": _p50(dynrec_seconds),
+        "setrows_vs_flow": setrows_p50 / max(flow_p50, 1e-9),
+        "modules_compared": agreements,
+    }
+
+
+def _assert_floors(table: dict) -> None:
+    assert table["setrows_vs_flow"] <= MAX_VS_FLOW, (
+        f"setrows is {table['setrows_vs_flow']:.1f}x slower than flow "
+        f"on the shared fragment (ceiling: {MAX_VS_FLOW}x)"
+    )
+    assert table["modules_compared"] == (
+        table["modules"] * table["laps"]
+    ), "the agreement check did not cover every fragment module"
+
+
+def test_setrows_bench(benchmark):
+    table = benchmark.pedantic(
+        lambda: measure(modules=10, laps=2),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_floors(table)
+    benchmark.extra_info.update(
+        {
+            key: table[key]
+            for key in ("modules", "setrows_vs_flow",
+                        "fragment_setrows_p50_seconds")
+        }
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small corpus; write BENCH_setrows.json",
+    )
+    parser.add_argument("--modules", type=int, default=None)
+    parser.add_argument("--laps", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    modules = args.modules if args.modules is not None else (
+        15 if args.quick else 40
+    )
+    laps = args.laps if args.laps is not None else (2 if args.quick else 3)
+    table = measure(modules=modules, seed=args.seed, laps=laps)
+    _assert_floors(table)
+    text = json.dumps(table, indent=2, sort_keys=True)
+    json.loads(text)  # the table must stay JSON-serialisable
+    with open(OUTPUT_FILE, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

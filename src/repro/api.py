@@ -234,3 +234,23 @@ def audit_paths(
         jobs=jobs,
         shards=shards,
     ).document
+
+
+def available_engines() -> list[dict]:
+    """The registered engines (name, description, capabilities).
+
+    Derived from :data:`repro.infer.registry.REGISTRY` — the same
+    listing ``rowpoly engines --json`` prints, in registration order.
+    """
+    from .infer.registry import REGISTRY
+
+    return REGISTRY.as_dicts()
+
+
+def engine_info(name: str) -> dict:
+    """Describe one engine; raises
+    :class:`repro.infer.registry.UnknownEngineError` for unknown names.
+    """
+    from .infer.registry import REGISTRY
+
+    return REGISTRY.info(name).as_dict()

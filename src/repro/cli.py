@@ -37,21 +37,12 @@ from .api import check_source
 from .boolfn.engine import SolverStats
 from .gdsl import FIG9_CORPORA, GeneratorConfig, build_corpus, generate_decoder
 from .infer import FlowOptions, InferenceError, InferSession, infer_flow
-from .infer.engines import SESSION_ENGINES
-from .infer.hm import infer_damas_milner, infer_mycroft
-from .infer.remy import infer_remy
+from .infer.registry import REGISTRY
 from .lang import LexError, ParseError, parse, parse_module
 from .lang.ast import IntLit, Let
 from .semantics import Omega, evaluate
 from .types.project import strip
 from .util import Budget, run_deep
-
-ENGINES = {
-    "flow": None,  # handled specially (options)
-    "mycroft": infer_mycroft,
-    "damas-milner": infer_damas_milner,
-    "remy": infer_remy,
-}
 
 #: File extension collected when a ``check`` path is a directory.
 MODULE_SUFFIX = ".rp"
@@ -111,7 +102,8 @@ def cmd_infer(args: argparse.Namespace) -> int:
                 )
                 print(json.dumps(stats, indent=2, sort_keys=True))
         else:
-            result = run_deep(lambda: ENGINES[args.engine](expr))
+            runner = REGISTRY.expression_runner(args.engine)
+            result = run_deep(lambda: runner(expr))
             print(f"type    : {result.type!r}")
     except InferenceError as error:
         print(f"type error[{error.diagnostic.code}]: {error}",
@@ -702,9 +694,36 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def cmd_engines(args: argparse.Namespace) -> int:
+    if args.json:
+        import json
+
+        print(json.dumps({"engines": REGISTRY.as_dicts()},
+                         indent=2, sort_keys=True))
+        return EXIT_OK
+    for info in (REGISTRY.info(name) for name in REGISTRY.names()):
+        caps = ", ".join(sorted(info.capabilities))
+        print(f"{info.name:<13} [{caps}]")
+        print(f"    {info.description}")
+    return EXIT_OK
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.corpus_dir:
         from .gdsl import CorpusConfig, generate_corpus, write_corpus
+        if args.dynamic_records:
+            from .gdsl import DynRecConfig, generate_dynrec_corpus
+
+            corpus = generate_dynrec_corpus(
+                DynRecConfig(modules=args.modules, seed=args.seed)
+            )
+            paths = write_corpus(corpus, args.corpus_dir)
+            print(
+                f"generate: wrote {len(paths)} dynamic-record modules "
+                f"to {args.corpus_dir}",
+                file=sys.stderr,
+            )
+            return 0
 
         corpus = generate_corpus(
             CorpusConfig(
@@ -830,7 +849,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_infer.add_argument("file", help="program file ('-' for stdin)")
     p_infer.add_argument(
         "--engine",
-        choices=sorted(ENGINES),
+        choices=sorted(REGISTRY.expression_names()),
         default="flow",
         help="inference engine (default: the paper's flow inference)",
     )
@@ -876,7 +895,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--engine",
-        choices=sorted(SESSION_ENGINES),
+        choices=sorted(REGISTRY.session_names()),
         default="flow",
         help="inference engine (default: the paper's flow inference)",
     )
@@ -945,7 +964,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--engine",
-        choices=sorted(SESSION_ENGINES),
+        choices=sorted(REGISTRY.session_names()),
         default="flow",
         help="default inference engine (requests may override)",
     )
@@ -1077,7 +1096,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     p_audit_run.add_argument(
         "--engine",
-        choices=sorted(SESSION_ENGINES),
+        choices=sorted(REGISTRY.session_names()),
         default="flow",
         help="inference engine (default: the paper's flow inference)",
     )
@@ -1223,7 +1242,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="with --corpus-dir: probability of an injected type error "
         "per module (default: 0)",
     )
+    p_gen.add_argument(
+        "--dynamic-records", action="store_true",
+        help="with --corpus-dir: emit dynamic-record modules (union-"
+        "typed joins) that only the setrows engine accepts",
+    )
     p_gen.set_defaults(handler=cmd_generate)
+
+    p_engines = sub.add_parser(
+        "engines",
+        help="list the registered inference engines and their "
+        "capabilities",
+    )
+    p_engines.add_argument(
+        "--json", action="store_true",
+        help="machine-readable listing (name, description, capabilities)",
+    )
+    p_engines.set_defaults(handler=cmd_engines)
 
     p_bench = sub.add_parser("bench", help="run a benchmark")
     bench_sub = p_bench.add_subparsers(dest="bench", required=True)

@@ -10,19 +10,27 @@ from .corpus import (
     generate_corpus,
     write_corpus,
 )
+from .dynrec import (
+    DynRecConfig,
+    fragment_source,
+    generate_dynrec_corpus,
+)
 from .generator import GeneratedProgram, GeneratorConfig, generate_decoder
 
 __all__ = [
     "CorpusConfig",
     "CorpusModule",
     "CorpusSpec",
+    "DynRecConfig",
     "FIG9_CORPORA",
     "GeneratedCorpus",
     "GeneratedProgram",
     "GeneratorConfig",
     "INJECTED_CODES",
     "build_corpus",
+    "fragment_source",
     "generate_corpus",
     "generate_decoder",
+    "generate_dynrec_corpus",
     "write_corpus",
 ]

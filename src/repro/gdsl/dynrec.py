@@ -1,0 +1,134 @@
+"""Seeded dynamic-record corpora and the flow/setrows shared fragment.
+
+Two generators, both deterministic per seed and *prefix-stable* (module
+``i`` derives its rng from ``(seed, i)``, like :mod:`.corpus`):
+
+:func:`fragment_source`
+    Modules inside the fragment the flow and setrows engines share:
+    record builds by update chains, guaranteed-present selects, lambda
+    getters, lets, and ``if`` joins of *same-shape* records.  No
+    ``when``, no concatenation and no heterogeneous joins — exactly the
+    sublanguage where the two engines must agree on verdict and (after
+    :func:`repro.infer.setrows.normalize_signature`) on signature.  A
+    configurable fraction of modules carries a select of a provably
+    absent field, so verdict parity is exercised on rejections too.
+
+:func:`generate_dynrec_corpus`
+    Modules *outside* the flag calculus: ``if`` joins whose branches
+    give one field an ``Int`` in one arm and a ``Bool`` in the other,
+    and heterogeneous list literals.  The flag engines reject these
+    with a unification clash (``RP0002``); setrows types them with a
+    union (``(Bool | Int)``).  This is the corpus behind
+    ``rowpoly generate --corpus-dir D --dynamic-records`` and the
+    setrows CI smoke job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from .corpus import CorpusModule, GeneratedCorpus
+
+
+# ---------------------------------------------------------------------------
+# the flow/setrows shared fragment
+# ---------------------------------------------------------------------------
+#: Field-name pool for fragment records (small, so shapes recur and the
+#: session layer's signature cache gets hits across modules).
+_FRAGMENT_LABELS = ("x", "y", "z", "w", "u")
+
+
+def _build_record(rng: Random, labels: tuple[str, ...]) -> str:
+    """An update chain over ``{}`` setting every label to an Int."""
+    text = "({})"
+    for label in labels:
+        text = f"@{{{label} = {rng.randrange(100)}}} ({text})"
+    return text
+
+
+def fragment_source(seed: int, index: int, *,
+                    reject_rate: float = 0.25) -> str:
+    """Module ``index`` of the shared-fragment corpus for ``seed``."""
+    rng = Random(f"fragment:{seed}:{index}")
+    count = rng.randrange(2, len(_FRAGMENT_LABELS) + 1)
+    labels = tuple(sorted(rng.sample(_FRAGMENT_LABELS, count)))
+    present = rng.choice(labels)
+    other = rng.choice(labels)
+    lines = [
+        f"base = {_build_record(rng, labels)}",
+        f"get = \\r -> plus (#{present} r) (#{other} r)",
+        "sum = get base",
+    ]
+    # an if join of two same-shape records: both arms set the same
+    # labels to Ints, so neither engine needs a union
+    lines.append(
+        f"pick = if some_condition then {_build_record(rng, labels)} "
+        f"else {_build_record(rng, labels)}"
+    )
+    lines.append(f"picked = #{present} pick")
+    if rng.random() < reject_rate:
+        # a select of a field no update ever set: RP0001 on both
+        # engines, plus the dependent-decl shadow
+        lines.append(f"bug{index} = #absent{index} base")
+        lines.append(f"after{index} = plus bug{index} 1")
+    else:
+        lines.append(f"after{index} = plus sum picked")
+    return ";\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# dynamic-record corpus (setrows-only programs)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DynRecConfig:
+    """Shape parameters of a dynamic-record corpus."""
+
+    modules: int
+    seed: int = 0
+    #: Heterogeneous join declarations per module.
+    joins_per_module: int = 2
+
+
+def _dynrec_lines(rng: Random, index: int, joins: int) -> list[str]:
+    lines: list[str] = []
+    last = None
+    for step in range(joins):
+        value = rng.randrange(100)
+        flag = rng.choice(("true", "false"))
+        name = f"m{index}_mix{step}"
+        # one field, Int in one arm and Bool in the other: only a
+        # union-typed engine can give `#v` a type
+        lines.append(
+            f"{name} = if some_condition "
+            f"then @{{v = {value}}} ({{}}) "
+            f"else @{{v = {flag}}} ({{}})"
+        )
+        lines.append(f"{name}_get = #v {name}")
+        last = f"{name}_get"
+    values = ", ".join(
+        rng.choice((str(rng.randrange(100)), "true", "false"))
+        for _ in range(3)
+    )
+    lines.append(f"m{index}_list = [{values}, true, {rng.randrange(9)}]")
+    lines.append(f"m{index}_head = head m{index}_list")
+    if last is not None:
+        lines.append(f"m{index}_both = [{last}, m{index}_head]")
+    return lines
+
+
+def generate_dynrec_corpus(config: DynRecConfig) -> GeneratedCorpus:
+    """Generate a deterministic corpus of dynamic-record modules."""
+    if config.modules < 1:
+        raise ValueError("modules must be >= 1")
+    modules: list[CorpusModule] = []
+    for index in range(config.modules):
+        rng = Random(f"dynrec:{config.seed}:{index}")
+        lines = _dynrec_lines(rng, index, config.joins_per_module)
+        modules.append(
+            CorpusModule(
+                name=f"dyn_{index:05d}.rp",
+                source=";\n".join(lines) + "\n",
+            )
+        )
+    return GeneratedCorpus(modules=tuple(modules), config=config)

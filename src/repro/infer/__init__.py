@@ -18,7 +18,21 @@ from .hm import (
 )
 from .pottier import PottierChecker, PottierError, check_pottier
 from .remy import RemyInference, infer_remy
-from .engines import SESSION_ENGINES, DeclCheck, SessionEngine, make_engine
+from .engines import DeclCheck, SessionEngine
+from .registry import (
+    CAPABILITIES,
+    EngineInfo,
+    EngineRegistry,
+    REGISTRY,
+    UnknownEngineError,
+    unknown_engine_message,
+)
+from .setrows import (
+    SetRowsResult,
+    SetRowsSessionEngine,
+    infer_setrows,
+    normalize_signature,
+)
 from .session import (
     DeclReport,
     InferSession,
@@ -37,9 +51,26 @@ def infer_flow(expr, options=None, builtins=None) -> FlowResult:
     return FlowInference(options, builtins).infer_program(expr)
 
 
+def __getattr__(name):
+    # deprecated names, forwarded to the engines-module shims so their
+    # DeprecationWarning fires exactly once per access site
+    if name in ("SESSION_ENGINES", "make_engine"):
+        from . import engines
+
+        return getattr(engines, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
 __all__ = [
+    "CAPABILITIES",
     "CondConstraint",
     "DeclCheck",
+    "EngineInfo",
+    "EngineRegistry",
+    "REGISTRY",
+    "UnknownEngineError",
     "DeclReport",
     "FixpointDivergence",
     "FlowInference",
@@ -61,6 +92,8 @@ __all__ = [
     "SESSION_ENGINES",
     "SessionEngine",
     "SessionStats",
+    "SetRowsResult",
+    "SetRowsSessionEngine",
     "TypeEnv",
     "UnboundVariable",
     "UnificationFailure",
@@ -70,6 +103,9 @@ __all__ = [
     "infer_flow",
     "infer_mycroft",
     "infer_remy",
+    "infer_setrows",
     "make_engine",
+    "normalize_signature",
     "solve_with_unification_theory",
+    "unknown_engine_message",
 ]

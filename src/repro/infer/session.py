@@ -4,7 +4,8 @@ An :class:`InferSession` owns everything one engine needs to check a
 :class:`~repro.lang.module.Module` and to *re*-check edited versions of it
 cheaply:
 
-* the engine itself (one of :data:`repro.infer.engines.SESSION_ENGINES`),
+* the engine itself (a ``session``-capable name in
+  :data:`repro.infer.registry.REGISTRY`),
   whose shared variable/flag supplies keep separately checked declarations
   disjoint;
 * a per-declaration result cache keyed on ``(declaration fingerprint,
@@ -56,7 +57,8 @@ from ..store.backend import CacheBackend
 from ..store.keys import config_digest, decl_key
 from ..testing.faults import fault_point
 from ..util import Budget, BudgetExceeded, Deadline
-from .engines import DeclCheck, make_engine
+from .engines import DeclCheck
+from .registry import REGISTRY
 from .errors import InferenceError
 from .state import FlowOptions
 
@@ -264,7 +266,7 @@ class InferSession:
         store: Optional[CacheBackend] = None,
     ) -> None:
         self.engine_name = engine
-        self.engine = make_engine(engine, options)
+        self.engine = REGISTRY.create_session(engine, options)
         #: The persistent layer below the in-memory per-decl cache
         #: (``None`` = memory only, the pre-store behaviour).
         self.store = store

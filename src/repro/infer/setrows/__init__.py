@@ -1,0 +1,68 @@
+"""Set-theoretic rows: the ``setrows`` inference engine.
+
+A fifth :class:`~repro.infer.engines.SessionEngine` implementing
+union/intersection-style row types for dynamic-record programs
+(Castagna & Peyrot, arXiv 2404.00338) with an MLsub-flavoured
+directional constraint core (arXiv 2407.06747).  See
+``docs/INTERNALS.md`` §14 for the design and its documented deviations
+from the flag calculus.
+"""
+
+from .compare import erase_signature, normalize_signature
+from .engine import (
+    SetRowsExport,
+    SetRowsResult,
+    SetRowsSessionEngine,
+    infer_setrows,
+)
+from .infer import (
+    SETROWS_BUILTINS,
+    SetEnv,
+    SetRowsInference,
+    SetRowsPresenceError,
+    SetScheme,
+)
+from .presence import PresenceConflict, PresenceSolver, Reason
+from .render import scheme_signature
+from .types import (
+    SBool,
+    SField,
+    SFun,
+    SInt,
+    SList,
+    SRec,
+    SRow,
+    SType,
+    SUnion,
+    SVar,
+    SetSupply,
+)
+
+__all__ = [
+    "PresenceConflict",
+    "PresenceSolver",
+    "Reason",
+    "SBool",
+    "SETROWS_BUILTINS",
+    "SField",
+    "SFun",
+    "SInt",
+    "SList",
+    "SRec",
+    "SRow",
+    "SType",
+    "SUnion",
+    "SVar",
+    "SetEnv",
+    "SetRowsExport",
+    "SetRowsInference",
+    "SetRowsPresenceError",
+    "SetRowsResult",
+    "SetRowsSessionEngine",
+    "SetScheme",
+    "SetSupply",
+    "erase_signature",
+    "infer_setrows",
+    "normalize_signature",
+    "scheme_signature",
+]

@@ -1,0 +1,105 @@
+"""Cross-engine signature comparison on the shared fragment.
+
+The differential suite asserts that ``setrows`` and ``flow`` agree on
+accept/reject verdicts *and* canonical signatures for programs in their
+shared fragment.  Signatures cannot be compared literally: the flow
+engine decorates positions with flags (``.f1``) where setrows uses
+presence atoms (``.p1``), appends different ``where`` clauses, and the
+two may order record fields and hence number variables differently.
+
+:func:`normalize_signature` erases both engines' decorations down to
+the common structural skeleton:
+
+1. drop the ``where`` clause,
+2. strip ``.fN`` / ``.pN`` markers,
+3. sort the fields of every ``{…}`` group alphabetically (depth-aware),
+4. renumber ``aN`` / ``rN`` variables by first occurrence in the
+   normalised text.
+
+Two signatures describing the same record structure normalise to the
+same string regardless of which engine produced them.
+"""
+
+from __future__ import annotations
+
+import re
+
+_MARKER = re.compile(r"\.(?:f|p)\d+")
+_WHERE = re.compile(r"\s+where\s.*$", re.DOTALL)
+_VARIABLE = re.compile(r"\b([ar])\d+\b")
+
+
+def erase_signature(signature: str) -> str:
+    """Strip engine-specific decorations (markers, ``where`` clause)."""
+    return _MARKER.sub("", _WHERE.sub("", signature))
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not nested in any bracket pair."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "{[(":
+            depth += 1
+        elif char in "}])":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _sort_records(text: str) -> str:
+    """Recursively sort the fields of every ``{…}`` group."""
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char != "{":
+            out.append(char)
+            index += 1
+            continue
+        depth = 0
+        for end in range(index, len(text)):
+            if text[end] == "{":
+                depth += 1
+            elif text[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+        else:
+            out.append(text[index:])
+            break
+        inner = _sort_records(text[index + 1:end])
+        fields = sorted(_split_top_level(inner))
+        out.append("{" + ", ".join(fields) + "}")
+        index = end + 1
+    return "".join(out)
+
+
+def _renumber_variables(text: str) -> str:
+    mapping: dict[str, str] = {}
+    counters = {"a": 0, "r": 0}
+
+    def rename(match: re.Match) -> str:
+        name = match.group(0)
+        renamed = mapping.get(name)
+        if renamed is None:
+            kind = match.group(1)
+            renamed = f"{kind}{counters[kind]}"
+            counters[kind] += 1
+            mapping[name] = renamed
+        return renamed
+
+    return _VARIABLE.sub(rename, text)
+
+
+def normalize_signature(signature: str) -> str:
+    """The engine-independent skeleton of a canonical signature."""
+    return _renumber_variables(_sort_records(erase_signature(signature)))

@@ -1,0 +1,123 @@
+"""The ``setrows`` :class:`~repro.infer.engines.SessionEngine`.
+
+Conforming to the session protocol is what buys the engine the whole
+serving stack for free: :class:`~repro.infer.session.InferSession`
+caching and early cutoff, budgets and deadlines, the persistent result
+store (the engine name is folded into
+:func:`repro.store.keys.config_digest`, so setrows results get their
+own key space), and the daemon/shard/audit layers — none of which know
+this engine exists.
+
+The per-declaration flow mirrors the other engines: dependencies are
+bound as exported schemes, the declaration is checked as
+``let name = expr in name``, and the result is generalised, rendered
+canonically and exported.  ``clauses`` stays empty — setrows keeps its
+presence knowledge in per-declaration solvers and projected scheme
+constraints, not in a module-level CNF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ...lang.ast import Let, Var
+from ...lang.module import Decl
+from ...util import Budget, Deadline
+from ..engines import DeclCheck
+from ..state import FlowOptions
+from .infer import Mono, SetEnv, SetRowsInference, SetScheme
+from .render import scheme_signature
+from .types import SetSupply
+
+
+@dataclass
+class SetRowsExport:
+    """Setrows payload dependents are checked against."""
+
+    scheme: SetScheme
+
+
+class SetRowsSessionEngine:
+    """Per-declaration driver for :class:`SetRowsInference`."""
+
+    def __init__(self, options: Optional[FlowOptions] = None) -> None:
+        self.name = "setrows"
+        self.options = options or FlowOptions()
+        self.supply = SetSupply()
+
+    def check_decl(
+        self,
+        decl: Decl,
+        deps: Sequence[tuple[str, DeclCheck]],
+        deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
+    ) -> DeclCheck:
+        if deadline is not None:
+            deadline.check()
+        if budget is not None:
+            budget.check_time()
+        inference = SetRowsInference(
+            supply=self.supply, options=self.options
+        )
+        inference.deadline = deadline
+        inference.budget = budget
+        env = SetEnv()
+        for dep_name, dep in deps:
+            export = dep.export
+            assert isinstance(export, SetRowsExport)
+            env = env.bind(dep_name, export.scheme)
+        wrapped = Let(decl.name, decl.expr, Var(decl.name, span=decl.span),
+                      span=decl.span)
+        t = inference.infer_with_env(wrapped, env)
+        scheme = inference.generalize(t, env)
+        signature, type_text, presence_text = scheme_signature(scheme)
+        return DeclCheck(
+            signature=signature,
+            type_text=type_text,
+            flow_text=presence_text,
+            export=SetRowsExport(scheme=scheme),
+        )
+
+
+class _RenderedType:
+    """A rendered type whose ``repr`` is the canonical text.
+
+    ``rowpoly infer`` prints ``result.type!r`` for every expression
+    engine; the flag engines return term objects with meaningful reprs,
+    so the setrows result wraps its canonical text the same way.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __repr__(self) -> str:
+        return self.text
+
+
+@dataclass
+class SetRowsResult:
+    """Expression-level result (``rowpoly infer --engine setrows``)."""
+
+    type: _RenderedType
+    signature: str
+    presence_text: str
+
+
+def infer_setrows(expr, options: Optional[FlowOptions] = None
+                  ) -> SetRowsResult:
+    """Run setrows inference on a closed program expression.
+
+    Raises :class:`~repro.infer.errors.InferenceError` subclasses on
+    ill-typed programs, like every other expression engine.
+    """
+    inference = SetRowsInference(options=options)
+    env = SetEnv()
+    t = inference.infer_with_env(expr, env)
+    scheme = inference.generalize(t, env)
+    signature, type_text, presence_text = scheme_signature(scheme)
+    return SetRowsResult(
+        type=_RenderedType(type_text),
+        signature=signature,
+        presence_text=presence_text,
+    )

@@ -1,0 +1,1040 @@
+"""Inference rules of the set-theoretic rows engine.
+
+Structure follows the flow engine one-to-one so the two stay comparable
+on their shared fragment, but the Boolean-flag machinery is replaced by
+presence atoms (:mod:`.presence`) and the unify-or-fail join points are
+replaced by set-theoretic joins:
+
+* **Unification** is Rémy row rewriting (mirroring
+  :mod:`repro.types.unify`): fields present on one side are rewritten
+  into the other side's row tail, materialised fields *inherit* the
+  tail's presence constraints, and aligned positions have their atoms
+  equated — the analogue of the flow engine's application-site
+  sequence-iff.
+* **Joins** (``if`` branches, list elements, ``when`` arms) are
+  *directional*: the result gets fresh structure whose atoms imply both
+  branches' atoms, fields missing from one branch become optional
+  (implied-absent on the side that lacks them), and incompatible
+  constructor heads form an :class:`~.types.SUnion` — precisely where
+  the flag calculus raises :class:`UnificationFailure`.
+* ``let`` is Milner-Mycroft: a fixpoint over canonically-rendered
+  schemes, capped by ``FlowOptions.letrec_max_iterations``.
+* ``when N in x`` is a *refinement*: each arm re-binds ``x`` with the
+  tested field present (fresh required atom) or absent (fresh forbidden
+  atom), leaving the original atoms untouched — the union-branch
+  optional-field behaviour the engine exists for.
+
+Presence conflicts surface as :class:`SetRowsPresenceError` with the
+stable missing-field code (``RP0001``) and the witness spans the solver
+recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...diag import codes
+from ...lang import ast
+from ...lang.ast import Expr, free_variables
+from ..errors import (
+    FixpointDivergence,
+    InferenceError,
+    UnboundVariable,
+    UnificationFailure,
+)
+from ..state import FlowOptions
+from .presence import PresenceConflict, PresenceSolver, Reason
+from .types import (
+    SBool,
+    SField,
+    SFun,
+    SInt,
+    SList,
+    SRec,
+    SRow,
+    SType,
+    SUnion,
+    SVar,
+    SetSupply,
+)
+
+S_INT = SInt()
+S_BOOL = SBool()
+
+
+class SetRowsPresenceError(InferenceError):
+    """A field may be accessed without being present (setrows)."""
+
+    default_code = codes.MISSING_FIELD
+
+
+# ---------------------------------------------------------------------------
+# schemes and environments
+# ---------------------------------------------------------------------------
+class SetScheme:
+    """A generalised setrows type: quantified vars plus projected atoms.
+
+    ``body`` is deep-resolved at generalisation time, so a scheme is
+    self-contained — it can cross declaration (and session) boundaries
+    as an export and be replayed into a different solver.
+    """
+
+    __slots__ = ("tvars", "rvars", "body", "units", "implications")
+
+    def __init__(self, tvars: frozenset[int], rvars: frozenset[int],
+                 body: SType,
+                 units: tuple[tuple[int, bool], ...],
+                 implications: tuple[tuple[int, int], ...]) -> None:
+        self.tvars = tvars
+        self.rvars = rvars
+        self.body = body
+        self.units = units
+        self.implications = implications
+
+
+class Mono:
+    """A monomorphic environment entry (λ-bound, shared structure)."""
+
+    __slots__ = ("type",)
+
+    def __init__(self, type: SType) -> None:
+        self.type = type
+
+
+class SetEnv:
+    """An immutable name → ``Mono | SetScheme`` environment."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Optional[dict] = None) -> None:
+        self.entries = entries or {}
+
+    def bind(self, name: str, entry) -> "SetEnv":
+        updated = dict(self.entries)
+        updated[name] = entry
+        return SetEnv(updated)
+
+    def lookup(self, name: str):
+        return self.entries.get(name)
+
+
+# ---------------------------------------------------------------------------
+# builtins (same names and shapes as repro.infer.builtins)
+# ---------------------------------------------------------------------------
+def _int2(inf: "SetRowsInference") -> SType:
+    return SFun(S_INT, SFun(S_INT, S_INT))
+
+
+def _bool2(inf: "SetRowsInference") -> SType:
+    return SFun(S_BOOL, SFun(S_BOOL, S_BOOL))
+
+
+def _bool1(inf: "SetRowsInference") -> SType:
+    return SFun(S_BOOL, S_BOOL)
+
+
+def _int_to_bool(inf: "SetRowsInference") -> SType:
+    return SFun(S_INT, S_BOOL)
+
+
+def _null(inf: "SetRowsInference") -> SType:
+    return SFun(SList(inf.supply.fresh_tvar()), S_INT)
+
+
+def _head(inf: "SetRowsInference") -> SType:
+    elem = inf.supply.fresh_tvar()
+    return SFun(SList(elem), elem)
+
+
+def _tail(inf: "SetRowsInference") -> SType:
+    elem = inf.supply.fresh_tvar()
+    return SFun(SList(elem), SList(elem))
+
+
+def _cons(inf: "SetRowsInference") -> SType:
+    elem = inf.supply.fresh_tvar()
+    return SFun(elem, SFun(SList(elem), SList(elem)))
+
+
+def _int_constant(inf: "SetRowsInference") -> SType:
+    return S_INT
+
+
+SETROWS_BUILTINS = {
+    "plus": _int2,
+    "minus": _int2,
+    "times": _int2,
+    "eq": _int2,
+    "lt": _int2,
+    "and": _bool2,
+    "or": _bool2,
+    "not": _bool1,
+    "positive": _int_to_bool,
+    "null": _null,
+    "head": _head,
+    "tail": _tail,
+    "cons": _cons,
+    "some_condition": _int_constant,
+    "coin": _int_constant,
+}
+
+
+def _describe(t: SType) -> str:
+    if isinstance(t, SInt):
+        return "Int"
+    if isinstance(t, SBool):
+        return "Bool"
+    if isinstance(t, SFun):
+        return "a function"
+    if isinstance(t, SList):
+        return "a list"
+    if isinstance(t, SRec):
+        return "a record"
+    if isinstance(t, SUnion):
+        return "a union type"
+    return "a type variable"
+
+
+class SetRowsInference:
+    """One declaration's worth of set-theoretic rows inference."""
+
+    #: How many dispatched nodes between deadline/budget checks.
+    _TICK_EVERY = 64
+
+    def __init__(self, supply: Optional[SetSupply] = None,
+                 solver: Optional[PresenceSolver] = None,
+                 options: Optional[FlowOptions] = None,
+                 builtins: Optional[dict] = None) -> None:
+        self.supply = supply or SetSupply()
+        self.solver = solver or PresenceSolver()
+        self.options = options or FlowOptions()
+        self.builtins = SETROWS_BUILTINS if builtins is None else builtins
+        self.bindings: dict[int, SType] = {}
+        self.row_bindings: dict[int, SRec] = {}
+        self.deadline = None
+        self.budget = None
+        self._ticks = 0
+
+    # -- resource governance --------------------------------------------
+    def _tick(self) -> None:
+        self._ticks += 1
+        if self._ticks % self._TICK_EVERY:
+            return
+        if self.deadline is not None:
+            self.deadline.check()
+        if self.budget is not None:
+            self.budget.check_time()
+
+    # -- variable plumbing ----------------------------------------------
+    def prune(self, t: SType) -> SType:
+        while isinstance(t, SVar):
+            bound = self.bindings.get(t.var)
+            if bound is None:
+                return t
+            t = bound
+        return t
+
+    def flatten(self, rec: SRec) -> SRec:
+        """Chase row bindings, merging materialised fields in place."""
+        while rec.row is not None and rec.row.var in self.row_bindings:
+            binding = self.row_bindings[rec.row.var]
+            old_pres = rec.row.pres
+            merged = {f.label: f for f in rec.fields}
+            for bound_field in binding.fields:
+                existing = merged.get(bound_field.label)
+                if existing is None:
+                    merged[bound_field.label] = bound_field
+                else:
+                    self.unify(existing.type, bound_field.type)
+                    self.solver.equate(existing.pres, bound_field.pres)
+            rec.fields = tuple(
+                merged[label] for label in sorted(merged)
+            )
+            if binding.row is None:
+                rec.row = None
+            else:
+                rec.row = SRow(binding.row.var, binding.row.pres)
+                # the occurrence's "unknown rest" is now the binding's
+                self.solver.equate(old_pres, rec.row.pres)
+        return rec
+
+    # -- unification -----------------------------------------------------
+    def unify(self, a: SType, b: SType, expr: Optional[Expr] = None
+              ) -> None:
+        self._tick()
+        a = self.prune(a)
+        b = self.prune(b)
+        if a is b:
+            return
+        if isinstance(a, SVar):
+            self._bind_tvar(a, b, expr)
+            return
+        if isinstance(b, SVar):
+            self._bind_tvar(b, a, expr)
+            return
+        if isinstance(a, SInt) and isinstance(b, SInt):
+            return
+        if isinstance(a, SBool) and isinstance(b, SBool):
+            return
+        if isinstance(a, SFun) and isinstance(b, SFun):
+            self.unify(a.arg, b.arg, expr)
+            self.unify(a.res, b.res, expr)
+            return
+        if isinstance(a, SList) and isinstance(b, SList):
+            self.unify(a.elem, b.elem, expr)
+            return
+        if isinstance(a, SRec) and isinstance(b, SRec):
+            self._unify_records(a, b, expr)
+            return
+        if isinstance(a, SUnion) and isinstance(b, SUnion):
+            self._unify_unions(a, b, expr)
+            return
+        raise UnificationFailure(
+            f"cannot unify {_describe(a)} with {_describe(b)}",
+            span=expr.span if expr is not None else None,
+            expr=expr,
+        )
+
+    def _bind_tvar(self, var: SVar, t: SType, expr: Optional[Expr]
+                   ) -> None:
+        if isinstance(t, SVar) and t.var == var.var:
+            return
+        if self._occurs_tvar(var.var, t):
+            raise UnificationFailure(
+                "occurs check failed (infinite type)",
+                span=expr.span if expr is not None else None,
+                expr=expr,
+            )
+        self.bindings[var.var] = t
+
+    def _occurs_tvar(self, var: int, t: SType) -> bool:
+        t = self.prune(t)
+        if isinstance(t, SVar):
+            return t.var == var
+        if isinstance(t, SFun):
+            return (self._occurs_tvar(var, t.arg)
+                    or self._occurs_tvar(var, t.res))
+        if isinstance(t, SList):
+            return self._occurs_tvar(var, t.elem)
+        if isinstance(t, SRec):
+            return any(self._occurs_tvar(var, f.type) for f in t.fields)
+        if isinstance(t, SUnion):
+            return any(self._occurs_tvar(var, m) for m in t.members)
+        return False
+
+    def _occurs_rvar(self, var: int, t: SType) -> bool:
+        t = self.prune(t)
+        if isinstance(t, SFun):
+            return (self._occurs_rvar(var, t.arg)
+                    or self._occurs_rvar(var, t.res))
+        if isinstance(t, SList):
+            return self._occurs_rvar(var, t.elem)
+        if isinstance(t, SRec):
+            self.flatten(t)
+            if t.row is not None and t.row.var == var:
+                return True
+            return any(self._occurs_rvar(var, f.type) for f in t.fields)
+        if isinstance(t, SUnion):
+            return any(self._occurs_rvar(var, m) for m in t.members)
+        return False
+
+    def _materialize(self, source: SField, into_row: SRow) -> SField:
+        """A copy of ``source`` for the record owning ``into_row``.
+
+        The copy's atom inherits the row tail's constraints (the
+        expansion step: ``{}``'s forbid reaches materialised fields) and
+        is then equated with the source — unification's aliasing.
+        """
+        atom = self.supply.fresh_atom()
+        self.solver.inherit(atom, into_row.pres)
+        self.solver.equate(atom, source.pres)
+        return SField(source.label, source.type, atom)
+
+    def _bind_rvar(self, row: SRow, fields: tuple[SField, ...],
+                   tail: Optional[SRow], expr: Optional[Expr]) -> None:
+        for f in fields:
+            if self._occurs_rvar(row.var, f.type):
+                raise UnificationFailure(
+                    "occurs check failed (infinite record row)",
+                    span=expr.span if expr is not None else None,
+                    expr=expr,
+                )
+        self.row_bindings[row.var] = SRec(fields, tail)
+
+    def _unify_records(self, a: SRec, b: SRec, expr: Optional[Expr]
+                       ) -> None:
+        self.flatten(a)
+        self.flatten(b)
+        a_map = {f.label: f for f in a.fields}
+        b_map = {f.label: f for f in b.fields}
+        for label in a_map.keys() & b_map.keys():
+            self.unify(a_map[label].type, b_map[label].type, expr)
+            self.solver.equate(a_map[label].pres, b_map[label].pres)
+        only_a = tuple(f for f in a.fields if f.label not in b_map)
+        only_b = tuple(f for f in b.fields if f.label not in a_map)
+        if only_a and b.row is None:
+            raise UnificationFailure(
+                f"record field '{only_a[0].label}' is not allowed by a "
+                "closed record type",
+                span=expr.span if expr is not None else None,
+                expr=expr,
+            )
+        if only_b and a.row is None:
+            raise UnificationFailure(
+                f"record field '{only_b[0].label}' is not allowed by a "
+                "closed record type",
+                span=expr.span if expr is not None else None,
+                expr=expr,
+            )
+        if a.row is None and b.row is None:
+            return
+        if (a.row is not None and b.row is not None
+                and a.row.var == b.row.var):
+            if only_a or only_b:
+                raise UnificationFailure(
+                    "occurs check failed (recursive record row)",
+                    span=expr.span if expr is not None else None,
+                    expr=expr,
+                )
+            self.solver.equate(a.row.pres, b.row.pres)
+            return
+        if a.row is not None and b.row is not None:
+            # Two open tails: rewrite each through a fresh common tail.
+            tail_var = self.supply.fresh_rvar()
+            tail_a = SRow(tail_var, self.supply.fresh_atom())
+            tail_b = SRow(tail_var, self.supply.fresh_atom())
+            self.solver.inherit(tail_a.pres, a.row.pres)
+            self.solver.inherit(tail_b.pres, b.row.pres)
+            self.solver.equate(tail_a.pres, tail_b.pres)
+            into_a = tuple(self._materialize(f, a.row) for f in only_b)
+            into_b = tuple(self._materialize(f, b.row) for f in only_a)
+            self._bind_rvar(a.row, into_a, tail_a, expr)
+            self._bind_rvar(b.row, into_b, tail_b, expr)
+        elif a.row is not None:
+            into_a = tuple(self._materialize(f, a.row) for f in only_b)
+            self._bind_rvar(a.row, into_a, None, expr)
+        else:
+            assert b.row is not None
+            into_b = tuple(self._materialize(f, b.row) for f in only_a)
+            self._bind_rvar(b.row, into_b, None, expr)
+        self.flatten(a)
+        self.flatten(b)
+
+    def _union_kinds(self, union: SUnion) -> set[type]:
+        return {type(self.prune(m)) for m in union.members}
+
+    def _unify_unions(self, a: SUnion, b: SUnion, expr: Optional[Expr]
+                      ) -> None:
+        kinds_a = self._union_kinds(a)
+        kinds_b = self._union_kinds(b)
+        simple = {SInt, SBool}
+        if kinds_a == kinds_b and kinds_a <= simple:
+            return
+        raise UnificationFailure(
+            "cannot unify two union types of different shapes",
+            span=expr.span if expr is not None else None,
+            expr=expr,
+        )
+
+    # -- joins (if / list / when) ----------------------------------------
+    def join(self, a: SType, b: SType, expr: Optional[Expr] = None
+             ) -> SType:
+        self._tick()
+        a = self.prune(a)
+        b = self.prune(b)
+        if a is b:
+            return a
+        if isinstance(a, SVar) or isinstance(b, SVar):
+            self.unify(a, b, expr)
+            return self.prune(a)
+        if isinstance(a, SInt) and isinstance(b, SInt):
+            return a
+        if isinstance(a, SBool) and isinstance(b, SBool):
+            return a
+        if isinstance(a, SFun) and isinstance(b, SFun):
+            self.unify(a, b, expr)
+            return a
+        if isinstance(a, SList) and isinstance(b, SList):
+            return SList(self.join(a.elem, b.elem, expr))
+        if isinstance(a, SRec) and isinstance(b, SRec):
+            return self._join_records(a, b, expr)
+        return self._make_union((a, b), expr)
+
+    def _make_union(self, members: tuple[SType, ...],
+                    expr: Optional[Expr]) -> SType:
+        flat: list[SType] = []
+        for member in members:
+            member = self.prune(member)
+            if isinstance(member, SUnion):
+                flat.extend(self.prune(m) for m in member.members)
+            else:
+                flat.append(member)
+        # one member per constructor head, in a stable kind order
+        buckets: dict[str, list[SType]] = {}
+        for member in flat:
+            if isinstance(member, SInt):
+                buckets.setdefault("int", []).append(member)
+            elif isinstance(member, SBool):
+                buckets.setdefault("bool", []).append(member)
+            elif isinstance(member, SList):
+                buckets.setdefault("list", []).append(member)
+            elif isinstance(member, SFun):
+                buckets.setdefault("fun", []).append(member)
+            elif isinstance(member, SRec):
+                buckets.setdefault("rec", []).append(member)
+            else:
+                buckets.setdefault("var", []).append(member)
+        merged: list[SType] = []
+        for kind in ("bool", "int", "list", "fun", "rec", "var"):
+            group = buckets.get(kind)
+            if not group:
+                continue
+            joined = group[0]
+            for other in group[1:]:
+                joined = self.join(joined, other, expr)
+            merged.append(joined)
+        if len(merged) == 1:
+            return merged[0]
+        return SUnion(tuple(merged))
+
+    def _branch_presence(self, rec: SRec, field: Optional[SField],
+                         expr: Optional[Expr]) -> int:
+        """The presence atom of a (possibly missing) field in ``rec``."""
+        if field is not None:
+            return field.pres
+        atom = self.supply.fresh_atom()
+        if rec.row is not None:
+            self.solver.inherit(atom, rec.row.pres)
+        else:
+            self.solver.forbid(
+                atom,
+                Reason(
+                    "the field is absent in one branch of the union",
+                    span=expr.span if expr is not None else None,
+                ),
+            )
+        return atom
+
+    def _join_records(self, a: SRec, b: SRec, expr: Optional[Expr]
+                      ) -> SRec:
+        self.flatten(a)
+        self.flatten(b)
+        a_map = {f.label: f for f in a.fields}
+        b_map = {f.label: f for f in b.fields}
+        fields = []
+        for label in sorted(a_map.keys() | b_map.keys()):
+            fa = a_map.get(label)
+            fb = b_map.get(label)
+            if fa is not None and fb is not None:
+                joined = self.join(fa.type, fb.type, expr)
+            elif fa is not None:
+                joined = fa.type
+            else:
+                assert fb is not None
+                joined = fb.type
+            atom = self.supply.fresh_atom()
+            self.solver.imply(atom, self._branch_presence(a, fa, expr))
+            self.solver.imply(atom, self._branch_presence(b, fb, expr))
+            fields.append(SField(label, joined, atom))
+        tail_atom = self.supply.fresh_atom()
+        for side in (a, b):
+            if side.row is not None:
+                self.solver.imply(tail_atom, side.row.pres)
+            else:
+                self.solver.forbid(
+                    tail_atom,
+                    Reason(
+                        "the record is closed in one branch of the union",
+                        span=expr.span if expr is not None else None,
+                    ),
+                )
+        return SRec(tuple(fields),
+                    SRow(self.supply.fresh_rvar(), tail_atom))
+
+    # -- generalisation / instantiation ----------------------------------
+    def resolve(self, t: SType) -> SType:
+        """A deep-resolved copy: bindings chased, rows flattened."""
+        t = self.prune(t)
+        if isinstance(t, (SInt, SBool, SVar)):
+            return t
+        if isinstance(t, SFun):
+            return SFun(self.resolve(t.arg), self.resolve(t.res))
+        if isinstance(t, SList):
+            return SList(self.resolve(t.elem))
+        if isinstance(t, SRec):
+            self.flatten(t)
+            fields = tuple(
+                SField(f.label, self.resolve(f.type), f.pres)
+                for f in sorted(t.fields, key=lambda f: f.label)
+            )
+            row = SRow(t.row.var, t.row.pres) if t.row is not None else None
+            return SRec(fields, row)
+        if isinstance(t, SUnion):
+            return SUnion(tuple(self.resolve(m) for m in t.members))
+        return t
+
+    def _free_vars(self, t: SType, tvs: set[int], rvs: set[int]) -> None:
+        t = self.prune(t)
+        if isinstance(t, SVar):
+            tvs.add(t.var)
+        elif isinstance(t, SFun):
+            self._free_vars(t.arg, tvs, rvs)
+            self._free_vars(t.res, tvs, rvs)
+        elif isinstance(t, SList):
+            self._free_vars(t.elem, tvs, rvs)
+        elif isinstance(t, SRec):
+            self.flatten(t)
+            for f in t.fields:
+                self._free_vars(f.type, tvs, rvs)
+            if t.row is not None:
+                rvs.add(t.row.var)
+        elif isinstance(t, SUnion):
+            for m in t.members:
+                self._free_vars(m, tvs, rvs)
+
+    def _atoms_of(self, t: SType, atoms: set[int]) -> None:
+        t = self.prune(t)
+        if isinstance(t, SFun):
+            self._atoms_of(t.arg, atoms)
+            self._atoms_of(t.res, atoms)
+        elif isinstance(t, SList):
+            self._atoms_of(t.elem, atoms)
+        elif isinstance(t, SRec):
+            for f in t.fields:
+                atoms.add(f.pres)
+                self._atoms_of(f.type, atoms)
+            if t.row is not None:
+                atoms.add(t.row.pres)
+        elif isinstance(t, SUnion):
+            for m in t.members:
+                self._atoms_of(m, atoms)
+
+    def _env_free_vars(self, env: SetEnv) -> tuple[set[int], set[int]]:
+        tvs: set[int] = set()
+        rvs: set[int] = set()
+        for entry in env.entries.values():
+            if isinstance(entry, Mono):
+                self._free_vars(entry.type, tvs, rvs)
+            elif isinstance(entry, SetScheme):
+                inner_t: set[int] = set()
+                inner_r: set[int] = set()
+                self._free_vars(entry.body, inner_t, inner_r)
+                tvs |= inner_t - entry.tvars
+                rvs |= inner_r - entry.rvars
+        return tvs, rvs
+
+    def generalize(self, t: SType, env: SetEnv) -> SetScheme:
+        body = self.resolve(t)
+        env_tvs, env_rvs = self._env_free_vars(env)
+        tvs: set[int] = set()
+        rvs: set[int] = set()
+        self._free_vars(body, tvs, rvs)
+        atoms: set[int] = set()
+        self._atoms_of(body, atoms)
+        units, implications = self.solver.project(atoms)
+        return SetScheme(
+            frozenset(tvs - env_tvs),
+            frozenset(rvs - env_rvs),
+            body,
+            units,
+            implications,
+        )
+
+    def instantiate(self, scheme: SetScheme) -> SType:
+        tmap: dict[int, SVar] = {
+            var: self.supply.fresh_tvar() for var in scheme.tvars
+        }
+        rmap: dict[int, int] = {
+            var: self.supply.fresh_rvar() for var in scheme.rvars
+        }
+        amap: dict[int, int] = {}
+
+        def fresh_atom(atom: int) -> int:
+            new = amap.get(atom)
+            if new is None:
+                new = self.supply.fresh_atom()
+                amap[atom] = new
+            return new
+
+        def copy(t: SType) -> SType:
+            t = self.prune(t)
+            if isinstance(t, SVar):
+                return tmap.get(t.var, t)
+            if isinstance(t, (SInt, SBool)):
+                return t
+            if isinstance(t, SFun):
+                return SFun(copy(t.arg), copy(t.res))
+            if isinstance(t, SList):
+                return SList(copy(t.elem))
+            if isinstance(t, SRec):
+                fields = tuple(
+                    SField(f.label, copy(f.type), fresh_atom(f.pres))
+                    for f in t.fields
+                )
+                row = None
+                if t.row is not None:
+                    row = SRow(rmap.get(t.row.var, t.row.var),
+                               fresh_atom(t.row.pres))
+                return SRec(fields, row)
+            if isinstance(t, SUnion):
+                return SUnion(tuple(copy(m) for m in t.members))
+            return t
+
+        result = copy(scheme.body)
+        for atom, value in scheme.units:
+            if value:
+                self.solver.require(
+                    fresh_atom(atom),
+                    Reason("the field is required by a signature"),
+                )
+            else:
+                self.solver.forbid(
+                    fresh_atom(atom),
+                    Reason("the field is absent per a signature"),
+                )
+        for source, target in scheme.implications:
+            self.solver.imply(fresh_atom(source), fresh_atom(target))
+        return result
+
+    # -- the rules --------------------------------------------------------
+    def infer_with_env(self, expr: Expr, env: SetEnv) -> SType:
+        """Infer ``expr``; presence conflicts become typed errors."""
+        try:
+            return self.infer(expr, env)
+        except PresenceConflict as conflict:
+            raise self._presence_error(conflict) from conflict
+
+    def _presence_error(self, conflict: PresenceConflict
+                        ) -> SetRowsPresenceError:
+        required = conflict.required
+        forbidden = conflict.forbidden
+        label = required.label or forbidden.label
+        subject = (f"field '{label}'" if label is not None
+                   else "a record field")
+        where = f" at {required.span}" if required.span is not None else ""
+        because = forbidden.text
+        if forbidden.span is not None:
+            because = f"{because} (at {forbidden.span})"
+        return SetRowsPresenceError(
+            f"a record field may be accessed without having been set: "
+            f"{subject} is required{where} but {because}",
+            span=required.span or forbidden.span,
+        )
+
+    def infer(self, expr: Expr, env: SetEnv) -> SType:
+        self._tick()
+        if isinstance(expr, ast.Var):
+            return self.infer_var(expr, env)
+        if isinstance(expr, ast.Lam):
+            param = self.supply.fresh_tvar()
+            body = self.infer(expr.body, env.bind(expr.param, Mono(param)))
+            return SFun(param, body)
+        if isinstance(expr, ast.App):
+            fn_type = self.infer(expr.fn, env)
+            arg_type = self.infer(expr.arg, env)
+            result = self.supply.fresh_tvar()
+            self.unify(fn_type, SFun(arg_type, result), expr)
+            return result
+        if isinstance(expr, ast.Let):
+            return self.infer_let(expr, env)
+        if isinstance(expr, ast.IntLit):
+            return S_INT
+        if isinstance(expr, ast.BoolLit):
+            return S_BOOL
+        if isinstance(expr, ast.ListLit):
+            return self.infer_list(expr, env)
+        if isinstance(expr, ast.EmptyRec):
+            row = SRow(self.supply.fresh_rvar(), self.supply.fresh_atom())
+            self.solver.forbid(
+                row.pres,
+                Reason("the record is created empty", span=expr.span),
+            )
+            return SRec((), row)
+        if isinstance(expr, ast.Select):
+            return self.infer_select(expr)
+        if isinstance(expr, ast.Update):
+            return self.infer_update(expr, env)
+        if isinstance(expr, ast.Remove):
+            return self.infer_remove(expr)
+        if isinstance(expr, ast.Rename):
+            return self.infer_rename(expr)
+        if isinstance(expr, ast.If):
+            cond = self.infer(expr.cond, env)
+            self.unify(cond, S_INT, expr.cond)
+            then_type = self.infer(expr.then, env)
+            else_type = self.infer(expr.orelse, env)
+            return self.join(then_type, else_type, expr)
+        if isinstance(expr, ast.Concat):
+            return self.infer_concat(expr, env)
+        if isinstance(expr, ast.When):
+            return self.infer_when(expr, env)
+        raise InferenceError(
+            f"setrows: unsupported expression {type(expr).__name__}",
+            span=expr.span,
+        )
+
+    def infer_var(self, expr: ast.Var, env: SetEnv) -> SType:
+        entry = env.lookup(expr.name)
+        if entry is None:
+            factory = self.builtins.get(expr.name)
+            if factory is None:
+                raise UnboundVariable(
+                    f"unbound variable: {expr.name}", span=expr.span,
+                    expr=expr,
+                )
+            return factory(self)
+        if isinstance(entry, Mono):
+            return entry.type
+        return self.instantiate(entry)
+
+    def infer_list(self, expr: ast.ListLit, env: SetEnv) -> SType:
+        if not expr.items:
+            return SList(self.supply.fresh_tvar())
+        elem: Optional[SType] = None
+        for item in expr.items:
+            item_type = self.infer(item, env)
+            elem = (item_type if elem is None
+                    else self.join(elem, item_type, expr))
+        assert elem is not None
+        return SList(elem)
+
+    def infer_select(self, expr: ast.Select) -> SType:
+        content = self.supply.fresh_tvar()
+        atom = self.supply.fresh_atom()
+        self.solver.require(
+            atom,
+            Reason(f"field '{expr.label}' is selected", span=expr.span,
+                   label=expr.label),
+        )
+        row = SRow(self.supply.fresh_rvar(), self.supply.fresh_atom())
+        record = SRec((SField(expr.label, content, atom),), row)
+        return SFun(record, content)
+
+    def infer_update(self, expr: ast.Update, env: SetEnv) -> SType:
+        value = self.infer(expr.value, env)
+        old_content = self.supply.fresh_tvar()
+        row_var = self.supply.fresh_rvar()
+        row_in = SRow(row_var, self.supply.fresh_atom())
+        row_out = SRow(row_var, self.supply.fresh_atom())
+        self.solver.equate(row_in.pres, row_out.pres)
+        record_in = SRec(
+            (SField(expr.label, old_content, self.supply.fresh_atom()),),
+            row_in,
+        )
+        record_out = SRec(
+            (SField(expr.label, value, self.supply.fresh_atom()),),
+            row_out,
+        )
+        return SFun(record_in, record_out)
+
+    def infer_remove(self, expr: ast.Remove) -> SType:
+        content = self.supply.fresh_tvar()
+        row_var = self.supply.fresh_rvar()
+        row_in = SRow(row_var, self.supply.fresh_atom())
+        row_out = SRow(row_var, self.supply.fresh_atom())
+        self.solver.equate(row_in.pres, row_out.pres)
+        out_atom = self.supply.fresh_atom()
+        self.solver.forbid(
+            out_atom,
+            Reason(f"field '{expr.label}' was removed", span=expr.span,
+                   label=expr.label),
+        )
+        record_in = SRec(
+            (SField(expr.label, content, self.supply.fresh_atom()),),
+            row_in,
+        )
+        record_out = SRec(
+            (SField(expr.label, content, out_atom),), row_out,
+        )
+        return SFun(record_in, record_out)
+
+    def infer_rename(self, expr: ast.Rename) -> SType:
+        content = self.supply.fresh_tvar()
+        displaced = self.supply.fresh_tvar()
+        row_var = self.supply.fresh_rvar()
+        row_in = SRow(row_var, self.supply.fresh_atom())
+        row_out = SRow(row_var, self.supply.fresh_atom())
+        self.solver.equate(row_in.pres, row_out.pres)
+        old_in = self.supply.fresh_atom()
+        self.solver.require(
+            old_in,
+            Reason(f"field '{expr.old_label}' is renamed", span=expr.span,
+                   label=expr.old_label),
+        )
+        old_out = self.supply.fresh_atom()
+        self.solver.forbid(
+            old_out,
+            Reason(f"field '{expr.old_label}' was renamed away",
+                   span=expr.span, label=expr.old_label),
+        )
+        record_in = SRec(
+            tuple(sorted((
+                SField(expr.old_label, content, old_in),
+                SField(expr.new_label, displaced,
+                       self.supply.fresh_atom()),
+            ), key=lambda f: f.label)),
+            row_in,
+        )
+        record_out = SRec(
+            tuple(sorted((
+                SField(expr.old_label, self.supply.fresh_tvar(), old_out),
+                SField(expr.new_label, content,
+                       self.supply.fresh_atom()),
+            ), key=lambda f: f.label)),
+            row_out,
+        )
+        return SFun(record_in, record_out)
+
+    def _record_operand(self, expr: Expr, env: SetEnv) -> SRec:
+        t = self.prune(self.infer(expr, env))
+        if isinstance(t, SVar):
+            rec = SRec(
+                (), SRow(self.supply.fresh_rvar(), self.supply.fresh_atom())
+            )
+            self.unify(t, rec, expr)
+            return rec
+        if not isinstance(t, SRec):
+            raise UnificationFailure(
+                f"record concatenation requires records, got "
+                f"{_describe(t)}",
+                span=expr.span, expr=expr,
+            )
+        return t
+
+    def infer_concat(self, expr: ast.Concat, env: SetEnv) -> SType:
+        left = self._record_operand(expr.left, env)
+        right = self._record_operand(expr.right, env)
+        self.flatten(left)
+        self.flatten(right)
+        left_map = {f.label: f for f in left.fields}
+        right_map = {f.label: f for f in right.fields}
+        fields = []
+        for label in sorted(left_map.keys() | right_map.keys()):
+            fl = left_map.get(label)
+            fr = right_map.get(label)
+            atom = self.supply.fresh_atom()
+            if fl is not None and fr is not None:
+                if expr.symmetric:
+                    self.solver.forbid_together(fl.pres, fr.pres)
+                joined = self.join(fl.type, fr.type, expr)
+                self.solver.imply_any(atom, (fl.pres, fr.pres))
+            elif fl is not None:
+                joined = fl.type
+                self.solver.imply(atom, fl.pres)
+            else:
+                assert fr is not None
+                joined = fr.type
+                self.solver.imply(atom, fr.pres)
+            fields.append(SField(label, joined, atom))
+        if left.row is None and right.row is None:
+            return SRec(tuple(fields), None)
+        tail_atom = self.supply.fresh_atom()
+        open_sides = tuple(
+            side.row.pres for side in (left, right) if side.row is not None
+        )
+        if len(open_sides) == 1:
+            self.solver.imply(tail_atom, open_sides[0])
+        else:
+            self.solver.imply_any(tail_atom, open_sides)
+        return SRec(tuple(fields),
+                    SRow(self.supply.fresh_rvar(), tail_atom))
+
+    def _when_subject(self, expr: ast.When, env: SetEnv) -> SRec:
+        entry = env.lookup(expr.record)
+        if entry is None:
+            raise UnboundVariable(
+                f"unbound variable: {expr.record}", span=expr.span,
+                expr=expr,
+            )
+        subject = (entry.type if isinstance(entry, Mono)
+                   else self.instantiate(entry))
+        subject = self.prune(subject)
+        if isinstance(subject, SVar):
+            rec = SRec(
+                (), SRow(self.supply.fresh_rvar(), self.supply.fresh_atom())
+            )
+            self.unify(subject, rec, expr)
+            return rec
+        if not isinstance(subject, SRec):
+            raise UnificationFailure(
+                f"`when` requires a record, got {_describe(subject)}",
+                span=expr.span, expr=expr,
+            )
+        return self.flatten(subject)
+
+    def infer_when(self, expr: ast.When, env: SetEnv) -> SType:
+        subject = self._when_subject(expr, env)
+        existing = next(
+            (f for f in subject.fields if f.label == expr.label), None
+        )
+        content = (existing.type if existing is not None
+                   else self.supply.fresh_tvar())
+        other_fields = tuple(
+            f for f in subject.fields if f.label != expr.label
+        )
+
+        def refined(atom: int) -> SRec:
+            fields = other_fields + (SField(expr.label, content, atom),)
+            return SRec(
+                tuple(sorted(fields, key=lambda f: f.label)), subject.row
+            )
+
+        present = self.supply.fresh_atom()
+        self.solver.require(
+            present,
+            Reason(f"field '{expr.label}' is present in the `when` "
+                   "branch", span=expr.span, label=expr.label),
+        )
+        absent = self.supply.fresh_atom()
+        self.solver.forbid(
+            absent,
+            Reason(f"field '{expr.label}' is absent in the `when` else "
+                   "branch", span=expr.span, label=expr.label),
+        )
+        then_type = self.infer(
+            expr.then, env.bind(expr.record, Mono(refined(present)))
+        )
+        else_type = self.infer(
+            expr.orelse, env.bind(expr.record, Mono(refined(absent)))
+        )
+        return self.join(then_type, else_type, expr)
+
+    # -- let / letrec -----------------------------------------------------
+    def infer_let(self, expr: ast.Let, env: SetEnv) -> SType:
+        if expr.name not in free_variables(expr.bound):
+            bound = self.infer(expr.bound, env)
+            scheme = self.generalize(bound, env)
+            return self.infer(expr.body, env.bind(expr.name, scheme))
+        scheme = self._letrec_fixpoint(expr, env)
+        return self.infer(expr.body, env.bind(expr.name, scheme))
+
+    def _letrec_fixpoint(self, expr: ast.Let, env: SetEnv) -> SetScheme:
+        from .render import scheme_signature
+
+        scheme: Optional[SetScheme] = None
+        assumed_signature: Optional[str] = None
+        limit = max(1, self.options.letrec_max_iterations)
+        for _ in range(limit):
+            if self.deadline is not None:
+                self.deadline.check()
+            if self.budget is not None:
+                self.budget.check_time()
+            if scheme is None:
+                assumption = self.supply.fresh_tvar()
+                inner = env.bind(expr.name, Mono(assumption))
+                bound = self.infer(expr.bound, inner)
+                self.unify(assumption, bound, expr)
+            else:
+                inner = env.bind(expr.name, scheme)
+                bound = self.infer(expr.bound, inner)
+            derived = self.generalize(bound, env)
+            derived_signature = scheme_signature(derived)[0]
+            if scheme is not None and derived_signature == assumed_signature:
+                return derived
+            scheme = derived
+            assumed_signature = derived_signature
+        raise FixpointDivergence(
+            f"letrec fixpoint for '{expr.name}' did not stabilise within "
+            f"{limit} iterations",
+            span=expr.span, expr=expr,
+        )

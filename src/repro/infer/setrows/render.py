@@ -1,0 +1,130 @@
+"""Canonical signature rendering for the set-theoretic rows engine.
+
+Mirrors :mod:`repro.infer.engines`'s canonicaliser: type variables
+(``a0, a1, …``), row variables (``r0, r1, …``) and presence atoms
+(``.p1, .p2, …``) are renumbered in order of first occurrence, so the
+rendered signature is stable across sessions and supplies and can serve
+as the session cache key.  Unions render as ``(Bool | Int)`` with the
+members ordered by their rendered text; the presence constraints
+projected onto the signature's atoms render as a ``where`` clause
+(``p1 ∧ ¬p2 ∧ p3 -> p4``), the analogue of the flow engine's projected
+flow formula.
+
+The types rendered here must be *resolved*
+(:meth:`~.infer.SetRowsInference.resolve`): rendering never chases
+bindings.
+"""
+
+from __future__ import annotations
+
+from .types import (
+    SBool,
+    SFun,
+    SInt,
+    SList,
+    SRec,
+    SType,
+    SUnion,
+    SVar,
+)
+
+
+class SetCanonicalizer:
+    """First-occurrence renaming of type vars, row vars and atoms."""
+
+    def __init__(self) -> None:
+        self.tvars: dict[int, str] = {}
+        self.rvars: dict[int, str] = {}
+        self.atoms: dict[int, int] = {}
+
+    def tvar(self, var: int) -> str:
+        name = self.tvars.get(var)
+        if name is None:
+            name = f"a{len(self.tvars)}"
+            self.tvars[var] = name
+        return name
+
+    def rvar(self, var: int) -> str:
+        name = self.rvars.get(var)
+        if name is None:
+            name = f"r{len(self.rvars)}"
+            self.rvars[var] = name
+        return name
+
+    def atom(self, value: int) -> str:
+        index = self.atoms.get(value)
+        if index is None:
+            index = len(self.atoms) + 1
+            self.atoms[value] = index
+        return f".p{index}"
+
+    def atom_name(self, value: int) -> str:
+        index = self.atoms.get(value)
+        return f"p{index}" if index is not None else f"q{value}"
+
+
+def canonical_set_type_text(t: SType, names: SetCanonicalizer) -> str:
+    """Render a resolved setrows type with canonical numbering."""
+
+    def go(t: SType, parenthesize_function: bool = False) -> str:
+        if isinstance(t, SVar):
+            return names.tvar(t.var)
+        if isinstance(t, SInt):
+            return "Int"
+        if isinstance(t, SBool):
+            return "Bool"
+        if isinstance(t, SList):
+            return f"[{go(t.elem)}]"
+        if isinstance(t, SFun):
+            inner = f"{go(t.arg, True)} -> {go(t.res)}"
+            return f"({inner})" if parenthesize_function else inner
+        if isinstance(t, SRec):
+            parts = [
+                f"{f.label}{names.atom(f.pres)} : {go(f.type)}"
+                for f in t.fields
+            ]
+            if t.row is not None:
+                parts.append(
+                    f"{names.rvar(t.row.var)}{names.atom(t.row.pres)}"
+                )
+            return "{" + ", ".join(parts) + "}"
+        if isinstance(t, SUnion):
+            members = sorted(go(m, True) for m in t.members)
+            return "(" + " | ".join(members) + ")"
+        return repr(t)
+
+    return go(t)
+
+
+def canonical_presence_text(units, implications,
+                            names: SetCanonicalizer) -> str:
+    """Render projected presence constraints (sorted, renumbered).
+
+    Only constraints whose atoms occur in the rendered type (and so
+    have canonical names) are shown.
+    """
+    conjuncts = []
+    for atom, value in units:
+        if atom not in names.atoms:
+            continue
+        name = names.atom_name(atom)
+        conjuncts.append(name if value else f"¬{name}")
+    for source, target in implications:
+        if source not in names.atoms or target not in names.atoms:
+            continue
+        conjuncts.append(
+            f"{names.atom_name(source)} -> {names.atom_name(target)}"
+        )
+    return " ∧ ".join(sorted(conjuncts))
+
+
+def scheme_signature(scheme) -> tuple[str, str, str]:
+    """(signature, type_text, presence_text) of a :class:`SetScheme`."""
+    names = SetCanonicalizer()
+    type_text = canonical_set_type_text(scheme.body, names)
+    presence_text = canonical_presence_text(
+        scheme.units, scheme.implications, names
+    )
+    signature = (type_text if not presence_text
+                 else f"{type_text} where {presence_text}")
+    return signature, type_text, presence_text

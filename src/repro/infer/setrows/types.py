@@ -1,0 +1,138 @@
+"""Type representation of the set-theoretic rows engine.
+
+The ``setrows`` engine (Castagna & Peyrot, "Polymorphic Records for
+Dynamic Languages", arXiv 2404.00338) types dynamic-record programs the
+paper's flag calculus rejects: records whose fields are present *or*
+absent depending on which union branch produced them, and values whose
+type is a union of incompatible constructors (``Int | Bool``).
+
+The representation is deliberately close to the flag calculus so the
+two engines are comparable on their shared fragment:
+
+* Structure mirrors :mod:`repro.types.terms` — variables, ``Int``,
+  ``Bool``, functions, lists, and records with an optional row tail.
+* Where the flag calculus decorates every position with a Boolean
+  *flag*, ``setrows`` attaches a *presence atom* (an integer) to each
+  record field and row tail only.  Atoms live in a
+  :class:`~repro.infer.setrows.presence.PresenceSolver`; a field whose
+  atom is forced false is *provably absent*, one forced true is
+  *required*, and an unconstrained atom is the optional/"don't know"
+  state that makes row polymorphism work.
+* The genuinely set-theoretic part is :class:`SUnion` — introduced at
+  join points (``if``, list literals, ``when``) when the branch types
+  have incompatible heads, which is exactly where the flag calculus
+  raises a unification failure.
+
+Types are identity-hashed mutable nodes: records are *flattened in
+place* as their row tails acquire bindings (the Rémy-style rewriting of
+:mod:`repro.types.unify`), so every holder of a record sees the same
+materialised fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(eq=False)
+class SType:
+    """Base class of setrows types (identity hashed, mutable nodes)."""
+
+
+@dataclass(eq=False)
+class SInt(SType):
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Int"
+
+
+@dataclass(eq=False)
+class SBool(SType):
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Bool"
+
+
+@dataclass(eq=False)
+class SVar(SType):
+    """A type variable (bindings live in the inference, triangularly)."""
+
+    var: int
+
+
+@dataclass(eq=False)
+class SFun(SType):
+    arg: SType
+    res: SType
+
+
+@dataclass(eq=False)
+class SList(SType):
+    elem: SType
+
+
+@dataclass(eq=False)
+class SField:
+    """One record field: label, content type, presence atom."""
+
+    label: str
+    type: SType
+    pres: int
+
+
+@dataclass(eq=False)
+class SRow:
+    """An open record tail: row variable plus the tail's presence atom.
+
+    The atom stands for "the not-yet-materialised rest of the record";
+    fields later rewritten out of the row inherit its constraints, which
+    is how ``{}``'s "everything beyond these fields is absent" reaches a
+    field selected much later.
+    """
+
+    var: int
+    pres: int
+
+
+@dataclass(eq=False)
+class SRec(SType):
+    """A record: explicit fields plus an optional open tail.
+
+    ``fields``/``row`` are reassigned in place by flattening; fields are
+    kept sorted by label so rendering is deterministic.
+    """
+
+    fields: tuple[SField, ...]
+    row: Optional[SRow]
+
+
+@dataclass(eq=False)
+class SUnion(SType):
+    """A set-theoretic union of types with pairwise-distinct heads."""
+
+    members: tuple[SType, ...]
+
+
+class SetSupply:
+    """Fresh type variables, row variables and presence atoms.
+
+    One supply per session engine: identifiers stay unique across the
+    declarations of a module, so exported schemes never collide with a
+    dependent's fresh structure.
+    """
+
+    def __init__(self) -> None:
+        self._tvar = 0
+        self._rvar = 0
+        self._atom = 0
+
+    def fresh_tvar(self) -> SVar:
+        self._tvar += 1
+        return SVar(self._tvar)
+
+    def fresh_rvar(self) -> int:
+        self._rvar += 1
+        return self._rvar
+
+    def fresh_atom(self) -> int:
+        self._atom += 1
+        return self._atom

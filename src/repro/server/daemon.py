@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..diag import codes as diag_codes
-from ..infer.engines import SESSION_ENGINES
+from ..infer.registry import REGISTRY, UnknownEngineError, unknown_engine_message
 from ..infer.state import FlowOptions
 from ..testing.faults import fault_point
 from ..util import Budget, BudgetExceeded, Cancelled, DeadlineExceeded, Deadline
@@ -131,8 +131,9 @@ class Daemon:
         metrics: Optional[ServerMetrics] = None,
     ) -> None:
         self.config = config or DaemonConfig()
-        if self.config.engine not in SESSION_ENGINES:
-            raise ValueError(f"unknown engine {self.config.engine!r}")
+        if self.config.engine not in REGISTRY.session_names():
+            raise UnknownEngineError(
+                self.config.engine, REGISTRY.session_names())
         self.metrics = metrics or ServerMetrics()
         self.store = None
         if self.config.store_dir:
@@ -348,10 +349,9 @@ class Daemon:
         if source is not None and not isinstance(source, str):
             raise _InvalidParams("'source' must be a string when given")
         engine = params.get("engine", self.config.engine)
-        if engine not in SESSION_ENGINES:
+        if engine not in REGISTRY.session_names():
             raise _InvalidParams(
-                f"unknown engine {engine!r} "
-                f"(expected one of {', '.join(SESSION_ENGINES)})"
+                unknown_engine_message(engine, REGISTRY.session_names())
             )
         raw_options = params.get("options", {})
         if not isinstance(raw_options, dict):

@@ -67,7 +67,14 @@ class Subst:
                 binding = self.rows.get(row.var)
                 if binding is not None:
                     extra, tail = binding
-                    fields.extend(extra)
+                    # A bound row var can also occur inside one of the
+                    # record's field types, making the binding's fields
+                    # overlap the literal ones.  Unification equated the
+                    # overlapping copies, so keep the literal field.
+                    present = {f.label for f in fields}
+                    fields.extend(
+                        f for f in extra if f.label not in present
+                    )
                     row = tail
             return TRec(tuple(fields), row)
         return t

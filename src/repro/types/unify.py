@@ -60,12 +60,31 @@ class _Unifier:
         return t
 
     def flatten_record(self, record: TRec) -> tuple[list[Field], Optional[Row]]:
-        """Resolve row bindings so the tail is unbound or absent."""
-        fields = list(record.fields)
+        """Resolve row bindings so the tail is unbound or absent.
+
+        A label can arrive twice when a bound row var also occurs inside
+        one of the record's field types (the binding's fields then
+        overlap the literal ones); the two copies describe the same
+        field, so their types are unified and one copy kept.
+        """
+        fields: list[Field] = []
+        indices: dict[str, int] = {}
+
+        def add(field: Field) -> None:
+            index = indices.get(field.label)
+            if index is None:
+                indices[field.label] = len(fields)
+                fields.append(field)
+            else:
+                self.unify(fields[index].type, field.type)
+
+        for field in record.fields:
+            add(field)
         row = record.row
         while row is not None and row.var in self.row_bindings:
             extra, tail = self.row_bindings[row.var]
-            fields.extend(extra)
+            for field in extra:
+                add(field)
             row = tail
         return fields, row
 
@@ -140,6 +159,15 @@ class _Unifier:
     def bind_row(
         self, var: int, fields: list[Field], tail: Optional[Row]
     ) -> None:
+        # Unifying the common field types in ``unify_records`` can bind
+        # a tail that was flattened before the loop ran; overwriting the
+        # binding here would silently drop it, so reconcile the two row
+        # descriptions by unifying them as records instead.
+        existing = self.row_bindings.get(var)
+        if existing is not None:
+            self.unify(TRec(existing[0], existing[1]),
+                       TRec(tuple(fields), tail))
+            return
         for f in fields:
             if self.occurs_row(var, f.type):
                 raise OccursCheckError(
@@ -224,18 +252,31 @@ class _Unifier:
         return t
 
     def to_subst(self) -> Subst:
-        """Produce an idempotent substitution from the bindings."""
-        types = {
-            var: self.resolve(TVar(var)) for var in self.type_bindings
-        }
-        rows = {}
-        for var in self.row_bindings:
-            fields, tail = self.flatten_record(TRec((), Row(var)))
-            rows[var] = (
-                tuple(Field(f.label, self.resolve(f.type)) for f in fields),
-                tail,
-            )
-        return Subst(types, rows)
+        """Produce an idempotent substitution from the bindings.
+
+        Resolution itself can grow the binding maps: flattening a row
+        whose bound var also occurs inside a field type merges the
+        duplicate label by unifying the two copies.  Extract again until
+        no resolution adds a binding, so the result stays idempotent.
+        """
+        while True:
+            before = (len(self.type_bindings), len(self.row_bindings))
+            types = {
+                var: self.resolve(TVar(var))
+                for var in list(self.type_bindings)
+            }
+            rows = {}
+            for var in list(self.row_bindings):
+                fields, tail = self.flatten_record(TRec((), Row(var)))
+                rows[var] = (
+                    tuple(
+                        Field(f.label, self.resolve(f.type))
+                        for f in fields
+                    ),
+                    tail,
+                )
+            if (len(self.type_bindings), len(self.row_bindings)) == before:
+                return Subst(types, rows)
 
 
 def mgu(t1: Type, t2: Type, supply: VarSupply) -> Subst:

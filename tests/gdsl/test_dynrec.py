@@ -1,0 +1,62 @@
+"""Tests for the dynamic-record generators (determinism, stability,
+and the setrows-only property of the dynrec corpus)."""
+
+import pytest
+
+from repro.api import check_source
+from repro.gdsl import (
+    DynRecConfig,
+    fragment_source,
+    generate_dynrec_corpus,
+)
+
+
+class TestFragmentGenerator:
+    def test_deterministic(self):
+        assert fragment_source(5, 11) == fragment_source(5, 11)
+
+    def test_seed_and_index_both_matter(self):
+        assert fragment_source(0, 1) != fragment_source(0, 2)
+        assert fragment_source(0, 1) != fragment_source(1, 1)
+
+    def test_reject_rate_zero_is_clean(self):
+        for index in range(10):
+            source = fragment_source(0, index, reject_rate=0.0)
+            assert "absent" not in source
+            assert check_source(source, engine="setrows").ok
+
+
+class TestDynRecCorpus:
+    def test_deterministic(self):
+        a = generate_dynrec_corpus(DynRecConfig(modules=4, seed=9))
+        b = generate_dynrec_corpus(DynRecConfig(modules=4, seed=9))
+        assert [m.source for m in a.modules] == [
+            m.source for m in b.modules]
+
+    def test_prefix_stable(self):
+        small = generate_dynrec_corpus(DynRecConfig(modules=3, seed=2))
+        large = generate_dynrec_corpus(DynRecConfig(modules=6, seed=2))
+        assert [m.source for m in small.modules] == [
+            m.source for m in large.modules[:3]]
+
+    def test_module_count_validated(self):
+        with pytest.raises(ValueError):
+            generate_dynrec_corpus(DynRecConfig(modules=0))
+
+    def test_setrows_accepts_flag_engines_reject(self):
+        corpus = generate_dynrec_corpus(DynRecConfig(modules=5, seed=0))
+        for module in corpus.modules:
+            assert check_source(module.source, engine="setrows").ok, (
+                module.name)
+            for engine in ("flow", "mycroft", "damas-milner",
+                           "pottier"):
+                assert not check_source(
+                    module.source, engine=engine).ok, (
+                    module.name, engine)
+
+    def test_setrows_signatures_carry_unions(self):
+        corpus = generate_dynrec_corpus(DynRecConfig(modules=3, seed=0))
+        for module in corpus.modules:
+            report = check_source(module.source, engine="setrows")
+            assert any("|" in d["signature"] for d in report.decls), (
+                module.name)

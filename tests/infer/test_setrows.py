@@ -1,0 +1,183 @@
+"""Unit tests for the set-theoretic rows engine.
+
+Covers the typing rules at expression level (accepts, rejects and
+their stable diagnostic codes), the pinned dynamic-record golden the
+flag calculus cannot type, and the canonical rendering contract.
+"""
+
+import pytest
+
+from repro.api import check_source
+from repro.infer.errors import (
+    FixpointDivergence,
+    InferenceError,
+    UnboundVariable,
+    UnificationFailure,
+)
+from repro.infer.setrows import (
+    SetRowsPresenceError,
+    infer_setrows,
+    normalize_signature,
+)
+from repro.infer.state import FlowOptions
+from repro.lang import parse
+
+#: The pinned golden: one field is Int in one arm and Bool in the
+#: other, so only a union-typed engine can give the select a type.
+DYNAMIC_GOLDEN = (
+    "#val (if some_condition then @{val = 1} ({}) "
+    "else @{val = true} ({}))"
+)
+FLAG_ENGINES = ("flow", "mycroft", "damas-milner", "pottier")
+
+
+def sig(source: str) -> str:
+    return infer_setrows(parse(source)).signature
+
+
+def reject(source: str) -> InferenceError:
+    with pytest.raises(InferenceError) as err:
+        infer_setrows(parse(source))
+    return err.value
+
+
+class TestAccepts:
+    def test_literals_and_builtins(self):
+        assert sig("1") == "Int"
+        assert sig("plus 1 2") == "Int"
+        assert sig("\\x -> plus x 1") == "Int -> Int"
+
+    def test_let_polymorphism(self):
+        assert sig("let id = \\x -> x in id (id 1)") == "Int"
+
+    def test_record_build_and_select(self):
+        assert sig("@{a = 1} ({})") == "{a.p1 : Int, r0.p2} where ¬p2"
+        assert sig(
+            "let r = @{a = 1} (@{b = 2} ({})) "
+            "in plus (#a r) (#b r)"
+        ) == "Int"
+
+    def test_open_getter_signature(self):
+        assert sig("\\r -> plus (#a r) (#b r)") == (
+            "{a.p1 : Int, b.p2 : Int, r0.p3} -> Int where p1 ∧ p2"
+        )
+
+    def test_remove_and_rename(self):
+        assert sig("#b (~a (@{a = 1} (@{b = 2} ({}))))") == "Int"
+        assert sig("#b (@[a -> b] (@{a = 1} ({})))") == "Int"
+
+    def test_concat(self):
+        assert sig("#a ((@{a = 1} ({})) @ (@{b = 2} ({})))") == "Int"
+
+    def test_when_refinement(self):
+        assert sig("\\r -> when a in r then #a r else 0") == (
+            "{r0.p1} -> Int"
+        )
+
+    def test_letrec(self):
+        assert sig(
+            "let len = \\l -> if null l then 0 "
+            "else plus 1 (len (tail l)) in len"
+        ) == "[a0] -> Int"
+
+    def test_list_join_merges_optional_fields(self):
+        assert sig(
+            "[@{a = 1} ({}), @{a = 2} (@{b = 3} ({}))]"
+        ) == "[{a.p1 : Int, b.p2 : Int, r0.p3}] where ¬p2 ∧ ¬p3"
+
+
+class TestDynamicRecords:
+    """Programs only the set-theoretic engine accepts."""
+
+    def test_pinned_golden_accepted_with_union(self):
+        assert sig(DYNAMIC_GOLDEN) == "(Bool | Int)"
+
+    @pytest.mark.parametrize("engine", FLAG_ENGINES)
+    def test_pinned_golden_rejected_by_flag_engines(self, engine):
+        report = check_source(f"main = {DYNAMIC_GOLDEN}", engine=engine)
+        assert not report.ok
+
+    def test_pinned_golden_accepted_through_session(self):
+        report = check_source(
+            f"main = {DYNAMIC_GOLDEN}", engine="setrows")
+        assert report.ok
+        assert report.decls[0]["signature"] == "(Bool | Int)"
+
+    def test_heterogeneous_list(self):
+        assert sig("head [1, true]") == "(Bool | Int)"
+
+
+class TestRejects:
+    def test_select_from_empty(self):
+        error = reject("#a ({})")
+        assert isinstance(error, SetRowsPresenceError)
+        assert error.diagnostic.code == "RP0001"
+        assert "created empty" in str(error)
+
+    def test_select_of_never_set_field(self):
+        error = reject("#speed (@{name = 1} ({}))")
+        assert error.diagnostic.code == "RP0001"
+        assert "field 'speed' is required" in str(error)
+
+    def test_absent_field_through_polymorphic_getter(self):
+        error = reject("let f = \\r -> #a r in f (@{b = 1} ({}))")
+        assert error.diagnostic.code == "RP0001"
+
+    def test_join_does_not_invent_presence(self):
+        error = reject(
+            "#a (if some_condition then @{a = 1} ({}) else ({}))")
+        assert error.diagnostic.code == "RP0001"
+
+    def test_concat_of_closed_records_stays_closed(self):
+        error = reject("#c ((@{a = 1} ({})) @ (@{b = 2} ({})))")
+        assert error.diagnostic.code == "RP0001"
+
+    def test_removed_field_is_forbidden(self):
+        error = reject("#a (~a (@{a = 1} ({})))")
+        assert "removed" in str(error)
+
+    def test_renamed_field_is_forbidden(self):
+        error = reject("#a (@[a -> b] (@{a = 1} ({})))")
+        assert "renamed" in str(error)
+
+    def test_unification_clash(self):
+        error = reject("plus 1 true")
+        assert isinstance(error, UnificationFailure)
+        assert error.diagnostic.code == "RP0002"
+
+    def test_unbound_variable(self):
+        error = reject("missing_name")
+        assert isinstance(error, UnboundVariable)
+        assert error.diagnostic.code == "RP0003"
+
+    def test_fixpoint_divergence_is_bounded(self):
+        options = FlowOptions(letrec_max_iterations=1)
+        with pytest.raises(FixpointDivergence) as err:
+            infer_setrows(
+                parse("let f = \\n -> if n then f 0 else 1 in f 5"),
+                options,
+            )
+        assert err.value.diagnostic.code == "RP0004"
+
+
+class TestRenderingStability:
+    def test_signature_is_supply_independent(self):
+        source = "\\r -> plus (#a r) (#b r)"
+        assert sig(source) == sig(source)
+
+    def test_union_members_sorted(self):
+        assert sig(
+            "if some_condition then true else 1"
+        ) == "(Bool | Int)"
+
+    def test_normalize_erases_engine_decorations(self):
+        flow_like = "{a.f1 : Int, r0.f2} -> Int where f1"
+        set_like = "{a.p1 : Int, r0.p2} -> Int where p1 ∧ ¬p2"
+        assert (normalize_signature(flow_like)
+                == normalize_signature(set_like)
+                == "{a : Int, r0} -> Int")
+
+    def test_normalize_sorts_fields_and_renumbers(self):
+        assert normalize_signature(
+            "{b.p1 : a5, a.p2 : a3, r4.p3}"
+        ) == normalize_signature("{a.f9 : a0, b.f2 : a2, r0.f4}")

@@ -1,0 +1,85 @@
+"""Tests for ``rowpoly engines``: the registry's CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.infer.registry import REGISTRY, unknown_engine_message
+
+
+class TestEnginesText:
+    def test_lists_every_engine(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY.names():
+            assert name in out
+
+    def test_shows_capabilities(self, capsys):
+        main(["engines"])
+        out = capsys.readouterr().out
+        assert "set_theoretic" in out
+        assert "unsat_cores" in out
+
+
+class TestEnginesJson:
+    def test_schema(self, capsys):
+        assert main(["engines", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"engines"}
+        entries = payload["engines"]
+        assert [e["name"] for e in entries] == list(REGISTRY.names())
+        for entry in entries:
+            assert set(entry) == {"name", "description", "capabilities"}
+            assert isinstance(entry["description"], str)
+            assert entry["description"]
+            assert entry["capabilities"] == sorted(entry["capabilities"])
+
+    def test_matches_registry_dicts(self, capsys):
+        main(["engines", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engines"] == REGISTRY.as_dicts()
+
+    def test_deterministic(self, capsys):
+        main(["engines", "--json"])
+        first = capsys.readouterr().out
+        main(["engines", "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestUnknownEngineMessageParity:
+    """The daemon's protocol-level rejection uses the exact registry
+    wording (the CLI rejects unknown names at argparse level)."""
+
+    def test_daemon_request_message(self):
+        from repro.server.daemon import Daemon, _InvalidParams
+
+        daemon = Daemon()
+        with pytest.raises(_InvalidParams) as err:
+            daemon._check_params({"path": "x.rp", "engine": "nope"})
+        assert str(err.value) == unknown_engine_message(
+            "nope", REGISTRY.session_names())
+
+    def test_cli_rejects_unknown_engine(self, tmp_path, capsys):
+        path = tmp_path / "m.rp"
+        path.write_text("main = 1\n")
+        with pytest.raises(SystemExit):
+            main(["check", "--engine", "nope", str(path)])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'nope'" in err
+
+
+class TestReadmeTableSync:
+    def test_readme_engine_table_matches_registry(self):
+        import importlib.util
+        import os
+
+        root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        spec = importlib.util.spec_from_file_location(
+            "gen_engine_table",
+            os.path.join(root, "tools", "gen_engine_table.py"),
+        )
+        tool = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(tool)
+        assert tool.main(["--check"]) == 0

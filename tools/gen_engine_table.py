@@ -1,0 +1,72 @@
+"""Regenerate the README engine table from the engine registry.
+
+The block between ``<!-- engines:begin -->`` and ``<!-- engines:end -->``
+in README.md is owned by :data:`repro.infer.registry.REGISTRY` — run
+this after registering or editing an engine:
+
+    PYTHONPATH=src python tools/gen_engine_table.py
+
+``--check`` exits 1 instead of rewriting when the table is stale (the
+mode the test suite runs).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"),
+)
+
+from repro.infer.registry import REGISTRY  # noqa: E402
+
+README = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "README.md",
+)
+BLOCK = re.compile(
+    r"(<!-- engines:begin -->\n).*?(\n<!-- engines:end -->)",
+    re.DOTALL,
+)
+
+
+def render(text: str) -> str:
+    replacement = r"\g<1>" + REGISTRY.markdown_table() + r"\g<2>"
+    updated, count = BLOCK.subn(replacement, text)
+    if count != 1:
+        raise SystemExit(
+            "README.md must contain exactly one engines:begin/end block"
+        )
+    return updated
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the table is stale instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+    with open(README) as handle:
+        current = handle.read()
+    updated = render(current)
+    if args.check:
+        if updated != current:
+            print("README engine table is stale; run "
+                  "tools/gen_engine_table.py", file=sys.stderr)
+            return 1
+        return 0
+    if updated != current:
+        with open(README, "w") as handle:
+            handle.write(updated)
+        print("README engine table regenerated")
+    else:
+        print("README engine table already up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,291 @@
+"""Goodput under a 2x-capacity storm: shedding on vs off.
+
+Admission control exists because a saturated server that *tries to serve
+everything* serves almost nothing in time: queued requests burn their
+deadlines waiting, then burn worker capacity on partial service before
+the per-declaration deadline poll aborts them — capacity that the few
+still-feasible requests needed.  Deadline-aware shedding refuses doomed
+work at submit (retryable 429 + ``retry_after_ms``) so the single worker
+only spends itself on requests that can still make their deadline.
+
+Protocol (both arms identical except ``DaemonConfig(shed=...)``):
+
+1. start a single-worker in-process daemon, warm ``MODULES`` modules,
+   then run a short calibration loop of warm re-checks — this both
+   levels the arms and seeds the shed arm's service-time EWMA with
+   *warm* latencies (the cold warming checks are 10x slower and would
+   otherwise poison the admission predictor);
+2. every storm request carries the same absolute deadline,
+   ``DEADLINE_FACTOR`` x the median warm re-check time measured once on
+   a throwaway daemon — the comparison is pure policy, not calibration;
+3. ``CLIENTS`` retrying clients (an offered load of several times one
+   worker's capacity) hammer the daemon for ``storm_seconds`` of
+   distinct single-declaration edits — genuine warm re-checks, never
+   replays; the storm is **time-bounded**, so an arm that fails fast
+   earns nothing by it;
+4. score each request: **goodput** counts only ``exit == 0`` answers
+   that arrived within the deadline; late successes, server-side 408s,
+   shed 429s and retry exhaustion all count as terminal non-goodput
+   (and are asserted terminal — zero hangs).
+
+``python benchmarks/bench_overload.py --quick`` writes
+``BENCH_overload.json``.  The floor — shedding goodput at least
+``MIN_GOODPUT_RATIO``x the no-shedding baseline — is asserted in the
+multiplicative form ``good_shed >= ratio * good_noshed`` so a collapsed
+(zero-goodput) baseline passes without dividing by zero.
+"""
+
+import json
+import os
+import threading
+import time
+
+from bench_serve_throughput import _build_modules, _percentile, edit_source
+from repro.server import protocol
+from repro.server.client import RetryingClient, ServeClient, ServeError
+from repro.server.daemon import Daemon, DaemonConfig
+
+#: Required goodput ratio, shedding vs no-shedding, under the same storm.
+MIN_GOODPUT_RATIO = 2.0
+
+#: Every storm request's deadline, as a multiple of the calibrated warm
+#: re-check service time.  Tight enough that work queued behind the storm
+#: is doomed, loose enough that a freshly admitted request always fits.
+DEADLINE_FACTOR = 2.0
+
+OUTPUT_FILE = "BENCH_overload.json"
+
+#: Stamp base for calibration edits, far above any storm stamp.
+_CALIBRATION_STAMP = 900_000_000
+
+
+def calibrate_service_seconds(address: str, modules: list, laps: int = 10):
+    """Median warm re-check latency on an otherwise idle daemon."""
+    samples = []
+    with ServeClient(address, timeout=120.0) as client:
+        for lap in range(laps):
+            for index, (path, source) in enumerate(modules):
+                stamp = _CALIBRATION_STAMP + lap * 97 + index
+                started = time.perf_counter()
+                served = client.check(path, edit_source(source, stamp))
+                samples.append(time.perf_counter() - started)
+                assert served["exit"] == 0
+                assert served["cached"] is False
+    return _percentile(samples, 0.5)
+
+
+def measure_storm(
+    shed: bool,
+    modules: list,
+    clients: int,
+    storm_seconds: float,
+    deadline_seconds: float,
+) -> dict:
+    """One storm arm: ``clients`` threads vs one worker, shed on/off."""
+    daemon = Daemon(DaemonConfig(workers=1, queue_limit=64, shed=shed))
+    host, port = daemon.serve_tcp(port=0, background=True)
+    address = f"{host}:{port}"
+    try:
+        with ServeClient(address, timeout=120.0) as warmer:
+            for path, source in modules:
+                served = warmer.check(path, source)
+                assert served["exit"] == 0, path
+        # Seeds the service-time EWMA with warm re-check latencies (and
+        # runs identically in the no-shed arm, where it merely warms).
+        # The cold warming checks above are ~10x slower than a warm
+        # re-check, and at alpha = 0.2 the EWMA needs a few dozen warm
+        # observations before their weight decays below the noise.
+        calibrate_service_seconds(address, modules)
+        deadline_ms = deadline_seconds * 1000.0
+
+        outcomes: list[dict] = [
+            {"good": 0, "late": 0, "timeout": 0, "shed": 0, "other": 0,
+             "latencies": []}
+            for _ in range(clients)
+        ]
+        failures: list = []
+        barrier = threading.Barrier(clients + 1)
+
+        def hammer(thread_index: int) -> None:
+            mine = outcomes[thread_index]
+            try:
+                with RetryingClient(
+                    address, retries=4, seed=thread_index, timeout=120.0
+                ) as client:
+                    barrier.wait()
+                    storm_end = time.perf_counter() + storm_seconds
+                    iteration = 0
+                    while time.perf_counter() < storm_end:
+                        path, source = modules[
+                            (thread_index + iteration) % len(modules)
+                        ]
+                        stamp = 1 + thread_index * 1_000_000 + iteration
+                        iteration += 1
+                        edited = edit_source(source, stamp)
+                        started = time.perf_counter()
+                        try:
+                            served = client.check(
+                                path, edited, deadline_ms=deadline_ms
+                            )
+                        except ServeError as error:
+                            elapsed = time.perf_counter() - started
+                            mine["latencies"].append(elapsed)
+                            if error.code == protocol.OVERLOADED:
+                                mine["shed"] += 1
+                            elif error.code == protocol.DEADLINE_EXCEEDED:
+                                mine["timeout"] += 1
+                            else:
+                                mine["other"] += 1
+                        else:
+                            elapsed = time.perf_counter() - started
+                            mine["latencies"].append(elapsed)
+                            if served["exit"] == 0 and not served.get(
+                                "aborted"
+                            ) and elapsed <= deadline_seconds:
+                                mine["good"] += 1
+                            else:
+                                mine["late"] += 1
+                        # A beat of think-time after every terminal
+                        # outcome (identical in both arms): the offered
+                        # load stays several times one worker's
+                        # capacity, but a fast-failing client does not
+                        # degenerate into a hot loop that steals the
+                        # GIL from the worker it is measuring.
+                        time.sleep(deadline_seconds)
+            except Exception as error:  # noqa: BLE001 - reported below
+                failures.append(error)
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+
+        threads = [
+            threading.Thread(target=hammer, args=(index,), daemon=True)
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.join(600.0)
+        wall_seconds = time.perf_counter() - wall_started
+        assert not failures, failures[0]
+        # Zero hangs: every client thread reached a terminal outcome for
+        # every request and exited on its own.
+        assert all(not t.is_alive() for t in threads), "client hung"
+
+        with ServeClient(address, timeout=120.0) as inspector:
+            stats = inspector.stats()
+    finally:
+        daemon.request_shutdown()
+        assert daemon.wait_drained(timeout=120.0)
+
+    latencies = [s for mine in outcomes for s in mine["latencies"]]
+    totals = {
+        key: sum(mine[key] for mine in outcomes)
+        for key in ("good", "late", "timeout", "shed", "other")
+    }
+    requests = len(latencies)
+    assert requests == sum(totals.values()), "unaccounted request"
+    return {
+        "shed": shed,
+        "deadline_seconds": deadline_seconds,
+        "requests": requests,
+        "wall_seconds": wall_seconds,
+        "goodput_rps": totals["good"] / wall_seconds,
+        "outcomes": totals,
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p99_seconds": _percentile(latencies, 0.99),
+        "requests_shed": stats["overload"]["requests_shed"],
+        "service_ewma_ms": stats["queue"]["service_ewma_ms"],
+    }
+
+
+def measure(
+    scale: float = 0.3,
+    modules_count: int = 4,
+    clients: int = 16,
+    storm_seconds: float = 8.0,
+) -> dict:
+    modules = _build_modules(modules_count, scale)
+    # Calibrate once on a throwaway daemon so both arms storm against
+    # the SAME absolute deadline — the comparison is pure policy.
+    probe = Daemon(DaemonConfig(workers=1))
+    host, port = probe.serve_tcp(port=0, background=True)
+    try:
+        with ServeClient(f"{host}:{port}", timeout=120.0) as warmer:
+            for path, source in modules:
+                assert warmer.check(path, source)["exit"] == 0
+        service = calibrate_service_seconds(f"{host}:{port}", modules)
+    finally:
+        probe.request_shutdown()
+        assert probe.wait_drained(timeout=120.0)
+    deadline_seconds = DEADLINE_FACTOR * service
+
+    arms = {
+        "no_shed": measure_storm(
+            False, modules, clients, storm_seconds, deadline_seconds
+        ),
+        "shed": measure_storm(
+            True, modules, clients, storm_seconds, deadline_seconds
+        ),
+    }
+    return {
+        "scale": scale,
+        "modules": modules_count,
+        "clients": clients,
+        "storm_seconds": storm_seconds,
+        "cpu_count": os.cpu_count(),
+        "calibrated_service_seconds": service,
+        "deadline_seconds": deadline_seconds,
+        "arms": arms,
+        "goodput_ratio": (
+            arms["shed"]["goodput_rps"]
+            / max(arms["no_shed"]["goodput_rps"], 1e-9)
+        ),
+        "min_goodput_ratio": MIN_GOODPUT_RATIO,
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller corpus and a shorter storm; write the artefact",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--storm-seconds", type=float, default=None)
+    parser.add_argument("--deadline-factor", type=float, default=None)
+    args = parser.parse_args(argv)
+    if args.deadline_factor is not None:
+        global DEADLINE_FACTOR
+        DEADLINE_FACTOR = args.deadline_factor
+    table = measure(
+        scale=args.scale if args.scale is not None else (
+            0.2 if args.quick else 0.4
+        ),
+        clients=args.clients if args.clients is not None else 16,
+        storm_seconds=args.storm_seconds if args.storm_seconds is not None
+        else (5.0 if args.quick else 12.0),
+    )
+    text = json.dumps(table, indent=2, sort_keys=True)
+    json.loads(text)  # the table must stay JSON-serialisable
+    with open(OUTPUT_FILE, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    shed = table["arms"]["shed"]["goodput_rps"]
+    baseline = table["arms"]["no_shed"]["goodput_rps"]
+    # Multiplicative form: a collapsed (0 rps) baseline needs no division.
+    assert shed >= MIN_GOODPUT_RATIO * baseline, (
+        f"shedding goodput {shed:.2f} rps is under "
+        f"{MIN_GOODPUT_RATIO}x the no-shed baseline {baseline:.2f} rps"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

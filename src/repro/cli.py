@@ -431,6 +431,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 hang_seconds=args.hang_seconds,
                 shard_hang_seconds=args.shard_hang_seconds,
                 store_dir=_resolve_store_dir(args),
+                probe_interval=args.probe_interval,
+                breaker_failures=args.breaker_failures,
+                breaker_latency_ms=args.breaker_latency_ms,
+                breaker_recovery_seconds=args.breaker_recovery_seconds,
+                shed=args.shed,
+                brownout_threshold=args.brownout_threshold,
+                brownout_window=args.brownout_window,
+                brownout_exit_ratio=args.brownout_exit_ratio,
+                brownout_budget_ms=args.brownout_budget_ms,
             )
         )
         drain_timeout = server.config.drain_timeout
@@ -461,6 +470,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 quarantine_ttl=args.quarantine_ttl,
                 hang_seconds=args.hang_seconds,
                 store_dir=_resolve_store_dir(args),
+                shed=args.shed,
+                brownout_threshold=args.brownout_threshold,
+                brownout_window=args.brownout_window,
+                brownout_exit_ratio=args.brownout_exit_ratio,
+                brownout_budget_ms=args.brownout_budget_ms,
             )
         )
         drain_timeout = server.config.drain_timeout
@@ -1034,6 +1048,58 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="persistent content-addressed result store shared by the "
         "daemon — and by every shard under --shards (default: "
         "$ROWPOLY_STORE if set)",
+    )
+    p_serve.add_argument(
+        "--probe-interval", type=float, default=0.0, metavar="SECONDS",
+        help="with --shards: router health-probe period; each shard gets "
+        "a circuit breaker fed by probe latency and queue depth "
+        "(default: 0 = probing and breakers off)",
+    )
+    p_serve.add_argument(
+        "--breaker-failures", type=int, default=3, metavar="N",
+        help="consecutive failed/slow probes that open a shard's "
+        "breaker, removing it from routing until recovery (default: 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-latency-ms", type=float, default=250.0, metavar="MS",
+        help="probe round trips slower than this count as breaker "
+        "strikes (default: 250)",
+    )
+    p_serve.add_argument(
+        "--breaker-recovery-seconds", type=float, default=5.0,
+        metavar="SECONDS",
+        help="how long an open breaker waits before a half-open trial "
+        "probe may re-close it (default: 5)",
+    )
+    p_serve.add_argument(
+        "--shed", action="store_true",
+        help="deadline-aware load shedding: refuse at admission (a "
+        "retryable 429 with a computed retry_after_ms) any request "
+        "whose remaining deadline is below the predicted queue wait "
+        "plus service time",
+    )
+    p_serve.add_argument(
+        "--brownout-threshold", type=float, default=None,
+        metavar="PRESSURE",
+        help="brownout mode: when queue pressure (occupancy x EWMA "
+        "service ms) stays above this, serve degraded partial answers "
+        "under a tightened budget instead of queueing toward timeouts "
+        "(default: off)",
+    )
+    p_serve.add_argument(
+        "--brownout-window", type=float, default=1.0, metavar="SECONDS",
+        help="pressure must stay over/under threshold this long to "
+        "enter/exit brownout (hysteresis; default: 1)",
+    )
+    p_serve.add_argument(
+        "--brownout-exit-ratio", type=float, default=0.5, metavar="R",
+        help="brownout exits once pressure stays below threshold*R for "
+        "a window (default: 0.5)",
+    )
+    p_serve.add_argument(
+        "--brownout-budget-ms", type=float, default=500.0, metavar="MS",
+        help="per-request wall budget imposed while browned out "
+        "(default: 500)",
     )
     p_serve.set_defaults(handler=cmd_serve)
 

@@ -250,11 +250,22 @@ class RetryingClient:
         deadline_ms: Optional[float] = None,
         budget: Optional[dict[str, Any]] = None,
     ) -> dict[str, Any]:
-        """One check with retries; raises the last error when exhausted."""
+        """One check with retries; raises the last error when exhausted.
+
+        Retries also stop — raising the error in hand — once the caller's
+        *overall* deadline has expired: sleeping and resending a request
+        whose ``deadline_ms`` is already spent can only earn another
+        rejection, so an overloaded fleet sheds that client instead of
+        absorbing its futile retry storm.
+        """
         fingerprint = request_fingerprint(path, source, engine)
+        deadline_at: Optional[float] = None
+        if deadline_ms is not None:
+            deadline_at = time.monotonic() + deadline_ms / 1000.0
         attempt = 0
         while True:
             retry_after: Optional[float] = None
+            last_error: BaseException
             try:
                 return self._connected().check(
                     path,
@@ -274,17 +285,23 @@ class RetryingClient:
                 hint = error.data.get("retry_after_ms")
                 if isinstance(hint, (int, float)) and hint > 0:
                     retry_after = hint / 1000.0
-            except (ConnectionError, OSError):
+                last_error = error
+            except (ConnectionError, OSError) as error:
                 self._disconnect()
                 if attempt >= self.retries:
                     raise
+                last_error = error
             attempt += 1
-            self.retries_performed += 1
             delay = backoff_delay(
                 attempt, self.base_delay, self.max_delay, self._rng
             )
             if retry_after is not None:
                 delay = max(delay, retry_after)
+            if deadline_at is not None and (
+                time.monotonic() + delay >= deadline_at
+            ):
+                raise last_error
+            self.retries_performed += 1
             self._sleep(delay)
 
 

@@ -48,9 +48,17 @@ from ..diag import codes as diag_codes
 from ..infer.registry import REGISTRY, UnknownEngineError, unknown_engine_message
 from ..infer.state import FlowOptions
 from ..testing.faults import fault_point
-from ..util import Budget, BudgetExceeded, Cancelled, DeadlineExceeded, Deadline
+from ..util import (
+    Budget,
+    BudgetExceeded,
+    Cancelled,
+    DeadlineExceeded,
+    Deadline,
+    tighten,
+)
 from . import protocol
 from .metrics import ServerMetrics
+from .overload import BrownoutController
 from .registry import SessionRegistry, options_key
 from .scheduler import Job, Scheduler
 from .service import (
@@ -98,6 +106,25 @@ class DaemonConfig:
     #: number of unrelated daemons or CI runs) may point at one
     #: directory.
     store_dir: Optional[str] = None
+    #: Deadline-aware load shedding (``--shed``): refuse at submit any
+    #: job whose remaining deadline is below the EWMA-predicted
+    #: queue-wait + service time (retryable 429 with ``retry_after_ms``).
+    shed: bool = False
+    #: Brownout threshold on pressure = queue occupancy × EWMA service
+    #: ms (``--brownout-threshold``); ``None`` disables brownout.
+    brownout_threshold: Optional[float] = None
+    #: Pressure must hold above/below threshold this long to enter/exit.
+    brownout_window: float = 1.0
+    #: Exit hysteresis: leave brownout below ``threshold × exit_ratio``.
+    brownout_exit_ratio: float = 0.5
+    #: Per-request wall-clock cap applied *during* brownout (min-combined
+    #: with the request's own budget); partial answers it causes are
+    #: marked ``degraded: true`` and never cached or persisted.
+    brownout_budget_ms: float = 500.0
+
+    def brownout_budget(self) -> Budget:
+        """A fresh brownout-tightened budget cap (clock starts now)."""
+        return Budget(seconds=self.brownout_budget_ms / 1000.0)
 
     def default_budget(self) -> Optional[Budget]:
         """A fresh :class:`Budget` from the config defaults, or ``None``."""
@@ -152,6 +179,16 @@ class Daemon:
             queue_limit=self.config.queue_limit,
             metrics=self.metrics,
             on_crash=self._record_crash_strike,
+            shed=self.config.shed,
+        )
+        self.brownout = (
+            BrownoutController(
+                self.config.brownout_threshold,
+                window=self.config.brownout_window,
+                exit_ratio=self.config.brownout_exit_ratio,
+            )
+            if self.config.brownout_threshold is not None
+            else None
         )
         self.quarantine = (
             SessionQuarantine(
@@ -238,7 +275,7 @@ class Daemon:
             respond(protocol.ok_response(request.id, {"cancelled": cancelled}))
         elif method == "stats":
             self.metrics.record_request("stats", "ok")
-            respond(protocol.ok_response(request.id, self.metrics.snapshot()))
+            respond(protocol.ok_response(request.id, self.stats_snapshot()))
         elif method == "ping":
             respond(protocol.ok_response(request.id, {"pong": True}))
         elif method == "shutdown":
@@ -318,14 +355,48 @@ class Daemon:
             client=client,
             budget=budget,
         )
-        verdict = self.scheduler.submit(job)
-        if verdict == "overloaded":
+        self._observe_pressure()
+        try:
+            verdict = self.scheduler.submit(job)
+        except Exception as error:  # noqa: BLE001 — injected submit fault
+            self.metrics.record_request(request.method, "error")
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.INTERNAL_ERROR,
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+            return
+        if verdict == "shed":
+            data: dict[str, Any] = {
+                "reason": "shed",
+                "retry_after_ms": verdict.retry_after_ms,
+            }
+            if verdict.predicted_ms is not None:
+                data["predicted_ms"] = round(verdict.predicted_ms, 3)
+            respond(
+                protocol.error_response(
+                    request.id,
+                    protocol.OVERLOADED,
+                    "predicted completion exceeds the request deadline; "
+                    "shed at admission",
+                    data,
+                )
+            )
+        elif verdict == "overloaded":
+            data = {
+                "reason": "queue-full",
+                "queue_limit": self.config.queue_limit,
+            }
+            if verdict.retry_after_ms is not None:
+                data["retry_after_ms"] = verdict.retry_after_ms
             respond(
                 protocol.error_response(
                     request.id,
                     protocol.OVERLOADED,
                     "request queue is full; retry later",
-                    {"queue_limit": self.config.queue_limit},
+                    data,
                 )
             )
         elif verdict == "shutting-down":
@@ -393,6 +464,65 @@ class Daemon:
         if key is not None:
             self.quarantine.record_failure(key)
 
+    # ------------------------------------------------------------------
+    # overload control
+    # ------------------------------------------------------------------
+    def _observe_pressure(self) -> None:
+        """Feed the brownout controller one pressure sample.
+
+        Pressure = queue occupancy (backlog / queue_limit) × EWMA
+        service milliseconds — dimensionally "how many milliseconds of
+        work is the queue holding per slot", which stays ~0 on an idle
+        or fast daemon and climbs only when the queue is both deep and
+        slow.  Sampled on every submit and completion, so the
+        hysteresis windows advance exactly while there is traffic.
+        """
+        if self.brownout is None:
+            return
+        occupancy = self.scheduler.backlog() / max(
+            1, self.config.queue_limit
+        )
+        ewma = self.scheduler.estimator.predict(
+            self.scheduler.estimator.COMBINED
+        )
+        pressure = occupancy * (ewma or 0.0) * 1000.0
+        for event in self.brownout.observe(pressure):
+            if event == "enter":
+                self.metrics.record_overload_event("brownout_entries")
+            elif event == "exit":
+                self.metrics.record_overload_event("brownout_exits")
+                self.metrics.record_overload_event(
+                    "brownout_seconds", self.brownout.spell_seconds()
+                )
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """The ``stats`` RPC payload: metrics plus live overload gauges.
+
+        The ``queue`` section is what the router's health probes read
+        (backlog vs limit); ``brownout_active`` rides in the summed
+        ``overload`` section as an integer gauge, so a fleet aggregate
+        reads as "how many shards are browned out right now".
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["queue"] = {
+            "backlog": self.scheduler.backlog(),
+            "limit": self.config.queue_limit,
+            "workers": self.config.workers,
+            # Per-shard gauge, deliberately outside the summed sections:
+            # EWMAs do not add across shards.
+            "service_ewma_ms": {
+                method: round(value, 3)
+                for method, value in
+                self.scheduler.estimator.snapshot().items()
+            },
+        }
+        overload = snapshot.setdefault("overload", {})
+        if isinstance(overload, dict):
+            overload["brownout_active"] = int(
+                self.brownout is not None and self.brownout.active
+            )
+        return snapshot
+
     def _run_check_job(
         self, job: Job, queue_seconds: float
     ) -> dict[str, Any]:
@@ -405,6 +535,9 @@ class Daemon:
                 queue_seconds,
                 time.monotonic() - started,
             )
+            # Completion-side pressure sample: lets brownout *exit* even
+            # when intake has gone quiet (the queue drained).
+            self._observe_pressure()
 
         quarantine_key = self._session_key(job.params)
         if self.quarantine is not None and quarantine_key is not None:
@@ -422,6 +555,16 @@ class Daemon:
                         "path": job.params.get("path"),
                     },
                 )
+        # Brownout: tighten the request's budget *at service start* so a
+        # browned-out daemon spends at most ``brownout_budget_ms`` per
+        # request — warm replays and store hits still answer completely,
+        # everything else degrades into a partial (aborted) report that
+        # is honestly marked and never cached.
+        browned = False
+        if self.brownout is not None and self.brownout.active:
+            job.budget, browned = tighten(
+                job.budget, self.config.brownout_budget()
+            )
         try:
             # A job whose budget died in the queue never touches a session.
             job.deadline.check()
@@ -533,16 +676,29 @@ class Daemon:
                 protocol.INTERNAL_ERROR,
                 f"{type(error).__name__}: {error}",
             )
+        # Degraded ⇔ the brownout cap made this answer partial.  A
+        # complete answer under brownout (replay/store hit, or simply
+        # cheap) is not degraded — it is byte-identical to offline — and
+        # a partial answer the *caller's own* budget caused is plain
+        # ``aborted``.  Degraded responses inherit the aborted
+        # discipline: never a replay outcome, never persisted.
+        degraded = browned and aborted
+        if degraded:
+            self.metrics.record_overload_event("degraded_served")
         if aborted:
             finish("aborted")
             self.metrics.record_robustness("budget_exceeded")
             if self.quarantine is not None and quarantine_key is not None:
-                self.quarantine.record_failure(quarantine_key)
+                # A brownout abort is the daemon's doing, not the
+                # module's: it must not strike the session toward
+                # quarantine.
+                if not degraded:
+                    self.quarantine.record_failure(quarantine_key)
         else:
             finish("ok")
             if self.quarantine is not None and quarantine_key is not None:
                 self.quarantine.record_success(quarantine_key)
-        return self._check_response(job, outcome, cached, aborted)
+        return self._check_response(job, outcome, cached, aborted, degraded)
 
     @staticmethod
     def _check_response(
@@ -550,6 +706,7 @@ class Daemon:
         outcome: CheckOutcome,
         cached: bool,
         aborted: bool = False,
+        degraded: bool = False,
     ) -> dict[str, Any]:
         result: dict[str, Any] = {
             "report": outcome.report,
@@ -563,6 +720,10 @@ class Daemon:
             result["config_digest"] = outcome.config_digest
         if aborted:
             result["aborted"] = True
+        if degraded:
+            # Honest labelling: this answer is partial *because of
+            # brownout*, not because of anything the caller asked for.
+            result["degraded"] = True
         return protocol.ok_response(job.id, result)
 
     # ------------------------------------------------------------------
@@ -669,6 +830,14 @@ class Daemon:
             self.shutdown_requested.set()
             self.supervisor.stop(timeout=1.0)
             clean = self.scheduler.drain(timeout=self.config.drain_timeout)
+            if self.brownout is not None:
+                # Close the books on an in-progress brownout spell so
+                # the final metrics dump accounts every degraded second.
+                leftover = self.brownout.flush()
+                if leftover:
+                    self.metrics.record_overload_event(
+                        "brownout_seconds", leftover
+                    )
             server, self._tcp_server = self._tcp_server, None
             if server is not None:
                 server.shutdown()

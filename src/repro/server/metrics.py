@@ -88,7 +88,7 @@ def aggregate_snapshots(snapshots: list[dict]) -> dict:
         s.get("uptime_seconds", 0.0) for s in snapshots
     )
     for section in ("requests", "diagnostics", "robustness", "solver",
-                    "audit"):
+                    "audit", "overload"):
         aggregate[section] = _sum_trees(
             [s.get(section, {}) for s in snapshots]
         )
@@ -190,7 +190,7 @@ class ServerMetrics:
     #: touching the session.
     STATUSES = (
         "ok", "error", "timeout", "cancelled", "rejected", "invalid",
-        "aborted", "crashed", "quarantined",
+        "aborted", "crashed", "quarantined", "shed",
     )
 
     #: Robustness event counters (the fault-tolerance subsystem's pulse).
@@ -224,6 +224,21 @@ class ServerMetrics:
         "findings_persisting",
     )
 
+    #: Overload-control counters.  Breaker transitions are counted on
+    #: the router; shed/brownout counters on each daemon (shard); the
+    #: fleet aggregate sums both sides into one section.
+    #: ``brownout_seconds`` is a float (accumulated spell durations).
+    OVERLOAD_COUNTERS = (
+        "requests_shed",
+        "breaker_open_total",
+        "breaker_half_open_total",
+        "breaker_close_total",
+        "brownout_entries",
+        "brownout_exits",
+        "brownout_seconds",
+        "degraded_served",
+    )
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
@@ -239,6 +254,9 @@ class ServerMetrics:
         self._robustness = {name: 0 for name in self.ROBUSTNESS_COUNTERS}
         self._store = {name: 0 for name in self.STORE_COUNTERS}
         self._audit = {name: 0 for name in self.AUDIT_COUNTERS}
+        self._overload: dict[str, float] = {
+            name: 0 for name in self.OVERLOAD_COUNTERS
+        }
 
     # -- recording -----------------------------------------------------
     def record_request(
@@ -257,7 +275,9 @@ class ServerMetrics:
                 self._queue_latency.setdefault(
                     method, Histogram()
                 ).observe(queue_seconds)
-            if status != "rejected":
+            # Refusals at submit never ran: keep them out of the
+            # service-latency histograms ("shed" would read as ~0ms).
+            if status not in ("rejected", "shed"):
                 self._service_latency.setdefault(
                     method, Histogram()
                 ).observe(service_seconds)
@@ -288,6 +308,12 @@ class ServerMetrics:
         """Bump one of :data:`AUDIT_COUNTERS`."""
         with self._lock:
             self._audit[event] = self._audit.get(event, 0) + count
+
+    def record_overload_event(self, event: str, count: float = 1) -> None:
+        """Bump one of :data:`OVERLOAD_COUNTERS` (floats allowed:
+        ``brownout_seconds`` accumulates durations)."""
+        with self._lock:
+            self._overload[event] = self._overload.get(event, 0) + count
 
     def record_robustness(self, counter: str, count: int = 1) -> None:
         """Bump one of :data:`ROBUSTNESS_COUNTERS`."""
@@ -349,6 +375,7 @@ class ServerMetrics:
                 "diagnostics": dict(sorted(self._diagnostics.items())),
                 "robustness": dict(sorted(self._robustness.items())),
                 "audit": dict(self._audit),
+                "overload": dict(sorted(self._overload.items())),
             }
 
     def render_text(self) -> str:
@@ -412,6 +439,15 @@ class ServerMetrics:
                 if count
             )
             lines.append(f"  robustness: {detail}")
+        overload = snap.get("overload") or {}
+        if any(overload.values()):
+            detail = ", ".join(
+                f"{name}={count:.3f}" if isinstance(count, float)
+                else f"{name}={count}"
+                for name, count in overload.items()
+                if count
+            )
+            lines.append(f"  overload: {detail}")
         audit = snap.get("audit") or {}
         if any(audit.values()):
             detail = ", ".join(

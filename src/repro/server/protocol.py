@@ -127,20 +127,23 @@ def iter_frames(
             line = chunk.decode("utf-8", "replace")
         else:
             line = chunk
-        if len(chunk) > max_bytes and not line.endswith("\n"):
+        if len(chunk) > max_bytes:
+            # Over the limit either way; a chunk that already ends in
+            # the terminator (exactly limit+1 bytes) needs no draining.
             drained = len(chunk)
-            while True:
-                rest = stream.readline(max_bytes + 1)
-                if not rest:
-                    break
-                drained += len(rest)
-                tail = (
-                    rest.decode("utf-8", "replace")
-                    if isinstance(rest, bytes)
-                    else rest
-                )
-                if tail.endswith("\n"):
-                    break
+            if not line.endswith("\n"):
+                while True:
+                    rest = stream.readline(max_bytes + 1)
+                    if not rest:
+                        break
+                    drained += len(rest)
+                    tail = (
+                        rest.decode("utf-8", "replace")
+                        if isinstance(rest, bytes)
+                        else rest
+                    )
+                    if tail.endswith("\n"):
+                        break
             yield None, ProtocolError(
                 FRAME_TOO_LARGE,
                 f"frame exceeds {max_bytes} bytes "

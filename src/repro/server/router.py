@@ -50,9 +50,11 @@ from typing import Any, Callable, Optional
 from ..diag import codes as diag_codes
 from ..infer.state import FlowOptions
 from . import protocol
+from ..testing.faults import fault_point
 from .client import ServeClient
 from .daemon import DaemonConfig
 from .metrics import ServerMetrics, aggregate_snapshots
+from .overload import BreakerConfig, HealthProber
 from .registry import options_key
 from .routing import routing_key, shard_for
 from .shard import shard_main, spawn_context
@@ -99,6 +101,32 @@ class RouterConfig:
     #: Router→shard connect timeout for forwarding links.
     connect_timeout: float = 10.0
     supervisor_seed: int = 0
+    #: Health-probe cadence (seconds); ``0`` disables probing and the
+    #: per-shard circuit breakers with it — routing then reacts only to
+    #: process death, the pre-overload-control behaviour.
+    probe_interval: float = 0.0
+    #: Per-probe RPC timeout (a hung probe is a strike).
+    probe_timeout: float = 2.0
+    #: Consecutive probe strikes that open a shard's breaker.
+    breaker_failures: int = 3
+    #: Probe round-trip latency counted as a strike.
+    breaker_latency_ms: float = 250.0
+    #: Open → half-open recovery timer.
+    breaker_recovery_seconds: float = 5.0
+    #: Shard-side overload control, forwarded into every shard's
+    #: :class:`DaemonConfig` (see those fields for semantics).
+    shed: bool = False
+    brownout_threshold: Optional[float] = None
+    brownout_window: float = 1.0
+    brownout_exit_ratio: float = 0.5
+    brownout_budget_ms: float = 500.0
+
+    def breaker_config(self) -> BreakerConfig:
+        return BreakerConfig(
+            failures=self.breaker_failures,
+            latency_ms=self.breaker_latency_ms,
+            recovery_seconds=self.breaker_recovery_seconds,
+        )
 
     def daemon_config(self) -> DaemonConfig:
         """The :class:`DaemonConfig` every shard process runs."""
@@ -119,6 +147,11 @@ class RouterConfig:
             quarantine_ttl=self.quarantine_ttl,
             hang_seconds=self.hang_seconds,
             store_dir=self.store_dir,
+            shed=self.shed,
+            brownout_threshold=self.brownout_threshold,
+            brownout_window=self.brownout_window,
+            brownout_exit_ratio=self.brownout_exit_ratio,
+            brownout_budget_ms=self.brownout_budget_ms,
         )
 
 
@@ -483,6 +516,15 @@ class _ClientConn:
                 )
             )
             return
+        try:
+            # In-process-only chaos hook (the router deliberately never
+            # calls install_from_env): an ``error`` rule models a bug in
+            # the forwarding plane, answered as a retryable 502; a
+            # ``slow`` rule stalls forwarding for watchdog tests.
+            fault_point("router.forward")
+        except Exception:  # noqa: BLE001 — injected forwarding fault
+            self._shard_down(request, "forwarding failed")
+            return
         handle = self.router.route(request.params)
         if handle is None:
             self._shard_down(request, "no live shard can serve this request")
@@ -619,6 +661,20 @@ class Router:
         #: and are merged into :meth:`stats_snapshot`.
         self.metrics = ServerMetrics()
         self.pool = ShardPool(self.config)
+        #: Health probes + per-shard circuit breakers (``--probe-interval``).
+        #: ``None`` when probing is off: routing falls back to liveness
+        #: alone and every live shard stays in rendezvous candidacy.
+        self.prober = (
+            HealthProber(
+                self.pool,
+                interval=self.config.probe_interval,
+                config=self.config.breaker_config(),
+                metrics=self.metrics,
+                probe_timeout=self.config.probe_timeout,
+            )
+            if self.config.probe_interval > 0
+            else None
+        )
         self.supervisor = WorkerSupervisor(
             self,
             metrics=self.metrics,
@@ -646,6 +702,8 @@ class Router:
         self._started_flag = True
         self.pool.start()
         self.supervisor.start()
+        if self.prober is not None:
+            self.prober.start()
 
     # -- supervisor pool protocol --------------------------------------
     @property
@@ -694,10 +752,23 @@ class Router:
         )
 
     def route(self, params: dict[str, Any]) -> Optional[ShardHandle]:
-        """The live shard this request pins to, or ``None`` (fleet down)."""
+        """The live, breaker-admitted shard this request pins to.
+
+        An open breaker removes its shard from rendezvous candidacy —
+        the key's weight ordering then lands it on its next-highest
+        shard (the PR 6 minimal-disruption property, reused for
+        sickness instead of death).  If *every* live shard's breaker is
+        open the filter is waived: serving slowly beats refusing, and
+        the breakers re-close on probe recovery anyway.  Returns
+        ``None`` only when no shard process is live at all.
+        """
         live = self.pool.live()
         if not live:
             return None
+        if self.prober is not None:
+            admitted = [h for h in live if self.prober.allows(h)]
+            if admitted:
+                live = admitted
         key = self.session_routing_key(params)
         index = shard_for(key, [handle.index for handle in live])
         for handle in live:
@@ -778,6 +849,11 @@ class Router:
             "routed": routed,
             "pids": {str(h.index): h.pid for h in live},
         }
+        if self.prober is not None:
+            aggregate["router"]["breakers"] = self.prober.states()
+            aggregate["router"]["breaker_transitions"] = (
+                self.prober.transitions()
+            )
         aggregate["shards"] = shard_snaps
         return aggregate
 
@@ -792,6 +868,24 @@ class Router:
             f"restarts={router['restarts']}, "
             f"routed={router['routed'] or {}}",
         ]
+        if router.get("breakers"):
+            detail = ", ".join(
+                f"{index}={state}"
+                for index, state in router["breakers"].items()
+            )
+            transitions = len(router.get("breaker_transitions") or [])
+            lines.append(
+                f"  breakers: {detail} ({transitions} transitions)"
+            )
+        overload = snap.get("overload") or {}
+        if any(overload.values()):
+            detail = ", ".join(
+                f"{name}={count:.3f}" if isinstance(count, float)
+                else f"{name}={count}"
+                for name, count in sorted(overload.items())
+                if count
+            )
+            lines.append(f"  overload: {detail}")
         for method, statuses in sorted(
             (snap.get("requests") or {}).items()
         ):
@@ -939,6 +1033,8 @@ class Router:
                 return
             self.shutdown_requested.set()
             self.supervisor.stop(timeout=1.0)
+            if self.prober is not None:
+                self.prober.stop()
             deadline = time.monotonic() + self.config.drain_timeout
             while time.monotonic() < deadline and self.backlog() > 0:
                 time.sleep(0.02)

@@ -68,3 +68,18 @@ def shard_for(key: str, shards: Sequence[int]) -> int:
             best, best_weight = shard, weight
     assert best is not None
     return best
+
+
+def failover_order(key: str, shards: Sequence[int]) -> list[int]:
+    """Every shard of ``shards``, highest rendezvous weight first.
+
+    ``failover_order(key, shards)[0] == shard_for(key, shards)``; the
+    rest is the key's failover sequence: when its home shard leaves the
+    candidate set (death *or* an open circuit breaker), the key lands on
+    the next entry — and because the order depends only on ``key``, the
+    key returns home the moment the home shard is re-admitted.  Ties
+    break toward the lower id, matching :func:`shard_for`.
+    """
+    return sorted(
+        shards, key=lambda shard: (-shard_weight(key, shard), shard)
+    )

@@ -6,6 +6,13 @@ this one file:
 * **backpressure** — the queue is bounded; :meth:`Scheduler.submit`
   refuses instead of blocking when it is full, and the daemon turns the
   refusal into a 429-style ``overloaded`` error the client can retry on;
+* **deadline-aware shedding** — with ``shed=True`` the submit path
+  consults a per-method EWMA of recent service time
+  (:class:`~repro.server.overload.ServiceTimeEstimator`): a job whose
+  remaining deadline is below the predicted queue-wait + service time is
+  refused *now* (verdict ``"shed"``, with a computed ``retry_after_ms``)
+  instead of queueing work that can only 408 — under overload that is
+  the difference between goodput and a queue full of doomed requests;
 * **deadlines** — every job carries a :class:`~repro.util.Deadline`.  A
   job whose deadline passed while it sat in the queue is answered with a
   timeout *without ever touching a session*; one that expires mid-service
@@ -40,6 +47,7 @@ from typing import Any, Callable, Optional
 from ..testing.faults import fault_point
 from ..util import Deadline
 from .metrics import ServerMetrics
+from .overload import ServiceTimeEstimator
 from .supervisor import WorkerCrash
 
 #: Worker thread stack size (bytes) — matches repro.util.run_deep.
@@ -67,6 +75,41 @@ class Job:
         return (self.client, self.id)
 
 
+class Admission:
+    """The submit verdict, with the shed prediction riding along.
+
+    Compares equal to its verdict string (``"accepted"``,
+    ``"overloaded"``, ``"shutting-down"``, ``"shed"``) so callers that
+    only care about the verdict read naturally; the daemon additionally
+    reads ``retry_after_ms``/``predicted_ms`` to build the 429 payload.
+    """
+
+    __slots__ = ("verdict", "retry_after_ms", "predicted_ms")
+
+    def __init__(
+        self,
+        verdict: str,
+        retry_after_ms: Optional[int] = None,
+        predicted_ms: Optional[float] = None,
+    ) -> None:
+        self.verdict = verdict
+        self.retry_after_ms = retry_after_ms
+        self.predicted_ms = predicted_ms
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            return self.verdict == other
+        if isinstance(other, Admission):
+            return self.verdict == other.verdict
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.verdict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Admission({self.verdict!r})"
+
+
 class Scheduler:
     """Run jobs through ``handler`` on a bounded worker pool.
 
@@ -83,11 +126,18 @@ class Scheduler:
         queue_limit: int = 16,
         metrics: Optional[ServerMetrics] = None,
         on_crash: Optional[Callable[[Job], None]] = None,
+        shed: bool = False,
+        estimator: Optional[ServiceTimeEstimator] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self.handler = handler
         self.metrics = metrics
+        #: Deadline-aware admission control (``--shed``).  The estimator
+        #: always observes (cheap, and the daemon's brownout controller
+        #: reads it), but jobs are only refused when ``shed`` is on.
+        self.shed = shed
+        self.estimator = estimator or ServiceTimeEstimator()
         #: Called (off the dying thread, before it unwinds) with the job
         #: whose handling crashed a worker; the daemon uses it to feed
         #: the session quarantine.
@@ -199,14 +249,49 @@ class Scheduler:
     # ------------------------------------------------------------------
     # intake
     # ------------------------------------------------------------------
-    def submit(self, job: Job) -> str:
+    def predicted_response_seconds(self, method: str) -> Optional[float]:
+        """EWMA-predicted queue-wait + service time for one new job.
+
+        The new job waits for the current backlog to drain through the
+        workers, then gets served itself: ``ewma × (backlog/workers + 1)``.
+        ``None`` until the estimator has observed any completion (a cold
+        daemon never sheds).
+        """
+        service = self.estimator.predict(method)
+        if service is None:
+            return None
+        return service * (self.backlog() / self._worker_count + 1.0)
+
+    def submit(self, job: Job) -> Admission:
         """Accept a job, or refuse with a reason.
 
-        Returns ``"accepted"``, ``"overloaded"`` (queue full — the
-        backpressure signal) or ``"shutting-down"`` (drain started).
+        Returns an :class:`Admission` that compares equal to
+        ``"accepted"``, ``"overloaded"`` (queue full — the backpressure
+        signal), ``"shed"`` (deadline-aware admission control: the job
+        could not finish in time) or ``"shutting-down"`` (drain
+        started).  The refusals carry a computed ``retry_after_ms``
+        where the estimator has one.
         """
+        fault_point("scheduler.submit")
         if self._draining.is_set():
-            return "shutting-down"
+            return Admission("shutting-down")
+        predicted = self.predicted_response_seconds(job.method)
+        if self.shed and predicted is not None:
+            remaining = job.deadline.remaining()
+            if remaining is not None and remaining < predicted:
+                # Doomed at admission: by the time this job reached a
+                # worker its deadline would already have burned.  Shed
+                # now and tell the client when the excess should have
+                # drained.
+                if self.metrics is not None:
+                    self.metrics.record_request(job.method, "shed")
+                    self.metrics.record_overload_event("requests_shed")
+                excess = predicted - max(remaining, 0.0)
+                return Admission(
+                    "shed",
+                    retry_after_ms=int(excess * 1000.0) + 1,
+                    predicted_ms=predicted * 1000.0,
+                )
         with self._jobs_lock:
             self._jobs[job.key] = job
         try:
@@ -216,8 +301,15 @@ class Scheduler:
                 self._jobs.pop(job.key, None)
             if self.metrics is not None:
                 self.metrics.record_request(job.method, "rejected")
-            return "overloaded"
-        return "accepted"
+            return Admission(
+                "overloaded",
+                retry_after_ms=(
+                    None
+                    if predicted is None
+                    else int(predicted * 1000.0) + 1
+                ),
+            )
+        return Admission("accepted")
 
     def cancel(self, client: object, request_id: object) -> bool:
         """Client-initiated cancellation of a queued or running job.
@@ -245,6 +337,7 @@ class Scheduler:
             with self._jobs_lock:
                 self._active[index] = (job, time.monotonic())
             queue_seconds = time.monotonic() - job.enqueued_at
+            service_started = time.monotonic()
             crash: Optional[WorkerCrash] = None
             try:
                 fault_point("scheduler.pickup")
@@ -281,6 +374,13 @@ class Scheduler:
                 with self._jobs_lock:
                     self._jobs.pop(job.key, None)
                     self._active.pop(index, None)
+            if crash is None:
+                # Feed the admission-control EWMA with what serving this
+                # job actually cost (errors included — effort is effort;
+                # crashes excluded — the thread is about to die anyway).
+                self.estimator.observe(
+                    job.method, time.monotonic() - service_started
+                )
             try:
                 job.respond(response)
             except (OSError, ValueError):

@@ -60,7 +60,18 @@ def shard_main(index: int, config: DaemonConfig, conn) -> None:
     """
     from ..testing.faults import install_from_env
 
-    install_from_env(os.environ)
+    # Per-shard fault targeting: ``ROWPOLY_FAULTS_SHARD_<index>``
+    # overrides the fleet-wide ``ROWPOLY_FAULTS`` for exactly this shard
+    # index (surviving respawns — the replacement process re-reads it).
+    # The overload chaos arm uses this to slow one shard and watch the
+    # router's breaker evict and re-adopt it while its peers stay clean.
+    targeted = os.environ.get(f"ROWPOLY_FAULTS_SHARD_{index}")
+    if targeted is not None:
+        environ = dict(os.environ)
+        environ["ROWPOLY_FAULTS"] = targeted
+        install_from_env(environ)
+    else:
+        install_from_env(os.environ)
     try:
         daemon = Daemon(config)
         host, port = daemon.serve_tcp("127.0.0.1", 0, background=True)

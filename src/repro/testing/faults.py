@@ -24,6 +24,14 @@ wired in today:
                         ``exit`` rule uses to kill a whole shard process)
 ``store.get``           the persistent result store reading one entry
 ``store.put``           the persistent result store writing one entry
+``router.forward``      the router forwarding one check to its shard
+                        (in-process only: the router never installs from
+                        the environment, so ``ROWPOLY_FAULTS`` cannot
+                        reach it — tests use :func:`injected`)
+``scheduler.submit``    admission control, before a job is enqueued
+                        (in-process only for the same reason when
+                        targeting the router's own scheduler; shard
+                        daemons do see it via the environment)
 ====================== ====================================================
 
 Rules pick a *kind* of failure:

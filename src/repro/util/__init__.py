@@ -7,7 +7,7 @@ import threading
 import time
 from typing import Callable, Optional, TypeVar
 
-from .budget import Budget, BudgetExceeded
+from .budget import Budget, BudgetExceeded, tighten
 
 __all__ = [
     "Budget",
@@ -16,6 +16,7 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "run_deep",
+    "tighten",
 ]
 
 T = TypeVar("T")

@@ -232,3 +232,51 @@ class Budget:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         limits = self.as_dict()
         return f"Budget({limits})" if limits else "Budget(unlimited)"
+
+
+def tighten(
+    base: Optional["Budget"], cap: Optional["Budget"]
+) -> tuple[Optional["Budget"], bool]:
+    """Pointwise-minimum of two budget specs, as a fresh uncharged budget.
+
+    The daemon's brownout mode caps every request's budget with the
+    configured brownout budget: each dimension takes the smaller of the
+    two limits (an unset dimension never tightens).  Returns
+    ``(budget, tightened)`` where ``tightened`` says whether ``cap``
+    actually constrained anything — that flag is what makes a partial
+    result honestly ``degraded`` (the brownout made it partial) rather
+    than merely budget-limited by the caller's own request.
+
+    The result is a *fresh* :class:`Budget` (its wall-clock starts now),
+    so callers must tighten at service start, not at enqueue.
+    """
+    if cap is None or not cap.bounded:
+        return base, False
+    if base is None:
+        return (
+            Budget(
+                seconds=cap.seconds,
+                solver_steps=cap.solver_steps,
+                max_clauses=cap.max_clauses,
+                core_queries=cap.core_queries,
+            ),
+            True,
+        )
+    tightened = False
+
+    def pick(mine, theirs):
+        nonlocal tightened
+        if theirs is None:
+            return mine
+        if mine is None or theirs < mine:
+            tightened = True
+            return theirs
+        return mine
+
+    merged = Budget(
+        seconds=pick(base.seconds, cap.seconds),
+        solver_steps=pick(base.solver_steps, cap.solver_steps),
+        max_clauses=pick(base.max_clauses, cap.max_clauses),
+        core_queries=pick(base.core_queries, cap.core_queries),
+    )
+    return (merged, True) if tightened else (base, False)

@@ -131,6 +131,31 @@ class TestRetryLoop:
         client.check("m.rp", WELL_TYPED)
         assert sleeps[0] >= 0.7
 
+    def test_deadline_expiry_stops_the_retry_loop(self):
+        # The server's retry_after hint (500 ms) lands past the caller's
+        # overall 100 ms deadline: sleeping and resending could only
+        # earn another rejection, so the loop raises the error in hand
+        # after ONE attempt — no sleep, no wasted round trip.
+        client, connection, sleeps = scripted_client(
+            [_retryable(code=protocol.OVERLOADED, retry_after_ms=500)] * 5,
+            retries=4,
+        )
+        with pytest.raises(ServeError) as info:
+            client.check("m.rp", WELL_TYPED, deadline_ms=100.0)
+        assert info.value.code == protocol.OVERLOADED
+        assert len(connection.calls) == 1
+        assert sleeps == []
+        assert client.retries_performed == 0
+
+    def test_generous_deadline_still_retries(self):
+        client, connection, _ = scripted_client(
+            [_retryable(retry_after_ms=10), {"exit": 0}]
+        )
+        result = client.check("m.rp", WELL_TYPED, deadline_ms=60_000.0)
+        assert result["exit"] == 0
+        assert len(connection.calls) == 2
+        assert client.retries_performed == 1
+
     def test_connection_error_reconnects(self):
         replacement = ScriptedConnection([{"exit": 0}])
         client, first, sleeps = scripted_client(

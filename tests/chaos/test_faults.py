@@ -97,6 +97,68 @@ class TestFaultInjector:
         assert active() is None
 
 
+GOOD = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+
+class TestInProcessFaultSites:
+    """The overload-control sites: admission and forwarding.
+
+    Both are in-process-only (the router never installs faults from the
+    environment), so they are driven with :func:`injected` against live
+    servers running inside the test process.
+    """
+
+    def test_scheduler_submit_fault_is_answered_and_contained(self):
+        from repro.server.client import ServeClient, ServeError
+        from repro.server.daemon import Daemon, DaemonConfig
+
+        instance = Daemon(DaemonConfig())
+        host, port = instance.serve_tcp(port=0, background=True)
+        try:
+            with ServeClient(f"{host}:{port}") as client:
+                with injected(
+                    [FaultRule("scheduler.submit", 1.0, "error", limit=1)]
+                ):
+                    with pytest.raises(ServeError) as excinfo:
+                        client.check("m.rp", GOOD)
+                # An exploding admission path answers structurally (the
+                # job was never queued, so nothing retryable happened)...
+                assert excinfo.value.code == -32603
+                # ...and the daemon keeps serving.
+                served = client.check("m.rp", GOOD)
+            assert served["exit"] == 0
+        finally:
+            instance.request_shutdown()
+            assert instance.wait_drained(timeout=30.0)
+
+    def test_router_forward_fault_is_retryable_and_survives(self):
+        from repro.server.client import RetryingClient
+        from repro.server.router import Router, RouterConfig
+
+        router = Router(RouterConfig(shards=1, workers=1))
+        host, port = router.serve_tcp("127.0.0.1", 0, background=True)
+        try:
+            with injected(
+                [FaultRule("router.forward", 1.0, "error", limit=1)]
+            ):
+                with RetryingClient(f"{host}:{port}", seed=3) as client:
+                    served = client.check("m.rp", GOOD)
+            # The dropped forward came back as a retryable 502; one
+            # client retry landed on the (perfectly healthy) shard.
+            assert served["exit"] == 0
+            assert client.retries_performed == 1
+            robustness = router.metrics.snapshot()["robustness"]
+            assert robustness["forward_errors"] == 1
+        finally:
+            router.request_shutdown()
+            assert router.wait_drained(60.0)
+
+
 class TestSpecParsing:
     def test_full_spec(self):
         injector = parse_spec(

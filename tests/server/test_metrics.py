@@ -232,3 +232,44 @@ class TestAggregateTolerance:
         b = self._snapshot()
         merged = aggregate_snapshots([a, b])
         assert merged["robustness"]["last_crash"] == "worker-3"
+
+    def test_overload_section_sums_across_shards(self):
+        from repro.server.metrics import aggregate_snapshots
+
+        a = self._snapshot()
+        a["overload"].update(
+            {"requests_shed": 5, "breaker_open_total": 1,
+             "brownout_seconds": 2.5, "brownout_active": 1}
+        )
+        b = self._snapshot()
+        b["overload"].update({"requests_shed": 2, "brownout_active": 0})
+        merged = aggregate_snapshots([a, b])["overload"]
+        assert merged["requests_shed"] == 7
+        assert merged["breaker_open_total"] == 1
+        assert abs(merged["brownout_seconds"] - 2.5) < 1e-9
+        # The active gauge sums into "how many shards are browned out".
+        assert merged["brownout_active"] == 1
+
+
+class TestOverloadCounters:
+    def test_overload_events_show_in_snapshot_and_render(self):
+        metrics = ServerMetrics()
+        metrics.record_overload_event("requests_shed", 3)
+        metrics.record_overload_event("breaker_open_total")
+        metrics.record_overload_event("brownout_seconds", 1.25)
+        overload = metrics.snapshot()["overload"]
+        assert overload["requests_shed"] == 3
+        assert overload["breaker_open_total"] == 1
+        assert abs(overload["brownout_seconds"] - 1.25) < 1e-9
+        assert "overload:" in metrics.render_text()
+
+    def test_idle_overload_stays_out_of_render_text(self):
+        assert "overload:" not in ServerMetrics().render_text()
+
+    def test_shed_requests_stay_out_of_service_latency(self):
+        metrics = ServerMetrics()
+        metrics.record_request("check", "shed", 0.0, 99.0)
+        snapshot = metrics.snapshot()
+        # A refusal at submit never ran: no service histogram at all.
+        assert "check" not in snapshot["latency"]
+        assert snapshot["requests"]["check"]["shed"] == 1

@@ -1,0 +1,636 @@
+"""Adaptive overload control: breakers, shedding, brownout.
+
+The state machines in :mod:`repro.server.overload` take injected clocks,
+so every transition here is driven deterministically — no sleeps, no
+real probes.  The end-to-end classes then wire the same machinery
+through a real daemon over TCP: shedding refuses doomed requests at
+admission, brownout degrades honestly (marked, never cached), and the
+hysteresis exits once the pressure clears.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.server.client import ServeClient, ServeError
+from repro.server.daemon import Daemon, DaemonConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.overload import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    BrownoutController,
+    CircuitBreaker,
+    HealthProber,
+    ServiceTimeEstimator,
+)
+from repro.server.scheduler import Admission, Job, Scheduler
+from repro.util import Budget, Deadline, tighten
+
+WELL_TYPED = """
+let make p = {x = p, y = 2};
+    get r = #x r;
+    out = get (make 1)
+in out
+"""
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def config(self, **overrides):
+        defaults = dict(failures=3, latency_ms=100.0, recovery_seconds=5.0)
+        defaults.update(overrides)
+        return BreakerConfig(**defaults)
+
+    def test_starts_closed_and_routable(self):
+        breaker = CircuitBreaker(self.config(), clock=FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allows() is True
+        assert breaker.render() == "closed"
+
+    def test_consecutive_strikes_open_it(self):
+        breaker = CircuitBreaker(self.config(), clock=FakeClock())
+        assert breaker.record(False) == []
+        assert breaker.record(False) == []
+        assert breaker.record(False) == [(CLOSED, OPEN)]
+        assert breaker.state == OPEN
+        assert breaker.allows() is False
+
+    def test_one_success_resets_the_strike_count(self):
+        breaker = CircuitBreaker(self.config(), clock=FakeClock())
+        breaker.record(False)
+        breaker.record(False)
+        breaker.record(True)  # recovered before the third strike
+        assert breaker.strikes == 0
+        breaker.record(False)
+        assert breaker.state == CLOSED
+
+    def test_degraded_is_a_rendering_not_a_state(self):
+        breaker = CircuitBreaker(self.config(), clock=FakeClock())
+        breaker.record(False)
+        assert breaker.state == CLOSED  # still routable...
+        assert breaker.allows() is True
+        assert breaker.render() == "degraded"  # ...but visibly trending
+
+    def test_open_ignores_outcomes_until_recovery(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(self.config(), clock=clock)
+        for _ in range(3):
+            breaker.record(False)
+        # A healthy probe during the open window changes nothing: the
+        # shard stays benched for the full recovery period.
+        assert breaker.record(True) == []
+        assert breaker.state == OPEN
+        assert breaker.allows() is False
+
+    def test_half_open_after_recovery_still_blocks_traffic(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(self.config(recovery_seconds=5.0), clock=clock)
+        for _ in range(3):
+            breaker.record(False)
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        # Half-open is probe-only: real traffic returns on probe success,
+        # never on the timer alone.
+        assert breaker.allows() is False
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(self.config(), clock=clock)
+        for _ in range(3):
+            breaker.record(False)
+        clock.advance(5.0)
+        transitions = breaker.record(True)
+        assert transitions == [(OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+        assert breaker.state == CLOSED
+        assert breaker.allows() is True
+        assert breaker.strikes == 0
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(self.config(), clock=clock)
+        for _ in range(3):
+            breaker.record(False)
+        clock.advance(5.0)
+        transitions = breaker.record(False)
+        assert transitions == [(OPEN, HALF_OPEN), (HALF_OPEN, OPEN)]
+        assert breaker.state == OPEN
+        # The reopened breaker restarts its recovery timer from now.
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+
+# ---------------------------------------------------------------------------
+# service-time estimator
+# ---------------------------------------------------------------------------
+class TestServiceTimeEstimator:
+    def test_cold_estimator_predicts_none(self):
+        estimator = ServiceTimeEstimator()
+        assert estimator.predict("check") is None
+
+    def test_first_observation_seeds_the_ewma(self):
+        estimator = ServiceTimeEstimator(alpha=0.5)
+        estimator.observe("check", 0.2)
+        assert estimator.predict("check") == pytest.approx(0.2)
+
+    def test_ewma_update_rule(self):
+        estimator = ServiceTimeEstimator(alpha=0.5)
+        estimator.observe("check", 0.2)
+        estimator.observe("check", 0.4)
+        assert estimator.predict("check") == pytest.approx(0.3)
+
+    def test_unknown_method_falls_back_to_combined_lane(self):
+        estimator = ServiceTimeEstimator()
+        estimator.observe("check", 0.25)
+        assert estimator.predict("never-seen") == pytest.approx(0.25)
+
+    def test_negative_observation_is_ignored(self):
+        estimator = ServiceTimeEstimator()
+        estimator.observe("check", -1.0)
+        assert estimator.predict("check") is None
+
+    def test_snapshot_is_milliseconds_per_method(self):
+        estimator = ServiceTimeEstimator(alpha=1.0)
+        estimator.observe("check", 0.05)
+        snapshot = estimator.snapshot()
+        assert snapshot["check"] == pytest.approx(50.0)
+        assert snapshot[ServiceTimeEstimator.COMBINED] == pytest.approx(50.0)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceTimeEstimator(alpha=0.0)
+
+
+# ---------------------------------------------------------------------------
+# brownout hysteresis
+# ---------------------------------------------------------------------------
+class TestBrownoutController:
+    def test_needs_a_sustained_window_to_enter(self):
+        clock = FakeClock()
+        brownout = BrownoutController(10.0, window=1.0, clock=clock)
+        assert brownout.observe(50.0) == []  # first sample starts the clock
+        clock.advance(0.5)
+        assert brownout.observe(50.0) == []  # not sustained yet
+        clock.advance(0.6)
+        assert brownout.observe(50.0) == ["enter"]
+        assert brownout.active is True
+
+    def test_a_dip_below_threshold_restarts_the_entry_window(self):
+        clock = FakeClock()
+        brownout = BrownoutController(10.0, window=1.0, clock=clock)
+        brownout.observe(50.0)
+        clock.advance(0.9)
+        brownout.observe(1.0)  # pressure relieved: spike forgiven
+        clock.advance(1.1)
+        assert brownout.observe(50.0) == []  # the window starts over
+        assert brownout.active is False
+
+    def test_exit_needs_pressure_below_the_exit_threshold(self):
+        clock = FakeClock()
+        brownout = BrownoutController(
+            10.0, window=1.0, exit_ratio=0.5, clock=clock
+        )
+        brownout.observe(50.0)
+        clock.advance(1.0)
+        assert brownout.observe(50.0) == ["enter"]
+        # Pressure between exit (5.0) and entry (10.0) thresholds: the
+        # hysteresis band — brownout holds, no flapping at the boundary.
+        clock.advance(2.0)
+        assert brownout.observe(7.0) == []
+        assert brownout.active is True
+        # Sustained below the exit threshold: out.
+        assert brownout.observe(1.0) == []
+        clock.advance(1.0)
+        assert brownout.observe(1.0) == ["exit"]
+        assert brownout.active is False
+
+    def test_spell_seconds_accounts_the_ended_spell(self):
+        clock = FakeClock()
+        brownout = BrownoutController(10.0, window=0.0, clock=clock)
+        assert brownout.observe(50.0) == ["enter"]
+        clock.advance(3.0)
+        assert brownout.observe(0.0) == ["exit"]
+        assert brownout.spell_seconds() == pytest.approx(3.0)
+        assert brownout.spell_seconds() == 0.0  # consumed
+
+    def test_flush_closes_an_in_progress_spell(self):
+        clock = FakeClock()
+        brownout = BrownoutController(10.0, window=0.0, clock=clock)
+        brownout.observe(50.0)
+        clock.advance(2.0)
+        assert brownout.flush() == pytest.approx(2.0)
+        assert brownout.active is False
+        assert brownout.flush() == 0.0
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            BrownoutController(0.0)
+
+
+# ---------------------------------------------------------------------------
+# budget tightening (the brownout cap)
+# ---------------------------------------------------------------------------
+class TestTighten:
+    def test_no_cap_is_identity(self):
+        base = Budget(seconds=1.0)
+        assert tighten(base, None) == (base, False)
+
+    def test_cap_over_no_base_is_a_fresh_copy(self):
+        cap = Budget(seconds=0.5)
+        merged, tightened = tighten(None, cap)
+        assert tightened is True
+        assert merged is not cap  # fresh, uncharged instance
+        assert merged.seconds == pytest.approx(0.5)
+
+    def test_pointwise_minimum(self):
+        base = Budget(seconds=1.0, solver_steps=10)
+        cap = Budget(seconds=0.25)
+        merged, tightened = tighten(base, cap)
+        assert tightened is True
+        assert merged.seconds == pytest.approx(0.25)
+        assert merged.solver_steps == 10
+
+    def test_looser_cap_changes_nothing(self):
+        base = Budget(seconds=0.1)
+        merged, tightened = tighten(base, Budget(seconds=5.0))
+        assert tightened is False
+        assert merged.seconds == pytest.approx(0.1)
+
+
+# ---------------------------------------------------------------------------
+# health prober (fake pool, scripted probes)
+# ---------------------------------------------------------------------------
+class FakeHandle:
+    def __init__(self, index: int, generation: int = 0) -> None:
+        self.index = index
+        self.generation = generation
+
+
+class FakePool:
+    def __init__(self, handles) -> None:
+        self.handles = list(handles)
+
+    def live(self):
+        return list(self.handles)
+
+
+def make_prober(handles, outcomes, clock=None, **config):
+    """A prober whose probe_fn replays ``outcomes[index]`` per call."""
+    scripts = {index: list(script) for index, script in outcomes.items()}
+
+    def probe_fn(handle, timeout):
+        return scripts[handle.index].pop(0)
+
+    metrics = ServerMetrics()
+    prober = HealthProber(
+        FakePool(handles),
+        interval=3600.0,  # the loop never fires; tests call probe_once
+        config=BreakerConfig(**config) if config else BreakerConfig(),
+        metrics=metrics,
+        probe_fn=probe_fn,
+        clock=clock or FakeClock(),
+    )
+    return prober, metrics
+
+
+class TestHealthProber:
+    HEALTHY = (True, 0.001, {"backlog": 0, "limit": 16})
+    DEAD = (False, 2.0, {})
+    SLOW = (True, 0.9, {"backlog": 0, "limit": 16})
+    FULL = (True, 0.001, {"backlog": 16, "limit": 16})
+
+    def test_healthy_probes_keep_candidacy(self):
+        shard = FakeHandle(0)
+        prober, _ = make_prober([shard], {0: [self.HEALTHY] * 3})
+        for _ in range(3):
+            prober.probe_once()
+        assert prober.allows(shard) is True
+        assert prober.states() == {"0": "closed"}
+        assert prober.transitions() == []
+
+    def test_transport_failures_open_the_breaker(self):
+        shard = FakeHandle(0)
+        prober, metrics = make_prober(
+            [shard], {0: [self.DEAD] * 3}, failures=3
+        )
+        for _ in range(3):
+            prober.probe_once()
+        assert prober.allows(shard) is False
+        assert prober.states() == {"0": "open"}
+        overload = metrics.snapshot()["overload"]
+        assert overload["breaker_open_total"] == 1
+        (transition,) = prober.transitions()
+        assert transition["shard"] == 0
+        assert (transition["from"], transition["to"]) == (CLOSED, OPEN)
+
+    def test_slow_probes_and_full_queues_are_strikes(self):
+        shard = FakeHandle(0)
+        prober, _ = make_prober(
+            [shard],
+            {0: [self.SLOW, self.FULL, self.SLOW]},
+            failures=3,
+            latency_ms=250.0,
+        )
+        for _ in range(3):
+            prober.probe_once()
+        assert prober.allows(shard) is False
+
+    def test_unprobed_shard_is_innocent(self):
+        prober, _ = make_prober([], {})
+        assert prober.allows(FakeHandle(5)) is True
+
+    def test_generation_change_resets_the_breaker(self):
+        shard = FakeHandle(0, generation=0)
+        prober, _ = make_prober([shard], {0: [self.DEAD] * 3})
+        for _ in range(3):
+            prober.probe_once()
+        assert prober.allows(shard) is False
+        # The supervisor respawned the shard: a new generation arrives
+        # with a clean record, routable before its first probe.
+        respawned = FakeHandle(0, generation=1)
+        assert prober.allows(respawned) is True
+
+    def test_recovery_closes_and_keys_return(self):
+        clock = FakeClock()
+        shard = FakeHandle(0)
+        script = [self.DEAD] * 3 + [self.HEALTHY]
+        prober, metrics = make_prober(
+            [shard], {0: script}, clock=clock,
+            failures=3, recovery_seconds=5.0,
+        )
+        for _ in range(3):
+            prober.probe_once()
+        assert prober.allows(shard) is False
+        clock.advance(5.5)
+        prober.probe_once()  # the half-open trial probe succeeds
+        assert prober.allows(shard) is True
+        assert prober.states() == {"0": "closed"}
+        overload = metrics.snapshot()["overload"]
+        assert overload["breaker_open_total"] == 1
+        assert overload["breaker_half_open_total"] == 1
+        assert overload["breaker_close_total"] == 1
+        sequence = [(t["from"], t["to"]) for t in prober.transitions()]
+        assert sequence == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# deadline-aware shedding (scheduler unit level)
+# ---------------------------------------------------------------------------
+def make_job(deadline_seconds=None, respond=None, job_id=1):
+    return Job(
+        id=job_id,
+        method="check",
+        params={"path": "m.rp", "source": "x = 1"},
+        deadline=Deadline(deadline_seconds),
+        respond=respond or (lambda response: None),
+        client="test",
+    )
+
+
+class TestSchedulerShedding:
+    def scheduler(self, shed=True, **kwargs):
+        # Never started: submitted jobs sit in the queue, which makes
+        # backlog (and therefore the prediction) deterministic.
+        return Scheduler(
+            handler=lambda job, queue_seconds: {},
+            workers=1,
+            queue_limit=64,
+            metrics=ServerMetrics(),
+            shed=shed,
+            **kwargs,
+        )
+
+    def test_admission_compares_to_its_verdict_string(self):
+        assert Admission("accepted") == "accepted"
+        assert Admission("shed") != "accepted"
+        assert Admission("shed") == Admission("shed")
+
+    def test_cold_estimator_never_sheds(self):
+        scheduler = self.scheduler()
+        verdict = scheduler.submit(make_job(deadline_seconds=0.000001))
+        assert verdict == "accepted"
+
+    def test_doomed_job_is_shed_with_a_computed_hint(self):
+        scheduler = self.scheduler()
+        scheduler.estimator.observe("check", 0.5)
+        verdict = scheduler.submit(make_job(deadline_seconds=0.01))
+        assert verdict == "shed"
+        # retry_after covers at least the predicted excess over the
+        # deadline (~490 ms here).
+        assert verdict.retry_after_ms >= 400
+        assert verdict.predicted_ms == pytest.approx(500.0, rel=0.2)
+        snapshot = scheduler.metrics.snapshot()
+        assert snapshot["requests"]["check"]["shed"] == 1
+        assert snapshot["overload"]["requests_shed"] == 1
+
+    def test_feasible_deadline_is_accepted(self):
+        scheduler = self.scheduler()
+        scheduler.estimator.observe("check", 0.01)
+        assert scheduler.submit(make_job(deadline_seconds=30.0)) == "accepted"
+
+    def test_unbounded_deadline_is_never_shed(self):
+        scheduler = self.scheduler()
+        scheduler.estimator.observe("check", 10.0)
+        assert scheduler.submit(make_job(deadline_seconds=None)) == "accepted"
+
+    def test_shed_off_accepts_doomed_jobs(self):
+        scheduler = self.scheduler(shed=False)
+        scheduler.estimator.observe("check", 0.5)
+        assert scheduler.submit(make_job(deadline_seconds=0.01)) == "accepted"
+
+    def test_prediction_grows_with_the_backlog(self):
+        scheduler = self.scheduler()
+        scheduler.estimator.observe("check", 0.1)
+        idle = scheduler.predicted_response_seconds("check")
+        for index in range(4):
+            verdict = scheduler.submit(make_job(job_id=index))
+            assert verdict == "accepted"
+        queued = scheduler.predicted_response_seconds("check")
+        assert idle == pytest.approx(0.1)
+        assert queued == pytest.approx(0.5)  # 0.1 × (4/1 + 1)
+
+    def test_queue_full_hint_uses_the_prediction(self):
+        scheduler = Scheduler(
+            handler=lambda job, queue_seconds: {},
+            workers=1,
+            queue_limit=1,
+            metrics=ServerMetrics(),
+            shed=True,
+        )
+        scheduler.estimator.observe("check", 0.2)
+        assert scheduler.submit(make_job(job_id=1)) == "accepted"
+        verdict = scheduler.submit(make_job(job_id=2))
+        assert verdict == "overloaded"
+        assert verdict.retry_after_ms is not None
+        assert verdict.retry_after_ms >= 200
+
+
+# ---------------------------------------------------------------------------
+# end to end: shedding and brownout through a real daemon
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def daemon():
+    daemons = []
+
+    def start(**config):
+        instance = Daemon(DaemonConfig(**config))
+        host, port = instance.serve_tcp(port=0, background=True)
+        daemons.append(instance)
+        return instance, f"{host}:{port}"
+
+    yield start
+    for instance in daemons:
+        instance.request_shutdown()
+        assert instance.wait_drained(timeout=30.0)
+
+
+def _report(report):
+    return json.dumps(report, sort_keys=True)
+
+
+class TestDaemonShedding:
+    def test_doomed_request_gets_a_retryable_429(self, daemon):
+        instance, address = daemon(workers=1, shed=True)
+        # Prime the EWMA as if recent checks took a second each.
+        instance.scheduler.estimator.observe("check", 1.0)
+        with ServeClient(address) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.check("m.rp", WELL_TYPED, deadline_ms=1.0)
+            assert excinfo.value.code == 429
+            assert excinfo.value.data["reason"] == "shed"
+            assert excinfo.value.data["retry_after_ms"] >= 1
+            assert excinfo.value.data["predicted_ms"] > 0
+            # A request that can make its deadline is served normally.
+            served = client.check("m.rp", WELL_TYPED, deadline_ms=60_000.0)
+        assert served["exit"] == 0
+        overload = instance.metrics.snapshot()["overload"]
+        assert overload["requests_shed"] == 1
+
+    def test_stats_exposes_the_queue_gauges(self, daemon):
+        instance, address = daemon(workers=2, queue_limit=7)
+        with ServeClient(address) as client:
+            client.check("m.rp", WELL_TYPED)
+            stats = client.stats()
+        assert stats["queue"]["limit"] == 7
+        assert stats["queue"]["workers"] == 2
+        assert stats["queue"]["backlog"] >= 0
+        assert stats["queue"]["service_ewma_ms"]["check"] > 0
+
+
+class TestDaemonBrownout:
+    def test_degraded_answers_are_marked_and_never_cached(self, daemon):
+        instance, address = daemon(
+            workers=1,
+            # Pressure is occupancy × EWMA ms; with the EWMA primed to
+            # 1 s below, any non-empty queue clears this threshold.
+            brownout_threshold=1e-6,
+            brownout_window=0.0,
+            # exit_ratio 0 makes the exit threshold unreachable, so this
+            # test observes a brownout that *holds* (the exit test below
+            # covers leaving it).
+            brownout_exit_ratio=0.0,
+            brownout_budget_ms=0.000001,
+        )
+        instance.scheduler.estimator.observe("check", 1.0)
+        edited = WELL_TYPED.replace("y = 2", "y = 3")
+        with ServeClient(address) as client:
+            # Not yet browned out: the first answer is complete (the
+            # enter event fires at this request's completion sample).
+            first = client.check("m.rp", WELL_TYPED)
+            assert first["exit"] == 0
+            assert "degraded" not in first
+            assert instance.brownout.active is True
+            # A warm replay under brownout is still complete — the cap
+            # only bites work that actually runs the engine.
+            replay = client.check("m.rp", WELL_TYPED)
+            assert replay["cached"] is True
+            assert "degraded" not in replay
+            # Fresh work under the (absurdly tight) brownout budget
+            # degrades: partial, honestly marked.
+            degraded = client.check("m.rp", edited)
+            assert degraded.get("degraded") is True
+            assert degraded.get("aborted") is True
+            assert degraded["cached"] is False
+            # Degraded answers are never replay outcomes: resending the
+            # same source re-checks instead of replaying the gap.
+            again = client.check("m.rp", edited)
+            assert again["cached"] is False
+        overload = instance.metrics.snapshot()["overload"]
+        assert overload["brownout_entries"] >= 1
+        assert overload["degraded_served"] >= 2
+
+    def test_brownout_exits_when_pressure_clears(self, daemon):
+        instance, address = daemon(
+            workers=1,
+            brownout_threshold=1e-6,
+            brownout_window=0.0,
+            brownout_budget_ms=0.000001,
+        )
+        instance.scheduler.estimator.observe("check", 1.0)
+        with ServeClient(address) as client:
+            client.check("m.rp", WELL_TYPED)
+            assert instance.brownout.active is True
+            # The next submit samples an empty queue (pressure 0, below
+            # the exit threshold; window 0): brownout exits and the
+            # request is served completely.
+            recovered = client.check("mem://fresh.rp", WELL_TYPED)
+            assert recovered["exit"] == 0
+            assert "degraded" not in recovered
+        overload = instance.metrics.snapshot()["overload"]
+        assert overload["brownout_exits"] >= 1
+        assert overload["brownout_seconds"] > 0
+        assert overload["brownout_entries"] >= overload["brownout_exits"]
+
+    def test_complete_brownout_answer_matches_offline_bytes(self, daemon):
+        from repro.server.service import check_source
+
+        instance, address = daemon(
+            workers=1,
+            brownout_threshold=1e-6,
+            brownout_window=0.0,
+            # A generous brownout budget: browned out, but every answer
+            # still completes — and must equal the offline bytes.
+            brownout_budget_ms=60_000.0,
+        )
+        instance.scheduler.estimator.observe("check", 1.0)
+        with ServeClient(address) as client:
+            client.check("m.rp", WELL_TYPED)
+            assert instance.brownout.active is True
+            served = client.check("mem://parity.rp", WELL_TYPED)
+        assert "degraded" not in served
+        offline = check_source("mem://parity.rp", WELL_TYPED)
+        assert _report(served["report"]) == _report(offline.report)
+
+
+class TestQueuedDeadlineExpiry:
+    def test_expired_in_queue_answers_408_without_touching_a_session(self):
+        instance = Daemon(DaemonConfig())
+        try:
+            job = make_job(deadline_seconds=0.000001)
+            time.sleep(0.01)  # the job "waited in the queue" too long
+            response = instance._run_check_job(job, queue_seconds=0.01)
+            assert response["error"]["code"] == 408
+            sessions = instance.metrics.snapshot()["sessions"]
+            assert sessions["hits"] + sessions["misses"] == 0
+        finally:
+            instance.request_shutdown()
+            assert instance.wait_drained(timeout=30.0)

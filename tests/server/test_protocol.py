@@ -141,6 +141,32 @@ class TestFraming:
         frames = list(protocol.iter_frames(stream, max_bytes=16))
         assert frames == [(payload, None)]
 
+    def test_one_under_the_limit_is_accepted(self):
+        limit = protocol.MAX_FRAME_BYTES
+        payload = "a" * (limit - 2) + "\n"  # limit − 1 bytes in total
+        frames = list(protocol.iter_frames(io.StringIO(payload)))
+        assert frames == [(payload, None)]
+
+    def test_exactly_the_limit_is_accepted(self):
+        limit = protocol.MAX_FRAME_BYTES
+        payload = "a" * (limit - 1) + "\n"  # exactly limit bytes
+        frames = list(protocol.iter_frames(io.StringIO(payload)))
+        assert frames == [(payload, None)]
+
+    def test_one_over_the_limit_is_rejected(self):
+        # Regression: a frame of limit+1 bytes whose last byte is the
+        # newline used to slip through — readline(limit+1) returned it
+        # terminated, and the old check only rejected *unterminated*
+        # overruns.  The ceiling is the ceiling, terminator included.
+        limit = protocol.MAX_FRAME_BYTES
+        payload = "a" * limit + "\n" + '{"id": 1}\n'  # limit+1, then valid
+        frames = list(protocol.iter_frames(io.StringIO(payload)))
+        line, error = frames[0]
+        assert line is None
+        assert error.code == protocol.FRAME_TOO_LARGE
+        # The connection survives: the next frame is served normally.
+        assert frames[1] == ('{"id": 1}\n', None)
+
     def test_garbage_content_is_not_framings_problem(self):
         stream = io.StringIO("this is not json\n")
         (line, error), = protocol.iter_frames(stream, max_bytes=64)

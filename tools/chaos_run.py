@@ -28,6 +28,15 @@ respawns them, and the summary additionally asserts the fleet healed
 (``live_shards == N``) with ``shard_restarts`` accounted.
 
     PYTHONPATH=src python tools/chaos_run.py --shards 2 --requests 300
+
+With ``--overload`` the soak becomes the overload-control arm instead:
+a 2-shard fleet with probes, breakers and deadline-aware shedding on,
+where shard 0 answers everything 250 ms slow until a trip limit drains.
+The summary asserts the breaker evicted the slow shard, the fleet kept
+serving through the eviction, the healed shard was re-adopted with its
+home keys routing back, and every transition is visible in stats.
+
+    PYTHONPATH=src python tools/chaos_run.py --overload --requests 60
 """
 
 from __future__ import annotations
@@ -94,17 +103,29 @@ DEFAULT_FAULTS = (
 #: must answer the casualties as retryable.
 SHARD_KILL_FAULT = "daemon.handle:0.04:exit:limit=1"
 
+#: The overload arm's shard-0 sickness (``ROWPOLY_FAULTS_SHARD_0``): every
+#: request — health probes included — stalls 250 ms until the trip limit
+#: drains, then the shard is instantly healthy again.  Nothing dies; the
+#: router's breaker must evict the slow shard and re-adopt the fast one.
+OVERLOAD_SLOW_FAULT = "daemon.handle:1.0:slow:delay=250:limit=30"
+
 
 def frozen(report) -> str:
     return json.dumps(report, sort_keys=True)
 
 
 def start_daemon(
-    seed: int, fault_spec: str, shards: int = 0
+    seed: int,
+    fault_spec: str,
+    shards: int = 0,
+    extra_args: list | None = None,
+    extra_env: dict | None = None,
 ) -> tuple[subprocess.Popen, str, list[str]]:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
     env["ROWPOLY_FAULTS"] = f"seed={seed};{fault_spec}" if fault_spec else ""
+    if extra_env:
+        env.update(extra_env)
     command = [
         sys.executable, "-m", "repro.cli", "serve",
         "--tcp", "127.0.0.1:0",
@@ -115,6 +136,8 @@ def start_daemon(
     ]
     if shards > 0:
         command += ["--shards", str(shards)]
+    if extra_args:
+        command += [str(arg) for arg in extra_args]
     proc = subprocess.Popen(
         command,
         stderr=subprocess.PIPE,
@@ -315,6 +338,201 @@ def run_soak(args: argparse.Namespace) -> dict:
     return summary
 
 
+def _breaker_state(stats: dict, shard: str = "0") -> str:
+    return stats.get("router", {}).get("breakers", {}).get(shard, "absent")
+
+
+def run_overload(args: argparse.Namespace) -> dict:
+    """The overload arm: one slow shard against breakers + shedding.
+
+    A 2-shard fleet runs with health probes, breakers and deadline-aware
+    shedding on; ``ROWPOLY_FAULTS_SHARD_0`` stalls every shard-0 request
+    (probes included) by 250 ms until its trip limit drains.  Asserted:
+
+    * the breaker **evicts** the slow shard (``breakers["0"] == open``);
+    * the fleet keeps serving during the eviction — keys homed on shard
+      0 fail over, deadline'd requests reach terminal outcomes, no hangs;
+    * once the slowness burns out, a half-open probe **re-adopts** the
+      shard (``closed`` again) and its home keys route back to it;
+    * the transitions are visible in stats (``breaker_open_total`` ≥ 1,
+      ``breaker_close_total`` ≥ 1, a non-empty transition log);
+    * post-storm parity against offline reports, and a clean SIGTERM
+      drain.
+    """
+    from repro.infer.state import FlowOptions
+    from repro.server.registry import options_key
+    from repro.server.routing import routing_key, shard_for
+
+    shards = max(2, args.shards or 2)
+    proc, address, daemon_stderr = start_daemon(
+        args.seed,
+        "",  # no fleet-wide faults: only shard 0 is sick
+        shards=shards,
+        extra_args=[
+            "--shed",
+            "--probe-interval", "0.15",
+            "--breaker-failures", "2",
+            "--breaker-latency-ms", "120",
+            "--breaker-recovery-seconds", "1.0",
+        ],
+        extra_env={
+            "ROWPOLY_FAULTS_SHARD_0": (
+                f"seed={args.seed};{OVERLOAD_SLOW_FAULT}"
+            ),
+        },
+    )
+    summary: dict = {
+        "seed": args.seed,
+        "shards": shards,
+        "address": address,
+        "mode": "overload",
+        "requests": 0,
+        "terminal": {},
+        "failures": [],
+    }
+    failures = summary["failures"]
+    offline = {path: offline_check(source, path) for path, source in CORPUS}
+    deadline = time.monotonic() + args.max_seconds
+
+    def account(outcome: str) -> None:
+        summary["terminal"][outcome] = (
+            summary["terminal"].get(outcome, 0) + 1
+        )
+
+    def await_breaker(state: str, inspector: ServeClient) -> bool:
+        while time.monotonic() < deadline:
+            if _breaker_state(inspector.stats()) == state:
+                return True
+            time.sleep(0.1)
+        failures.append(f"breaker never reached {state!r} (hang verdict)")
+        return False
+
+    # The home shard of each path under the fleet's default options —
+    # computed with the router's own hash, so "keys return home" is
+    # asserted exactly, not statistically.
+    def home_shard(path: str) -> int:
+        key = routing_key(path, "flow", options_key(FlowOptions()))
+        return shard_for(key, list(range(shards)))
+
+    shard0_paths = [
+        path
+        for path in (f"mem://overload_{index}.rp" for index in range(64))
+        if home_shard(path) == 0
+    ][:4]
+
+    try:
+        with ServeClient(address, timeout=30.0) as inspector:
+            # ---- phase 1: the slow shard is evicted -------------------
+            summary["evicted"] = await_breaker("open", inspector)
+
+            # ---- phase 2: storm through the eviction ------------------
+            # Deadline'd requests against a 2x-degraded fleet: every one
+            # must reach a terminal outcome (served by the healthy
+            # shard, shed, or refused retryably) — never a hang.
+            with RetryingClient(
+                address, retries=4, seed=args.seed, timeout=15.0
+            ) as client:
+                for index in range(args.requests):
+                    if time.monotonic() > deadline:
+                        failures.append(
+                            "storm deadline exceeded: possible hang"
+                        )
+                        break
+                    summary["requests"] += 1
+                    path, source = CORPUS[index % len(CORPUS)]
+                    try:
+                        served = client.check(
+                            path, source, deadline_ms=5000.0
+                        )
+                    except ServeError as error:
+                        account(f"gave-up:{error.name}")
+                        continue
+                    except (ConnectionError, OSError) as error:
+                        failures.append(f"transport gave up: {error}")
+                        account("transport-error")
+                        continue
+                    account("ok" if served["exit"] == 0
+                            else f"exit-{served['exit']}")
+                summary["client_retries"] = client.retries_performed
+            if not summary["terminal"].get("ok"):
+                failures.append("no request succeeded during the eviction")
+
+            # ---- phase 3: the healed shard is re-adopted --------------
+            # The slow fault's trip limit drains (probes alone consume
+            # it), the shard answers fast again, and a half-open probe
+            # must re-close the breaker.
+            summary["readopted"] = await_breaker("closed", inspector)
+
+            # Keys homed on shard 0 route back to it: its routed count
+            # grows by exactly the number of shard-0-homed checks sent.
+            before = inspector.stats()["router"]["routed"].get("0", 0)
+            with ServeClient(address, timeout=30.0) as client:
+                for path in shard0_paths:
+                    served = client.check(path, WELL_TYPED)
+                    if served["exit"] != 0:
+                        failures.append(f"{path}: exit {served['exit']} "
+                                        "after re-adoption")
+            after = inspector.stats()["router"]["routed"].get("0", 0)
+            if summary["readopted"] and (
+                after - before < len(shard0_paths)
+            ):
+                failures.append(
+                    f"keys did not return home: shard 0 routed "
+                    f"{after - before}/{len(shard0_paths)} homed checks"
+                )
+
+            # ---- phase 4: parity + accounting -------------------------
+            with ServeClient(address, timeout=30.0) as parity:
+                for path, source in CORPUS:
+                    report = None
+                    for _ in range(20):
+                        try:
+                            report = parity.check(path, source)["report"]
+                            break
+                        except ServeError:
+                            time.sleep(0.1)
+                    if report is None:
+                        failures.append(f"{path}: never recovered post-storm")
+                    elif frozen(report) != frozen(offline[path].report):
+                        failures.append(f"{path}: post-storm report differs")
+
+            stats = inspector.stats()
+        overload = stats.get("overload", {})
+        summary["overload"] = overload
+        summary["breaker_transitions"] = stats.get("router", {}).get(
+            "breaker_transitions", []
+        )
+        if overload.get("breaker_open_total", 0) < 1:
+            failures.append("breaker_open_total == 0 despite a slow shard")
+        if summary["readopted"] and overload.get(
+            "breaker_close_total", 0
+        ) < 1:
+            failures.append("breaker re-closed but breaker_close_total == 0")
+        if not summary["breaker_transitions"]:
+            failures.append("breaker transition log is empty")
+        accounted = sum(summary["terminal"].values())
+        if accounted != summary["requests"]:
+            failures.append(
+                f"accounting gap: {summary['requests']} sent, "
+                f"{accounted} terminal"
+            )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            exit_code = None
+            failures.append("daemon did not drain within 30s of SIGTERM")
+        summary["daemon_exit"] = exit_code
+        if exit_code not in (0, None):
+            failures.append(f"daemon exited {exit_code} on SIGTERM")
+    summary["daemon_stderr_lines"] = len(daemon_stderr)
+    summary["ok"] = not failures
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=500,
@@ -331,7 +549,15 @@ def main(argv=None) -> int:
     parser.add_argument("--max-seconds", type=float, default=240.0,
                         help="hard soak deadline; exceeding it is a "
                         "hang verdict (default: 240)")
+    parser.add_argument("--overload", action="store_true",
+                        help="run the overload-control arm (slow shard "
+                        "vs breakers + shedding) instead of the fault "
+                        "soak")
     args = parser.parse_args(argv)
+    if args.overload:
+        summary = run_overload(args)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["ok"] else 1
     if args.faults is None:
         args.faults = DEFAULT_FAULTS
         if args.shards > 0:
